@@ -1,0 +1,93 @@
+// Command xsdf-diagnose prints per-label disambiguation confusions for one
+// configuration, a debugging aid for calibrating the corpus and lexicon:
+//
+//	xsdf-diagnose -group 1 -d 1 -method concept
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/disambig"
+	"repro/internal/experiments"
+	"repro/internal/simmeasure"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 42, "corpus seed")
+		group  = flag.Int("group", 0, "restrict to one test group (0 = all)")
+		radius = flag.Int("d", 1, "sphere radius")
+		method = flag.String("method", "concept", "concept | context | combined")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	r := experiments.NewRunner(cfg)
+
+	var m disambig.Method
+	switch *method {
+	case "concept":
+		m = disambig.ConceptBased
+	case "context":
+		m = disambig.ContextBased
+	default:
+		m = disambig.Combined
+	}
+	dis := disambig.New(r.Network(), disambig.Options{
+		Radius: *radius, Method: m, SimWeights: simmeasure.EqualWeights(),
+		ConceptWeight: 0.5, ContextWeight: 0.5,
+	})
+
+	type stat struct {
+		total, correct, missed int
+		confusions             map[string]int
+	}
+	stats := map[string]*stat{}
+	for i, doc := range r.Docs() {
+		if *group != 0 && doc.Group != *group {
+			continue
+		}
+		for _, n := range r.Selected(i) {
+			st := stats[n.Label]
+			if st == nil {
+				st = &stat{confusions: map[string]int{}}
+				stats[n.Label] = st
+			}
+			st.total++
+			s, ok := dis.Node(n)
+			if !ok {
+				st.missed++
+				continue
+			}
+			want := r.HumanSense(n)
+			if s.ID() == want {
+				st.correct++
+			} else {
+				st.confusions[fmt.Sprintf("%s (want %s)", s.ID(), want)]++
+			}
+		}
+	}
+	var labels []string
+	for l := range stats {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		si, sj := stats[labels[i]], stats[labels[j]]
+		return (si.total - si.correct) > (sj.total - sj.correct)
+	})
+	fmt.Printf("%-16s %5s %5s %5s  top confusion\n", "label", "tot", "ok", "miss")
+	for _, l := range labels {
+		st := stats[l]
+		top := ""
+		best := 0
+		for c, n := range st.confusions {
+			if n > best {
+				best, top = n, c
+			}
+		}
+		fmt.Printf("%-16s %5d %5d %5d  %s\n", l, st.total, st.correct, st.missed, top)
+	}
+}

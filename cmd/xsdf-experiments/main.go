@@ -1,0 +1,87 @@
+// Command xsdf-experiments regenerates every table and figure of the
+// paper's evaluation section (§4) on the synthetic corpus:
+//
+//	xsdf-experiments                   # run everything (text)
+//	xsdf-experiments -table 2          # only Table 2
+//	xsdf-experiments -figure 9         # only Figure 9
+//	xsdf-experiments -seed 7           # different corpus/annotator seed
+//	xsdf-experiments -csv -figure 8    # CSV to stdout for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf-experiments: ")
+	var (
+		seed   = flag.Int64("seed", 42, "corpus and annotator seed")
+		table  = flag.Int("table", 0, "render only this table (1-4)")
+		figure = flag.Int("figure", 0, "render only this figure (8 or 9)")
+		perDoc = flag.Int("nodes-per-doc", 13, "annotated nodes per document")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NodesPerDoc = *perDoc
+	r := experiments.NewRunner(cfg)
+
+	all := *table == 0 && *figure == 0
+	out := os.Stdout
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if all && !*asCSV {
+		fmt.Fprintf(out, "XSDF experimental run (seed=%d, %d annotated nodes)\n\n",
+			*seed, r.TotalAnnotated())
+	}
+	if all || *table == 1 {
+		if *asCSV {
+			check(experiments.WriteTable1CSV(out, r.Table1()))
+		} else {
+			fmt.Fprintln(out, experiments.RenderTable1(r.Table1()))
+		}
+	}
+	if all || *table == 2 {
+		if *asCSV {
+			check(experiments.WriteTable2CSV(out, r.Table2()))
+		} else {
+			fmt.Fprintln(out, experiments.RenderTable2(r.Table2()))
+		}
+	}
+	if all || *table == 3 {
+		if *asCSV {
+			check(experiments.WriteTable3CSV(out, r.Table3()))
+		} else {
+			fmt.Fprintln(out, experiments.RenderTable3(r.Table3()))
+		}
+	}
+	if (all || *table == 4) && !*asCSV {
+		fmt.Fprintln(out, experiments.RenderTable4(experiments.Table4()))
+	}
+	if all || *figure == 8 {
+		if *asCSV {
+			check(experiments.WriteFigure8CSV(out, r.Figure8()))
+		} else {
+			fmt.Fprintln(out, experiments.RenderFigure8(r.Figure8()))
+		}
+	}
+	if all || *figure == 9 {
+		if *asCSV {
+			check(experiments.WriteFigure9CSV(out, r.Figure9()))
+		} else {
+			fmt.Fprintln(out, experiments.RenderFigure9(r.Figure9()))
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command xsdf-lexicon inspects and exports the embedded mini-WordNet:
+//
+//	xsdf-lexicon -stats                     # size, polysemy, relation counts
+//	xsdf-lexicon -senses star               # list senses of a word
+//	xsdf-lexicon -path actor.n.01,rock.n.01 # taxonomic path between concepts
+//	xsdf-lexicon -export lexicon.semnet     # write the interchange format
+//	xsdf-lexicon -load my.semnet -senses x  # inspect a custom network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf-lexicon: ")
+	var (
+		stats    = flag.Bool("stats", false, "print network statistics")
+		senses   = flag.String("senses", "", "list the senses of a word or expression")
+		path     = flag.String("path", "", "comma-separated concept pair: print the taxonomic path")
+		export   = flag.String("export", "", "write the network in the text interchange format")
+		loadPath = flag.String("load", "", "operate on a network file instead of the embedded lexicon")
+	)
+	flag.Parse()
+
+	net := wordnet.Default()
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err = semnet.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ran := false
+	if *stats {
+		ran = true
+		printStats(net)
+	}
+	if *senses != "" {
+		ran = true
+		printSenses(net, *senses)
+	}
+	if *path != "" {
+		ran = true
+		parts := strings.SplitN(*path, ",", 2)
+		if len(parts) != 2 {
+			log.Fatal("-path wants two comma-separated concept ids")
+		}
+		printPath(net, semnet.ConceptID(strings.TrimSpace(parts[0])), semnet.ConceptID(strings.TrimSpace(parts[1])))
+	}
+	if *export != "" {
+		ran = true
+		f, err := os.Create(*export)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d concepts to %s\n", net.Len(), *export)
+	}
+	if !ran {
+		printStats(net)
+	}
+}
+
+func printStats(net *semnet.Network) {
+	fmt.Printf("concepts:      %d\n", net.Len())
+	fmt.Printf("lemmas:        %d\n", len(net.Lemmas()))
+	fmt.Printf("max polysemy:  %d\n", net.MaxPolysemy())
+	fmt.Printf("max depth:     %d\n", net.MaxDepth())
+	fmt.Printf("total freq:    %.0f\n", net.TotalFreq())
+
+	// Polysemy histogram over lemmas.
+	hist := map[int]int{}
+	maxP := 0
+	for _, l := range net.Lemmas() {
+		p := net.PolysemyOf(l)
+		hist[p]++
+		if p > maxP {
+			maxP = p
+		}
+	}
+	fmt.Println("polysemy histogram (senses: lemmas):")
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  %2d: %d\n", k, hist[k])
+	}
+}
+
+func printSenses(net *semnet.Network, word string) {
+	ids := net.Senses(word)
+	if len(ids) == 0 {
+		fmt.Printf("%q: no senses\n", word)
+		return
+	}
+	fmt.Printf("%q has %d sense(s):\n", word, len(ids))
+	for i, id := range ids {
+		c := net.Concept(id)
+		fmt.Printf("  %d. %-18s (%s)  %s\n", i+1, id, strings.Join(c.Lemmas, ", "), c.Gloss)
+	}
+}
+
+func printPath(net *semnet.Network, a, b semnet.ConceptID) {
+	path, ok := net.PathBetween(a, b)
+	if !ok {
+		fmt.Printf("no taxonomic path between %s and %s\n", a, b)
+		return
+	}
+	for i, id := range path {
+		pad := strings.Repeat("  ", i)
+		fmt.Printf("%s%s\n", pad, id)
+	}
+}

@@ -1,0 +1,66 @@
+// Command xsdf-sim compares two XML documents structurally, with and
+// without semantics: it disambiguates both against the embedded lexicon and
+// reports the tree-edit similarity under syntactic label costs (labels must
+// match exactly) and under semantic costs (concept similarity prices
+// renames). Heterogeneous documents describing the same content — the
+// paper's Figure 1 scenario — score much higher semantically.
+//
+//	xsdf-sim doc1.xml doc2.xml
+//	xsdf-sim -d 2 doc1.xml doc2.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/xmlsim"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf-sim: ")
+	radius := flag.Int("d", 2, "sphere radius for disambiguation")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: xsdf-sim [flags] <doc1.xml> <doc2.xml>")
+	}
+
+	fw, err := xsdf.New(xsdf.Options{Radius: *radius})
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := func(path string) *xmltree.Tree {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		res, err := fw.Disambiguate(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return res.Tree
+	}
+	a := load(flag.Arg(0))
+	b := load(flag.Arg(1))
+
+	syn := xmlsim.Similarity(a, b, xmlsim.SyntacticCosts{})
+	sem := xmlsim.Similarity(a, b, xmlsim.NewSemanticCosts(fw.Network()))
+
+	fmt.Printf("%-32s %d nodes\n", flag.Arg(0), a.Len())
+	fmt.Printf("%-32s %d nodes\n", flag.Arg(1), b.Len())
+	fmt.Printf("syntactic similarity: %.3f\n", syn)
+	fmt.Printf("semantic similarity:  %.3f\n", sem)
+	switch {
+	case sem-syn > 0.1:
+		fmt.Println("verdict: the documents are much closer semantically than their tagging suggests")
+	case sem > 0.8:
+		fmt.Println("verdict: the documents are near duplicates")
+	default:
+		fmt.Println("verdict: the documents differ in structure and meaning")
+	}
+}

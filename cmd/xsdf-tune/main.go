@@ -1,0 +1,72 @@
+// Command xsdf-tune searches the disambiguation parameter space for the
+// configuration maximizing f-measure on a held-out split of the synthetic
+// corpus — the optimization capability the paper defers to future work
+// (§3.3, §5):
+//
+//	xsdf-tune                    # grid search, full corpus
+//	xsdf-tune -dataset 2         # tune for one dataset
+//	xsdf-tune -strategy descent  # greedy coordinate descent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/disambig"
+	"repro/internal/lingproc"
+	"repro/internal/tuning"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf-tune: ")
+	var (
+		seed     = flag.Int64("seed", 42, "corpus seed")
+		dataset  = flag.Int("dataset", 0, "tune against one dataset only (0 = all)")
+		strategy = flag.String("strategy", "grid", "grid | descent")
+		passes   = flag.Int("passes", 4, "max coordinate-descent passes")
+	)
+	flag.Parse()
+
+	net := wordnet.Default()
+	var train, validate []*xmltree.Tree
+	for i, d := range corpus.Generate(*seed) {
+		if *dataset != 0 && d.Dataset != *dataset {
+			continue
+		}
+		lingproc.ProcessTree(d.Tree, net)
+		// Alternate documents between train and validation splits.
+		if i%2 == 0 {
+			train = append(train, d.Tree)
+		} else {
+			validate = append(validate, d.Tree)
+		}
+	}
+	if len(train) == 0 || len(validate) == 0 {
+		log.Fatal("empty split; check -dataset")
+	}
+	trainEval := tuning.NewEvaluator(net, train)
+	valEval := tuning.NewEvaluator(net, validate)
+	fmt.Printf("training on %d nodes, validating on %d nodes\n", trainEval.Len(), valEval.Len())
+
+	seedOpts := disambig.DefaultOptions()
+	var res tuning.Result
+	switch *strategy {
+	case "grid":
+		res = tuning.GridSearch(seedOpts, tuning.DefaultSpace(), trainEval.FMeasure)
+	case "descent":
+		res = tuning.CoordinateDescent(seedOpts, tuning.DefaultSpace(), trainEval.FMeasure, *passes)
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	fmt.Printf("evaluated %d configurations\n", res.Evaluated)
+	fmt.Printf("best on train:      F=%.3f  %s\n", res.Score, tuning.Describe(res.Options))
+	fmt.Printf("seed on train:      F=%.3f  %s\n", trainEval.FMeasure(seedOpts), tuning.Describe(seedOpts))
+	fmt.Printf("best on validation: F=%.3f\n", valEval.FMeasure(res.Options))
+	fmt.Printf("seed on validation: F=%.3f\n", valEval.FMeasure(seedOpts))
+}

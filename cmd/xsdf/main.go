@@ -1,0 +1,100 @@
+// Command xsdf disambiguates an XML document against the embedded
+// mini-WordNet and writes the semantic XML tree (or a concept report) to
+// stdout:
+//
+//	xsdf doc.xml                      # annotated XML
+//	xsdf -report doc.xml              # label -> concept table
+//	xsdf -json doc.xml                # semantic tree as JSON
+//	xsdf -d 2 -method combined -threshold 0.05 doc.xml
+//	cat doc.xml | xsdf -              # read stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf: ")
+	var (
+		radius    = flag.Int("d", 1, "sphere neighborhood radius (context size)")
+		method    = flag.String("method", "concept", "disambiguation process: concept | context | combined")
+		threshold = flag.Float64("threshold", 0, "Thresh_Amb: only nodes with Amb_Deg >= threshold are disambiguated")
+		auto      = flag.Bool("auto-threshold", false, "estimate Thresh_Amb from the document")
+		structure = flag.Bool("structure-only", false, "ignore element/attribute text values")
+		report    = flag.Bool("report", false, "print a label -> concept table instead of annotated XML")
+		asJSON    = flag.Bool("json", false, "emit the semantic tree as JSON instead of annotated XML")
+		vectorSim = flag.String("vector-sim", "cosine", "context-vector similarity: cosine | jaccard | pearson")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: xsdf [flags] <file.xml | ->")
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	opts := xsdf.Options{
+		Radius:           *radius,
+		Threshold:        *threshold,
+		AutoThreshold:    *auto,
+		StructureOnly:    *structure,
+		VectorSimilarity: *vectorSim,
+	}
+	switch *method {
+	case "concept":
+		opts.Method = xsdf.ConceptBased
+	case "context":
+		opts.Method = xsdf.ContextBased
+	case "combined":
+		opts.Method = xsdf.Combined
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	fw, err := xsdf.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Disambiguate(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		if err := res.Tree.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *report {
+		fmt.Printf("# %d targets, %d assigned (threshold %.3f)\n", res.Targets, res.Assigned, res.Threshold)
+		for _, n := range res.Tree.Nodes() {
+			if n.Sense == "" {
+				continue
+			}
+			gloss := ""
+			if c := fw.Network().Concept(xsdf.ConceptID(n.Sense)); c != nil {
+				gloss = c.Gloss
+			}
+			fmt.Printf("%-16s %-20s %.3f  %s\n", n.Label, n.Sense, n.SenseScore, gloss)
+		}
+		return
+	}
+	if err := res.Tree.WriteXML(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package xsdf_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the end-to-end pipeline on the paper's Figure 1
+// document: the ambiguous labels resolve to concepts, with "Kelly" mapped
+// to Grace Kelly through the cast/star context.
+func Example() {
+	fw, err := xsdf.New(xsdf.Options{Radius: 2})
+	if err != nil {
+		panic(err)
+	}
+	res, err := fw.DisambiguateString(`<films>
+	  <picture title="Rear Window">
+	    <director>Hitchcock</director>
+	    <cast><star>Stewart</star><star>Kelly</star></cast>
+	  </picture>
+	</films>`)
+	if err != nil {
+		panic(err)
+	}
+	for _, label := range []string{"cast", "kelly", "hitchcock"} {
+		for _, n := range res.Tree.Nodes() {
+			if n.Label == label {
+				fmt.Printf("%s -> %s\n", n.Label, n.Sense)
+			}
+		}
+	}
+	// Output:
+	// cast -> cast.n.01
+	// kelly -> kelly.n.01
+	// hitchcock -> hitchcock.n.01
+}
+
+// ExampleFramework_Candidates shows the score ranking behind a decision.
+func ExampleFramework_Candidates() {
+	fw, _ := xsdf.New(xsdf.Options{Radius: 2})
+	res, _ := fw.DisambiguateString(`<picture><cast><star>Kelly</star></cast></picture>`)
+	for _, n := range res.Tree.Nodes() {
+		if n.Label != "cast" {
+			continue
+		}
+		cands := fw.Candidates(n)
+		fmt.Printf("%d candidate senses; best %s\n", len(cands), cands[0].Sense)
+	}
+	// Output:
+	// 5 candidate senses; best cast.n.01
+}
+
+// ExampleFramework_ExplainSimilarity prints the taxonomic chain connecting
+// two concepts.
+func ExampleFramework_ExplainSimilarity() {
+	fw, _ := xsdf.New(xsdf.Options{})
+	for _, c := range fw.ExplainSimilarity("actress.n.01", "dancer.n.01") {
+		fmt.Println(c)
+	}
+	// Output:
+	// actress.n.01
+	// actor.n.01
+	// performer.n.01
+	// dancer.n.01
+}
+
+// ExampleFramework_Disambiguate_threshold selects only the most ambiguous
+// nodes (Thresh_Amb of §3.3) instead of disambiguating everything.
+func ExampleFramework_Disambiguate_threshold() {
+	fw, _ := xsdf.New(xsdf.Options{Threshold: 0.08})
+	res, _ := fw.DisambiguateString(`<films>
+	  <picture title="Rear Window">
+	    <director>Hitchcock</director>
+	    <cast><star>Stewart</star><star>Kelly</star></cast>
+	  </picture>
+	</films>`)
+	fmt.Printf("selected %d of %d nodes\n", res.Targets, res.Tree.Len())
+	// Output:
+	// selected 8 of 12 nodes
+}

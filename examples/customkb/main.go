@@ -1,0 +1,88 @@
+// Custom knowledge base: §3.1 notes that "any other knowledge base can be
+// used based on the application scenario, e.g., ... FOAF to identify
+// relations between persons in social networks". This example builds a
+// small FOAF-flavoured semantic network programmatically, round-trips it
+// through the text interchange format, and disambiguates a social-network
+// document against it — no embedded lexicon involved.
+//
+//	go run ./examples/customkb
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/semnet"
+)
+
+// buildFOAF assembles a miniature social-network ontology. "friend" is the
+// ambiguous word: a FOAF social link vs. a benefactor.
+func buildFOAF() *semnet.Network {
+	b := semnet.NewBuilder()
+	b.AddConcept("agent.f.01", "any entity that can act in a social network", 50, "agent")
+	b.AddConcept("person.f.01", "a human agent with a profile in a social network", 40, "person", "user")
+	b.AddConcept("organization.f.01", "a social institution acting as an agent", 20, "organization", "org")
+	b.AddConcept("group.f.01", "a collection of agents sharing membership", 15, "group")
+	b.AddConcept("friend.f.01", "a person connected to another person by a mutual social link", 20, "friend", "connection", "contact")
+	b.AddConcept("friend.f.02", "a person who supports an institution with donations", 5, "friend", "patron", "benefactor")
+	b.AddConcept("profile.f.01", "the page describing an agent with name and interests", 15, "profile", "account")
+	b.AddConcept("post.f.01", "a message published by an agent to a network feed", 15, "post", "status update")
+	b.AddConcept("interest.f.01", "a topic an agent declares on a profile", 10, "interest", "topic")
+	b.AddConcept("nick.f.01", "the short informal name an agent uses online", 10, "nick", "nickname", "handle")
+
+	b.IsA("person.f.01", "agent.f.01")
+	b.IsA("organization.f.01", "agent.f.01")
+	b.IsA("group.f.01", "agent.f.01")
+	b.IsA("friend.f.01", "person.f.01")
+	b.IsA("friend.f.02", "person.f.01")
+	b.PartOf("profile.f.01", "person.f.01")
+	b.PartOf("nick.f.01", "profile.f.01")
+	b.PartOf("interest.f.01", "profile.f.01")
+	b.AddEdge("post.f.01", semnet.Related, "profile.f.01")
+	return b.MustBuild()
+}
+
+const socialDoc = `<network>
+  <person>
+    <profile><nick>gopher42</nick><interest>chess</interest></profile>
+    <friend>
+      <person><profile><nick>rsc</nick></profile></person>
+    </friend>
+    <post>hello network</post>
+  </person>
+</network>`
+
+func main() {
+	foaf := buildFOAF()
+
+	// Round-trip through the interchange format, as a user loading a
+	// hand-authored .semnet file would.
+	var buf bytes.Buffer
+	if err := foaf.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := semnet.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom network: %d concepts, %d lemmas\n\n", loaded.Len(), len(loaded.Lemmas()))
+
+	fw, err := xsdf.New(xsdf.Options{Network: loaded, Radius: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(socialDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("label -> concept")
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense == "" {
+			continue
+		}
+		c := loaded.Concept(xsdf.ConceptID(n.Sense))
+		fmt.Printf("  %-10s -> %-12s %s\n", n.Label, n.Sense, c.Gloss)
+	}
+}

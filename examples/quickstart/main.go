@@ -1,0 +1,56 @@
+// Quickstart: disambiguate one XML document with the default XSDF
+// configuration and print the semantic XML tree.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+const doc = `<films>
+  <picture title="Rear Window">
+    <director> Hitchcock </director>
+    <year> 1954 </year>
+    <genre> mystery </genre>
+    <cast>
+      <star> Stewart </star>
+      <star> Kelly </star>
+    </cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>`
+
+func main() {
+	fw, err := xsdf.New(xsdf.Options{Radius: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("selected %d nodes, assigned %d senses\n\n", res.Targets, res.Assigned)
+	fmt.Println("label -> concept (score)")
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense == "" {
+			continue
+		}
+		c := fw.Network().Concept(xsdf.ConceptID(n.Sense))
+		gloss := ""
+		if c != nil {
+			gloss = c.Gloss
+		}
+		fmt.Printf("  %-12s -> %-16s %.3f  %s\n", n.Label, n.Sense, n.SenseScore, gloss)
+	}
+
+	fmt.Println("\nsemantic XML tree:")
+	if err := res.Tree.WriteXML(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+}

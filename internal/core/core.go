@@ -1,0 +1,135 @@
+// Package core implements the XSDF framework itself (§3, Figure 3): the
+// four-module pipeline that turns a syntactic XML tree into a semantic XML
+// tree given a reference semantic network and user parameters.
+//
+//	input XML tree ──► linguistic pre-processing ──► node selection
+//	      ──► sphere context definition ──► semantic disambiguation
+//	      ──► semantic XML tree (concept-annotated nodes)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ambiguity"
+	"repro/internal/disambig"
+	"repro/internal/lingproc"
+	"repro/internal/semnet"
+	"repro/internal/xmltree"
+)
+
+// Options aggregates every user parameter of the framework. Zero values are
+// replaced by the defaults documented on each field.
+type Options struct {
+	// IncludeContent selects structure-and-content (true, default via
+	// DefaultOptions) or structure-only processing (§3.1).
+	IncludeContent bool
+	// Ambiguity holds the w_Polysemy/w_Depth/w_Density weights of the
+	// ambiguity degree measure (Definition 3).
+	Ambiguity ambiguity.Weights
+	// Threshold is Thresh_Amb: nodes with Amb_Deg >= Threshold are selected
+	// for disambiguation. 0 selects all nodes.
+	Threshold float64
+	// AutoThreshold, when true, estimates Threshold from the document's
+	// degree distribution (mean + AutoThresholdK·stddev) and overrides
+	// Threshold.
+	AutoThreshold  bool
+	AutoThresholdK float64
+	// Disambiguation holds the context radius, process choice, and
+	// similarity weights (§3.5).
+	Disambiguation disambig.Options
+	// OneSensePerDiscourse runs the Gale-Church-Yarowsky harmonization pass
+	// after disambiguation: repeated labels in one document converge on
+	// their highest-scoring sense (extension beyond the paper, opt-in).
+	OneSensePerDiscourse bool
+}
+
+// DefaultOptions mirrors §3.3's sensible starting configuration: equal
+// ambiguity weights, Thresh_Amb = 0 (all nodes considered), radius 1,
+// concept-based process with equal similarity weights.
+func DefaultOptions() Options {
+	return Options{
+		IncludeContent: true,
+		Ambiguity:      ambiguity.EqualWeights(),
+		Threshold:      0,
+		Disambiguation: disambig.DefaultOptions(),
+	}
+}
+
+// Result reports what the pipeline did to one document.
+type Result struct {
+	// Tree is the semantically augmented document tree (same object as the
+	// input tree: annotation happens in place).
+	Tree *xmltree.Tree
+	// Targets is the number of nodes selected for disambiguation.
+	Targets int
+	// Assigned is the number of targets that received a sense.
+	Assigned int
+	// Threshold is the effective Thresh_Amb used (relevant with
+	// AutoThreshold).
+	Threshold float64
+}
+
+// Framework is a reusable XSDF instance bound to one semantic network.
+type Framework struct {
+	net  *semnet.Network
+	opts Options
+}
+
+// New returns a Framework over the given semantic network. net must be
+// non-nil.
+func New(net *semnet.Network, opts Options) (*Framework, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil semantic network")
+	}
+	if sw := opts.Disambiguation.SimWeights; sw.Edge < 0 || sw.Node < 0 || sw.Gloss < 0 {
+		return nil, fmt.Errorf("core: negative similarity weight %+v", sw)
+	}
+	if err := opts.Disambiguation.SimWeights.Normalize().Validate(); err != nil {
+		return nil, err
+	}
+	return &Framework{net: net, opts: opts}, nil
+}
+
+// Network returns the reference semantic network.
+func (f *Framework) Network() *semnet.Network { return f.net }
+
+// Options returns the active configuration.
+func (f *Framework) Options() Options { return f.opts }
+
+// ProcessReader parses an XML document from r and runs the full pipeline.
+func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
+	t, err := xmltree.Parse(r, xmltree.ParseOptions{
+		IncludeContent: f.opts.IncludeContent,
+		Tokenize:       lingproc.Tokenize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.ProcessTree(t)
+}
+
+// ProcessTree runs modules 1–4 on an already-parsed tree, annotating it in
+// place. The tree may or may not have been linguistically pre-processed;
+// pre-processing is idempotent, so it always runs here.
+func (f *Framework) ProcessTree(t *xmltree.Tree) (*Result, error) {
+	// Module 1: linguistic pre-processing.
+	lingproc.ProcessTree(t, f.net)
+
+	// Module 2: node selection for disambiguation.
+	threshold := f.opts.Threshold
+	if f.opts.AutoThreshold {
+		threshold = ambiguity.AutoThreshold(t, f.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
+	}
+	targets := ambiguity.Select(t, f.net, f.opts.Ambiguity, threshold)
+
+	// Modules 3 + 4: sphere context construction and disambiguation.
+	dis := disambig.New(f.net, f.opts.Disambiguation)
+	assigned := dis.Apply(targets)
+
+	if f.opts.OneSensePerDiscourse {
+		disambig.Harmonize(targets)
+	}
+
+	return &Result{Tree: t, Targets: len(targets), Assigned: assigned, Threshold: threshold}, nil
+}

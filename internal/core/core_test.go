@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ambiguity"
+	"repro/internal/disambig"
+	"repro/internal/simmeasure"
+	"repro/internal/wordnet"
+)
+
+const doc = `<films>
+  <picture title="Rear Window">
+    <director>Hitchcock</director>
+    <genre>mystery</genre>
+    <cast><star>Stewart</star><star>Kelly</star></cast>
+  </picture>
+</films>`
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultOptions()); err == nil {
+		t.Error("nil network must be rejected")
+	}
+	bad := DefaultOptions()
+	bad.Disambiguation.SimWeights = simmeasure.Weights{Edge: -1}
+	if _, err := New(wordnet.Default(), bad); err == nil {
+		t.Error("invalid similarity weights must be rejected")
+	}
+}
+
+func TestFullPipeline(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != res.Tree.Len() {
+		t.Errorf("threshold 0 must select all %d nodes, got %d", res.Tree.Len(), res.Targets)
+	}
+	if res.Assigned == 0 || res.Assigned > res.Targets {
+		t.Errorf("assigned = %d of %d", res.Assigned, res.Targets)
+	}
+	// The semantic tree contains resolved concepts for the key labels.
+	senses := map[string]string{}
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense != "" {
+			senses[n.Label] = n.Sense
+		}
+	}
+	if senses["cast"] != "cast.n.01" {
+		t.Errorf("cast -> %s", senses["cast"])
+	}
+	if !strings.HasPrefix(senses["hitchcock"], "hitchcock.") {
+		t.Errorf("hitchcock -> %s", senses["hitchcock"])
+	}
+}
+
+func TestThresholdReducesTargets(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Threshold = 0.15
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets >= res.Tree.Len() {
+		t.Errorf("threshold 0.15 selected everything (%d nodes)", res.Targets)
+	}
+	// Non-targets stay untouched (§3.1): count of sensed nodes <= targets.
+	sensed := 0
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense != "" {
+			sensed++
+		}
+	}
+	if sensed > res.Targets {
+		t.Errorf("%d sensed > %d targets", sensed, res.Targets)
+	}
+}
+
+func TestAutoThreshold(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AutoThreshold = true
+	opts.AutoThresholdK = 0.5
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold <= 0 {
+		t.Errorf("auto threshold = %f, want > 0", res.Threshold)
+	}
+	if res.Targets == 0 {
+		t.Error("auto threshold selected nothing")
+	}
+}
+
+func TestStructureOnlyMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IncludeContent = false
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Raw == "Kelly" || n.Raw == "Stewart" {
+			t.Error("structure-only mode kept content tokens")
+		}
+	}
+}
+
+func TestPipelineWithAllMethods(t *testing.T) {
+	for _, m := range []disambig.Method{disambig.ConceptBased, disambig.ContextBased, disambig.Combined} {
+		opts := DefaultOptions()
+		opts.Disambiguation.Method = m
+		fw, err := New(wordnet.Default(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fw.ProcessReader(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Assigned == 0 {
+			t.Errorf("%v assigned nothing", m)
+		}
+	}
+}
+
+func TestWPolysemyZeroSelectsAll(t *testing.T) {
+	// §3.3: w_Polysemy = 0 makes all degrees 0; with threshold 0 every node
+	// is still selected.
+	opts := DefaultOptions()
+	opts.Ambiguity = ambiguity.Weights{Polysemy: 0, Depth: 1, Density: 1}
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != res.Tree.Len() {
+		t.Errorf("selected %d of %d", res.Targets, res.Tree.Len())
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	fw, _ := New(wordnet.Default(), DefaultOptions())
+	if _, err := fw.ProcessReader(strings.NewReader("<oops")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestOneSensePerDiscourse(t *testing.T) {
+	opts := DefaultOptions()
+	opts.OneSensePerDiscourse = true
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(
+		`<PLAY><ACT><SCENE><SPEECH><SPEAKER>x</SPEAKER><LINE>star light</LINE>
+		 <LINE>sun rose</LINE></SPEECH></SCENE></ACT></PLAY>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	senses := map[string]string{}
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense == "" || len(n.Tokens) > 1 {
+			continue
+		}
+		if prev, ok := senses[n.Label]; ok && prev != n.Sense {
+			t.Fatalf("label %q kept two senses with harmonization on", n.Label)
+		}
+		senses[n.Label] = n.Sense
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// ProcessTrees runs the pipeline over a batch of documents concurrently
+// with the given number of workers (<= 0 selects GOMAXPROCS). The semantic
+// network is immutable and shared; every worker builds its own
+// disambiguator state, so no locking is needed on the hot path. Results
+// are returned in input order; the first error (if any) is reported after
+// all workers drain, and the corresponding result slots are nil.
+func (f *Framework) ProcessTrees(trees []*xmltree.Tree, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	results := make([]*Result, len(trees))
+	if len(trees) == 0 {
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range jobs {
+				res, err := f.ProcessTree(trees[i])
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("document %d: %w", i, err)
+					}
+					continue
+				}
+				results[i] = res
+			}
+			if firstErr != nil {
+				errs <- firstErr
+			}
+		}()
+	}
+	for i := range trees {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return results, err
+	}
+	return results, nil
+}

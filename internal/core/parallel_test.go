@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func corpusTrees(t testing.TB, n int) []*xmltree.Tree {
+	t.Helper()
+	var trees []*xmltree.Tree
+	for _, d := range corpus.Generate(7) {
+		trees = append(trees, d.Tree)
+		if len(trees) == n {
+			break
+		}
+	}
+	return trees
+}
+
+func TestProcessTreesMatchesSequential(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := corpusTrees(t, 12)
+	par := corpusTrees(t, 12)
+
+	var seqAssigned []int
+	for _, tr := range seq {
+		res, err := fw.ProcessTree(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqAssigned = append(seqAssigned, res.Assigned)
+	}
+	results, err := fw.ProcessTrees(par, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("missing result %d", i)
+		}
+		if res.Assigned != seqAssigned[i] {
+			t.Errorf("doc %d: parallel assigned %d, sequential %d", i, res.Assigned, seqAssigned[i])
+		}
+		// Sense assignments must be identical node-for-node.
+		for j := 0; j < seq[i].Len(); j++ {
+			if seq[i].Node(j).Sense != par[i].Node(j).Sense {
+				t.Fatalf("doc %d node %d: %q vs %q", i, j,
+					seq[i].Node(j).Sense, par[i].Node(j).Sense)
+			}
+		}
+	}
+}
+
+func TestProcessTreesEmptyAndDefaults(t *testing.T) {
+	fw, _ := New(wordnet.Default(), DefaultOptions())
+	res, err := fw.ProcessTrees(nil, 0)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v %v", res, err)
+	}
+	// workers <= 0 and workers > len are both legal.
+	res, err = fw.ProcessTrees(corpusTrees(t, 2), 99)
+	if err != nil || len(res) != 2 || res[0] == nil {
+		t.Fatalf("tiny batch: %v %v", res, err)
+	}
+}
+
+func BenchmarkProcessTreesWorkers(b *testing.B) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				trees := corpusTrees(b, 20)
+				b.StartTimer()
+				if _, err := fw.ProcessTrees(trees, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

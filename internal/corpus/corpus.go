@@ -1,0 +1,211 @@
+// Package corpus generates the test-document collection of §4.1 (Table 3):
+// ten datasets over the same DTD families the paper used (Shakespeare
+// plays, Amazon products, SIGMOD Record proceedings, IMDB movies, Niagara
+// bib/personnel/club, and the W3Schools cd/food/plant catalogs), organized
+// into the four ambiguity × structure groups of Table 1.
+//
+// The paper's documents came from public downloads that are not available
+// offline, so the generators synthesize structurally equivalent documents:
+// the same grammars and tag vocabularies, comparable node counts, depth,
+// fan-out, and label polysemy. Crucially, every node whose label (or token)
+// has an intended meaning in the embedded lexicon carries a gold concept
+// identifier, giving the evaluation exact ground truth (see DESIGN.md,
+// "Substitutions"). Generation is fully deterministic per seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Doc is one generated test document.
+type Doc struct {
+	// Dataset is the 1-based dataset number of Table 3.
+	Dataset int
+	// Group is the 1-based test group of Table 1.
+	Group int
+	// Name identifies the document ("shakespeare-03").
+	Name string
+	// Grammar names the DTD family of Table 3.
+	Grammar string
+	// Tree is the document tree with Raw labels and Gold sense annotations.
+	Tree *xmltree.Tree
+}
+
+// DatasetInfo describes one dataset row of Table 3.
+type DatasetInfo struct {
+	Dataset int
+	Group   int
+	Source  string
+	Grammar string
+	NumDocs int
+}
+
+// Datasets lists the ten datasets with the document counts of Table 3.
+// (The paper's prose says "80 test documents" while its Table 3 rows sum to
+// 60; we follow Table 3, and note the discrepancy in EXPERIMENTS.md.)
+func Datasets() []DatasetInfo {
+	return []DatasetInfo{
+		{1, 1, "Shakespeare collection", "shakespeare.dtd", 10},
+		{2, 2, "Amazon product files", "amazon_product.dtd", 10},
+		{3, 3, "SIGMOD Record", "ProceedingsPage.dtd", 6},
+		{4, 3, "IMDB database", "movies.dtd", 6},
+		{5, 3, "Niagara collection", "bib.dtd", 8},
+		{6, 4, "W3Schools", "cd_catalog.dtd", 4},
+		{7, 4, "W3Schools", "food_menu.dtd", 4},
+		{8, 4, "W3Schools", "plant_catalog.dtd", 4},
+		{9, 4, "Niagara collection", "personnel.dtd", 4},
+		{10, 4, "Niagara collection", "club.dtd", 4},
+	}
+}
+
+// Generate builds the full collection deterministically from seed.
+func Generate(seed int64) []Doc { return GenerateScaled(seed, 1) }
+
+// GenerateScaled builds scale x the Table 3 document counts — the same ten
+// grammars with proportionally more documents per dataset — for throughput
+// benchmarks and robustness tests beyond the paper's corpus size. scale < 1
+// is treated as 1.
+func GenerateScaled(seed int64, scale int) []Doc {
+	if scale < 1 {
+		scale = 1
+	}
+	var docs []Doc
+	for _, ds := range Datasets() {
+		for i := 0; i < ds.NumDocs*scale; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(ds.Dataset)*1000 + int64(i)))
+			var root *xmltree.Node
+			switch ds.Dataset {
+			case 1:
+				root = genShakespeare(rng)
+			case 2:
+				root = genAmazon(rng)
+			case 3:
+				root = genSigmod(rng)
+			case 4:
+				root = genMovies(rng)
+			case 5:
+				root = genBib(rng)
+			case 6:
+				root = genCDCatalog(rng)
+			case 7:
+				root = genFoodMenu(rng)
+			case 8:
+				root = genPlantCatalog(rng)
+			case 9:
+				root = genPersonnel(rng)
+			case 10:
+				root = genClub(rng)
+			}
+			docs = append(docs, Doc{
+				Dataset: ds.Dataset,
+				Group:   ds.Group,
+				Name:    fmt.Sprintf("%s-%02d", shortName(ds.Grammar), i+1),
+				Grammar: ds.Grammar,
+				Tree:    xmltree.New(root),
+			})
+		}
+	}
+	return docs
+}
+
+// GenerateDataset builds only the documents of one dataset.
+func GenerateDataset(seed int64, dataset int) []Doc {
+	var out []Doc
+	for _, d := range Generate(seed) {
+		if d.Dataset == dataset {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// GroupDocs partitions documents by Table 1 group (1-4).
+func GroupDocs(docs []Doc) map[int][]Doc {
+	out := make(map[int][]Doc, 4)
+	for _, d := range docs {
+		out[d.Group] = append(out[d.Group], d)
+	}
+	return out
+}
+
+func shortName(grammar string) string {
+	switch grammar {
+	case "shakespeare.dtd":
+		return "shakespeare"
+	case "amazon_product.dtd":
+		return "amazon"
+	case "ProceedingsPage.dtd":
+		return "sigmod"
+	case "movies.dtd":
+		return "movies"
+	case "bib.dtd":
+		return "bib"
+	case "cd_catalog.dtd":
+		return "cd"
+	case "food_menu.dtd":
+		return "food"
+	case "plant_catalog.dtd":
+		return "plant"
+	case "personnel.dtd":
+		return "personnel"
+	case "club.dtd":
+		return "club"
+	default:
+		return grammar
+	}
+}
+
+// ---- tree-building helpers shared by the dataset generators ----
+
+// el creates an element node with a gold concept id ("" when the tag has no
+// intended lexicon meaning).
+func el(tag, gold string, children ...*xmltree.Node) *xmltree.Node {
+	n := &xmltree.Node{Raw: tag, Label: tag, Kind: xmltree.Element, Gold: gold}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	return n
+}
+
+// at creates an attribute node.
+func at(name, gold string, children ...*xmltree.Node) *xmltree.Node {
+	n := &xmltree.Node{Raw: name, Label: name, Kind: xmltree.Attribute, Gold: gold}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	return n
+}
+
+// tok creates a text-token leaf with an optional gold concept id.
+func tok(word, gold string) *xmltree.Node {
+	return &xmltree.Node{Raw: word, Label: word, Kind: xmltree.Token, Gold: gold}
+}
+
+// wg is a word with its intended gold sense, used for value vocabularies.
+type wg struct {
+	word string
+	gold string
+}
+
+// pick selects a uniformly random entry of pool.
+func pick(rng *rand.Rand, pool []wg) wg {
+	return pool[rng.Intn(len(pool))]
+}
+
+// toks maps 1..n random pool entries to token nodes.
+func toks(rng *rand.Rand, pool []wg, n int) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, n)
+	for i := 0; i < n; i++ {
+		w := pick(rng, pool)
+		out = append(out, tok(w.word, w.gold))
+	}
+	return out
+}
+
+// numTok creates a numeric token (no lexicon senses: unambiguous noise).
+func numTok(rng *rand.Rand, lo, hi int) *xmltree.Node {
+	return tok(fmt.Sprintf("%d", lo+rng.Intn(hi-lo+1)), "")
+}

@@ -1,0 +1,234 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lingproc"
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42)
+	b := Generate(42)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Tree.Len() != b[i].Tree.Len() {
+			t.Fatalf("doc %d differs", i)
+		}
+		for j := 0; j < a[i].Tree.Len(); j++ {
+			na, nb := a[i].Tree.Node(j), b[i].Tree.Node(j)
+			if na.Raw != nb.Raw || na.Gold != nb.Gold {
+				t.Fatalf("doc %d node %d differs: %v vs %v", i, j, na, nb)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, b := Generate(1), Generate(2)
+	same := true
+	for i := range a {
+		if a[i].Tree.Len() != b[i].Tree.Len() {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Sizes may coincide; compare token content.
+		var ta, tb strings.Builder
+		for _, n := range a[0].Tree.Nodes() {
+			ta.WriteString(n.Raw)
+		}
+		for _, n := range b[0].Tree.Nodes() {
+			tb.WriteString(n.Raw)
+		}
+		if ta.String() == tb.String() {
+			t.Error("different seeds produced identical corpus")
+		}
+	}
+}
+
+func TestDatasetCountsMatchTable3(t *testing.T) {
+	docs := Generate(42)
+	counts := map[int]int{}
+	for _, d := range docs {
+		counts[d.Dataset]++
+	}
+	want := map[int]int{1: 10, 2: 10, 3: 6, 4: 6, 5: 8, 6: 4, 7: 4, 8: 4, 9: 4, 10: 4}
+	for ds, n := range want {
+		if counts[ds] != n {
+			t.Errorf("dataset %d has %d docs, want %d", ds, counts[ds], n)
+		}
+	}
+	if len(docs) != 60 {
+		t.Errorf("total docs = %d, want 60 (Table 3 row sum)", len(docs))
+	}
+}
+
+func TestGroupAssignment(t *testing.T) {
+	groups := GroupDocs(Generate(42))
+	if len(groups[1]) != 10 || len(groups[2]) != 10 || len(groups[3]) != 20 || len(groups[4]) != 20 {
+		t.Errorf("group sizes: %d %d %d %d", len(groups[1]), len(groups[2]), len(groups[3]), len(groups[4]))
+	}
+}
+
+// TestGoldSensesResolvable: every gold annotation must be achievable — each
+// concept of the gold (pair) must exist in the lexicon and be among the
+// senses of the node's processed tokens. This guards against corpus bugs
+// where no system could ever be scored correct.
+func TestGoldSensesResolvable(t *testing.T) {
+	net := wordnet.Default()
+	for _, d := range Generate(42) {
+		lingproc.ProcessTree(d.Tree, net)
+		for _, n := range d.Tree.Nodes() {
+			if n.Gold == "" {
+				continue
+			}
+			parts := strings.Split(n.Gold, "+")
+			tokens := n.Tokens
+			if len(tokens) == 0 {
+				tokens = []string{n.Label}
+			}
+			for _, p := range parts {
+				if net.Concept(semnet.ConceptID(p)) == nil {
+					t.Errorf("%s: gold %q references unknown concept", d.Name, p)
+					continue
+				}
+			}
+			if len(parts) == 1 {
+				// The single gold concept must be a sense of some token.
+				found := false
+				for _, tok := range tokens {
+					for _, s := range net.Senses(tok) {
+						if string(s) == parts[0] {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Errorf("%s: gold %q unreachable from tokens %v of %q",
+						d.Name, n.Gold, tokens, n.Raw)
+				}
+			} else if len(parts) == 2 && len(tokens) == 2 {
+				for i, p := range parts {
+					found := false
+					for _, s := range net.Senses(tokens[i]) {
+						if string(s) == p {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("%s: gold pair part %q unreachable from token %q",
+							d.Name, p, tokens[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEveryDocHasGoldNodes(t *testing.T) {
+	for _, d := range Generate(42) {
+		gold := 0
+		for _, n := range d.Tree.Nodes() {
+			if n.Gold != "" {
+				gold++
+			}
+		}
+		if gold < 8 {
+			t.Errorf("%s has only %d gold nodes; the panel needs 12-13", d.Name, gold)
+		}
+	}
+}
+
+func TestShakespeareShape(t *testing.T) {
+	docs := GenerateDataset(42, 1)
+	for _, d := range docs {
+		if d.Tree.Root.Raw != "PLAY" {
+			t.Errorf("%s root = %s", d.Name, d.Tree.Root.Raw)
+		}
+		if d.Tree.Len() < 100 {
+			t.Errorf("%s too small: %d nodes", d.Name, d.Tree.Len())
+		}
+		if d.Tree.MaxDepth() < 4 {
+			t.Errorf("%s too shallow: %d", d.Name, d.Tree.MaxDepth())
+		}
+	}
+}
+
+func TestAmazonCompoundTags(t *testing.T) {
+	docs := GenerateDataset(42, 2)
+	foundCompound := false
+	for _, d := range docs {
+		for _, n := range d.Tree.Nodes() {
+			if n.Raw == "ListPrice" || n.Raw == "BrandName" {
+				foundCompound = true
+			}
+		}
+	}
+	if !foundCompound {
+		t.Error("amazon dataset must contain compound camel-case tags")
+	}
+}
+
+func TestPersonnelStateExample(t *testing.T) {
+	// The Table 2 discussion depends on "state" appearing under "address".
+	docs := GenerateDataset(42, 9)
+	found := false
+	for _, d := range docs {
+		for _, n := range d.Tree.Nodes() {
+			if n.Raw == "state" && n.Parent != nil && n.Parent.Raw == "address" {
+				found = true
+				if n.Gold != "state.n.01" {
+					t.Errorf("state gold = %q", n.Gold)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("personnel docs must contain state under address")
+	}
+}
+
+func TestSerializableToXML(t *testing.T) {
+	for _, d := range Generate(42)[:5] {
+		var sb strings.Builder
+		if err := d.Tree.WriteXML(&sb, false); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if _, err := xmltree.ParseString(sb.String(), xmltree.DefaultParseOptions()); err != nil {
+			t.Errorf("%s does not round-trip: %v", d.Name, err)
+		}
+	}
+}
+
+func TestGenerateScaled(t *testing.T) {
+	base := Generate(42)
+	scaled := GenerateScaled(42, 3)
+	if len(scaled) != 3*len(base) {
+		t.Fatalf("scale 3 produced %d docs, want %d", len(scaled), 3*len(base))
+	}
+	// The first documents of each dataset coincide with the unscaled run.
+	byName := map[string]Doc{}
+	for _, d := range scaled {
+		byName[d.Name] = d
+	}
+	for _, d := range base {
+		s, ok := byName[d.Name]
+		if !ok {
+			t.Fatalf("scaled corpus missing %s", d.Name)
+		}
+		if s.Tree.Len() != d.Tree.Len() {
+			t.Errorf("%s differs between scales", d.Name)
+		}
+	}
+	// Degenerate scale clamps to 1.
+	if got := GenerateScaled(42, 0); len(got) != len(base) {
+		t.Errorf("scale 0 produced %d docs", len(got))
+	}
+}

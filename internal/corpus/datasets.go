@@ -1,0 +1,417 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// ---- shared value vocabularies (word -> intended lexicon sense) ----
+
+var verseWords = []wg{
+	{"light", "light.n.01"}, {"star", "star.n.01"}, {"sun", "sun.n.01"},
+	{"rose", "rose.n.01"}, {"flower", "flower.n.01"}, {"head", "head.n.01"},
+	{"time", "time.n.01"}, {"heart", ""}, {"sweet", ""}, {"night", ""},
+	{"fair", ""}, {"crown", ""}, {"morn", ""}, {"gentle", ""},
+}
+
+var personNames = []wg{
+	{"Ferdinand", ""}, {"Miranda", ""}, {"Orlando", ""}, {"Rosalind", ""},
+	{"Sebastian", ""}, {"Viola", ""}, {"Antonio", ""}, {"Beatrice", ""},
+}
+
+var bookTitleWords = []wg{
+	{"database", "database.n.01"}, {"system", "system.n.02"},
+	{"art", "art.n.02"}, {"plan", "plan.n.01"}, {"theory", ""},
+	{"design", ""}, {"query", ""}, {"index", ""},
+}
+
+var plotWords = []wg{
+	{"photographer", "photographer.n.01"}, {"neighbor", "neighbor.n.01"},
+	{"spy", "spy.n.01"}, {"wheelchair", "wheelchair.n.01"},
+	{"window", "window.n.01"}, {"mystery", "mystery.n.02"},
+	{"murder", ""}, {"suspense", ""},
+}
+
+var productWords = []wg{
+	{"light", "light.n.02"}, {"club", "club.n.04"}, {"record", "record.n.02"},
+	{"cream", "cream.n.03"}, {"cd", "cd.n.01"}, {"book", "book.n.02"},
+	{"weight", "weight.n.02"}, {"shade", "shade.n.02"}, {"zip", "zip.n.03"},
+	{"deluxe", ""}, {"portable", ""}, {"classic", ""},
+}
+
+var dishWords = []wg{
+	{"waffle", "waffle.n.01"}, {"toast", "toast.n.01"}, {"berry", "berry.n.01"},
+	{"cream", "cream.n.01"}, {"egg", "egg.n.01"}, {"bacon", "bacon.n.01"},
+	{"sausage", "sausage.n.01"}, {"syrup", "syrup.n.01"},
+	{"honey", "honey.n.01"}, {"coffee", "coffee.n.01"}, {"juice", "juice.n.01"},
+	{"fresh", ""}, {"homemade", ""},
+}
+
+var plantWords = []wg{
+	{"rose", "rose.n.01"}, {"lily", "lily.n.01"}, {"daisy", "daisy.n.01"},
+	{"violet", "violet.n.01"}, {"fern", "fern.n.01"}, {"annual", "annual.n.02"},
+	{"perennial", "perennial.n.01"}, {"shrub", "shrub.n.01"},
+}
+
+var hobbyWords = []wg{
+	{"chess", "chess.n.01"}, {"tennis", "tennis.n.01"},
+	{"swimming", "swimming.n.01"}, {"reading", "reading.n.01"},
+	{"gardening", "gardening.n.01"}, {"photography", "photography.n.01"},
+	{"music", "music.n.01"}, {"cinema", "picture.n.02"},
+}
+
+var cdArtists = []wg{
+	{"dylan", "dylan.n.01"}, {"madonna", "madonna.n.02"},
+	{"queen", "queen.n.05"}, {"orchestra", ""}, {"trio", ""},
+}
+
+var cdTitleWords = []wg{
+	{"rock", "rock.n.02"}, {"country", "country.n.04"}, {"rose", "rose.n.01"},
+	{"light", "light.n.01"}, {"night", ""}, {"gold", ""}, {"greatest", ""},
+}
+
+// ---- Dataset 1: Shakespeare collection (Group 1: high ambiguity, rich structure) ----
+
+// genShakespeare emulates shakespeare.dtd: PLAY with TITLE, PERSONAE, and a
+// few ACTs of SCENEs of SPEECHes. Tags are highly polysemous ("play", "act",
+// "scene", "line", "title", "speech") and the tree is deep and dense.
+func genShakespeare(rng *rand.Rand) *xmltree.Node {
+	play := el("PLAY", "play.n.01")
+	play.AddChild(titleEl(rng))
+	personae := el("PERSONAE", "persona.n.01")
+	personae.AddChild(titleEl(rng))
+	for i := 0; i < 4+rng.Intn(3); i++ {
+		p := pick(rng, personNames)
+		personae.AddChild(el("PERSONA", "persona.n.01", tok(p.word, p.gold)))
+	}
+	play.AddChild(personae)
+	play.AddChild(el("PROLOGUE", "prologue.n.01", speechEl(rng)))
+	nActs := 2 + rng.Intn(2)
+	for a := 0; a < nActs; a++ {
+		act := el("ACT", "act.n.01")
+		act.AddChild(titleEl(rng))
+		for s := 0; s < 2; s++ {
+			scene := el("SCENE", "scene.n.01")
+			scene.AddChild(titleEl(rng))
+			for sp := 0; sp < 2+rng.Intn(2); sp++ {
+				scene.AddChild(speechEl(rng))
+			}
+			w := pick(rng, verseWords)
+			scene.AddChild(el("STAGEDIR", "stage_direction.n.01", tok("enter", ""), tok(w.word, w.gold)))
+			act.AddChild(scene)
+		}
+		play.AddChild(act)
+	}
+	play.AddChild(el("EPILOGUE", "epilogue.n.01", speechEl(rng)))
+	return play
+}
+
+func titleEl(rng *rand.Rand) *xmltree.Node {
+	n := el("TITLE", "title.n.01")
+	for _, t := range toks(rng, verseWords, 1+rng.Intn(2)) {
+		n.AddChild(t)
+	}
+	return n
+}
+
+func speechEl(rng *rand.Rand) *xmltree.Node {
+	sp := el("SPEECH", "speech.n.04")
+	p := pick(rng, personNames)
+	sp.AddChild(el("SPEAKER", "speaker.n.01", tok(p.word, p.gold)))
+	for l := 0; l < 2+rng.Intn(2); l++ {
+		line := el("LINE", "line.n.08")
+		for _, t := range toks(rng, verseWords, 2+rng.Intn(2)) {
+			line.AddChild(t)
+		}
+		sp.AddChild(line)
+	}
+	return sp
+}
+
+// ---- Dataset 2: Amazon product files (Group 2: high ambiguity, poor structure) ----
+
+// genAmazon emulates amazon_product.dtd the way real Amazon exports look:
+// compound camel-case tags ("ProductName", "ListPrice", "ItemWeight") that
+// require tag tokenization (Table 4), nested under thin repetitive chains
+// so fan-out and density stay low while label polysemy is high. Baselines
+// without compound handling (RPD) cannot even look these labels up.
+func genAmazon(rng *rand.Rand) *xmltree.Node {
+	root := el("products", "product.n.02")
+	nProducts := 4 + rng.Intn(3)
+	for p := 0; p < nProducts; p++ {
+		prod := el("product", "product.n.02")
+
+		item := el("item", "item.n.02")
+		// "BrandName" joins to "brand name", a single concept in the
+		// lexicon: the compound-as-one-token path of Â§3.2.
+		brand := el("BrandName", "brand.n.01")
+		brand.AddChild(tok(fmt.Sprintf("acme%d", rng.Intn(20)), ""))
+		item.AddChild(brand)
+		// "ProductName" has no single-concept match: both tokens carry a
+		// sense pair (Eqs. 10/12).
+		pname := el("ProductName", "product.n.02+name.n.01")
+		for _, t := range toks(rng, productWords, 1+rng.Intn(2)) {
+			pname.AddChild(t)
+		}
+		item.AddChild(pname)
+		det := el("detail", "detail.n.01")
+		desc := el("description", "description.n.01")
+		for _, t := range toks(rng, productWords, 2+rng.Intn(2)) {
+			desc.AddChild(t)
+		}
+		det.AddChild(desc)
+		item.AddChild(det)
+		prod.AddChild(item)
+
+		review := el("CustomerReview", "customer.n.01+review.n.01")
+		rating := el("rating", "rating.n.01")
+		rating.AddChild(numTok(rng, 1, 5))
+		review.AddChild(rating)
+		review.AddChild(el("customer", "customer.n.01", tok(pick(rng, personNames).word, "")))
+		prod.AddChild(review)
+
+		stock := el("stock", "stock.n.01")
+		cond := el("condition", "condition.n.01")
+		cond.AddChild(tok("new", ""))
+		stock.AddChild(cond)
+		prod.AddChild(stock)
+		ship := el("shipping", "shipping.n.01")
+		weight := el("ItemWeight", "item.n.02+weight.n.01")
+		weight.AddChild(numTok(rng, 1, 40))
+		ship.AddChild(weight)
+		prod.AddChild(ship)
+
+		price := el("ListPrice", "list.n.01+price.n.01", at("currency", "currency.n.01", tok("usd", "")))
+		price.AddChild(numTok(rng, 5, 500))
+		prod.AddChild(price)
+
+		if rng.Intn(2) == 0 {
+			feat := el("feature", "feature.n.01")
+			w := pick(rng, productWords)
+			feat.AddChild(tok(w.word, w.gold))
+			prod.AddChild(feat)
+		}
+		root.AddChild(prod)
+	}
+	return root
+}
+
+// ---- Dataset 3: SIGMOD Record (Group 3: low ambiguity, rich structure) ----
+
+func genSigmod(rng *rand.Rand) *xmltree.Node {
+	root := el("proceedings", "proceedings.n.01")
+	head := el("title", "title.n.01")
+	head.AddChild(tok("sigmod", ""))
+	head.AddChild(tok("record", "record.n.01"))
+	root.AddChild(head)
+	vol := el("volume", "volume.n.01")
+	vol.AddChild(numTok(rng, 10, 40))
+	root.AddChild(vol)
+	num := el("number", "number.n.04")
+	num.AddChild(numTok(rng, 1, 4))
+	root.AddChild(num)
+	conf := el("conference", "conference.n.01", tok("sigmod", ""))
+	root.AddChild(conf)
+	for a := 0; a < 3+rng.Intn(2); a++ {
+		art := el("article", "article.n.01")
+		t := el("title", "title.n.01")
+		for _, tk := range toks(rng, bookTitleWords, 2) {
+			t.AddChild(tk)
+		}
+		art.AddChild(t)
+		ip := el("initPage", "page.n.01")
+		ip.AddChild(numTok(rng, 1, 80))
+		art.AddChild(ip)
+		ep := el("endPage", "last.n.01+page.n.01")
+		ep.AddChild(numTok(rng, 81, 160))
+		art.AddChild(ep)
+		authors := el("authors", "author.n.01")
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			w := []wg{{"knuth", "knuth.n.01"}, {"ullman", "ullman.n.01"}, {"gray", ""}, {"codd", ""}}[rng.Intn(4)]
+			authors.AddChild(el("author", "author.n.01", tok(w.word, w.gold)))
+		}
+		art.AddChild(authors)
+		root.AddChild(art)
+	}
+	return root
+}
+
+// ---- Dataset 4: IMDB movies (Group 3) ----
+
+func genMovies(rng *rand.Rand) *xmltree.Node {
+	root := el("movies", "picture.n.02")
+	movie := el("movie", "picture.n.02", at("year", "year.n.01", numTok(rng, 1930, 1990)))
+	title := el("title", "title.n.01")
+	title.AddChild(tok("rear", "rear.n.01"))
+	title.AddChild(tok("window", "window.n.01"))
+	movie.AddChild(title)
+	movie.AddChild(el("director", "director.n.01", tok("hitchcock", "hitchcock.n.01")))
+	movie.AddChild(el("genre", "genre.n.01", tok("mystery", "mystery.n.01")))
+	cast := el("cast", "cast.n.01")
+	stars := []wg{{"kelly", "kelly.n.01"}, {"stewart", "stewart.n.01"}}
+	for _, s := range stars {
+		cast.AddChild(el("star", "star.n.02", tok(s.word, s.gold)))
+	}
+	movie.AddChild(cast)
+	plot := el("plot", "plot.n.03")
+	for _, t := range toks(rng, plotWords, 2+rng.Intn(2)) {
+		plot.AddChild(t)
+	}
+	movie.AddChild(plot)
+	root.AddChild(movie)
+	return root
+}
+
+// ---- Dataset 5: Niagara bib (Group 3) ----
+
+func genBib(rng *rand.Rand) *xmltree.Node {
+	root := el("bib", "bibliography.n.01")
+	for b := 0; b < 2+rng.Intn(2); b++ {
+		book := el("book", "book.n.01", at("year", "year.n.01", numTok(rng, 1970, 2005)))
+		t := el("title", "title.n.01")
+		for _, tk := range toks(rng, bookTitleWords, 2) {
+			t.AddChild(tk)
+		}
+		book.AddChild(t)
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			w := []wg{{"knuth", "knuth.n.01"}, {"ullman", "ullman.n.01"}, {"date", ""}}[rng.Intn(3)]
+			book.AddChild(el("author", "author.n.01", tok(w.word, w.gold)))
+		}
+		book.AddChild(el("publisher", "publisher.n.01", tok("addison", ""), tok("wesley", "")))
+		price := el("price", "price.n.01")
+		price.AddChild(numTok(rng, 20, 120))
+		book.AddChild(price)
+		root.AddChild(book)
+	}
+	return root
+}
+
+// ---- Dataset 6: W3Schools cd_catalog (Group 4: low ambiguity, poor structure) ----
+
+func genCDCatalog(rng *rand.Rand) *xmltree.Node {
+	root := el("catalog", "catalog.n.01")
+	for c := 0; c < 2; c++ {
+		cd := el("cd", "cd.n.01")
+		t := el("title", "title.n.01")
+		for _, tk := range toks(rng, cdTitleWords, 1+rng.Intn(2)) {
+			t.AddChild(tk)
+		}
+		cd.AddChild(t)
+		a := pick(rng, cdArtists)
+		cd.AddChild(el("artist", "artist.n.02", tok(a.word, a.gold)))
+		cd.AddChild(el("country", "country.n.01", tok("uk", "")))
+		cd.AddChild(el("company", "company.n.01", tok("emi", "")))
+		price := el("price", "price.n.01")
+		price.AddChild(numTok(rng, 8, 20))
+		cd.AddChild(price)
+		year := el("year", "year.n.01")
+		year.AddChild(numTok(rng, 1970, 2000))
+		cd.AddChild(year)
+		root.AddChild(cd)
+	}
+	return root
+}
+
+// ---- Dataset 7: W3Schools food_menu (Group 4) ----
+
+func genFoodMenu(rng *rand.Rand) *xmltree.Node {
+	root := el("breakfast_menu", "breakfast.n.01+menu.n.01")
+	for f := 0; f < 3; f++ {
+		food := el("food", "food.n.01")
+		name := el("name", "name.n.01")
+		for _, tk := range toks(rng, dishWords, 1+rng.Intn(2)) {
+			name.AddChild(tk)
+		}
+		food.AddChild(name)
+		price := el("price", "price.n.01")
+		price.AddChild(numTok(rng, 4, 12))
+		food.AddChild(price)
+		desc := el("description", "description.n.01")
+		for _, tk := range toks(rng, dishWords, 2) {
+			desc.AddChild(tk)
+		}
+		food.AddChild(desc)
+		cal := el("calories", "calorie.n.01")
+		cal.AddChild(numTok(rng, 200, 900))
+		food.AddChild(cal)
+		root.AddChild(food)
+	}
+	return root
+}
+
+// ---- Dataset 8: W3Schools plant_catalog (Group 4) ----
+
+func genPlantCatalog(rng *rand.Rand) *xmltree.Node {
+	root := el("catalog", "catalog.n.01")
+	for p := 0; p < 2; p++ {
+		plant := el("plant", "plant.n.01")
+		w := pick(rng, plantWords)
+		plant.AddChild(el("common", "common_name.n.01", tok(w.word, w.gold)))
+		plant.AddChild(el("botanical", "botanical.n.01", tok("rosa", ""), tok("rugosa", "")))
+		zone := el("zone", "zone.n.02")
+		zone.AddChild(numTok(rng, 3, 9))
+		plant.AddChild(zone)
+		light := el("light", "light.n.03")
+		if rng.Intn(2) == 0 {
+			light.AddChild(tok("sun", "sun.n.02"))
+		} else {
+			light.AddChild(tok("shade", "shade.n.01"))
+		}
+		plant.AddChild(light)
+		price := el("price", "price.n.01")
+		price.AddChild(numTok(rng, 3, 15))
+		plant.AddChild(price)
+		avail := el("availability", "availability.n.01")
+		avail.AddChild(numTok(rng, 1, 12))
+		plant.AddChild(avail)
+		root.AddChild(plant)
+	}
+	return root
+}
+
+// ---- Dataset 9: Niagara personnel (Group 4) ----
+
+// genPersonnel is the dataset behind the paper's Table 2 discussion: the
+// meaning of "state" under "address" is obvious to human annotators but
+// highly polysemous for the system.
+func genPersonnel(rng *rand.Rand) *xmltree.Node {
+	root := el("personnel", "personnel.n.01")
+	for p := 0; p < 2; p++ {
+		person := el("person", "person.n.01")
+		name := el("name", "name.n.01")
+		name.AddChild(el("family", "family.n.02", tok(pick(rng, personNames).word, "")))
+		name.AddChild(el("given", "given.n.01", tok(pick(rng, personNames).word, "")))
+		person.AddChild(name)
+		person.AddChild(el("email", "email.n.01", tok("user", ""), tok("example", "")))
+		addr := el("address", "address.n.01")
+		addr.AddChild(el("street", "street.n.01", tok("main", "")))
+		addr.AddChild(el("city", "city.n.01", tok("madison", "")))
+		addr.AddChild(el("state", "state.n.01", tok("wisconsin", "")))
+		zip := el("zip", "zip.n.01")
+		zip.AddChild(numTok(rng, 10000, 99999))
+		addr.AddChild(zip)
+		person.AddChild(addr)
+		root.AddChild(person)
+	}
+	return root
+}
+
+// ---- Dataset 10: Niagara club (Group 4) ----
+
+func genClub(rng *rand.Rand) *xmltree.Node {
+	root := el("club", "club.n.01")
+	root.AddChild(el("president", "president.n.03", tok(pick(rng, personNames).word, "")))
+	for m := 0; m < 2; m++ {
+		member := el("member", "member.n.01", at("since", "", numTok(rng, 1990, 2014)))
+		member.AddChild(el("name", "name.n.01", tok(pick(rng, personNames).word, "")))
+		age := el("age", "age.n.01")
+		age.AddChild(numTok(rng, 18, 80))
+		member.AddChild(age)
+		h := pick(rng, hobbyWords)
+		member.AddChild(el("hobby", "hobby.n.01", tok(h.word, h.gold)))
+		root.AddChild(member)
+	}
+	return root
+}

@@ -1,0 +1,65 @@
+package disambig
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/lingproc"
+	"repro/internal/simmeasure"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func benchDoc(b *testing.B) *xmltree.Tree {
+	b.Helper()
+	docs := corpus.GenerateDataset(1, 1) // one Shakespeare play (~200 nodes)
+	tr := docs[0].Tree
+	lingproc.ProcessTree(tr, wordnet.Default())
+	return tr
+}
+
+func BenchmarkNodeByMethod(b *testing.B) {
+	tr := benchDoc(b)
+	net := wordnet.Default()
+	// A reliably polysemous target.
+	var target *xmltree.Node
+	for _, n := range tr.Nodes() {
+		if n.Label == "line" {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		b.Fatal("no LINE node")
+	}
+	for _, m := range []Method{ConceptBased, ContextBased, Combined} {
+		b.Run(m.String(), func(b *testing.B) {
+			d := New(net, Options{Radius: 2, Method: m, SimWeights: simmeasure.EqualWeights(),
+				ConceptWeight: 0.5, ContextWeight: 0.5})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := d.Node(target); !ok {
+					b.Fatal("not disambiguated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkApplyDocumentByRadius(b *testing.B) {
+	net := wordnet.Default()
+	for _, radius := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", radius), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tr := benchDoc(b)
+				d := New(net, Options{Radius: radius, Method: ConceptBased, SimWeights: simmeasure.EqualWeights()})
+				b.StartTimer()
+				if n := d.Apply(tr.Nodes()); n == 0 {
+					b.Fatal("nothing assigned")
+				}
+			}
+		})
+	}
+}

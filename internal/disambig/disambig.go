@@ -1,0 +1,450 @@
+// Package disambig implements XSDF's semantic disambiguation module (§3.5):
+// concept-based scoring (Definition 8 and its compound-label variant,
+// Eq. 10), context-based scoring (Definition 10 and Eq. 12), and the
+// user-weighted combination of both (Eq. 13).
+package disambig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/semnet"
+	"repro/internal/simmeasure"
+	"repro/internal/sphere"
+	"repro/internal/xmltree"
+)
+
+// Method selects the disambiguation process.
+type Method uint8
+
+const (
+	// ConceptBased compares target-node senses with context-node senses via
+	// semantic similarity measures (Definition 8).
+	ConceptBased Method = iota
+	// ContextBased compares the target's XML sphere context vector with the
+	// semantic-network sphere context vector of each candidate sense
+	// (Definition 10).
+	ContextBased
+	// Combined mixes both scores with user weights (Eq. 13).
+	Combined
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case ConceptBased:
+		return "concept-based"
+	case ContextBased:
+		return "context-based"
+	case Combined:
+		return "combined"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Options collects the user-tunable parameters of the disambiguation module
+// (answering Motivation 4: nothing is hard-wired).
+type Options struct {
+	// Radius is the sphere neighborhood radius d (context size).
+	Radius int
+	// Method selects concept-based, context-based, or combined scoring.
+	Method Method
+	// SimWeights combines the edge/node/gloss similarity measures
+	// (Definition 9). Used by concept-based and combined scoring.
+	SimWeights simmeasure.Weights
+	// ConceptWeight and ContextWeight are w_Concept and w_Context of
+	// Eq. 13 (combined method only); they are normalized to sum to 1.
+	ConceptWeight float64
+	ContextWeight float64
+	// VectorSim compares context vectors (context-based scoring). Nil means
+	// cosine, the paper's default.
+	VectorSim sphere.VectorSim
+	// FollowLinks makes sphere construction traverse ID/IDREF hyperlink
+	// edges (xmltree.ResolveLinks), treating the document as a graph (§1).
+	FollowLinks bool
+}
+
+// DefaultOptions mirrors the paper's common configuration: radius 1,
+// concept-based process, equal similarity-measure weights.
+func DefaultOptions() Options {
+	return Options{
+		Radius:        1,
+		Method:        ConceptBased,
+		SimWeights:    simmeasure.EqualWeights(),
+		ConceptWeight: 0.5,
+		ContextWeight: 0.5,
+	}
+}
+
+func (o Options) vectorSim() sphere.VectorSim {
+	if o.VectorSim == nil {
+		return sphere.Cosine
+	}
+	return o.VectorSim
+}
+
+// Sense is a disambiguation outcome for one node: one concept for simple
+// labels, two for compound labels whose tokens were sensed separately.
+type Sense struct {
+	Concepts []semnet.ConceptID
+	Score    float64
+}
+
+// ID renders the sense as a stable identifier string ("movie.n.01" or
+// "first.n.01+name.n.01" for compounds).
+func (s Sense) ID() string {
+	parts := make([]string, len(s.Concepts))
+	for i, c := range s.Concepts {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, "+")
+}
+
+// Disambiguator runs sense disambiguation for nodes of one document tree
+// against one semantic network. It caches sphere context vectors and
+// similarity scores, so reusing one Disambiguator across the nodes of a
+// document is much cheaper than rebuilding state per node.
+type Disambiguator struct {
+	net  *semnet.Network
+	opts Options
+	sim  *simmeasure.Measure
+
+	conceptVecCache map[vecKey]sphere.Vector
+}
+
+type vecKey struct {
+	c semnet.ConceptID
+	d int
+}
+
+// New returns a Disambiguator over net with the given options.
+func New(net *semnet.Network, opts Options) *Disambiguator {
+	if opts.Radius < 1 {
+		opts.Radius = 1
+	}
+	return &Disambiguator{
+		net:             net,
+		opts:            opts,
+		sim:             simmeasure.New(net, opts.SimWeights),
+		conceptVecCache: make(map[vecKey]sphere.Vector),
+	}
+}
+
+// Options returns the active configuration.
+func (d *Disambiguator) Options() Options { return d.opts }
+
+// contextNode is one pre-resolved member of the target's sphere context.
+type contextNode struct {
+	node   *xmltree.Node
+	weight float64 // w_{V_d(x)}(x_i.ℓ)
+	tokens []string
+	senses [][]semnet.ConceptID // senses per token
+}
+
+// prepareContext builds the sphere, context vector, and per-member sense
+// lists for a target node. The center node is excluded from the scoring
+// context (its self-similarity is a constant offset for every candidate,
+// cf. Definition 8) but participates in the vector per the Figure 7
+// convention.
+func (d *Disambiguator) prepareContext(x *xmltree.Node) (vec sphere.Vector, ctx []contextNode, size int) {
+	var members []sphere.Member
+	if d.opts.FollowLinks {
+		members = sphere.GraphSphere(x, d.opts.Radius)
+		vec = sphere.GraphContextVector(x, d.opts.Radius)
+	} else {
+		members = sphere.Sphere(x, d.opts.Radius)
+		vec = sphere.ContextVector(x, d.opts.Radius)
+	}
+	size = len(members)
+	for _, m := range members {
+		if m.Node == x {
+			continue
+		}
+		cn := contextNode{node: m.Node, weight: vec[m.Node.Label]}
+		toks := m.Node.Tokens
+		if len(toks) == 0 {
+			toks = []string{m.Node.Label}
+		}
+		cn.tokens = toks
+		for _, t := range toks {
+			cn.senses = append(cn.senses, d.net.Senses(t))
+		}
+		ctx = append(ctx, cn)
+	}
+	return vec, ctx, size
+}
+
+// simToContextNode returns max_j Sim(s, s_j^i) over the senses of context
+// node cn. A compound context label is processed like a compound target
+// (§3.5.1 note): the max over token-sense pairs of the average similarity,
+// which factorizes into the average of per-token maxima.
+func (d *Disambiguator) simToContextNode(s semnet.ConceptID, cn contextNode) float64 {
+	var sum float64
+	var counted int
+	for _, senses := range cn.senses {
+		if len(senses) == 0 {
+			continue
+		}
+		best := 0.0
+		for _, sj := range senses {
+			if v := d.sim.Sim(s, sj); v > best {
+				best = v
+			}
+		}
+		sum += best
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// ConceptScore computes Concept_Score(s_p, S_d(x), S̄N) (Definition 8): the
+// average over context nodes of the weighted maximum similarity between the
+// candidate sense and the context node's senses.
+func (d *Disambiguator) ConceptScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
+	_, ctx, size := d.prepareContext(x)
+	return d.conceptScoreCtx([]semnet.ConceptID{sp}, ctx, size)
+}
+
+// ConceptScoreCompound computes Eq. 10 for a compound target label: the
+// candidate is a pair of senses (s_p for token 1, s_q for token 2) and the
+// per-context-node similarity is the average of the individual
+// similarities.
+func (d *Disambiguator) ConceptScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
+	_, ctx, size := d.prepareContext(x)
+	return d.conceptScoreCtx([]semnet.ConceptID{sp, sq}, ctx, size)
+}
+
+func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, ctx []contextNode, size int) float64 {
+	if size == 0 {
+		return 0
+	}
+	var total float64
+	for _, cn := range ctx {
+		var s float64
+		for _, c := range candidate {
+			s += d.simToContextNode(c, cn)
+		}
+		s /= float64(len(candidate))
+		total += s * cn.weight
+	}
+	return total / float64(size)
+}
+
+// conceptVector returns the cached semantic-network context vector of a
+// sense.
+func (d *Disambiguator) conceptVector(c semnet.ConceptID) sphere.Vector {
+	key := vecKey{c: c, d: d.opts.Radius}
+	if v, ok := d.conceptVecCache[key]; ok {
+		return v
+	}
+	v := sphere.ConceptVector(d.net, c, d.opts.Radius)
+	d.conceptVecCache[key] = v
+	return v
+}
+
+// ContextScore computes Context_Score(s_p, S_d(x), SN) (Definition 10): the
+// vector similarity between the target's XML context vector and the
+// candidate sense's semantic-network context vector.
+func (d *Disambiguator) ContextScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
+	xv := d.xmlVector(x)
+	return d.opts.vectorSim()(xv, d.conceptVector(sp))
+}
+
+// xmlVector builds the target's context vector under the configured sphere
+// model (tree or hyperlink graph).
+func (d *Disambiguator) xmlVector(x *xmltree.Node) sphere.Vector {
+	if d.opts.FollowLinks {
+		return sphere.GraphContextVector(x, d.opts.Radius)
+	}
+	return sphere.ContextVector(x, d.opts.Radius)
+}
+
+// ContextScoreCompound computes Eq. 12: the candidate pair's combined
+// semantic-network sphere (union of the two sense spheres) against the
+// target's XML context vector.
+func (d *Disambiguator) ContextScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
+	xv := d.xmlVector(x)
+	cv := sphere.CombinedConceptVector(d.net, sp, sq, d.opts.Radius)
+	return d.opts.vectorSim()(xv, cv)
+}
+
+// score evaluates one candidate (1- or 2-sense) for target x under the
+// configured method, given the precomputed context.
+func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node,
+	xv sphere.Vector, ctx []contextNode, size int) float64 {
+
+	concept := func() float64 { return d.conceptScoreCtx(candidate, ctx, size) }
+	context := func() float64 {
+		var cv sphere.Vector
+		if len(candidate) == 2 {
+			cv = sphere.CombinedConceptVector(d.net, candidate[0], candidate[1], d.opts.Radius)
+		} else {
+			cv = d.conceptVector(candidate[0])
+		}
+		return d.opts.vectorSim()(xv, cv)
+	}
+	switch d.opts.Method {
+	case ConceptBased:
+		return concept()
+	case ContextBased:
+		return context()
+	default:
+		wc, wx := d.opts.ConceptWeight, d.opts.ContextWeight
+		if s := wc + wx; s > 0 {
+			wc, wx = wc/s, wx/s
+		} else {
+			wc, wx = 0.5, 0.5
+		}
+		return wc*concept() + wx*context()
+	}
+}
+
+// Node disambiguates a single target node: it enumerates candidate senses
+// (or sense pairs for compound labels), scores each, and returns the best.
+// ok is false when no token of the label is known to the network — the node
+// is left untouched, which the evaluation counts against recall.
+func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
+	tokens := x.Tokens
+	if len(tokens) == 0 {
+		tokens = []string{x.Label}
+	}
+	switch len(tokens) {
+	case 1:
+		senses := d.net.Senses(tokens[0])
+		if len(senses) == 0 {
+			return Sense{}, false
+		}
+		if len(senses) == 1 {
+			// Assumption 4: monosemous labels are unambiguous.
+			return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
+		}
+		xv, ctx, size := d.prepareContext(x)
+		best := Sense{Score: -1}
+		for _, sp := range senses {
+			sc := d.score([]semnet.ConceptID{sp}, x, xv, ctx, size)
+			if sc > best.Score {
+				best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
+			}
+		}
+		return best, true
+	default:
+		sensesP := d.net.Senses(tokens[0])
+		sensesQ := d.net.Senses(tokens[1])
+		if len(sensesP) == 0 && len(sensesQ) == 0 {
+			return Sense{}, false
+		}
+		// If only one token is known, fall back to single-token candidates.
+		if len(sensesP) == 0 {
+			return d.singleTokenFallback(sensesQ, x)
+		}
+		if len(sensesQ) == 0 {
+			return d.singleTokenFallback(sensesP, x)
+		}
+		xv, ctx, size := d.prepareContext(x)
+		best := Sense{Score: -1}
+		for _, sp := range sensesP {
+			for _, sq := range sensesQ {
+				sc := d.score([]semnet.ConceptID{sp, sq}, x, xv, ctx, size)
+				if sc > best.Score {
+					best = Sense{Concepts: []semnet.ConceptID{sp, sq}, Score: sc}
+				}
+			}
+		}
+		return best, true
+	}
+}
+
+func (d *Disambiguator) singleTokenFallback(senses []semnet.ConceptID, x *xmltree.Node) (Sense, bool) {
+	if len(senses) == 1 {
+		return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
+	}
+	xv, ctx, size := d.prepareContext(x)
+	best := Sense{Score: -1}
+	for _, sp := range senses {
+		sc := d.score([]semnet.ConceptID{sp}, x, xv, ctx, size)
+		if sc > best.Score {
+			best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
+		}
+	}
+	return best, true
+}
+
+// Candidates scores every candidate sense (or sense pair) of a target node
+// and returns them ordered best-first — the full ranking behind Node's
+// winner, for explanation UIs and confidence estimation. Nil when no token
+// of the label is known to the network.
+func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
+	tokens := x.Tokens
+	if len(tokens) == 0 {
+		tokens = []string{x.Label}
+	}
+	var out []Sense
+	switch len(tokens) {
+	case 1:
+		senses := d.net.Senses(tokens[0])
+		if len(senses) == 0 {
+			return nil
+		}
+		if len(senses) == 1 {
+			return []Sense{{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}}
+		}
+		xv, ctx, size := d.prepareContext(x)
+		for _, sp := range senses {
+			out = append(out, Sense{
+				Concepts: []semnet.ConceptID{sp},
+				Score:    d.score([]semnet.ConceptID{sp}, x, xv, ctx, size),
+			})
+		}
+	default:
+		sensesP := d.net.Senses(tokens[0])
+		sensesQ := d.net.Senses(tokens[1])
+		if len(sensesP) == 0 && len(sensesQ) == 0 {
+			return nil
+		}
+		if len(sensesP) == 0 || len(sensesQ) == 0 {
+			single := sensesP
+			if len(single) == 0 {
+				single = sensesQ
+			}
+			xv, ctx, size := d.prepareContext(x)
+			for _, sp := range single {
+				out = append(out, Sense{
+					Concepts: []semnet.ConceptID{sp},
+					Score:    d.score([]semnet.ConceptID{sp}, x, xv, ctx, size),
+				})
+			}
+			break
+		}
+		xv, ctx, size := d.prepareContext(x)
+		for _, sp := range sensesP {
+			for _, sq := range sensesQ {
+				out = append(out, Sense{
+					Concepts: []semnet.ConceptID{sp, sq},
+					Score:    d.score([]semnet.ConceptID{sp, sq}, x, xv, ctx, size),
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Apply disambiguates every target node and writes the winning sense into
+// Node.Sense/Node.SenseScore, returning the number of nodes that received a
+// sense. Non-target nodes remain untouched (§3.1).
+func (d *Disambiguator) Apply(targets []*xmltree.Node) int {
+	assigned := 0
+	for _, x := range targets {
+		if s, ok := d.Node(x); ok {
+			x.Sense = s.ID()
+			x.SenseScore = s.Score
+			assigned++
+		}
+	}
+	return assigned
+}

@@ -1,0 +1,77 @@
+package disambig
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Harmonize applies the one-sense-per-discourse heuristic (Gale, Church &
+// Yarowsky 1992) as a post-processing pass over disambiguated nodes: a word
+// strongly tends to keep one meaning within a single discourse, so when the
+// same label received different senses at different positions of one
+// document, every occurrence is reassigned to the sense with the highest
+// total score mass. Labels with a single occurrence, a single assigned
+// sense, or compound token pairs are left untouched.
+//
+// The heuristic is an extension beyond the paper (its §2.1 cites the
+// surrounding WSD literature); it is exposed as an explicit opt-in pass
+// (core.Options.OneSensePerDiscourse) and benchmarked as an ablation.
+// Returns the number of nodes whose sense changed.
+func Harmonize(targets []*xmltree.Node) int {
+	type senseMass struct {
+		total float64
+		count int
+	}
+	byLabel := map[string]map[string]*senseMass{}
+	for _, n := range targets {
+		if n.Sense == "" || len(n.Tokens) > 1 {
+			continue
+		}
+		m := byLabel[n.Label]
+		if m == nil {
+			m = map[string]*senseMass{}
+			byLabel[n.Label] = m
+		}
+		sm := m[n.Sense]
+		if sm == nil {
+			sm = &senseMass{}
+			m[n.Sense] = sm
+		}
+		sm.total += n.SenseScore
+		sm.count++
+	}
+
+	winners := map[string]string{}
+	for label, senses := range byLabel {
+		if len(senses) < 2 {
+			continue
+		}
+		// Deterministic argmax: highest total score, ties by count then id.
+		ids := make([]string, 0, len(senses))
+		for id := range senses {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		best := ids[0]
+		for _, id := range ids[1:] {
+			a, b := senses[id], senses[best]
+			if a.total > b.total || (a.total == b.total && a.count > b.count) {
+				best = id
+			}
+		}
+		winners[label] = best
+	}
+
+	changed := 0
+	for _, n := range targets {
+		if n.Sense == "" || len(n.Tokens) > 1 {
+			continue
+		}
+		if w, ok := winners[n.Label]; ok && n.Sense != w {
+			n.Sense = w
+			changed++
+		}
+	}
+	return changed
+}

@@ -1,0 +1,105 @@
+package disambig
+
+import (
+	"testing"
+
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func node(label, sense string, score float64) *xmltree.Node {
+	return &xmltree.Node{Label: label, Tokens: []string{label},
+		Sense: sense, SenseScore: score, Kind: xmltree.Element}
+}
+
+func TestHarmonizeMajorityWins(t *testing.T) {
+	nodes := []*xmltree.Node{
+		node("star", "star.n.02", 0.6),
+		node("star", "star.n.02", 0.5),
+		node("star", "star.n.05", 0.2), // the outlier
+		node("cast", "cast.n.01", 0.4),
+	}
+	changed := Harmonize(nodes)
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	for _, n := range nodes[:3] {
+		if n.Sense != "star.n.02" {
+			t.Errorf("star harmonized to %s", n.Sense)
+		}
+	}
+	if nodes[3].Sense != "cast.n.01" {
+		t.Error("unrelated label touched")
+	}
+}
+
+func TestHarmonizeScoreMassNotCount(t *testing.T) {
+	// Two weak votes vs one very confident vote: the confident sense wins.
+	nodes := []*xmltree.Node{
+		node("line", "line.n.01", 0.1),
+		node("line", "line.n.01", 0.1),
+		node("line", "line.n.08", 0.9),
+	}
+	Harmonize(nodes)
+	for _, n := range nodes {
+		if n.Sense != "line.n.08" {
+			t.Fatalf("line harmonized to %s, want the high-mass sense", n.Sense)
+		}
+	}
+}
+
+func TestHarmonizeLeavesSingletonsAndCompounds(t *testing.T) {
+	compound := &xmltree.Node{Label: "list price", Tokens: []string{"list", "price"},
+		Sense: "list.n.01+price.n.01", SenseScore: 0.5}
+	nodes := []*xmltree.Node{
+		node("plot", "plot.n.03", 0.3),
+		compound,
+		{Label: "zzqx"}, // unassigned
+	}
+	if changed := Harmonize(nodes); changed != 0 {
+		t.Fatalf("changed = %d, want 0", changed)
+	}
+	if compound.Sense != "list.n.01+price.n.01" {
+		t.Error("compound pair touched")
+	}
+}
+
+func TestHarmonizeDeterministicTieBreak(t *testing.T) {
+	mk := func() []*xmltree.Node {
+		return []*xmltree.Node{
+			node("play", "play.n.01", 0.5),
+			node("play", "play.n.03", 0.5),
+		}
+	}
+	a, b := mk(), mk()
+	Harmonize(a)
+	Harmonize(b)
+	if a[0].Sense != b[0].Sense || a[1].Sense != b[1].Sense {
+		t.Fatal("tie break not deterministic")
+	}
+	if a[0].Sense != a[1].Sense {
+		t.Fatal("tie not harmonized to one sense")
+	}
+}
+
+// TestHarmonizeOnRealDocument runs the full pipeline on a Shakespeare-like
+// document where the same label appears in many contexts, then checks
+// harmonization leaves every repeated label with exactly one sense.
+func TestHarmonizeOnRealDocument(t *testing.T) {
+	tr := parse(t, `<PLAY><ACT><SCENE><SPEECH><SPEAKER>x</SPEAKER>
+	  <LINE>star light</LINE><LINE>sun rose</LINE></SPEECH>
+	  <SPEECH><SPEAKER>y</SPEAKER><LINE>head time</LINE></SPEECH></SCENE></ACT></PLAY>`)
+	d := New(wordnet.Default(), DefaultOptions())
+	d.Apply(tr.Nodes())
+	Harmonize(tr.Nodes())
+	senseOf := map[string]string{}
+	for _, n := range tr.Nodes() {
+		if n.Sense == "" || len(n.Tokens) > 1 {
+			continue
+		}
+		if prev, ok := senseOf[n.Label]; ok && prev != n.Sense {
+			t.Fatalf("label %q has senses %s and %s after harmonization", n.Label, prev, n.Sense)
+		}
+		senseOf[n.Label] = n.Sense
+	}
+}

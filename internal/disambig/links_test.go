@@ -1,0 +1,58 @@
+package disambig
+
+import (
+	"testing"
+
+	"repro/internal/lingproc"
+	"repro/internal/simmeasure"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// TestFollowLinksEnrichesContext: an ID/IDREF hyperlink pulls a distant
+// cast/star context next to an otherwise isolated "kelly" mention, giving
+// the disambiguator evidence the tree alone does not provide at the same
+// radius.
+func TestFollowLinksEnrichesContext(t *testing.T) {
+	doc := `<root>
+	  <credits><cast id="c1"><star>stewart</star></cast></credits>
+	  <notes><entry idref="c1"><subject>kelly</subject></entry></notes>
+	</root>`
+	tr, err := xmltree.ParseString(doc, xmltree.ParseOptions{IncludeContent: true, Tokenize: lingproc.Tokenize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr.ResolveLinks(); err != nil || n != 1 {
+		t.Fatalf("links: %d %v", n, err)
+	}
+	lingproc.ProcessTree(tr, wordnet.Default())
+
+	var kelly *xmltree.Node
+	for _, n := range tr.Nodes() {
+		if n.Kind == xmltree.Token && n.Label == "kelly" {
+			kelly = n
+		}
+	}
+	if kelly == nil {
+		t.Fatal("no kelly token")
+	}
+
+	base := Options{Radius: 3, Method: ConceptBased, SimWeights: simmeasure.EqualWeights()}
+	treeOnly := New(wordnet.Default(), base)
+	withLinks := New(wordnet.Default(), Options{Radius: 3, Method: ConceptBased,
+		SimWeights: simmeasure.EqualWeights(), FollowLinks: true})
+
+	sTree, okTree := treeOnly.Node(kelly)
+	sGraph, okGraph := withLinks.Node(kelly)
+	if !okTree || !okGraph {
+		t.Fatal("kelly not disambiguated")
+	}
+	// The hyperlinked cast/star context must raise the winning score: the
+	// tree context at radius 2 contains no sensed labels at all.
+	if !(sGraph.Score > sTree.Score) {
+		t.Errorf("link-aware score %.4f should exceed tree-only %.4f", sGraph.Score, sTree.Score)
+	}
+	if sGraph.ID() != "kelly.n.01" {
+		t.Errorf("with cast context, kelly = %s, want kelly.n.01", sGraph.ID())
+	}
+}

@@ -1,0 +1,129 @@
+package disambig
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simmeasure"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// synthTree builds a random tree whose labels are drawn from a synthetic
+// network's vocabulary, so every node has senses.
+func synthTree(shape []uint8, vocabSize int) *xmltree.Tree {
+	root := &xmltree.Node{Label: "w000", Tokens: []string{"w000"}, Kind: xmltree.Element}
+	nodes := []*xmltree.Node{root}
+	for i, b := range shape {
+		if len(nodes) >= 40 {
+			break
+		}
+		parent := nodes[int(b)%len(nodes)]
+		w := fmt.Sprintf("w%03d", (i*7+int(b))%vocabSize)
+		n := &xmltree.Node{Label: w, Tokens: []string{w}, Kind: xmltree.Element}
+		parent.AddChild(n)
+		nodes = append(nodes, n)
+	}
+	return xmltree.New(root)
+}
+
+// TestPropertyScoresInRangeOnSyntheticNetworks sweeps random trees over a
+// generated network with every method: winning scores must stay in [0, 1]
+// and Candidates[0] must agree with Node.
+func TestPropertyScoresInRangeOnSyntheticNetworks(t *testing.T) {
+	net, err := wordnet.Generate(wordnet.GenerateConfig{
+		Seed: 5, Concepts: 200, Lemmas: 60, MaxBranch: 5, PartEvery: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diss := []*Disambiguator{
+		New(net, Options{Radius: 1, Method: ConceptBased, SimWeights: simmeasure.EqualWeights()}),
+		New(net, Options{Radius: 2, Method: ContextBased, SimWeights: simmeasure.EqualWeights()}),
+		New(net, Options{Radius: 2, Method: Combined, SimWeights: simmeasure.EqualWeights(),
+			ConceptWeight: 0.5, ContextWeight: 0.5}),
+	}
+	f := func(shape []uint8, pick uint8) bool {
+		tr := synthTree(shape, 60)
+		x := tr.Node(int(pick) % tr.Len())
+		for _, d := range diss {
+			cands := d.Candidates(x)
+			s, ok := d.Node(x)
+			if len(cands) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || cands[0].ID() != s.ID() {
+				return false
+			}
+			for _, c := range cands {
+				if c.Score < 0 || c.Score > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministicAcrossInstances: two independently constructed
+// disambiguators agree on every node of a random tree.
+func TestPropertyDeterministicAcrossInstances(t *testing.T) {
+	net, err := wordnet.Generate(wordnet.GenerateConfig{
+		Seed: 9, Concepts: 150, Lemmas: 50, MaxBranch: 4, PartEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Radius: 2, Method: ConceptBased, SimWeights: simmeasure.EqualWeights()}
+	f := func(shape []uint8) bool {
+		tr := synthTree(shape, 50)
+		a, b := New(net, opts), New(net, opts)
+		for _, n := range tr.Nodes() {
+			sa, oka := a.Node(n)
+			sb, okb := b.Node(n)
+			if oka != okb {
+				return false
+			}
+			if oka && (sa.ID() != sb.ID() || sa.Score != sb.Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMonosemousAlwaysAssigned: any node whose label has exactly
+// one sense is assigned it with score 1, on arbitrary trees (Assumption 4).
+func TestPropertyMonosemousAlwaysAssigned(t *testing.T) {
+	net := wordnet.Default()
+	d := New(net, DefaultOptions())
+	monosemous := ""
+	for _, l := range net.Lemmas() {
+		if net.PolysemyOf(l) == 1 && l == "prologue" {
+			monosemous = l
+			break
+		}
+	}
+	if monosemous == "" {
+		monosemous = "prologue"
+	}
+	f := func(shape []uint8) bool {
+		tr := synthTree(shape, 60)
+		n := &xmltree.Node{Label: monosemous, Tokens: []string{monosemous}, Kind: xmltree.Element}
+		tr.Root.AddChild(n)
+		tr.Reindex()
+		s, ok := d.Node(n)
+		return ok && s.Score == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,456 @@
+// Package dtd implements a Document Type Definition parser and validator
+// for the subset of XML DTDs the evaluation grammars need (Table 3 names
+// its datasets by DTD: shakespeare.dtd, amazon_product.dtd, ...). The
+// corpus generators claim to emit documents over "the same grammars" as
+// the paper; this package makes that claim checkable — the ten grammars
+// are written down as actual DTDs (grammars.go) and every generated
+// document is validated against its grammar in the corpus tests.
+//
+// Supported declarations:
+//
+//	<!ELEMENT name EMPTY | ANY | (#PCDATA) | (#PCDATA|a|b)* | content-model>
+//	<!ATTLIST elem attr CDATA #REQUIRED|#IMPLIED|"default">
+//
+// Content models support sequences (a, b), choices (a | b), grouping, and
+// the ?, *, + occurrence operators.
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Occurs is a content-particle occurrence indicator.
+type Occurs uint8
+
+const (
+	// One means exactly once (no indicator).
+	One Occurs = iota
+	// Optional is the ? indicator.
+	Optional
+	// ZeroOrMore is the * indicator.
+	ZeroOrMore
+	// OneOrMore is the + indicator.
+	OneOrMore
+)
+
+func (o Occurs) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ParticleKind distinguishes content-model node types.
+type ParticleKind uint8
+
+const (
+	// NameParticle matches one child element by name.
+	NameParticle ParticleKind = iota
+	// SeqParticle matches its children in order.
+	SeqParticle
+	// ChoiceParticle matches exactly one of its children.
+	ChoiceParticle
+)
+
+// Particle is one node of a parsed content model.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string // for NameParticle
+	Children []*Particle
+	Occurs   Occurs
+}
+
+// String renders the particle back in DTD syntax.
+func (p *Particle) String() string {
+	var body string
+	switch p.Kind {
+	case NameParticle:
+		body = p.Name
+	case SeqParticle, ChoiceParticle:
+		sep := ", "
+		if p.Kind == ChoiceParticle {
+			sep = " | "
+		}
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = c.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	return body + p.Occurs.String()
+}
+
+// ContentKind distinguishes element content categories.
+type ContentKind uint8
+
+const (
+	// ElementContent has a content model of child elements.
+	ElementContent ContentKind = iota
+	// PCDataContent is (#PCDATA): text only.
+	PCDataContent
+	// MixedContent is (#PCDATA|a|b)*: text interleaved with listed elements.
+	MixedContent
+	// EmptyContent is EMPTY.
+	EmptyContent
+	// AnyContent is ANY.
+	AnyContent
+)
+
+// Element is one <!ELEMENT> declaration.
+type Element struct {
+	Name    string
+	Content ContentKind
+	// Model is the content model for ElementContent.
+	Model *Particle
+	// Mixed lists the element names allowed in MixedContent.
+	Mixed []string
+}
+
+// Attribute is one attribute definition from <!ATTLIST>.
+type Attribute struct {
+	Element  string
+	Name     string
+	Type     string // CDATA, ID, IDREF, NMTOKEN (uninterpreted beyond ID/IDREF)
+	Required bool
+	Default  string
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Name identifies the grammar ("shakespeare.dtd").
+	Name string
+	// Elements maps element names to their declarations.
+	Elements map[string]*Element
+	// Attributes maps element names to their attribute definitions.
+	Attributes map[string][]Attribute
+	// Root is the first declared element, used as the expected document
+	// root (the convention the evaluation grammars follow).
+	Root string
+}
+
+// Parse reads DTD source text.
+func Parse(name, src string) (*DTD, error) {
+	d := &DTD{
+		Name:       name,
+		Elements:   map[string]*Element{},
+		Attributes: map[string][]Attribute{},
+	}
+	rest := src
+	for {
+		i := strings.Index(rest, "<!")
+		if i < 0 {
+			break
+		}
+		rest = rest[i:]
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			return nil, fmt.Errorf("dtd %s: unterminated declaration: %.40q", name, rest)
+		}
+		decl := rest[2:end]
+		rest = rest[end+1:]
+		switch {
+		case strings.HasPrefix(decl, "ELEMENT"):
+			el, err := parseElement(strings.TrimSpace(decl[len("ELEMENT"):]))
+			if err != nil {
+				return nil, fmt.Errorf("dtd %s: %w", name, err)
+			}
+			if _, dup := d.Elements[el.Name]; dup {
+				return nil, fmt.Errorf("dtd %s: duplicate element %q", name, el.Name)
+			}
+			d.Elements[el.Name] = el
+			if d.Root == "" {
+				d.Root = el.Name
+			}
+		case strings.HasPrefix(decl, "ATTLIST"):
+			attrs, err := parseAttlist(strings.TrimSpace(decl[len("ATTLIST"):]))
+			if err != nil {
+				return nil, fmt.Errorf("dtd %s: %w", name, err)
+			}
+			for _, a := range attrs {
+				d.Attributes[a.Element] = append(d.Attributes[a.Element], a)
+			}
+		case strings.HasPrefix(decl, "--"):
+			// comment <!-- ... --> ; the '>' split above may cut long
+			// comments short, but the grammars here keep comments simple.
+		default:
+			return nil, fmt.Errorf("dtd %s: unsupported declaration <!%.20s...>", name, decl)
+		}
+	}
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("dtd %s: no element declarations", name)
+	}
+	// All names referenced by content models must be declared.
+	for _, el := range d.Elements {
+		for _, ref := range referencedNames(el) {
+			if _, ok := d.Elements[ref]; !ok {
+				return nil, fmt.Errorf("dtd %s: element %q references undeclared %q", name, el.Name, ref)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics, for the embedded grammar constants.
+func MustParse(name, src string) *DTD {
+	d, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func referencedNames(el *Element) []string {
+	var out []string
+	if el.Content == MixedContent {
+		out = append(out, el.Mixed...)
+	}
+	var walk func(p *Particle)
+	walk = func(p *Particle) {
+		if p == nil {
+			return
+		}
+		if p.Kind == NameParticle {
+			out = append(out, p.Name)
+		}
+		for _, c := range p.Children {
+			walk(c)
+		}
+	}
+	walk(el.Model)
+	return out
+}
+
+// parseElement handles "name EMPTY|ANY|(...)" with optional occurrence.
+func parseElement(s string) (*Element, error) {
+	name, rest := splitName(s)
+	if name == "" {
+		return nil, fmt.Errorf("ELEMENT: missing name in %q", s)
+	}
+	rest = strings.TrimSpace(rest)
+	el := &Element{Name: name}
+	switch {
+	case rest == "EMPTY":
+		el.Content = EmptyContent
+	case rest == "ANY":
+		el.Content = AnyContent
+	case strings.HasPrefix(rest, "("):
+		inner := rest
+		if strings.HasPrefix(strings.TrimSpace(trimOuter(inner)), "#PCDATA") {
+			names, mixed, err := parseMixed(inner)
+			if err != nil {
+				return nil, fmt.Errorf("ELEMENT %s: %w", name, err)
+			}
+			if mixed {
+				el.Content = MixedContent
+				el.Mixed = names
+			} else {
+				el.Content = PCDataContent
+			}
+		} else {
+			p := &parser{src: rest}
+			model, err := p.parseParticle()
+			if err != nil {
+				return nil, fmt.Errorf("ELEMENT %s: %w", name, err)
+			}
+			p.skipSpace()
+			if p.pos != len(p.src) {
+				return nil, fmt.Errorf("ELEMENT %s: trailing %q", name, p.src[p.pos:])
+			}
+			el.Content = ElementContent
+			el.Model = model
+		}
+	default:
+		return nil, fmt.Errorf("ELEMENT %s: unsupported content spec %q", name, rest)
+	}
+	return el, nil
+}
+
+// trimOuter removes one layer of parentheses if present (without checking
+// balance; used only to peek for #PCDATA).
+func trimOuter(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") {
+		return s[1:]
+	}
+	return s
+}
+
+// parseMixed handles (#PCDATA) and (#PCDATA|a|b)*.
+func parseMixed(s string) (names []string, mixed bool, err error) {
+	s = strings.TrimSpace(s)
+	star := strings.HasSuffix(s, "*")
+	s = strings.TrimSuffix(s, "*")
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, false, fmt.Errorf("malformed mixed content %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], "|")
+	if strings.TrimSpace(parts[0]) != "#PCDATA" {
+		return nil, false, fmt.Errorf("mixed content must start with #PCDATA: %q", s)
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, false, fmt.Errorf("empty name in mixed content %q", s)
+		}
+		names = append(names, p)
+	}
+	if len(names) > 0 && !star {
+		return nil, false, fmt.Errorf("mixed content with elements requires trailing *: %q", s)
+	}
+	return names, len(names) > 0, nil
+}
+
+// parseAttlist handles "elem (attr type default)+".
+func parseAttlist(s string) ([]Attribute, error) {
+	elem, rest := splitName(s)
+	if elem == "" {
+		return nil, fmt.Errorf("ATTLIST: missing element name in %q", s)
+	}
+	var out []Attribute
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var attr, typ string
+		attr, rest = splitName(rest)
+		typ, rest = splitName(strings.TrimSpace(rest))
+		if attr == "" || typ == "" {
+			return nil, fmt.Errorf("ATTLIST %s: malformed definition near %q", elem, rest)
+		}
+		a := Attribute{Element: elem, Name: attr, Type: typ}
+		rest = strings.TrimSpace(rest)
+		switch {
+		case strings.HasPrefix(rest, "#REQUIRED"):
+			a.Required = true
+			rest = strings.TrimSpace(rest[len("#REQUIRED"):])
+		case strings.HasPrefix(rest, "#IMPLIED"):
+			rest = strings.TrimSpace(rest[len("#IMPLIED"):])
+		case strings.HasPrefix(rest, `"`):
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("ATTLIST %s: unterminated default for %s", elem, attr)
+			}
+			a.Default = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("ATTLIST %s: missing default spec for %s near %q", elem, attr, rest)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// splitName splits the leading XML name token from s.
+func splitName(s string) (name, rest string) {
+	s = strings.TrimLeftFunc(s, unicode.IsSpace)
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == ':' {
+			continue
+		}
+		return s[:i], s[i:]
+	}
+	return s, ""
+}
+
+// parser is a recursive-descent content-model parser.
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// parseParticle parses a name or parenthesized group, with an occurrence
+// suffix.
+func (p *parser) parseParticle() (*Particle, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("unexpected end of content model")
+	}
+	var out *Particle
+	if p.src[p.pos] == '(' {
+		p.pos++
+		group, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("missing ) at %q", p.src[p.pos:])
+		}
+		p.pos++
+		out = group
+	} else {
+		name, rest := splitName(p.src[p.pos:])
+		if name == "" {
+			return nil, fmt.Errorf("expected name at %q", p.src[p.pos:])
+		}
+		p.pos = len(p.src) - len(rest)
+		out = &Particle{Kind: NameParticle, Name: name}
+	}
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '?':
+			out.Occurs = Optional
+			p.pos++
+		case '*':
+			out.Occurs = ZeroOrMore
+			p.pos++
+		case '+':
+			out.Occurs = OneOrMore
+			p.pos++
+		}
+	}
+	return out, nil
+}
+
+// parseGroup parses the inside of (...) — a sequence or a choice.
+func (p *parser) parseGroup() (*Particle, error) {
+	first, err := p.parseParticle()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Particle{first}
+	kind := SeqParticle
+	sep := byte(0)
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] == ')' {
+			break
+		}
+		c := p.src[p.pos]
+		if c != ',' && c != '|' {
+			return nil, fmt.Errorf("expected , or | at %q", p.src[p.pos:])
+		}
+		if sep == 0 {
+			sep = c
+			if c == '|' {
+				kind = ChoiceParticle
+			}
+		} else if sep != c {
+			return nil, fmt.Errorf("mixed , and | in one group at %q", p.src[p.pos:])
+		}
+		p.pos++
+		next, err := p.parseParticle()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		// (x) is just x; keep any occurrence applied to the group later.
+		return children[0], nil
+	}
+	return &Particle{Kind: kind, Children: children}, nil
+}

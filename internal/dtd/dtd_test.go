@@ -1,0 +1,178 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/xmltree"
+)
+
+func TestParseBasics(t *testing.T) {
+	d, err := Parse("t.dtd", `
+		<!ELEMENT a (b, c?, (d | e)*)>
+		<!ELEMENT b (#PCDATA)>
+		<!ELEMENT c EMPTY>
+		<!ELEMENT d ANY>
+		<!ELEMENT e (#PCDATA|b)*>
+		<!ATTLIST a id ID #REQUIRED lang CDATA "en">
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "a" {
+		t.Errorf("root = %s", d.Root)
+	}
+	if d.Elements["a"].Content != ElementContent {
+		t.Error("a should have element content")
+	}
+	if got := d.Elements["a"].Model.String(); got != "(b, c?, (d | e)*)" {
+		t.Errorf("model = %s", got)
+	}
+	if d.Elements["b"].Content != PCDataContent {
+		t.Error("b should be PCDATA")
+	}
+	if d.Elements["c"].Content != EmptyContent {
+		t.Error("c should be EMPTY")
+	}
+	if d.Elements["d"].Content != AnyContent {
+		t.Error("d should be ANY")
+	}
+	if e := d.Elements["e"]; e.Content != MixedContent || len(e.Mixed) != 1 || e.Mixed[0] != "b" {
+		t.Errorf("e mixed = %+v", e)
+	}
+	attrs := d.Attributes["a"]
+	if len(attrs) != 2 || !attrs[0].Required || attrs[1].Default != "en" {
+		t.Errorf("attrs = %+v", attrs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ``},
+		{"unterminated", `<!ELEMENT a (b`},
+		{"undeclared ref", `<!ELEMENT a (b)>`},
+		{"duplicate", `<!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>`},
+		{"mixed separators", `<!ELEMENT a (b, c | d)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>`},
+		{"mixed no star", `<!ELEMENT a (#PCDATA|b)> <!ELEMENT b (#PCDATA)>`},
+		{"bad attlist", `<!ELEMENT a (#PCDATA)> <!ATTLIST a x CDATA>`},
+		{"unknown decl", `<!DOCTYPE a>`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func mustTree(t *testing.T, doc string) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidateContentModels(t *testing.T) {
+	d := MustParse("t.dtd", `
+		<!ELEMENT a (b, c?, (d | e)+)>
+		<!ELEMENT b (#PCDATA)>
+		<!ELEMENT c (#PCDATA)>
+		<!ELEMENT d (#PCDATA)>
+		<!ELEMENT e (#PCDATA)>
+	`)
+	valid := []string{
+		`<a><b/><d/></a>`,
+		`<a><b/><c/><e/></a>`,
+		`<a><b/><d/><e/><d/></a>`,
+	}
+	for _, doc := range valid {
+		if err := d.Validate(mustTree(t, doc)); err != nil {
+			t.Errorf("%s should validate: %v", doc, err)
+		}
+	}
+	invalid := []string{
+		`<a><d/></a>`,         // missing required b
+		`<a><b/></a>`,         // missing (d|e)+
+		`<a><b/><c/><c/></a>`, // c repeated
+		`<a><b/><d/><b/></a>`, // b after group
+		`<x><b/></x>`,         // wrong root
+		`<a><b/><d/><f/></a>`, // undeclared f
+	}
+	for _, doc := range invalid {
+		if err := d.Validate(mustTree(t, doc)); err == nil {
+			t.Errorf("%s should NOT validate", doc)
+		}
+	}
+}
+
+func TestValidateTextRestrictions(t *testing.T) {
+	d := MustParse("t.dtd", `
+		<!ELEMENT a (b)>
+		<!ELEMENT b (#PCDATA)>
+	`)
+	if err := d.Validate(mustTree(t, `<a>text<b/></a>`)); err == nil {
+		t.Error("element content with text should fail")
+	}
+	if err := d.Validate(mustTree(t, `<a><b>hello world</b></a>`)); err != nil {
+		t.Errorf("PCDATA content should pass: %v", err)
+	}
+}
+
+func TestValidateAttributes(t *testing.T) {
+	d := MustParse("t.dtd", `
+		<!ELEMENT a (#PCDATA)>
+		<!ATTLIST a id CDATA #REQUIRED note CDATA #IMPLIED>
+	`)
+	if err := d.Validate(mustTree(t, `<a id="1" note="x">t</a>`)); err != nil {
+		t.Errorf("valid attributes rejected: %v", err)
+	}
+	if err := d.Validate(mustTree(t, `<a note="x">t</a>`)); err == nil {
+		t.Error("missing required attribute should fail")
+	}
+	if err := d.Validate(mustTree(t, `<a id="1" bogus="x">t</a>`)); err == nil {
+		t.Error("undeclared attribute should fail")
+	}
+}
+
+// TestCorpusConformsToGrammars is the executable form of the DESIGN.md
+// substitution claim: every generated document validates against its
+// Table 3 grammar.
+func TestCorpusConformsToGrammars(t *testing.T) {
+	for _, d := range corpus.Generate(42) {
+		g, ok := Grammars[d.Grammar]
+		if !ok {
+			t.Fatalf("no grammar for %s", d.Grammar)
+		}
+		if err := g.Validate(d.Tree); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestCorpusConformsAcrossSeeds guards the generators against seed-specific
+// structures.
+func TestCorpusConformsAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{7, 999} {
+		for _, d := range corpus.Generate(seed) {
+			if err := Grammars[d.Grammar].Validate(d.Tree); err != nil {
+				t.Errorf("seed %d %s: %v", seed, d.Name, err)
+			}
+		}
+	}
+}
+
+func TestGrammarsWellFormed(t *testing.T) {
+	if len(Grammars) != 10 {
+		t.Fatalf("%d grammars, want 10", len(Grammars))
+	}
+	for name, g := range Grammars {
+		if g.Root == "" || len(g.Elements) == 0 {
+			t.Errorf("%s degenerate: %+v", name, g)
+		}
+		if !strings.HasSuffix(name, ".dtd") {
+			t.Errorf("odd grammar name %s", name)
+		}
+	}
+}

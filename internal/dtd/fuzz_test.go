@@ -1,0 +1,34 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks the DTD parser never panics on arbitrary input and that
+// anything it accepts re-renders and validates structurally.
+func FuzzParse(f *testing.F) {
+	f.Add(shakespeareDTD)
+	f.Add(clubDTD)
+	f.Add(`<!ELEMENT a (b, c?, (d | e)*)> <!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY> <!ELEMENT d ANY> <!ELEMENT e (#PCDATA)>`)
+	f.Add(`<!ATTLIST a id CDATA #REQUIRED>`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse("fuzz.dtd", src)
+		if err != nil {
+			return
+		}
+		if d.Root == "" {
+			t.Fatal("accepted DTD without a root")
+		}
+		for name, el := range d.Elements {
+			if el.Name != name {
+				t.Fatalf("element map key %q != name %q", name, el.Name)
+			}
+			if el.Content == ElementContent && el.Model == nil {
+				t.Fatalf("element %q has nil model", name)
+			}
+			// Rendering the model must not panic.
+			if el.Model != nil {
+				_ = el.Model.String()
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package dtd
+
+// The ten evaluation grammars of Table 3, written as actual DTDs. The
+// corpus generators (internal/corpus) are tested to emit documents
+// conforming to these — the executable form of DESIGN.md's "same grammars"
+// substitution claim.
+
+// Grammars maps the Table 3 grammar file names to parsed DTDs.
+var Grammars = map[string]*DTD{
+	"shakespeare.dtd":     MustParse("shakespeare.dtd", shakespeareDTD),
+	"amazon_product.dtd":  MustParse("amazon_product.dtd", amazonDTD),
+	"ProceedingsPage.dtd": MustParse("ProceedingsPage.dtd", sigmodDTD),
+	"movies.dtd":          MustParse("movies.dtd", moviesDTD),
+	"bib.dtd":             MustParse("bib.dtd", bibDTD),
+	"cd_catalog.dtd":      MustParse("cd_catalog.dtd", cdDTD),
+	"food_menu.dtd":       MustParse("food_menu.dtd", foodDTD),
+	"plant_catalog.dtd":   MustParse("plant_catalog.dtd", plantDTD),
+	"personnel.dtd":       MustParse("personnel.dtd", personnelDTD),
+	"club.dtd":            MustParse("club.dtd", clubDTD),
+}
+
+const shakespeareDTD = `
+<!ELEMENT PLAY (TITLE, PERSONAE, PROLOGUE, ACT+, EPILOGUE)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, PERSONA+)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT PROLOGUE (SPEECH)>
+<!ELEMENT EPILOGUE (SPEECH)>
+<!ELEMENT ACT (TITLE, SCENE+)>
+<!ELEMENT SCENE (TITLE, SPEECH+, STAGEDIR)>
+<!ELEMENT SPEECH (SPEAKER, LINE+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA)>
+<!ELEMENT STAGEDIR (#PCDATA)>
+`
+
+const amazonDTD = `
+<!ELEMENT products (product+)>
+<!ELEMENT product (item, CustomerReview, stock, shipping, ListPrice, feature?)>
+<!ELEMENT item (BrandName, ProductName, detail)>
+<!ELEMENT BrandName (#PCDATA)>
+<!ELEMENT ProductName (#PCDATA)>
+<!ELEMENT detail (description)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT CustomerReview (rating, customer)>
+<!ELEMENT rating (#PCDATA)>
+<!ELEMENT customer (#PCDATA)>
+<!ELEMENT stock (condition)>
+<!ELEMENT condition (#PCDATA)>
+<!ELEMENT shipping (ItemWeight)>
+<!ELEMENT ItemWeight (#PCDATA)>
+<!ELEMENT ListPrice (#PCDATA)>
+<!ATTLIST ListPrice currency CDATA #REQUIRED>
+<!ELEMENT feature (#PCDATA)>
+`
+
+const sigmodDTD = `
+<!ELEMENT proceedings (title, volume, number, conference, article+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT number (#PCDATA)>
+<!ELEMENT conference (#PCDATA)>
+<!ELEMENT article (title, initPage, endPage, authors)>
+<!ELEMENT initPage (#PCDATA)>
+<!ELEMENT endPage (#PCDATA)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const moviesDTD = `
+<!ELEMENT movies (movie+)>
+<!ELEMENT movie (title, director, genre, cast, plot)>
+<!ATTLIST movie year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT director (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ELEMENT cast (star+)>
+<!ELEMENT star (#PCDATA)>
+<!ELEMENT plot (#PCDATA)>
+`
+
+const bibDTD = `
+<!ELEMENT bib (book+)>
+<!ELEMENT book (title, author+, publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const cdDTD = `
+<!ELEMENT catalog (cd+)>
+<!ELEMENT cd (title, artist, country, company, price, year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT artist (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT company (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const foodDTD = `
+<!ELEMENT breakfast_menu (food+)>
+<!ELEMENT food (name, price, description, calories)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT calories (#PCDATA)>
+`
+
+const plantDTD = `
+<!ELEMENT catalog (plant+)>
+<!ELEMENT plant (common, botanical, zone, light, price, availability)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT botanical (#PCDATA)>
+<!ELEMENT zone (#PCDATA)>
+<!ELEMENT light (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT availability (#PCDATA)>
+`
+
+const personnelDTD = `
+<!ELEMENT personnel (person+)>
+<!ELEMENT person (name, email, address)>
+<!ELEMENT name (family, given)>
+<!ELEMENT family (#PCDATA)>
+<!ELEMENT given (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT address (street, city, state, zip)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+`
+
+const clubDTD = `
+<!ELEMENT club (president, member+)>
+<!ELEMENT president (#PCDATA)>
+<!ELEMENT member (name, age, hobby)>
+<!ATTLIST member since CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT hobby (#PCDATA)>
+`

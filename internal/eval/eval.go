@@ -1,0 +1,98 @@
+// Package eval implements the evaluation metrics of §4: precision, recall,
+// and f-value for sense assignments (§4.3) and Pearson's correlation
+// coefficient for ambiguity ratings (§4.2).
+package eval
+
+import "math"
+
+// PRF holds precision, recall, and the balanced f-value.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F         float64
+	// Correct, Assigned, and Total are the underlying counts.
+	Correct  int
+	Assigned int
+	Total    int
+}
+
+// Score computes PRF from counts: correct answers among assigned senses
+// (precision), among all expected answers (recall), and their harmonic
+// mean.
+func Score(correct, assigned, total int) PRF {
+	p := PRF{Correct: correct, Assigned: assigned, Total: total}
+	if assigned > 0 {
+		p.Precision = float64(correct) / float64(assigned)
+	}
+	if total > 0 {
+		p.Recall = float64(correct) / float64(total)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// Combine micro-averages several PRF results by summing their counts.
+func Combine(results ...PRF) PRF {
+	var c, a, t int
+	for _, r := range results {
+		c += r.Correct
+		a += r.Assigned
+		t += r.Total
+	}
+	return Score(c, a, t)
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y,
+// in [-1, 1]. Mismatched lengths, fewer than two points, or zero variance
+// yield 0 (uncorrelated), mirroring the paper's handling.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(n))
+}

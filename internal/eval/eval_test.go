@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScore(t *testing.T) {
+	p := Score(8, 10, 16)
+	if math.Abs(p.Precision-0.8) > 1e-12 {
+		t.Errorf("precision = %f", p.Precision)
+	}
+	if math.Abs(p.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %f", p.Recall)
+	}
+	wantF := 2 * 0.8 * 0.5 / 1.3
+	if math.Abs(p.F-wantF) > 1e-12 {
+		t.Errorf("f = %f, want %f", p.F, wantF)
+	}
+}
+
+func TestScoreDegenerate(t *testing.T) {
+	z := Score(0, 0, 0)
+	if z.Precision != 0 || z.Recall != 0 || z.F != 0 {
+		t.Errorf("zero counts: %+v", z)
+	}
+	if p := Score(0, 5, 5); p.F != 0 {
+		t.Errorf("no correct answers: F = %f", p.F)
+	}
+	if p := Score(5, 5, 5); p.F != 1 {
+		t.Errorf("perfect: F = %f", p.F)
+	}
+}
+
+func TestCombineMicroAverages(t *testing.T) {
+	a := Score(3, 4, 5)
+	b := Score(1, 2, 5)
+	c := Combine(a, b)
+	if c.Correct != 4 || c.Assigned != 6 || c.Total != 10 {
+		t.Errorf("combined counts: %+v", c)
+	}
+	if math.Abs(c.Precision-4.0/6) > 1e-12 {
+		t.Errorf("combined precision = %f", c.Precision)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson(x, x) = %f", got)
+	}
+	y := []float64{4, 3, 2, 1}
+	if got := Pearson(x, y); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson(x, -x) = %f", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("single point should yield 0")
+	}
+	if Pearson([]float64{2, 2, 2}, []float64{1, 5, 9}) != 0 {
+		t.Error("zero variance should yield 0")
+	}
+}
+
+func TestPearsonLinearInvariance(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			x = append(x, v)
+		}
+		if len(x) < 3 {
+			return true
+		}
+		// y = 2x + 3 correlates perfectly.
+		y := make([]float64, len(x))
+		vary := false
+		for i, v := range x {
+			y[i] = 2*v + 3
+			if v != x[0] {
+				vary = true
+			}
+		}
+		r := Pearson(x, y)
+		if !vary {
+			return r == 0
+		}
+		return math.Abs(r-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonRange(t *testing.T) {
+	f := func(xr, yr []float64) bool {
+		n := len(xr)
+		if len(yr) < n {
+			n = len(yr)
+		}
+		if n < 2 {
+			return true
+		}
+		x, y := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i] = sane(xr[i]), sane(yr[i])
+		}
+		r := Pearson(x, y)
+		return r >= -1-1e-9 && r <= 1+1e-9 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sane(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %f, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestFIsHarmonicMean(t *testing.T) {
+	f := func(c, a, tot uint8) bool {
+		correct := int(c) % 50
+		assigned := correct + int(a)%50
+		total := assigned + int(tot)%50
+		if total == 0 {
+			return true
+		}
+		p := Score(correct, assigned, total)
+		if p.Precision < p.F-1e-12 && p.Recall < p.F-1e-12 {
+			return false // F must lie between P and R
+		}
+		return p.F >= 0 && p.F <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

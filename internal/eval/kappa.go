@@ -1,0 +1,65 @@
+package eval
+
+// FleissKappa measures inter-annotator agreement for categorical ratings:
+// ratings[i][c] is the number of annotators who assigned category c to item
+// i; every row must sum to the same number of annotators n >= 2. Returns
+// kappa in [-1, 1] (1 = perfect agreement, 0 = chance-level) and ok=false
+// for degenerate input (fewer than 2 items/annotators, inconsistent rows,
+// or chance agreement of 1, where kappa is undefined).
+//
+// The paper reports five human annotators (§4.2); the gold package's
+// simulated panel is validated against this statistic.
+func FleissKappa(ratings [][]int) (kappa float64, ok bool) {
+	nItems := len(ratings)
+	if nItems < 2 {
+		return 0, false
+	}
+	nCats := len(ratings[0])
+	if nCats < 1 {
+		return 0, false
+	}
+	nAnnotators := 0
+	for _, r := range ratings[0] {
+		nAnnotators += r
+	}
+	if nAnnotators < 2 {
+		return 0, false
+	}
+
+	// Per-item agreement P_i and per-category proportions p_c.
+	pc := make([]float64, nCats)
+	var pBarSum float64
+	for _, row := range ratings {
+		if len(row) != nCats {
+			return 0, false
+		}
+		sum := 0
+		var agree float64
+		for c, r := range row {
+			if r < 0 {
+				return 0, false
+			}
+			sum += r
+			agree += float64(r * (r - 1))
+			pc[c] += float64(r)
+		}
+		if sum != nAnnotators {
+			return 0, false
+		}
+		pBarSum += agree / float64(nAnnotators*(nAnnotators-1))
+	}
+	pBar := pBarSum / float64(nItems)
+
+	var pe float64
+	total := float64(nItems * nAnnotators)
+	for _, v := range pc {
+		p := v / total
+		pe += p * p
+	}
+	if pe >= 1 {
+		// All annotators used a single category everywhere: agreement is
+		// trivially perfect but kappa is undefined.
+		return 0, false
+	}
+	return (pBar - pe) / (1 - pe), true
+}

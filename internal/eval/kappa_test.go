@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	// Three annotators, two items, different categories per item: perfect
+	// within-item agreement, both categories used.
+	ratings := [][]int{
+		{3, 0},
+		{0, 3},
+	}
+	k, ok := FleissKappa(ratings)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(k-1) > 1e-12 {
+		t.Errorf("kappa = %f, want 1", k)
+	}
+}
+
+func TestFleissKappaWikipediaExample(t *testing.T) {
+	// The classic worked example (Fleiss 1971 via Wikipedia): 10 items, 14
+	// annotators, 5 categories; kappa ≈ 0.210.
+	ratings := [][]int{
+		{0, 0, 0, 0, 14},
+		{0, 2, 6, 4, 2},
+		{0, 0, 3, 5, 6},
+		{0, 3, 9, 2, 0},
+		{2, 2, 8, 1, 1},
+		{7, 7, 0, 0, 0},
+		{3, 2, 6, 3, 0},
+		{2, 5, 3, 2, 2},
+		{6, 5, 2, 1, 0},
+		{0, 2, 2, 3, 7},
+	}
+	k, ok := FleissKappa(ratings)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(k-0.210) > 0.001 {
+		t.Errorf("kappa = %.4f, want 0.210", k)
+	}
+}
+
+func TestFleissKappaChanceLevel(t *testing.T) {
+	// Split votes on every item hover near chance.
+	ratings := [][]int{
+		{2, 2},
+		{2, 2},
+		{2, 2},
+	}
+	k, ok := FleissKappa(ratings)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if k > 0 {
+		t.Errorf("kappa = %f, want <= 0 for uniform splits", k)
+	}
+}
+
+func TestFleissKappaDegenerate(t *testing.T) {
+	if _, ok := FleissKappa(nil); ok {
+		t.Error("empty input should fail")
+	}
+	if _, ok := FleissKappa([][]int{{3, 0}}); ok {
+		t.Error("single item should fail")
+	}
+	if _, ok := FleissKappa([][]int{{1, 0}, {0, 1}}); ok {
+		t.Error("single annotator should fail")
+	}
+	if _, ok := FleissKappa([][]int{{3, 0}, {2, 0}}); ok {
+		t.Error("inconsistent row sums should fail")
+	}
+	if _, ok := FleissKappa([][]int{{3, 0}, {3, 0}}); ok {
+		t.Error("single-category use should be undefined")
+	}
+	if _, ok := FleissKappa([][]int{{3, -1}, {1, 1}}); ok {
+		t.Error("negative counts should fail")
+	}
+}

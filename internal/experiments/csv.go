@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// This file renders every table and figure as CSV for downstream plotting
+// (cmd/xsdf-experiments -csv).
+
+// WriteTable1CSV writes group,amb_deg,struct_deg rows.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "amb_deg", "struct_deg"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprint(r.Group), f(r.AmbDeg), f(r.StructDeg),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes group,dataset,nodes,test1..test4 rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "dataset", "nodes", "test1_all", "test2_polysemy", "test3_depth", "test4_density"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprint(r.Group), fmt.Sprint(r.Dataset), fmt.Sprint(r.Nodes),
+			f(r.PCC[0]), f(r.PCC[1]), f(r.PCC[2]), f(r.PCC[3]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV writes the dataset characteristics.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"dataset", "group", "source", "grammar", "docs", "avg_nodes",
+		"polysemy_avg", "polysemy_max", "depth_avg", "depth_max",
+		"fanout_avg", "fanout_max", "density_avg", "density_max"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprint(r.Dataset), fmt.Sprint(r.Group), r.Source, r.Grammar,
+			fmt.Sprint(r.NumDocs), f(r.AvgNodes),
+			f(r.PolysemyAvg), fmt.Sprint(r.PolysemyMax),
+			f(r.DepthAvg), fmt.Sprint(r.DepthMax),
+			f(r.FanOutAvg), fmt.Sprint(r.FanOutMax),
+			f(r.DensityAvg), fmt.Sprint(r.DensityMax),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure8CSV writes process,radius,group,precision,recall,f rows.
+func WriteFigure8CSV(w io.Writer, cells []Figure8Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"process", "radius", "group", "precision", "recall", "f"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			c.Method.String(), fmt.Sprint(c.Radius), fmt.Sprint(c.Group),
+			f(c.PRF.Precision), f(c.PRF.Recall), f(c.PRF.F),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure9CSV writes approach,group,precision,recall,f rows.
+func WriteFigure9CSV(w io.Writer, rows []Figure9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"approach", "group", "precision", "recall", "f"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Approach, fmt.Sprint(r.Group),
+			f(r.PRF.Precision), f(r.PRF.Recall), f(r.PRF.F),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

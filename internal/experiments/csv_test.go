@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, runner(t).Table1()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 5 { // header + 4 groups
+		t.Fatalf("%d rows", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "group,amb_deg,struct_deg" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if _, err := strconv.ParseFloat(r[1], 64); err != nil {
+			t.Errorf("bad amb_deg %q", r[1])
+		}
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, runner(t).Table2()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 11 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if len(rows[0]) != 7 {
+		t.Errorf("header cols = %d", len(rows[0]))
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, runner(t).Table3()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 11 || len(rows[0]) != 14 {
+		t.Fatalf("shape %dx%d", len(rows), len(rows[0]))
+	}
+}
+
+func TestWriteFigureCSVs(t *testing.T) {
+	r := runner(t)
+	var buf bytes.Buffer
+	if err := WriteFigure8CSV(&buf, r.Figure8()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+len(Figure8Methods)*len(Figure8Radii)*4 {
+		t.Fatalf("figure 8: %d rows", len(rows))
+	}
+	buf.Reset()
+	if err := WriteFigure9CSV(&buf, r.Figure9()); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if len(rows) != 13 {
+		t.Fatalf("figure 9: %d rows", len(rows))
+	}
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || v < 0 || v > 1 {
+			t.Errorf("bad f %q", row[4])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§4): Table 1 (group characteristics), Table 2
+// (ambiguity-degree correlation), Table 3 (dataset characteristics),
+// Table 4 (qualitative comparison), Figure 8 (f-value across
+// configurations), and Figure 9 (comparison with the RPD and VSD
+// baselines). See EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/gold"
+	"repro/internal/lingproc"
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// Config parameterizes a full experimental run.
+type Config struct {
+	// Seed drives corpus generation and the simulated annotator panel.
+	Seed int64
+	// Net is the reference semantic network (defaults to the embedded
+	// mini-WordNet).
+	Net *semnet.Network
+	// NodesPerDoc is the number of nodes pre-selected per document for
+	// manual annotation (the paper used 12-13).
+	NodesPerDoc int
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{Seed: 42, NodesPerDoc: 13}
+}
+
+// Runner holds the prepared corpus, annotations, and ratings shared by all
+// experiments of one run.
+type Runner struct {
+	cfg   Config
+	net   *semnet.Network
+	docs  []corpus.Doc
+	panel gold.Panel
+
+	// selected maps each document index to its annotated target nodes.
+	selected [][]*xmltree.Node
+	// humanSense maps nodes to the panel's majority sense.
+	humanSense map[*xmltree.Node]string
+}
+
+// NewRunner generates the corpus, applies linguistic pre-processing, and
+// runs the simulated annotation campaign.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Net == nil {
+		cfg.Net = wordnet.Default()
+	}
+	if cfg.NodesPerDoc <= 0 {
+		cfg.NodesPerDoc = 13
+	}
+	r := &Runner{
+		cfg:        cfg,
+		net:        cfg.Net,
+		docs:       corpus.Generate(cfg.Seed),
+		panel:      gold.DefaultPanel(cfg.Seed),
+		humanSense: make(map[*xmltree.Node]string),
+	}
+	for i := range r.docs {
+		lingproc.ProcessTree(r.docs[i].Tree, r.net)
+		sel := r.panel.SelectNodes(r.docs[i], cfg.NodesPerDoc)
+		r.selected = append(r.selected, sel)
+		for n, s := range r.panel.AnnotateSenses(r.net, sel) {
+			r.humanSense[n] = s
+		}
+	}
+	return r
+}
+
+// Docs returns the generated, pre-processed corpus.
+func (r *Runner) Docs() []corpus.Doc { return r.docs }
+
+// Network returns the semantic network in use.
+func (r *Runner) Network() *semnet.Network { return r.net }
+
+// Selected returns the annotated nodes of document i.
+func (r *Runner) Selected(i int) []*xmltree.Node { return r.selected[i] }
+
+// HumanSense returns the panel's sense for a node ("" if not annotated).
+func (r *Runner) HumanSense(n *xmltree.Node) string { return r.humanSense[n] }
+
+// TotalAnnotated returns the number of annotated target nodes across the
+// corpus.
+func (r *Runner) TotalAnnotated() int {
+	total := 0
+	for _, sel := range r.selected {
+		total += len(sel)
+	}
+	return total
+}

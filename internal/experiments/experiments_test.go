@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/disambig"
+)
+
+// sharedRunner builds the (expensive) experimental state once per test
+// binary.
+var (
+	runnerOnce sync.Once
+	sharedR    *Runner
+)
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		sharedR = NewRunner(DefaultConfig())
+	})
+	return sharedR
+}
+
+func TestRunnerSetup(t *testing.T) {
+	r := runner(t)
+	if len(r.Docs()) != 60 {
+		t.Fatalf("corpus size %d", len(r.Docs()))
+	}
+	if got := r.TotalAnnotated(); got < 600 || got > 780 {
+		t.Errorf("annotated nodes = %d, want 12-13 per doc over 60 docs", got)
+	}
+	// Every annotated node has a human sense.
+	for i := range r.Docs() {
+		for _, n := range r.Selected(i) {
+			if r.HumanSense(n) == "" {
+				t.Fatalf("missing human sense for %s", n.Label)
+			}
+		}
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows := runner(t).Table1()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byGroup := map[int]Table1Row{}
+	for _, row := range rows {
+		byGroup[row.Group] = row
+		if row.AmbDeg < 0 || row.AmbDeg > 1 || row.StructDeg < 0 || row.StructDeg > 1 {
+			t.Errorf("group %d out of range: %+v", row.Group, row)
+		}
+	}
+	// Ambiguity ordering: high-ambiguity groups (1, 2) above low (3, 4),
+	// with Group 1 maximal.
+	if !(byGroup[1].AmbDeg > byGroup[3].AmbDeg && byGroup[1].AmbDeg > byGroup[4].AmbDeg) {
+		t.Errorf("Group 1 should be most ambiguous: %+v", rows)
+	}
+	if !(byGroup[2].AmbDeg > byGroup[4].AmbDeg) {
+		t.Errorf("Group 2 should be more ambiguous than Group 4: %+v", rows)
+	}
+	// Structure: Group 1 richer than Group 2 (same ambiguity band).
+	if !(byGroup[1].StructDeg > byGroup[2].StructDeg) {
+		t.Errorf("Group 1 should be more structured than Group 2: %+v", rows)
+	}
+	if out := RenderTable1(rows); !strings.Contains(out, "Group 1") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	rows := runner(t).Table2()
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var g1 float64
+	var lowCount int
+	for _, row := range rows {
+		for ti, pcc := range row.PCC {
+			if pcc < -1 || pcc > 1 {
+				t.Errorf("dataset %d test %d pcc = %f", row.Dataset, ti, pcc)
+			}
+		}
+		if row.Group == 1 {
+			g1 = row.PCC[0]
+		}
+		if row.Group >= 3 && row.PCC[0] < 0.3 {
+			lowCount++
+		}
+	}
+	// §4.2: maximum positive correlation for the highly ambiguous, highly
+	// structured group; weak or negative correlation dominates the low
+	// ambiguity / poorly structured groups.
+	if g1 < 0.3 {
+		t.Errorf("Group 1 correlation = %f, want strongly positive", g1)
+	}
+	for _, row := range rows {
+		if row.Group != 1 && row.PCC[0] > g1+0.05 {
+			t.Errorf("dataset %d (group %d) pcc %f exceeds Group 1's %f",
+				row.Dataset, row.Group, row.PCC[0], g1)
+		}
+	}
+	if lowCount < 5 {
+		t.Errorf("only %d of 8 low-ambiguity datasets have weak correlation", lowCount)
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "Test#1") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable3MatchesDesign(t *testing.T) {
+	rows := runner(t).Table3()
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.AvgNodes <= 0 || row.PolysemyAvg <= 0 || row.DepthMax <= 0 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+	}
+	// Shakespeare documents are the largest and among the most polysemous.
+	if rows[0].Dataset != 1 || rows[0].AvgNodes < rows[5].AvgNodes {
+		t.Errorf("dataset 1 should have the largest documents: %+v vs %+v", rows[0], rows[5])
+	}
+	// The food menu (dataset 7) has the lowest tag polysemy band, as in the
+	// paper's Table 3 (2.375).
+	var food, shakespeare float64
+	for _, row := range rows {
+		switch row.Dataset {
+		case 1:
+			shakespeare = row.PolysemyAvg
+		case 7:
+			food = row.PolysemyAvg
+		}
+	}
+	if !(food < shakespeare) {
+		t.Errorf("polysemy: food %f !< shakespeare %f", food, shakespeare)
+	}
+	if out := RenderTable3(rows); !strings.Contains(out, "shakespeare.dtd") {
+		t.Error("render broken")
+	}
+}
+
+// TestTable4AssertedAgainstImplementations cross-checks the qualitative
+// matrix against behavior verified by the baseline package tests: RPD has
+// no compound tokenization, VSD and XSDF do; only XSDF addresses node
+// ambiguity and content disambiguation.
+func TestTable4AssertedAgainstImplementations(t *testing.T) {
+	rows := Table4()
+	byFeature := map[string]Table4Row{}
+	for _, r := range rows {
+		byFeature[r.Feature] = r
+		if !r.XSDF {
+			t.Errorf("XSDF must support %q", r.Feature)
+		}
+	}
+	tok := byFeature["Considers tag tokenization (compound terms)"]
+	if tok.RPD || !tok.VSD {
+		t.Errorf("tokenization row wrong: %+v", tok)
+	}
+	amb := byFeature["Addresses XML node ambiguity"]
+	if amb.RPD || amb.VSD {
+		t.Errorf("ambiguity row wrong: %+v", amb)
+	}
+	if out := RenderTable4(rows); !strings.Contains(out, "XSDF") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure8ShapeMatchesPaper(t *testing.T) {
+	cells := runner(t).Figure8()
+	if len(cells) != len(Figure8Methods)*len(Figure8Radii)*4 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	f := map[string]float64{}
+	for _, c := range cells {
+		if c.PRF.F < 0 || c.PRF.F > 1 {
+			t.Errorf("f out of range: %+v", c)
+		}
+		f[key(c.Group, c.Method, c.Radius)] = c.PRF.F
+	}
+	// §4.3.1 observation 2: optimal context is smallest (d=1) for Group 1;
+	// larger contexts win for the poorly structured groups 2 and 4.
+	if !(f[key(1, disambig.ConceptBased, 1)] >= f[key(1, disambig.ConceptBased, 2)] &&
+		f[key(1, disambig.ConceptBased, 1)] >= f[key(1, disambig.ConceptBased, 3)]) {
+		t.Error("Group 1 concept-based should peak at d=1")
+	}
+	if !(f[key(2, disambig.ConceptBased, 3)] > f[key(2, disambig.ConceptBased, 1)]) {
+		t.Error("Group 2 concept-based should improve with d=3")
+	}
+	if !(f[key(4, disambig.ConceptBased, 2)] > f[key(4, disambig.ConceptBased, 1)] ||
+		f[key(4, disambig.ConceptBased, 3)] > f[key(4, disambig.ConceptBased, 1)]) {
+		t.Error("Group 4 concept-based should improve with larger context")
+	}
+	// §4.3.1 observation 3: context-based is more sensitive to context
+	// size — its d=1 to d=2 drop exceeds concept-based's on Group 1.
+	dropContext := f[key(1, disambig.ContextBased, 1)] - f[key(1, disambig.ContextBased, 2)]
+	dropConcept := f[key(1, disambig.ConceptBased, 1)] - f[key(1, disambig.ConceptBased, 2)]
+	if !(dropContext > dropConcept) {
+		t.Errorf("context-based should be more radius-sensitive: drops %.3f vs %.3f",
+			dropContext, dropConcept)
+	}
+	if out := RenderFigure8(cells); !strings.Contains(out, "concept-based") {
+		t.Error("render broken")
+	}
+}
+
+func key(g int, m disambig.Method, d int) string {
+	return strings.Join([]string{string(rune('0' + g)), m.String(), string(rune('0' + d))}, "|")
+}
+
+func TestFigure9ShapeMatchesPaper(t *testing.T) {
+	rows := runner(t).Figure9()
+	f := map[string]float64{}
+	for _, r := range rows {
+		if r.PRF.Precision < r.PRF.F-1e-9 && r.PRF.Recall < r.PRF.F-1e-9 {
+			t.Errorf("F outside [min(P,R), max(P,R)]: %+v", r)
+		}
+		f[r.Approach+string(rune('0'+r.Group))] = r.PRF.F
+	}
+	// §4.3.2: XSDF outperforms RPD and VSD on Groups 1-3; Group 1 shows the
+	// largest margin over both baselines; RPD edges XSDF on Group 4.
+	for g := 1; g <= 3; g++ {
+		gs := string(rune('0' + g))
+		if !(f["XSDF"+gs] > f["RPD"+gs]) {
+			t.Errorf("Group %d: XSDF %.3f !> RPD %.3f", g, f["XSDF"+gs], f["RPD"+gs])
+		}
+		if !(f["XSDF"+gs] > f["VSD"+gs]) {
+			t.Errorf("Group %d: XSDF %.3f !> VSD %.3f", g, f["XSDF"+gs], f["VSD"+gs])
+		}
+	}
+	if !(f["RPD4"] >= f["XSDF4"]-0.02) {
+		t.Errorf("Group 4: RPD %.3f should match or beat XSDF %.3f", f["RPD4"], f["XSDF4"])
+	}
+	// Margin over RPD is largest on Group 1 among groups 1 and 3...
+	m1 := f["XSDF1"] - f["VSD1"]
+	m4 := f["XSDF4"] - f["VSD4"]
+	if !(m1 > m4) {
+		t.Errorf("Group 1 margin over VSD (%.3f) should exceed Group 4's (%.3f)", m1, m4)
+	}
+	// F-values land in a plausible band around the paper's [0.55, 0.69].
+	for g := 1; g <= 4; g++ {
+		v := f["XSDF"+string(rune('0'+g))]
+		if v < 0.45 || v > 0.92 {
+			t.Errorf("XSDF Group %d F = %.3f outside plausible band", g, v)
+		}
+	}
+	if out := RenderFigure9(rows); !strings.Contains(out, "XSDF") {
+		t.Error("render broken")
+	}
+}
+
+func TestRunnerDeterministicAcrossInstances(t *testing.T) {
+	a := NewRunner(Config{Seed: 99, NodesPerDoc: 5})
+	b := NewRunner(Config{Seed: 99, NodesPerDoc: 5})
+	ra := a.Figure9()
+	rb := b.Figure9()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("run %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ambiguity"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/gold"
+	"repro/internal/semnet"
+	"repro/internal/xmltree"
+)
+
+// Table1Row is one group row of Table 1: the average ambiguity and
+// structure degrees over all documents of the group.
+type Table1Row struct {
+	Group     int
+	AmbDeg    float64
+	StructDeg float64
+}
+
+// Table1 computes the group-level Amb_Deg / Struct_Deg averages of Table 1
+// with the paper's weights (equal ambiguity weights; 1/3 structure
+// weights).
+func (r *Runner) Table1() []Table1Row {
+	aw := ambiguity.EqualWeights()
+	sw := ambiguity.EqualStructWeights()
+	sums := map[int]*Table1Row{}
+	counts := map[int]int{}
+	for _, d := range r.docs {
+		row := sums[d.Group]
+		if row == nil {
+			row = &Table1Row{Group: d.Group}
+			sums[d.Group] = row
+		}
+		row.AmbDeg += ambiguity.TreeAmbiguity(d.Tree, r.net, aw)
+		row.StructDeg += ambiguity.TreeStructure(d.Tree, sw)
+		counts[d.Group]++
+	}
+	var out []Table1Row
+	for g := 1; g <= 4; g++ {
+		row := sums[g]
+		if row == nil {
+			continue
+		}
+		row.AmbDeg /= float64(counts[g])
+		row.StructDeg /= float64(counts[g])
+		out = append(out, *row)
+	}
+	return out
+}
+
+// RenderTable1 formats Table 1 in the paper's quadrant layout.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. Test documents by average node ambiguity and structure\n")
+	sb.WriteString(fmt.Sprintf("%-8s %10s %12s\n", "Group", "Amb_Deg", "Struct_Deg"))
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("Group %-2d %10.4f %12.4f\n", row.Group, row.AmbDeg, row.StructDeg))
+	}
+	return sb.String()
+}
+
+// Table2Test is one weight configuration of the Table 2 experiment.
+type Table2Test struct {
+	Name    string
+	Weights ambiguity.Weights
+}
+
+// Table2Tests returns the four weight variations of §4.2.
+func Table2Tests() []Table2Test {
+	return []Table2Test{
+		{"Test #1 All factors", ambiguity.Weights{Polysemy: 1, Depth: 1, Density: 1}},
+		{"Test #2 Polysemy", ambiguity.Weights{Polysemy: 1, Depth: 0, Density: 0}},
+		{"Test #3 Depth", ambiguity.Weights{Polysemy: 0.2, Depth: 1, Density: 0}},
+		{"Test #4 Density", ambiguity.Weights{Polysemy: 0.2, Depth: 0, Density: 1}},
+	}
+}
+
+// Table2Row holds the human-system Pearson correlations of one dataset
+// ("Doc N" in the paper) for each of the four tests.
+type Table2Row struct {
+	Dataset int
+	Group   int
+	PCC     [4]float64
+	Nodes   int
+}
+
+// Table2 runs the ambiguity-degree correlation experiment of §4.2: the
+// simulated annotator panel rates the pre-selected nodes, the system rates
+// the same nodes under four Amb_Deg weight variations, and per-dataset
+// Pearson correlations are reported.
+func (r *Runner) Table2() []Table2Row {
+	tests := Table2Tests()
+	model := gold.DefaultRatingModel()
+	byDataset := map[int]*Table2Row{}
+	// Collect per-dataset rating vectors.
+	human := map[int][]float64{}
+	system := map[int][][]float64{} // dataset -> test -> ratings
+	for i, d := range r.docs {
+		sel := r.selected[i]
+		hr := r.panel.RateAmbiguity(r.net, d, sel, model)
+		row := byDataset[d.Dataset]
+		if row == nil {
+			row = &Table2Row{Dataset: d.Dataset, Group: d.Group}
+			byDataset[d.Dataset] = row
+			system[d.Dataset] = make([][]float64, len(tests))
+		}
+		for _, n := range sel {
+			human[d.Dataset] = append(human[d.Dataset], hr[n])
+			row.Nodes++
+		}
+		for ti, t := range tests {
+			sr := gold.SystemRatings(r.net, d.Tree, sel, t.Weights)
+			for _, n := range sel {
+				system[d.Dataset][ti] = append(system[d.Dataset][ti], sr[n])
+			}
+		}
+	}
+	var out []Table2Row
+	for ds := 1; ds <= 10; ds++ {
+		row := byDataset[ds]
+		if row == nil {
+			continue
+		}
+		for ti := range tests {
+			row.PCC[ti] = eval.Pearson(system[ds][ti], human[ds])
+		}
+		out = append(out, *row)
+	}
+	return out
+}
+
+// RenderTable2 formats Table 2.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Correlation between human ratings and system ambiguity degrees\n")
+	sb.WriteString(fmt.Sprintf("%-7s %-6s %8s %9s %8s %8s %8s\n",
+		"Group", "Doc", "nodes", "Test#1", "Test#2", "Test#3", "Test#4"))
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("Group %d Doc %-2d %6d %9.3f %8.3f %8.3f %8.3f\n",
+			row.Group, row.Dataset, row.Nodes, row.PCC[0], row.PCC[1], row.PCC[2], row.PCC[3]))
+	}
+	return sb.String()
+}
+
+// Table3Row reproduces one dataset row of Table 3.
+type Table3Row struct {
+	Dataset      int
+	Group        int
+	Source       string
+	Grammar      string
+	NumDocs      int
+	AvgNodes     float64
+	PolysemyAvg  float64
+	PolysemyMax  int
+	DepthAvg     float64
+	DepthMax     int
+	FanOutAvg    float64
+	FanOutMax    int
+	DensityAvg   float64
+	DensityMax   int
+	annNodeCount int
+}
+
+// Table3 measures the characteristics of the generated corpus in the same
+// terms as the paper's Table 3.
+func (r *Runner) Table3() []Table3Row {
+	info := map[int]corpus.DatasetInfo{}
+	for _, di := range corpus.Datasets() {
+		info[di.Dataset] = di
+	}
+	rows := map[int]*Table3Row{}
+	for _, d := range r.docs {
+		row := rows[d.Dataset]
+		if row == nil {
+			di := info[d.Dataset]
+			row = &Table3Row{Dataset: d.Dataset, Group: d.Group, Source: di.Source,
+				Grammar: di.Grammar, NumDocs: di.NumDocs}
+			rows[d.Dataset] = row
+		}
+		row.AvgNodes += float64(d.Tree.Len())
+		for _, n := range d.Tree.Nodes() {
+			row.annNodeCount++
+			p := nodePolysemy(r.net, n)
+			row.PolysemyAvg += float64(p)
+			if p > row.PolysemyMax {
+				row.PolysemyMax = p
+			}
+			row.DepthAvg += float64(n.Depth)
+			if n.Depth > row.DepthMax {
+				row.DepthMax = n.Depth
+			}
+			f := n.FanOut()
+			row.FanOutAvg += float64(f)
+			if f > row.FanOutMax {
+				row.FanOutMax = f
+			}
+			dn := n.Density()
+			row.DensityAvg += float64(dn)
+			if dn > row.DensityMax {
+				row.DensityMax = dn
+			}
+		}
+	}
+	var out []Table3Row
+	for ds := 1; ds <= 10; ds++ {
+		row := rows[ds]
+		if row == nil {
+			continue
+		}
+		row.AvgNodes /= float64(row.NumDocs)
+		n := float64(row.annNodeCount)
+		row.PolysemyAvg /= n
+		row.DepthAvg /= n
+		row.FanOutAvg /= n
+		row.DensityAvg /= n
+		out = append(out, *row)
+	}
+	return out
+}
+
+// nodePolysemy returns the sense count of a node's label (averaging the
+// token polysemies of a compound label, matching the Amb_Deg special case).
+func nodePolysemy(net *semnet.Network, n *xmltree.Node) int {
+	tokens := n.Tokens
+	if len(tokens) == 0 {
+		tokens = []string{n.Label}
+	}
+	sum := 0
+	for _, t := range tokens {
+		sum += net.PolysemyOf(t)
+	}
+	return sum / len(tokens)
+}
+
+// RenderTable3 formats Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3. Characteristics of test documents\n")
+	sb.WriteString(fmt.Sprintf("%-3s %-3s %-22s %-20s %5s %9s %11s %11s %11s %11s\n",
+		"DS", "Grp", "Source", "Grammar", "docs", "nodes/doc",
+		"polysemy", "depth", "fan-out", "density"))
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("%-3d %-3d %-22s %-20s %5d %9.1f %6.2f/%-4d %6.2f/%-4d %6.2f/%-4d %6.2f/%-4d\n",
+			row.Dataset, row.Group, row.Source, row.Grammar, row.NumDocs, row.AvgNodes,
+			row.PolysemyAvg, row.PolysemyMax, row.DepthAvg, row.DepthMax,
+			row.FanOutAvg, row.FanOutMax, row.DensityAvg, row.DensityMax))
+	}
+	return sb.String()
+}
+
+// Table4Row is one feature row of the qualitative comparison (Table 4).
+type Table4Row struct {
+	Feature string
+	RPD     bool
+	VSD     bool
+	XSDF    bool
+}
+
+// Table4 returns the paper's qualitative feature matrix. The entries are
+// asserted against the actual implementations by the package tests.
+func Table4() []Table4Row {
+	return []Table4Row{
+		{"Considers linguistic pre-processing", true, true, true},
+		{"Considers tag tokenization (compound terms)", false, true, true},
+		{"Addresses XML node ambiguity", false, false, true},
+		{"Integrates an inclusive XML structure context", false, true, true},
+		{"Flexible w.r.t. context size", false, true, true},
+		{"Adopts relational information approach", false, true, true},
+		{"Combines the results of various semantic similarity measures", false, false, true},
+		{"Straightforward mathematical functions", false, false, true},
+		{"Disambiguates XML structure and content", false, false, true},
+	}
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4. Comparing our method with existing approaches\n")
+	sb.WriteString(fmt.Sprintf("%-62s %-5s %-5s %-5s\n", "Feature", "RPD", "VSD", "XSDF"))
+	mark := func(b bool) string {
+		if b {
+			return "v"
+		}
+		return "x"
+	}
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("%-62s %-5s %-5s %-5s\n",
+			row.Feature, mark(row.RPD), mark(row.VSD), mark(row.XSDF)))
+	}
+	return sb.String()
+}

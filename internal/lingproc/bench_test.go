@@ -1,0 +1,62 @@
+package lingproc
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// benchLex approximates the embedded lexicon's coverage without importing
+// it (internal/wordnet depends on internal/semnet, which depends on this
+// package for gloss stemming — a test-only import cycle).
+var benchLex = fakeLex{
+	"first": true, "name": true, "first name": true, "list": true,
+	"price": true, "cast": true, "stagedir": true, "star": true,
+	"movie": true, "picture": true, "play": true, "act": true,
+	"scene": true, "speech": true, "speaker": true, "line": true,
+	"title": true, "persona": true, "plot": true, "direct": true,
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "conditionally", "disambiguation",
+		"photographers", "neighbors", "troubled", "happiness", "movies"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	const s = "A wheelchair-bound photographer spies on his neighbors, 1954!"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Tokenize(s)) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkSplitCompound(b *testing.B) {
+	tags := []string{"FirstName", "Directed_By", "initPage", "cast", "XMLDocumentRoot"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitCompound(tags[i%len(tags)])
+	}
+}
+
+func BenchmarkProcessLabel(b *testing.B) {
+	tags := []string{"FirstName", "ListPrice", "cast", "firstname", "STAGEDIR"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProcessLabel(tags[i%len(tags)], benchLex)
+	}
+}
+
+func BenchmarkProcessTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := corpus.GenerateDataset(1, 1)[0].Tree
+		b.StartTimer()
+		ProcessTree(tr, benchLex)
+	}
+}

@@ -1,0 +1,60 @@
+package lingproc
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzStem: the Porter stemmer must never panic and must keep output
+// within the input length bound (+1 for the e-restoration cases).
+func FuzzStem(f *testing.F) {
+	for _, s := range []string{"caresses", "relational", "hopping", "sky", "", "a", "motoring", "électricité"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		got := Stem(w)
+		if len(got) > len(w)+1 {
+			t.Fatalf("Stem(%q) = %q grew beyond bound", w, got)
+		}
+	})
+}
+
+// FuzzSplitCompound: splitting must never panic, never lose all content
+// for non-empty letter input, and always lower-case its output.
+func FuzzSplitCompound(f *testing.F) {
+	for _, s := range []string{"FirstName", "Directed_By", "a", "", "XMLDoc", "ALLCAPS", "x-y.z"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, tag string) {
+		if !utf8.ValidString(tag) {
+			return
+		}
+		terms := SplitCompound(tag)
+		if len(terms) == 0 {
+			t.Fatalf("SplitCompound(%q) returned nothing", tag)
+		}
+		for _, term := range terms {
+			if term != strings.ToLower(term) {
+				t.Fatalf("SplitCompound(%q) produced non-lowercase %q", tag, term)
+			}
+		}
+	})
+}
+
+// FuzzTokenize: tokens contain only letters and digits, lower-cased.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"A wheelchair bound photographer", "1954!", "", "--", "naïve café"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+		}
+	})
+}

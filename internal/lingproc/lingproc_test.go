@@ -1,0 +1,225 @@
+package lingproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// fakeLex is a set-backed Lexicon for tests.
+type fakeLex map[string]bool
+
+func (f fakeLex) HasLemma(l string) bool { return f[strings.ToLower(l)] }
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"A wheelchair bound photographer", []string{"a", "wheelchair", "bound", "photographer"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"hy-phen's", []string{"hy", "phen", "s"}},
+		{"year 1954!", []string{"year", "1954"}},
+		{"", nil},
+		{"...", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitCompound(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Directed_By", []string{"directed", "by"}},
+		{"FirstName", []string{"first", "name"}},
+		{"firstname", []string{"firstname"}},
+		{"initPage", []string{"init", "page"}},
+		{"cast", []string{"cast"}},
+		{"XMLDocument", []string{"xml", "document"}},
+		{"list-price", []string{"list", "price"}},
+		{"a.b", []string{"a", "b"}},
+		{"breakfast_menu", []string{"breakfast", "menu"}},
+	}
+	for _, c := range cases {
+		if got := SplitCompound(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitCompound(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "The", "by", "of", "and"} {
+		if !IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"cast", "movie", "state"} {
+		if IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = true", w)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	lex := fakeLex{"movie": true, "star": true, "direct": true, "box": true, "baby": true}
+	cases := []struct{ in, want string }{
+		{"movie", "movie"},     // direct hit
+		{"Movies", "movie"},    // plural reduction
+		{"directed", "direct"}, // Porter stem
+		{"boxes", "box"},
+		{"babies", "baby"},
+		{"qwzzk", "qwzzk"}, // unknown stays as-is
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in, lex); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProcessLabelSingleWord(t *testing.T) {
+	lex := fakeLex{"cast": true}
+	label, tokens := ProcessLabel("cast", lex)
+	if label != "cast" || !reflect.DeepEqual(tokens, []string{"cast"}) {
+		t.Errorf("got %q %v", label, tokens)
+	}
+}
+
+func TestProcessLabelCompoundSingleConcept(t *testing.T) {
+	// "FirstName" -> "first name" which matches a single concept (§3.2
+	// case 2a): one token.
+	lex := fakeLex{"first name": true, "first": true, "name": true}
+	label, tokens := ProcessLabel("FirstName", lex)
+	if label != "first name" || len(tokens) != 1 {
+		t.Errorf("got %q %v, want single-token compound", label, tokens)
+	}
+}
+
+func TestProcessLabelCompoundNoSingleConcept(t *testing.T) {
+	// No single concept: the two normalized terms stay in one label to be
+	// disambiguated together (§3.2 case 2b).
+	lex := fakeLex{"init": false, "page": true}
+	label, tokens := ProcessLabel("initPage", lex)
+	if label != "init page" || !reflect.DeepEqual(tokens, []string{"init", "page"}) {
+		t.Errorf("got %q %v", label, tokens)
+	}
+}
+
+func TestProcessLabelCompoundStopWordRemoval(t *testing.T) {
+	// "Directed_By": "by" is a stop word; the remaining term is stemmed.
+	lex := fakeLex{"direct": true}
+	label, tokens := ProcessLabel("Directed_By", lex)
+	if label != "direct" || !reflect.DeepEqual(tokens, []string{"direct"}) {
+		t.Errorf("got %q %v", label, tokens)
+	}
+}
+
+func TestProcessLabelAllStopWords(t *testing.T) {
+	label, tokens := ProcessLabel("of_the", nil)
+	if label == "" || len(tokens) == 0 {
+		t.Errorf("degenerate tag dropped entirely: %q %v", label, tokens)
+	}
+}
+
+func TestProcessLabelThreeTerms(t *testing.T) {
+	// More than two content terms: keep the first two (§3.2 footnote 4).
+	lex := fakeLex{}
+	_, tokens := ProcessLabel("OneTwoThree", lex)
+	if len(tokens) != 2 {
+		t.Errorf("tokens = %v, want 2 kept", tokens)
+	}
+}
+
+func TestProcessValueToken(t *testing.T) {
+	lex := fakeLex{"neighbor": true}
+	if w, ok := ProcessValueToken("Neighbors", lex); !ok || w != "neighbor" {
+		t.Errorf("got %q %v", w, ok)
+	}
+	if _, ok := ProcessValueToken("the", lex); ok {
+		t.Error("stop word not dropped")
+	}
+}
+
+func TestProcessTree(t *testing.T) {
+	doc := `<films><picture title="Rear Window"><directed_by>Alfred Hitchcock</directed_by>
+	<plot>A photographer spies on his neighbors</plot></picture></films>`
+	tr, err := xmltree.ParseString(doc, xmltree.ParseOptions{IncludeContent: true, Tokenize: Tokenize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex := fakeLex{"film": true, "picture": true, "title": true, "direct": true,
+		"photographer": true, "spy": true, "neighbor": true, "plot": true,
+		"window": true, "rear": true, "hitchcock": true, "alfred": true}
+	ProcessTree(tr, lex)
+
+	if tr.Root.Label != "film" {
+		t.Errorf("root label = %q, want stemmed/singular film", tr.Root.Label)
+	}
+	// Stop-word tokens ("a", "on", "his") must be gone.
+	for _, n := range tr.Nodes() {
+		if n.Kind == xmltree.Token && IsStopWord(n.Label) {
+			t.Errorf("stop word token %q survived", n.Label)
+		}
+	}
+	// directed_by: "by" removed, "directed" stemmed.
+	var found bool
+	for _, n := range tr.Nodes() {
+		if n.Raw == "directed_by" {
+			found = true
+			if n.Label != "direct" {
+				t.Errorf("directed_by label = %q", n.Label)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("directed_by node missing")
+	}
+}
+
+func TestProcessTreeIdempotent(t *testing.T) {
+	doc := `<movies><movie year="1954"><name>Rear Window</name></movie></movies>`
+	tr, err := xmltree.ParseString(doc, xmltree.ParseOptions{IncludeContent: true, Tokenize: Tokenize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex := fakeLex{"movie": true, "year": true, "name": true, "rear": true, "window": true}
+	ProcessTree(tr, lex)
+	first := dumpLabels(tr)
+	ProcessTree(tr, lex)
+	if second := dumpLabels(tr); second != first {
+		t.Errorf("ProcessTree not idempotent:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func dumpLabels(tr *xmltree.Tree) string {
+	var sb strings.Builder
+	for _, n := range tr.Nodes() {
+		sb.WriteString(n.Label)
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// TestSplitCompoundLowercase: output terms are always lower-case and
+// non-empty.
+func TestSplitCompoundLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, term := range SplitCompound(s) {
+			if term != strings.ToLower(term) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

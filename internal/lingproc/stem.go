@@ -1,0 +1,256 @@
+package lingproc
+
+// Stem applies the Porter stemming algorithm (Porter, 1980) to a single
+// lower-case word and returns its stem. Words of length <= 2 are returned
+// unchanged, per the original algorithm. Upper-case ASCII letters are
+// lowered byte-wise; non-ASCII bytes pass through untouched (the
+// algorithm's suffix rules only ever match ASCII), so output never grows
+// beyond the input (+1 for the e-restoration cases).
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := make([]byte, len(word))
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		w[i] = c
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense: a letter
+// other than a, e, i, o, u, and other than y preceded by a consonant.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in w[:end].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < end && isCons(w, i) {
+		i++
+	}
+	for i < end {
+		// in vowel run
+		for i < end && !isCons(w, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether w[:end] contains a vowel.
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether w ends with a double consonant.
+func doubleCons(w []byte) bool {
+	n := len(w)
+	if n < 2 {
+		return false
+	}
+	return w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// cvc reports whether w[:end] ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func cvc(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(w, end-3) || isCons(w, end-2) || !isCons(w, end-1) {
+		return false
+	}
+	switch w[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r when the measure of the remaining
+// stem is > m. Returns the (possibly new) word and whether it matched s.
+func replaceSuffix(w []byte, s, r string, m int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stemEnd := len(w) - len(s)
+	if measure(w, stemEnd) > m {
+		return append(w[:stemEnd], r...), true
+	}
+	return w, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	cleanup := false
+	if hasSuffix(w, "ed") && hasVowel(w, len(w)-2) {
+		w = w[:len(w)-2]
+		cleanup = true
+	} else if hasSuffix(w, "ing") && hasVowel(w, len(w)-3) {
+		w = w[:len(w)-3]
+		cleanup = true
+	}
+	if !cleanup {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case doubleCons(w):
+		last := w[len(w)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return w[:len(w)-1]
+		}
+	case measure(w, len(w)) == 1 && cvc(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ s, r string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		var done bool
+		if w, done = replaceSuffix(w, rule.s, rule.r, 0); done {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ s, r string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		var done bool
+		if w, done = replaceSuffix(w, rule.s, rule.r, 0); done {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stemEnd := len(w) - len(s)
+		if measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+		return w
+	}
+	// (m>1 and (*S or *T)) ION ->
+	if hasSuffix(w, "ion") {
+		stemEnd := len(w) - 3
+		if stemEnd > 0 && (w[stemEnd-1] == 's' || w[stemEnd-1] == 't') && measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stemEnd := len(w) - 1
+	m := measure(w, stemEnd)
+	if m > 1 || (m == 1 && !cvc(w, stemEnd)) {
+		return w[:stemEnd]
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w, len(w)) > 1 && doubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,141 @@
+package lingproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStemKnownPairs exercises the classic Porter test vectors plus the
+// domain vocabulary the pipeline depends on.
+func TestStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		// Porter's published examples.
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"callousness":  "callous",
+		"formaliti":    "formal",
+		"sensitiviti":  "sensit",
+		"sensibiliti":  "sensibl",
+		"triplicate":   "triplic",
+		"formative":    "form",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"gyroscopic":   "gyroscop",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"homologou":    "homolog",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+		// Domain words.
+		"directed": "direct",
+		"actors":   "actor",
+		"spies":    "spi",
+		"pages":    "page",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "by", "of"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// TestStemIdempotentOnCommonVocabulary: stemming a stem should be stable
+// for typical dictionary words (not guaranteed for arbitrary strings by the
+// Porter algorithm, but it must hold on our pipeline's vocabulary).
+func TestStemIdempotentOnVocabulary(t *testing.T) {
+	words := []string{"movies", "pictures", "directed", "casting", "stars",
+		"plotting", "reviews", "ratings", "customers", "publishers",
+		"articles", "authors", "personnel", "families", "addresses"}
+	for _, w := range words {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+// TestStemNeverGrows: the Porter stemmer only removes or rewrites suffixes;
+// output is never longer than input+1 (the +e restoration cases).
+func TestStemNeverGrows(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to ASCII lower-case words, the stemmer's domain.
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s) && len(clean) < 30; i++ {
+			c := s[i] | 0x20
+			if c >= 'a' && c <= 'z' {
+				clean = append(clean, c)
+			}
+		}
+		w := string(clean)
+		return len(Stem(w)) <= len(w)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStemASCIIOnlyOutput: output of stemming an ASCII word is ASCII.
+func TestStemLowercaseInputPreserved(t *testing.T) {
+	if got := Stem("Motoring"); got != "motor" {
+		t.Errorf("Stem should lower-case: got %q", got)
+	}
+}

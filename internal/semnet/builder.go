@@ -1,0 +1,279 @@
+package semnet
+
+import (
+	"fmt"
+	"repro/internal/lingproc"
+	"sort"
+	"strings"
+)
+
+// Builder assembles a Network incrementally. It is not safe for concurrent
+// use; Build finalizes and returns an immutable Network.
+type Builder struct {
+	concepts map[ConceptID]*Concept
+	order    []ConceptID
+	edges    map[ConceptID][]Edge
+	errs     []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		concepts: make(map[ConceptID]*Concept),
+		edges:    make(map[ConceptID][]Edge),
+	}
+}
+
+// AddConcept registers a concept. Lemmas are lower-cased; the first lemma is
+// the primary label. Duplicate ids are recorded as build errors.
+func (b *Builder) AddConcept(id ConceptID, gloss string, freq float64, lemmas ...string) *Builder {
+	if _, dup := b.concepts[id]; dup {
+		b.errs = append(b.errs, fmt.Errorf("semnet: duplicate concept %q", id))
+		return b
+	}
+	if len(lemmas) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("semnet: concept %q has no lemmas", id))
+		return b
+	}
+	low := make([]string, len(lemmas))
+	for i, l := range lemmas {
+		low[i] = strings.ToLower(strings.TrimSpace(l))
+	}
+	b.concepts[id] = &Concept{ID: id, Lemmas: low, Gloss: gloss, Freq: freq}
+	b.order = append(b.order, id)
+	return b
+}
+
+// AddEdge registers a typed edge from -> to and its inverse to -> from.
+// Unknown endpoints are recorded as build errors at Build time.
+func (b *Builder) AddEdge(from ConceptID, rel Relation, to ConceptID) *Builder {
+	b.edges[from] = append(b.edges[from], Edge{To: to, Rel: rel})
+	b.edges[to] = append(b.edges[to], Edge{To: from, Rel: rel.Inverse()})
+	return b
+}
+
+// IsA is shorthand for AddEdge(child, Hypernym, parent).
+func (b *Builder) IsA(child, parent ConceptID) *Builder {
+	return b.AddEdge(child, Hypernym, parent)
+}
+
+// PartOf is shorthand for AddEdge(part, Holonym, whole).
+func (b *Builder) PartOf(part, whole ConceptID) *Builder {
+	return b.AddEdge(part, Holonym, whole)
+}
+
+// Build validates the accumulated definitions and returns the finished
+// network: lemma index, hypernym depths, cumulative frequencies, and gloss
+// token caches are all precomputed here.
+func (b *Builder) Build() (*Network, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	n := &Network{
+		concepts: b.concepts,
+		order:    b.order,
+		edges:    make(map[ConceptID][]Edge, len(b.edges)),
+		byLemma:  make(map[string][]ConceptID),
+		depth:    make(map[ConceptID]int, len(b.concepts)),
+		cumFreq:  make(map[ConceptID]float64, len(b.concepts)),
+		glossTok: make(map[ConceptID][]string, len(b.concepts)),
+	}
+	// Validate and copy edges, deduplicating.
+	for from, es := range b.edges {
+		if _, ok := b.concepts[from]; !ok {
+			return nil, fmt.Errorf("semnet: edge from unknown concept %q", from)
+		}
+		seen := make(map[Edge]struct{}, len(es))
+		for _, e := range es {
+			if _, ok := b.concepts[e.To]; !ok {
+				return nil, fmt.Errorf("semnet: edge %q -> unknown concept %q", from, e.To)
+			}
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			n.edges[from] = append(n.edges[from], e)
+		}
+	}
+	// Lemma index. Senses of each lemma are ordered by decreasing concept
+	// frequency (ties keep insertion order), mirroring WordNet's
+	// frequency-ordered sense lists: Senses(lemma)[0] is the dominant
+	// sense, which baselines and tie-breaks fall back to.
+	for _, id := range b.order {
+		for _, l := range b.concepts[id].Lemmas {
+			n.byLemma[l] = append(n.byLemma[l], id)
+		}
+	}
+	for _, ids := range n.byLemma {
+		sort.SliceStable(ids, func(i, j int) bool {
+			return b.concepts[ids[i]].Freq > b.concepts[ids[j]].Freq
+		})
+	}
+	for _, ids := range n.byLemma {
+		if len(ids) > n.maxPolysemy {
+			n.maxPolysemy = len(ids)
+		}
+	}
+	if err := n.computeDepths(); err != nil {
+		return nil, err
+	}
+	if err := n.computeCumFreq(); err != nil {
+		return nil, err
+	}
+	for _, id := range b.order {
+		n.glossTok[id] = tokenizeGloss(b.concepts[id].Gloss)
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error, for static embedded lexicons.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// computeDepths assigns each concept its hypernym depth: roots (concepts
+// without hypernyms) get depth 1, children one more than their shallowest
+// parent. Cycles in the hypernym relation are rejected.
+func (n *Network) computeDepths() error {
+	// Kahn-style BFS from the roots downward along Hyponym edges.
+	indeg := make(map[ConceptID]int, len(n.concepts)) // number of hypernyms
+	for _, id := range n.order {
+		for _, e := range n.edges[id] {
+			if e.Rel == Hypernym {
+				indeg[id]++
+			}
+		}
+	}
+	var queue []ConceptID
+	for _, id := range n.order {
+		if indeg[id] == 0 {
+			n.depth[id] = 1
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		processed++
+		if n.depth[cur] > n.maxDepth {
+			n.maxDepth = n.depth[cur]
+		}
+		for _, e := range n.edges[cur] {
+			if e.Rel != Hyponym {
+				continue
+			}
+			child := e.To
+			if d, ok := n.depth[child]; !ok || n.depth[cur]+1 < d {
+				n.depth[child] = n.depth[cur] + 1
+			}
+			indeg[child]--
+			if indeg[child] == 0 {
+				queue = append(queue, child)
+			}
+		}
+	}
+	if processed != len(n.concepts) {
+		return fmt.Errorf("semnet: hypernym cycle detected (%d of %d concepts reachable from roots)",
+			processed, len(n.concepts))
+	}
+	return nil
+}
+
+// computeCumFreq propagates concept frequencies up the hypernym hierarchy:
+// cumFreq(c) = Freq(c) + sum of Freq over all hyponym descendants, so that
+// p(c) is monotone non-decreasing toward the roots as Resnik/Lin require.
+func (n *Network) computeCumFreq() error {
+	// Process concepts deepest-first so each child is finished before its
+	// parents accumulate it. A descendant reachable through multiple parents
+	// must still be counted once per distinct path-free semantics, so we
+	// compute cumFreq per concept from its full descendant set instead of
+	// summing child cumFreqs (which would double-count under multiple
+	// inheritance).
+	for _, id := range n.order {
+		desc := n.descendantSet(id)
+		var sum float64
+		for d := range desc {
+			sum += n.concepts[d].Freq
+		}
+		n.cumFreq[id] = sum
+	}
+	for _, id := range n.order {
+		if len(n.Hypernyms(id)) == 0 {
+			n.totalFreq += n.cumFreq[id]
+		}
+	}
+	if n.totalFreq <= 0 {
+		// Unweighted network: IC degenerates gracefully (see IC).
+		n.totalFreq = 0
+	}
+	return nil
+}
+
+// descendantSet returns id plus all transitive hyponyms.
+func (n *Network) descendantSet(id ConceptID) map[ConceptID]struct{} {
+	out := map[ConceptID]struct{}{}
+	queue := []ConceptID{id}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, dup := out[cur]; dup {
+			continue
+		}
+		out[cur] = struct{}{}
+		for _, e := range n.edges[cur] {
+			if e.Rel == Hyponym {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// tokenizeGloss lower-cases, splits, and stems a gloss into content words
+// for the gloss-overlap measure, dropping one-letter tokens and common stop
+// words. Stemming makes morphological variants ("actor"/"actors",
+// "recorded"/"recordings") overlap, as the Banerjee-Pedersen measure
+// assumes of its preprocessed glosses.
+func tokenizeGloss(gloss string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(gloss), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	var out []string
+	for _, f := range fields {
+		if len(f) <= 1 || isGlossStop(f) {
+			continue
+		}
+		out = append(out, lingproc.Stem(f))
+	}
+	return out
+}
+
+var glossStops = func() map[string]struct{} {
+	m := map[string]struct{}{}
+	for _, w := range strings.Fields("a an the of or and to in on for with by as at is are was were be that this it its from who which") {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+func isGlossStop(w string) bool {
+	_, ok := glossStops[w]
+	return ok
+}
+
+// SortedLemmaIndex renders the lemma -> sense-count mapping sorted by lemma,
+// a debugging aid used by cmd tools.
+func (n *Network) SortedLemmaIndex() []string {
+	lemmas := n.Lemmas()
+	out := make([]string, len(lemmas))
+	for i, l := range lemmas {
+		out[i] = fmt.Sprintf("%s (%d senses)", l, len(n.byLemma[l]))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package semnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The paper's framework is knowledge-base agnostic (§3.1: "any other
+// knowledge base can be used based on the application scenario, e.g., ODP
+// ... or FOAF"). This file implements a plain-text interchange format so
+// users can load their own semantic networks without recompiling:
+//
+//	# comment
+//	c <id> <freq> <lemma>[|<lemma>...]	<gloss>
+//	r <from> <relation> <to>
+//
+// Concept lines come first; relation lines may reference any declared
+// concept. Fields of the concept line are TAB separated so lemmas and
+// glosses can contain spaces; lemmas are separated by '|'. Relations are
+// written once per undirected pair using the canonical direction
+// (hypernym, holonym, related); inverses are re-materialized on load.
+
+// Save writes the network in the text interchange format. Networks
+// round-trip through Save/Load up to edge ordering.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# semnet v1: %d concepts\n", n.Len())
+	for _, id := range n.order {
+		c := n.concepts[id]
+		fmt.Fprintf(bw, "c\t%s\t%g\t%s\t%s\n", id, c.Freq, strings.Join(c.Lemmas, "|"), c.Gloss)
+	}
+	for _, id := range n.order {
+		for _, e := range n.edges[id] {
+			// Emit each undirected pair once, in canonical direction.
+			switch e.Rel {
+			case Hypernym, Holonym:
+				fmt.Fprintf(bw, "r\t%s\t%s\t%s\n", id, e.Rel, e.To)
+			case Related:
+				if id < e.To {
+					fmt.Fprintf(bw, "r\t%s\t%s\t%s\n", id, e.Rel, e.To)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a network from the text interchange format.
+func Load(r io.Reader) (*Network, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "c":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("semnet: line %d: concept needs 5 tab-separated fields, got %d", lineNo, len(fields))
+			}
+			freq, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("semnet: line %d: bad frequency %q", lineNo, fields[2])
+			}
+			lemmas := strings.Split(fields[3], "|")
+			b.AddConcept(ConceptID(fields[1]), fields[4], freq, lemmas...)
+		case "r":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("semnet: line %d: relation needs 4 fields, got %d", lineNo, len(fields))
+			}
+			rel, err := parseRelation(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("semnet: line %d: %v", lineNo, err)
+			}
+			b.AddEdge(ConceptID(fields[1]), rel, ConceptID(fields[3]))
+		default:
+			return nil, fmt.Errorf("semnet: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("semnet: load: %w", err)
+	}
+	return b.Build()
+}
+
+func parseRelation(s string) (Relation, error) {
+	switch s {
+	case "hypernym":
+		return Hypernym, nil
+	case "hyponym":
+		return Hyponym, nil
+	case "meronym":
+		return Meronym, nil
+	case "holonym":
+		return Holonym, nil
+	case "related":
+		return Related, nil
+	default:
+		return 0, fmt.Errorf("unknown relation %q", s)
+	}
+}

@@ -1,0 +1,102 @@
+package semnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := buildFigure2(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("Len: %d vs %d", loaded.Len(), orig.Len())
+	}
+	for _, id := range orig.Concepts() {
+		oc, lc := orig.Concept(id), loaded.Concept(id)
+		if lc == nil {
+			t.Fatalf("concept %s lost", id)
+		}
+		if oc.Gloss != lc.Gloss || oc.Freq != lc.Freq {
+			t.Errorf("%s: %+v vs %+v", id, oc, lc)
+		}
+		if strings.Join(oc.Lemmas, "|") != strings.Join(lc.Lemmas, "|") {
+			t.Errorf("%s lemmas differ", id)
+		}
+		if orig.Depth(id) != loaded.Depth(id) {
+			t.Errorf("%s depth %d vs %d", id, orig.Depth(id), loaded.Depth(id))
+		}
+	}
+	// Derived quantities must agree.
+	if lcs1, _ := orig.LCS("actor.n.01", "worker.n.01"); true {
+		lcs2, _ := loaded.LCS("actor.n.01", "worker.n.01")
+		if lcs1 != lcs2 {
+			t.Errorf("LCS differs: %s vs %s", lcs1, lcs2)
+		}
+	}
+	if orig.MaxPolysemy() != loaded.MaxPolysemy() {
+		t.Error("polysemy differs")
+	}
+	// PartOf edges survive.
+	nb1 := orig.Neighborhood("hand.n.01", 1)
+	nb2 := loaded.Neighborhood("hand.n.01", 1)
+	if len(nb1) != len(nb2) {
+		t.Errorf("neighborhood sizes %d vs %d", len(nb1), len(nb2))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad record", "x\ta\tb"},
+		{"short concept", "c\tid\t1"},
+		{"bad freq", "c\tid\tNOPE\tlemma\tgloss"},
+		{"short relation", "r\ta\thypernym"},
+		{"bad relation", "c\ta.n.01\t1\ta\tg\nr\ta.n.01\tfriendof\ta.n.01"},
+		{"unknown endpoint", "c\ta.n.01\t1\ta\tg\nr\ta.n.01\thypernym\tb.n.01"},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nc\ta.n.01\t2\talpha|first\ta gloss here\n# trailing\n"
+	n, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 1 || !n.HasLemma("alpha") || !n.HasLemma("first") {
+		t.Errorf("loaded %d concepts", n.Len())
+	}
+	if n.Concept("a.n.01").Gloss != "a gloss here" {
+		t.Errorf("gloss = %q", n.Concept("a.n.01").Gloss)
+	}
+}
+
+func TestValidateOnBuiltNetworks(t *testing.T) {
+	n := buildFigure2(t)
+	if err := n.Validate(); err != nil {
+		t.Errorf("built network invalid: %v", err)
+	}
+	// Round-tripped networks must stay valid.
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Errorf("loaded network invalid: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package semnet
+
+// HypernymPath returns the chain from the concept up to a hierarchy root
+// along its shallowest hypernyms (depth-minimal parents), starting with the
+// concept itself. Unknown concepts return nil.
+func (n *Network) HypernymPath(c ConceptID) []ConceptID {
+	if n.Concept(c) == nil {
+		return nil
+	}
+	path := []ConceptID{c}
+	cur := c
+	for {
+		parents := n.Hypernyms(cur)
+		if len(parents) == 0 {
+			return path
+		}
+		best := parents[0]
+		for _, p := range parents[1:] {
+			if n.depth[p] < n.depth[best] {
+				best = p
+			}
+		}
+		path = append(path, best)
+		cur = best
+	}
+}
+
+// PathBetween returns the taxonomic path a → ... → LCS → ... → b that
+// explains the edge-based similarity of the pair: a's hypernym chain up to
+// the lowest common subsumer, then down b's chain. ok is false when the
+// concepts share no ancestor.
+func (n *Network) PathBetween(a, b ConceptID) ([]ConceptID, bool) {
+	lcs, ok := n.LCS(a, b)
+	if !ok {
+		return nil, false
+	}
+	up, ok := chainTo(n, a, lcs)
+	if !ok {
+		return nil, false
+	}
+	down, ok := chainTo(n, b, lcs)
+	if !ok {
+		return nil, false
+	}
+	// up already ends at lcs; append down reversed without repeating it.
+	for i := len(down) - 2; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up, true
+}
+
+// chainTo finds a hypernym chain from c up to ancestor (inclusive) via BFS,
+// returning the shortest such chain.
+func chainTo(n *Network, c, ancestor ConceptID) ([]ConceptID, bool) {
+	if c == ancestor {
+		return []ConceptID{c}, true
+	}
+	prev := map[ConceptID]ConceptID{}
+	queue := []ConceptID{c}
+	seen := map[ConceptID]bool{c: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range n.Hypernyms(cur) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			prev[p] = cur
+			if p == ancestor {
+				// Reconstruct.
+				var rev []ConceptID
+				for at := p; ; at = prev[at] {
+					rev = append(rev, at)
+					if at == c {
+						break
+					}
+				}
+				// rev is ancestor..c; reverse to c..ancestor.
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, true
+			}
+			queue = append(queue, p)
+		}
+	}
+	return nil, false
+}

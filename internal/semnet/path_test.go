@@ -1,0 +1,69 @@
+package semnet
+
+import "testing"
+
+func TestHypernymPath(t *testing.T) {
+	n := buildFigure2(t)
+	path := n.HypernymPath("actor.n.01")
+	want := []ConceptID{"actor.n.01", "person.n.01", "entity.n.01"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, path[i], want[i])
+		}
+	}
+	if got := n.HypernymPath("ghost.n.99"); got != nil {
+		t.Errorf("unknown concept path = %v", got)
+	}
+	// A root's path is itself.
+	if got := n.HypernymPath("entity.n.01"); len(got) != 1 {
+		t.Errorf("root path = %v", got)
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	n := buildFigure2(t)
+	path, ok := n.PathBetween("actor.n.01", "worker.n.01")
+	if !ok {
+		t.Fatal("no path")
+	}
+	want := []ConceptID{"actor.n.01", "person.n.01", "worker.n.01"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, path[i], want[i])
+		}
+	}
+	// Identity path.
+	if p, ok := n.PathBetween("actor.n.01", "actor.n.01"); !ok || len(p) != 1 {
+		t.Errorf("identity path = %v %v", p, ok)
+	}
+	// Ancestor-descendant path goes straight up.
+	if p, ok := n.PathBetween("actor.n.01", "entity.n.01"); !ok || len(p) != 3 {
+		t.Errorf("ancestor path = %v %v", p, ok)
+	}
+	// Disconnected concepts have no path.
+	if _, ok := n.PathBetween("hand.n.01", "actor.n.01"); ok {
+		t.Error("disconnected concepts should have no path")
+	}
+}
+
+func TestPathBetweenOnEmbeddedLexiconShapes(t *testing.T) {
+	// Path length must match the edge-count implied by Wu-Palmer depths:
+	// len(path) = (depth(a)-depth(lcs)) + (depth(b)-depth(lcs)) + 1.
+	n := buildFigure2(t)
+	a, b := ConceptID("actor.n.01"), ConceptID("object.n.01")
+	path, ok := n.PathBetween(a, b)
+	if !ok {
+		t.Fatal("no path")
+	}
+	lcs, _ := n.LCS(a, b)
+	wantLen := (n.Depth(a) - n.Depth(lcs)) + (n.Depth(b) - n.Depth(lcs)) + 1
+	if len(path) != wantLen {
+		t.Errorf("path len %d, want %d (%v)", len(path), wantLen, path)
+	}
+}

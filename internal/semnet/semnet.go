@@ -1,0 +1,277 @@
+// Package semnet implements the semantic network data model of Definition 2
+// in the XSDF paper: SN = (C, L, G, E, R, f, g) where C is a set of concept
+// nodes (synsets), L concept labels, G glosses, E edges, and R semantic
+// relation kinds. The weighted variant S̄N additionally carries concept
+// frequencies statistically quantified from a text corpus, which the
+// node-based (information content) similarity measure requires.
+//
+// The package is knowledge-base agnostic: internal/wordnet provides an
+// embedded WordNet-like instance plus a synthetic generator.
+package semnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ConceptID uniquely identifies a concept (word sense). The embedded
+// lexicon uses WordNet-style keys such as "movie.n.01".
+type ConceptID string
+
+// Relation enumerates the semantic relation kinds of R (Definition 2).
+// Synonymy is not an edge kind: synonymous words are integrated in the
+// concepts themselves as lemma sets.
+type Relation uint8
+
+const (
+	// Hypernym links a concept to a more general concept (Is-A).
+	Hypernym Relation = iota
+	// Hyponym is the inverse of Hypernym (Has-Instance / specialization).
+	Hyponym
+	// Meronym links a whole to one of its parts (Has-Part).
+	Meronym
+	// Holonym is the inverse of Meronym (Part-Of).
+	Holonym
+	// Related is a catch-all associative relation (see-also, domain).
+	Related
+	numRelations
+)
+
+// String returns the relation name.
+func (r Relation) String() string {
+	switch r {
+	case Hypernym:
+		return "hypernym"
+	case Hyponym:
+		return "hyponym"
+	case Meronym:
+		return "meronym"
+	case Holonym:
+		return "holonym"
+	case Related:
+		return "related"
+	default:
+		return fmt.Sprintf("Relation(%d)", uint8(r))
+	}
+}
+
+// Inverse returns the relation pointing the other way along the same edge.
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Hypernym:
+		return Hyponym
+	case Hyponym:
+		return Hypernym
+	case Meronym:
+		return Holonym
+	case Holonym:
+		return Meronym
+	default:
+		return Related
+	}
+}
+
+// Edge is one directed, labeled link of E.
+type Edge struct {
+	To  ConceptID
+	Rel Relation
+}
+
+// Concept is one node of C with its label set (f: C -> L, L^n) and gloss
+// (f: C -> G). Freq is the corpus occurrence count used by the weighted
+// network S̄N.
+type Concept struct {
+	ID     ConceptID
+	Lemmas []string // synonyms; Lemmas[0] is the primary label
+	Gloss  string
+	Freq   float64
+}
+
+// Label returns the concept's primary label (c.ℓ in the paper).
+func (c *Concept) Label() string {
+	if len(c.Lemmas) == 0 {
+		return string(c.ID)
+	}
+	return c.Lemmas[0]
+}
+
+// Network is an immutable semantic network built by a Builder. All lookup
+// methods are safe for concurrent use.
+type Network struct {
+	concepts map[ConceptID]*Concept
+	order    []ConceptID
+	edges    map[ConceptID][]Edge
+	byLemma  map[string][]ConceptID
+
+	maxPolysemy int
+	// Derived quantities for similarity measures.
+	depth     map[ConceptID]int // hypernym depth; roots have depth 1
+	maxDepth  int
+	cumFreq   map[ConceptID]float64 // own freq + all hyponym descendants
+	totalFreq float64
+	glossTok  map[ConceptID][]string // tokenized gloss cache
+}
+
+// Len returns |C|.
+func (n *Network) Len() int { return len(n.order) }
+
+// Concept returns the concept with the given id, or nil when unknown.
+func (n *Network) Concept(id ConceptID) *Concept { return n.concepts[id] }
+
+// Concepts returns all concept ids in deterministic (insertion) order.
+func (n *Network) Concepts() []ConceptID { return n.order }
+
+// HasLemma reports whether the word or multi-word expression names at least
+// one concept. It satisfies lingproc.Lexicon.
+func (n *Network) HasLemma(lemma string) bool {
+	_, ok := n.byLemma[strings.ToLower(lemma)]
+	return ok
+}
+
+// Senses returns the concepts whose lemma sets contain the given word or
+// expression — senses(x.ℓ) in the paper. The result is ordered by
+// decreasing concept frequency (ties keep insertion order), mirroring
+// WordNet's frequency-ordered sense lists; Senses(w)[0] is the dominant
+// sense.
+func (n *Network) Senses(lemma string) []ConceptID {
+	return n.byLemma[strings.ToLower(lemma)]
+}
+
+// PolysemyOf returns the number of senses of the lemma.
+func (n *Network) PolysemyOf(lemma string) int { return len(n.Senses(lemma)) }
+
+// MaxPolysemy returns Max(senses(SN)): the maximum number of senses any
+// single word/expression has (33 for "head" in WordNet 2.1).
+func (n *Network) MaxPolysemy() int { return n.maxPolysemy }
+
+// Edges returns the outgoing edges of id (inverse edges are materialized at
+// build time, so the adjacency is effectively undirected with typed arcs).
+func (n *Network) Edges(id ConceptID) []Edge { return n.edges[id] }
+
+// Hypernyms returns the direct hypernyms of id.
+func (n *Network) Hypernyms(id ConceptID) []ConceptID {
+	var out []ConceptID
+	for _, e := range n.edges[id] {
+		if e.Rel == Hypernym {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Depth returns the concept's hypernym depth, where root concepts (those
+// without hypernyms) have depth 1. Unknown ids yield 0.
+func (n *Network) Depth(id ConceptID) int { return n.depth[id] }
+
+// MaxDepth returns the maximum hypernym depth in the network.
+func (n *Network) MaxDepth() int { return n.maxDepth }
+
+// IC returns the information content -log p(c) of the concept under the
+// network's frequency annotation, where p(c) counts the concept and all of
+// its hyponym descendants (Resnik's convention). Concepts with zero
+// cumulative frequency get the maximum observed IC.
+func (n *Network) IC(id ConceptID) float64 {
+	cf := n.cumFreq[id]
+	if cf <= 0 || n.totalFreq <= 0 {
+		return n.maxIC()
+	}
+	return -math.Log(cf / n.totalFreq)
+}
+
+func (n *Network) maxIC() float64 {
+	if n.totalFreq <= 0 {
+		return 0
+	}
+	return -math.Log(0.5 / n.totalFreq)
+}
+
+// LCS returns the lowest common subsumer of a and b in the hypernym
+// hierarchy (the deepest shared ancestor, where a concept is an ancestor of
+// itself) and true, or "" and false when the two concepts share no ancestor.
+func (n *Network) LCS(a, b ConceptID) (ConceptID, bool) {
+	anc := n.ancestorSet(a)
+	var best ConceptID
+	bestDepth := -1
+	// BFS up from b; the first ancestor of b also in anc with maximal depth.
+	seen := map[ConceptID]struct{}{}
+	queue := []ConceptID{b}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, dup := seen[cur]; dup {
+			continue
+		}
+		seen[cur] = struct{}{}
+		if _, ok := anc[cur]; ok {
+			if d := n.depth[cur]; d > bestDepth {
+				best, bestDepth = cur, d
+			}
+		}
+		queue = append(queue, n.Hypernyms(cur)...)
+	}
+	if bestDepth < 0 {
+		return "", false
+	}
+	return best, true
+}
+
+// ancestorSet returns a and all its transitive hypernyms.
+func (n *Network) ancestorSet(a ConceptID) map[ConceptID]struct{} {
+	out := map[ConceptID]struct{}{}
+	queue := []ConceptID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, dup := out[cur]; dup {
+			continue
+		}
+		out[cur] = struct{}{}
+		queue = append(queue, n.Hypernyms(cur)...)
+	}
+	return out
+}
+
+// GlossTokens returns the tokenized, stop-word-free gloss of the concept,
+// cached at build time for the gloss-overlap measure.
+func (n *Network) GlossTokens(id ConceptID) []string { return n.glossTok[id] }
+
+// Neighborhood returns the concepts within hop distance <= radius of id
+// (over all relation kinds), mapped to their distance. The center is
+// included at distance 0. This is the semantic-network analogue of the XML
+// sphere neighborhood (§3.5.2): rings are built using the semantic
+// relations connecting concepts.
+func (n *Network) Neighborhood(id ConceptID, radius int) map[ConceptID]int {
+	out := map[ConceptID]int{id: 0}
+	frontier := []ConceptID{id}
+	for d := 1; d <= radius; d++ {
+		var next []ConceptID
+		for _, cur := range frontier {
+			for _, e := range n.edges[cur] {
+				if _, dup := out[e.To]; dup {
+					continue
+				}
+				out[e.To] = d
+				next = append(next, e.To)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Lemmas returns every distinct word/expression in the network, sorted.
+// Useful for tests and corpus generation.
+func (n *Network) Lemmas() []string {
+	out := make([]string, 0, len(n.byLemma))
+	for l := range n.byLemma {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalFreq returns the sum of all concept frequencies (the corpus size
+// proxy of the weighted network S̄N).
+func (n *Network) TotalFreq() float64 { return n.totalFreq }

@@ -1,0 +1,73 @@
+package semquery
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/wordnet"
+)
+
+// corpusIndex builds an index over the full disambiguated corpus once.
+func corpusIndex(b *testing.B) *Index {
+	b.Helper()
+	net := wordnet.Default()
+	fw, err := core.New(net, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := NewIndex(net)
+	for _, d := range corpus.Generate(42) {
+		if _, err := fw.ProcessTree(d.Tree); err != nil {
+			b.Fatal(err)
+		}
+		ix.Add(d.Name, d.Tree)
+	}
+	return ix
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	net := wordnet.Default()
+	fw, err := core.New(net, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(42)
+	for _, d := range docs {
+		if _, err := fw.ProcessTree(d.Tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIndex(net)
+		for _, d := range docs {
+			ix.Add(d.Name, d.Tree)
+		}
+	}
+}
+
+func BenchmarkSearchSyntactic(b *testing.B) {
+	ix := corpusIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchSyntactic("movie flower author", 10)
+	}
+}
+
+func BenchmarkSearchSemantic(b *testing.B) {
+	ix := corpusIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchSemantic("movie flower author", 10)
+	}
+}
+
+func BenchmarkExpandTerm(b *testing.B) {
+	ix := corpusIndex(b)
+	terms := []string{"movie", "flower", "star", "book", "state"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ExpandTerm(terms[i%len(terms)])
+	}
+}

@@ -1,0 +1,150 @@
+package semquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wordnet"
+)
+
+// buildIndex disambiguates and indexes a set of named documents.
+func buildIndex(t *testing.T, docs map[string]string) *Index {
+	t.Helper()
+	net := wordnet.Default()
+	fw, err := core.New(net, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(net)
+	for id, doc := range docs {
+		res, err := fw.ProcessReader(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		ix.Add(id, res.Tree)
+	}
+	return ix
+}
+
+var testDocs = map[string]string{
+	"hitchcock": `<films><picture><director>hitchcock</director><cast><star>kelly</star></cast><genre>mystery</genre></picture></films>`,
+	"verdi":     `<operas><opera><composer>verdi</composer></opera></operas>`,
+	"roses":     `<catalog><plant><common>rose</common><zone>5</zone><light>sun</light></plant></catalog>`,
+	"breakfast": `<breakfast_menu><food><name>waffle</name><description>berry cream</description></food></breakfast_menu>`,
+}
+
+func TestSyntacticSearchExactOnly(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	// "picture" matches the hitchcock doc literally.
+	hits := ix.SearchSyntactic("picture", 10)
+	if len(hits) != 1 || hits[0].ID != "hitchcock" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// "movie" appears in no document: syntactic search finds nothing.
+	if hits := ix.SearchSyntactic("movie", 10); len(hits) != 0 {
+		t.Fatalf("syntactic 'movie' should miss, got %+v", hits)
+	}
+}
+
+// TestSemanticSynonymy: the paper's motivation — "movie" must retrieve the
+// document tagged "picture"/"films" because they share the concept
+// picture.n.02.
+func TestSemanticSynonymy(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	hits := ix.SearchSemantic("movie", 10)
+	if len(hits) == 0 || hits[0].ID != "hitchcock" {
+		t.Fatalf("semantic 'movie' hits = %+v", hits)
+	}
+}
+
+// TestSemanticExpansionHyponym: "flower" retrieves the rose catalog via
+// the one-hop hypernym/hyponym expansion.
+func TestSemanticExpansionHyponym(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	hits := ix.SearchSemantic("flower", 10)
+	found := false
+	for _, h := range hits {
+		if h.ID == "roses" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("semantic 'flower' should reach the rose doc: %+v", hits)
+	}
+}
+
+func TestSemanticRankingPrefersDirectMatch(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	hits := ix.SearchSemantic("rose", 10)
+	if len(hits) == 0 || hits[0].ID != "roses" {
+		t.Fatalf("direct match should rank first: %+v", hits)
+	}
+}
+
+func TestUnknownQueryTerm(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	if hits := ix.SearchSemantic("zzqx", 10); len(hits) != 0 {
+		t.Fatalf("unknown term hits = %+v", hits)
+	}
+	if exp := ix.ExpandTerm("zzqx"); exp != nil {
+		t.Fatal("unknown term should expand to nil")
+	}
+}
+
+func TestStopWordsDropped(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	a := ix.SearchSemantic("the movie", 10)
+	b := ix.SearchSemantic("movie", 10)
+	if len(a) != len(b) || (len(a) > 0 && a[0].ID != b[0].ID) {
+		t.Fatal("stop words should not affect results")
+	}
+}
+
+func TestExpandTermCorpusDominantSense(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	// "star" in this corpus is indexed as the performer (star.n.02 in the
+	// hitchcock doc context); the corpus-dominant sense must win over the
+	// celestial default.
+	exp := ix.ExpandTerm("star")
+	if exp["star.n.02"] != 1 {
+		t.Fatalf("expected star.n.02 dominant, got %v", exp)
+	}
+	// Expansion carries neighbors at the decayed weight.
+	var hasExpansion bool
+	for c, w := range exp {
+		if c != "star.n.02" && w == ExpansionWeight {
+			hasExpansion = true
+		}
+	}
+	if !hasExpansion {
+		t.Error("no expanded concepts")
+	}
+}
+
+func TestTopKTruncation(t *testing.T) {
+	ix := buildIndex(t, testDocs)
+	if hits := ix.SearchSemantic("plant food movie opera", 1); len(hits) > 1 {
+		t.Fatalf("k=1 returned %d hits", len(hits))
+	}
+}
+
+func TestSplitSense(t *testing.T) {
+	got := splitSense("a.n.01+b.n.02")
+	if len(got) != 2 || got[0] != "a.n.01" || got[1] != "b.n.02" {
+		t.Fatalf("splitSense = %v", got)
+	}
+	if got := splitSense("only.n.01"); len(got) != 1 {
+		t.Fatalf("splitSense single = %v", got)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex(wordnet.Default())
+	if hits := ix.SearchSemantic("movie", 5); len(hits) != 0 {
+		t.Fatal("empty index returned hits")
+	}
+	if ix.Len() != 0 {
+		t.Fatal("empty index Len != 0")
+	}
+}

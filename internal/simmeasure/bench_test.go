@@ -1,0 +1,66 @@
+package simmeasure
+
+import (
+	"testing"
+
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+)
+
+var benchPairs = [][2]semnet.ConceptID{
+	{"actor.n.01", "star.n.02"},
+	{"cast.n.01", "picture.n.02"},
+	{"book.n.01", "author.n.01"},
+	{"state.n.01", "city.n.01"},
+	{"head.n.01", "line.n.08"},
+}
+
+func BenchmarkEdge(b *testing.B) {
+	net := wordnet.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		Edge(net, p[0], p[1])
+	}
+}
+
+func BenchmarkNodeIC(b *testing.B) {
+	net := wordnet.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		NodeIC(net, p[0], p[1])
+	}
+}
+
+func BenchmarkGloss(b *testing.B) {
+	net := wordnet.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		Gloss(net, p[0], p[1])
+	}
+}
+
+func BenchmarkCombinedCold(b *testing.B) {
+	net := wordnet.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(net, EqualWeights()) // fresh cache each iteration
+		p := benchPairs[i%len(benchPairs)]
+		m.Sim(p[0], p[1])
+	}
+}
+
+func BenchmarkCombinedCached(b *testing.B) {
+	net := wordnet.Default()
+	m := New(net, EqualWeights())
+	for _, p := range benchPairs {
+		m.Sim(p[0], p[1]) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		m.Sim(p[0], p[1])
+	}
+}

@@ -1,0 +1,240 @@
+// Package simmeasure implements the three families of semantic similarity
+// measures used by XSDF's concept-based disambiguation (Definition 9):
+//
+//   - Sim_Edge — the edge-based measure of Wu & Palmer [59];
+//   - Sim_Node — the node-based information-content measure of Lin [27],
+//     which requires the weighted network S̄N (concept frequencies);
+//   - Sim_Gloss — a normalized extension of the extended gloss overlap of
+//     Banerjee & Pedersen [6].
+//
+// The combined measure is their weighted sum with w_Edge+w_Node+w_Gloss = 1.
+package simmeasure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/semnet"
+)
+
+// Weights holds the non-negative combination weights of Definition 9.
+type Weights struct {
+	Edge  float64
+	Node  float64
+	Gloss float64
+}
+
+// EqualWeights returns the configuration used in the paper's experiments
+// (w_Edge = w_Node = w_Gloss = 1/3; footnote 12).
+func EqualWeights() Weights { return Weights{Edge: 1.0 / 3, Node: 1.0 / 3, Gloss: 1.0 / 3} }
+
+// EdgeOnly, NodeOnly, and GlossOnly are single-measure configurations used
+// by the ablation benchmarks.
+func EdgeOnly() Weights  { return Weights{Edge: 1} }
+func NodeOnly() Weights  { return Weights{Node: 1} }
+func GlossOnly() Weights { return Weights{Gloss: 1} }
+
+// Validate checks the Definition 9 constraints: weights non-negative and
+// summing to 1 (within floating-point tolerance).
+func (w Weights) Validate() error {
+	if w.Edge < 0 || w.Node < 0 || w.Gloss < 0 {
+		return fmt.Errorf("simmeasure: negative weight %+v", w)
+	}
+	if s := w.Edge + w.Node + w.Gloss; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("simmeasure: weights sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// Normalize rescales the weights to sum to 1, leaving all-zero weights as
+// the equal configuration.
+func (w Weights) Normalize() Weights {
+	s := w.Edge + w.Node + w.Gloss
+	if s <= 0 {
+		return EqualWeights()
+	}
+	return Weights{Edge: w.Edge / s, Node: w.Node / s, Gloss: w.Gloss / s}
+}
+
+// Measure evaluates combined semantic similarity between concepts of one
+// network. It caches pairwise scores, which matters because disambiguation
+// evaluates the same sense pairs many times across context nodes.
+type Measure struct {
+	net     *semnet.Network
+	weights Weights
+	cache   map[[2]semnet.ConceptID]float64
+}
+
+// New returns a Measure over net with the given (normalized) weights.
+func New(net *semnet.Network, w Weights) *Measure {
+	return &Measure{
+		net:     net,
+		weights: w.Normalize(),
+		cache:   make(map[[2]semnet.ConceptID]float64),
+	}
+}
+
+// Weights returns the active combination weights.
+func (m *Measure) Weights() Weights { return m.weights }
+
+// Sim returns the combined similarity Sim(c1, c2, S̄N) in [0, 1]
+// (Definition 9). Identical concepts score 1. Sim is symmetric.
+func (m *Measure) Sim(c1, c2 semnet.ConceptID) float64 {
+	if c1 == c2 {
+		return 1
+	}
+	key := [2]semnet.ConceptID{c1, c2}
+	if c2 < c1 {
+		key = [2]semnet.ConceptID{c2, c1}
+	}
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := m.weights.Edge*Edge(m.net, c1, c2) +
+		m.weights.Node*NodeIC(m.net, c1, c2) +
+		m.weights.Gloss*Gloss(m.net, c1, c2)
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	m.cache[key] = v
+	return v
+}
+
+// Edge is the Wu-Palmer edge-based measure:
+//
+//	Sim_Edge(c1, c2) = 2·depth(LCS) / (depth(c1) + depth(c2))
+//
+// where depth counts hypernym links from the hierarchy root (roots have
+// depth 1). Concepts without a common subsumer score 0.
+func Edge(net *semnet.Network, c1, c2 semnet.ConceptID) float64 {
+	if c1 == c2 {
+		return 1
+	}
+	lcs, ok := net.LCS(c1, c2)
+	if !ok {
+		return 0
+	}
+	d1, d2 := net.Depth(c1), net.Depth(c2)
+	if d1+d2 == 0 {
+		return 0
+	}
+	return 2 * float64(net.Depth(lcs)) / float64(d1+d2)
+}
+
+// NodeIC is Lin's node-based measure:
+//
+//	Sim_Node(c1, c2) = 2·IC(LCS) / (IC(c1) + IC(c2))
+//
+// using the cumulative-frequency information content of the weighted
+// network. Concepts without a common subsumer score 0.
+func NodeIC(net *semnet.Network, c1, c2 semnet.ConceptID) float64 {
+	if c1 == c2 {
+		return 1
+	}
+	lcs, ok := net.LCS(c1, c2)
+	if !ok {
+		return 0
+	}
+	ic1, ic2 := net.IC(c1), net.IC(c2)
+	if ic1+ic2 <= 0 {
+		return 0
+	}
+	v := 2 * net.IC(lcs) / (ic1 + ic2)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// glossSaturation controls how quickly the raw extended-gloss-overlap score
+// saturates toward 1: a single shared word scores 1/(1+K) while a shared
+// three-word phrase (9 points) already reaches 9/(9+K). Banerjee-Pedersen's
+// raw score is unbounded; this hyperbolic squashing is the "normalized
+// extension" the paper calls for, and keeps the measure comparable in
+// magnitude to the edge- and node-based measures it is combined with.
+const glossSaturation = 8.0
+
+// Gloss is a normalized extended gloss overlap: the glosses of each concept
+// are expanded with the glosses of its directly related concepts, maximal
+// shared phrases are scored quadratically (a phrase of n consecutive shared
+// words scores n²), and the raw score is squashed into [0, 1) by
+// raw/(raw+K).
+func Gloss(net *semnet.Network, c1, c2 semnet.ConceptID) float64 {
+	if c1 == c2 {
+		return 1
+	}
+	g1 := expandedGloss(net, c1)
+	g2 := expandedGloss(net, c2)
+	if len(g1) == 0 || len(g2) == 0 {
+		return 0
+	}
+	raw := phraseOverlap(g1, g2)
+	return raw / (raw + glossSaturation)
+}
+
+// expandedGloss concatenates the concept's own gloss tokens with those of
+// its direct neighbors over all relation kinds (the "extended" part of the
+// Banerjee-Pedersen measure).
+func expandedGloss(net *semnet.Network, c semnet.ConceptID) []string {
+	own := net.GlossTokens(c)
+	out := make([]string, 0, len(own)*3)
+	out = append(out, own...)
+	for _, e := range net.Edges(c) {
+		out = append(out, net.GlossTokens(e.To)...)
+	}
+	return out
+}
+
+// phraseOverlap computes the extended-gloss-overlap raw score: repeatedly
+// find the longest common consecutive word sequence between a and b, add
+// its squared length, remove it from consideration, until no overlap of
+// length >= 1 remains. A dynamic-programming pass finds the longest common
+// substring of tokens.
+func phraseOverlap(a, b []string) float64 {
+	// Work on copies with removable positions marked by "".
+	ac := append([]string(nil), a...)
+	bc := append([]string(nil), b...)
+	var score float64
+	for {
+		ai, bi, l := longestCommonRun(ac, bc)
+		if l == 0 {
+			return score
+		}
+		score += float64(l * l)
+		for k := 0; k < l; k++ {
+			ac[ai+k] = "\x00a" // sentinel: never matches
+			bc[bi+k] = "\x00b"
+		}
+	}
+}
+
+// longestCommonRun returns the start indexes and length of the longest
+// common consecutive run of equal tokens in a and b (0 when none).
+func longestCommonRun(a, b []string) (ai, bi, l int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > l {
+					l = cur[j]
+					ai = i - l
+					bi = j - l
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, l
+}

@@ -1,0 +1,208 @@
+package simmeasure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+)
+
+func testNet(t *testing.T) *semnet.Network {
+	t.Helper()
+	b := semnet.NewBuilder()
+	b.AddConcept("entity.n.01", "that which exists", 100, "entity")
+	b.AddConcept("person.n.01", "a human being regarded as an individual", 60, "person")
+	b.AddConcept("object.n.01", "a tangible and visible thing", 50, "object")
+	b.AddConcept("performer.n.01", "an entertainer who performs for an audience", 20, "performer")
+	b.AddConcept("actor.n.01", "a performer who acts in a play or film", 10, "actor")
+	b.AddConcept("star.n.02", "an actor who plays a principal role in a play or film", 8, "star")
+	b.AddConcept("rock.n.01", "a lump of hard consolidated mineral matter", 12, "rock", "stone")
+	b.IsA("person.n.01", "entity.n.01")
+	b.IsA("object.n.01", "entity.n.01")
+	b.IsA("performer.n.01", "person.n.01")
+	b.IsA("actor.n.01", "performer.n.01")
+	b.IsA("star.n.02", "performer.n.01")
+	b.IsA("rock.n.01", "object.n.01")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEdgeWuPalmer(t *testing.T) {
+	n := testNet(t)
+	// actor (depth 4) and star (depth 4) share performer (depth 3):
+	// 2*3/(4+4) = 0.75.
+	if got := Edge(n, "actor.n.01", "star.n.02"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Edge(actor, star) = %.4f, want 0.75", got)
+	}
+	// actor vs rock: LCS entity (depth 1), depths 4 and 3: 2/(4+3).
+	if got := Edge(n, "actor.n.01", "rock.n.01"); math.Abs(got-2.0/7) > 1e-9 {
+		t.Errorf("Edge(actor, rock) = %.4f, want %.4f", got, 2.0/7)
+	}
+	if got := Edge(n, "actor.n.01", "actor.n.01"); got != 1 {
+		t.Errorf("Edge(x, x) = %f", got)
+	}
+}
+
+func TestNodeICLin(t *testing.T) {
+	n := testNet(t)
+	sibling := NodeIC(n, "actor.n.01", "star.n.02")
+	distant := NodeIC(n, "actor.n.01", "rock.n.01")
+	if !(sibling > distant) {
+		t.Errorf("Lin: sibling %.4f should exceed distant %.4f", sibling, distant)
+	}
+	if sibling <= 0 || sibling > 1 {
+		t.Errorf("Lin out of range: %f", sibling)
+	}
+	if got := NodeIC(n, "star.n.02", "star.n.02"); got != 1 {
+		t.Errorf("Lin(x, x) = %f", got)
+	}
+}
+
+func TestGlossOverlap(t *testing.T) {
+	n := testNet(t)
+	// actor's and star's glosses share the phrase "in a play or film".
+	related := Gloss(n, "actor.n.01", "star.n.02")
+	unrelated := Gloss(n, "actor.n.01", "rock.n.01")
+	if !(related > unrelated) {
+		t.Errorf("gloss: related %.4f should exceed unrelated %.4f", related, unrelated)
+	}
+	if related <= 0 || related >= 1 {
+		t.Errorf("gloss out of range: %f", related)
+	}
+	if got := Gloss(n, "rock.n.01", "rock.n.01"); got != 1 {
+		t.Errorf("Gloss(x, x) = %f", got)
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	if err := EqualWeights().Validate(); err != nil {
+		t.Errorf("EqualWeights invalid: %v", err)
+	}
+	if err := (Weights{Edge: 0.5, Node: 0.5, Gloss: 0.5}).Validate(); err == nil {
+		t.Error("sum > 1 should fail")
+	}
+	if err := (Weights{Edge: -1, Node: 2}).Validate(); err == nil {
+		t.Error("negative weight should fail")
+	}
+	for _, w := range []Weights{EdgeOnly(), NodeOnly(), GlossOnly()} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%+v invalid: %v", w, err)
+		}
+	}
+}
+
+func TestWeightsNormalize(t *testing.T) {
+	w := Weights{Edge: 2, Node: 1, Gloss: 1}.Normalize()
+	if math.Abs(w.Edge-0.5) > 1e-9 || math.Abs(w.Node-0.25) > 1e-9 {
+		t.Errorf("Normalize = %+v", w)
+	}
+	if got := (Weights{}).Normalize(); got != EqualWeights() {
+		t.Errorf("zero weights should normalize to equal, got %+v", got)
+	}
+}
+
+func TestMeasureCombinationAndCache(t *testing.T) {
+	n := testNet(t)
+	m := New(n, EqualWeights())
+	s1 := m.Sim("actor.n.01", "star.n.02")
+	s2 := m.Sim("star.n.02", "actor.n.01") // symmetric, cached
+	if s1 != s2 {
+		t.Errorf("Sim not symmetric: %f vs %f", s1, s2)
+	}
+	want := (Edge(n, "actor.n.01", "star.n.02") +
+		NodeIC(n, "actor.n.01", "star.n.02") +
+		Gloss(n, "actor.n.01", "star.n.02")) / 3
+	if math.Abs(s1-want) > 1e-9 {
+		t.Errorf("combined = %f, want %f", s1, want)
+	}
+	if m.Sim("actor.n.01", "actor.n.01") != 1 {
+		t.Error("Sim(x,x) != 1")
+	}
+}
+
+func TestMeasureSingleComponents(t *testing.T) {
+	n := testNet(t)
+	if got := New(n, EdgeOnly()).Sim("actor.n.01", "star.n.02"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("edge-only Sim = %f", got)
+	}
+	gOnly := New(n, GlossOnly()).Sim("actor.n.01", "star.n.02")
+	if math.Abs(gOnly-Gloss(n, "actor.n.01", "star.n.02")) > 1e-9 {
+		t.Errorf("gloss-only Sim = %f", gOnly)
+	}
+}
+
+func TestLongestCommonRun(t *testing.T) {
+	a := []string{"x", "play", "or", "film", "y"}
+	b := []string{"play", "or", "film"}
+	ai, bi, l := longestCommonRun(a, b)
+	if l != 3 || ai != 1 || bi != 0 {
+		t.Errorf("longestCommonRun = (%d, %d, %d)", ai, bi, l)
+	}
+	if _, _, l := longestCommonRun(nil, b); l != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestPhraseOverlapQuadratic(t *testing.T) {
+	// One 2-run scores 4; two isolated words score 2.
+	if got := phraseOverlap([]string{"a", "b"}, []string{"a", "b"}); got != 4 {
+		t.Errorf("run of 2 = %f, want 4", got)
+	}
+	if got := phraseOverlap([]string{"a", "x", "b"}, []string{"a", "y", "b"}); got != 2 {
+		t.Errorf("two singles = %f, want 2", got)
+	}
+	if got := phraseOverlap([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint = %f, want 0", got)
+	}
+}
+
+// TestAllMeasuresInRangeOnRealLexicon sweeps the embedded lexicon: every
+// pairwise similarity over a sample must be in [0, 1] and symmetric.
+func TestAllMeasuresInRangeOnRealLexicon(t *testing.T) {
+	net := wordnet.Default()
+	ids := net.Concepts()
+	sample := ids
+	if len(sample) > 60 {
+		sample = sample[:60]
+	}
+	m := New(net, EqualWeights())
+	for _, a := range sample {
+		for _, b := range sample {
+			v := m.Sim(a, b)
+			if v < 0 || v > 1 {
+				t.Fatalf("Sim(%s, %s) = %f out of range", a, b, v)
+			}
+			if v != m.Sim(b, a) {
+				t.Fatalf("Sim(%s, %s) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+// TestSimPropertyRandomPairs: on the synthetic generator, all measures stay
+// in range and self-similarity is maximal.
+func TestSimPropertyRandomPairs(t *testing.T) {
+	net, err := wordnet.Generate(wordnet.GenerateConfig{Seed: 7, Concepts: 120, Lemmas: 40, MaxBranch: 5, PartEvery: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := net.Concepts()
+	f := func(i, j uint16) bool {
+		a := ids[int(i)%len(ids)]
+		b := ids[int(j)%len(ids)]
+		for _, v := range []float64{Edge(net, a, b), NodeIC(net, a, b), Gloss(net, a, b)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return Edge(net, a, a) == 1 && NodeIC(net, a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

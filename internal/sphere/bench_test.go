@@ -1,0 +1,89 @@
+package sphere
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// benchTree builds a balanced tree with the given fan-out and depth.
+func benchTree(fanout, depth int) *xmltree.Tree {
+	var build func(level int) *xmltree.Node
+	id := 0
+	build = func(level int) *xmltree.Node {
+		n := &xmltree.Node{Label: fmt.Sprintf("l%d", id%17), Kind: xmltree.Element}
+		id++
+		if level < depth {
+			for i := 0; i < fanout; i++ {
+				n.AddChild(build(level + 1))
+			}
+		}
+		return n
+	}
+	return xmltree.New(build(0))
+}
+
+func BenchmarkSphereRadius(b *testing.B) {
+	tr := benchTree(4, 6) // ~5.4k nodes
+	center := tr.Node(tr.Len() / 2)
+	for _, d := range []int{1, 2, 3, 5} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(Sphere(center, d)) == 0 {
+					b.Fatal("empty sphere")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkContextVector(b *testing.B) {
+	tr := benchTree(4, 6)
+	center := tr.Node(tr.Len() / 2)
+	for _, d := range []int{1, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(ContextVector(center, d)) == 0 {
+					b.Fatal("empty vector")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWeightedSphere(b *testing.B) {
+	tr := benchTree(4, 6)
+	center := tr.Node(tr.Len() / 2)
+	w := EdgeWeights{Up: 1.5, Down: 0.75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(WeightedSphere(center, 3, w)) == 0 {
+			b.Fatal("empty sphere")
+		}
+	}
+}
+
+func BenchmarkConceptVector(b *testing.B) {
+	net := wordnet.Default()
+	for _, d := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(ConceptVector(net, "cast.n.01", d)) == 0 {
+					b.Fatal("empty vector")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	tr := benchTree(4, 6)
+	a := ContextVector(tr.Node(3), 3)
+	c := ContextVector(tr.Node(tr.Len()/2), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(a, c)
+	}
+}

@@ -1,0 +1,105 @@
+package sphere
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// EdgeWeights parameterizes the alternative tree-node distance functions
+// the paper lists as future work (§5): per-direction edge weights let the
+// sphere expand asymmetrically toward ancestors vs. descendants (the
+// direction-sensitive contexts of Mandreoli et al.'s VSD use the same
+// idea).
+type EdgeWeights struct {
+	// Up is the cost of crossing an edge toward the parent.
+	Up float64
+	// Down is the cost of crossing an edge toward a child.
+	Down float64
+}
+
+// UnitWeights is the classic edge-count distance (Up = Down = 1).
+func UnitWeights() EdgeWeights { return EdgeWeights{Up: 1, Down: 1} }
+
+// WeightedMember is a sphere member under a weighted distance.
+type WeightedMember struct {
+	Node *xmltree.Node
+	Dist float64
+}
+
+type wmHeap []WeightedMember
+
+func (h wmHeap) Len() int            { return len(h) }
+func (h wmHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
+func (h wmHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wmHeap) Push(x interface{}) { *h = append(*h, x.(WeightedMember)) }
+func (h *wmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedSphere returns all nodes whose weighted distance from x is at most
+// radius, computed with Dijkstra's algorithm over the tree adjacency using
+// the given per-direction edge weights. The center is included at distance
+// 0. Results are ordered by distance, then preorder index.
+func WeightedSphere(x *xmltree.Node, radius float64, w EdgeWeights) []WeightedMember {
+	dist := map[*xmltree.Node]float64{x: 0}
+	h := &wmHeap{{Node: x, Dist: 0}}
+	var members []WeightedMember
+	done := map[*xmltree.Node]bool{}
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(WeightedMember)
+		if done[cur.Node] {
+			continue
+		}
+		done[cur.Node] = true
+		members = append(members, cur)
+		relax := func(nb *xmltree.Node, cost float64) {
+			nd := cur.Dist + cost
+			if nd > radius {
+				return
+			}
+			if old, seen := dist[nb]; !seen || nd < old {
+				dist[nb] = nd
+				heap.Push(h, WeightedMember{Node: nb, Dist: nd})
+			}
+		}
+		if cur.Node.Parent != nil {
+			relax(cur.Node.Parent, w.Up)
+		}
+		for _, c := range cur.Node.Children {
+			relax(c, w.Down)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Dist != members[j].Dist {
+			return members[i].Dist < members[j].Dist
+		}
+		return members[i].Node.Index < members[j].Node.Index
+	})
+	return members
+}
+
+// WeightedContextVector builds a context vector from a weighted sphere,
+// generalizing Definitions 6–7: structural proximity becomes
+// 1 - dist/(radius+1), keeping the farthest members at non-null weight.
+func WeightedContextVector(x *xmltree.Node, radius float64, w EdgeWeights) Vector {
+	members := WeightedSphere(x, radius, w)
+	freq := make(Vector, len(members))
+	for _, m := range members {
+		if m.Node.Label == "" {
+			continue
+		}
+		freq[m.Node.Label] += 1 - m.Dist/(radius+1)
+	}
+	norm := float64(len(members) + 1)
+	v := make(Vector, len(freq))
+	for l, f := range freq {
+		v[l] = 2 * f / norm
+	}
+	return v
+}

@@ -1,0 +1,79 @@
+package sphere
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestWeightedSphereUnitEqualsSphere(t *testing.T) {
+	_, cast := figure6(t)
+	unit := WeightedSphere(cast, 2, UnitWeights())
+	plain := Sphere(cast, 2)
+	if len(unit) != len(plain) {
+		t.Fatalf("unit-weight sphere size %d != %d", len(unit), len(plain))
+	}
+	for i := range unit {
+		if unit[i].Node != plain[i].Node || unit[i].Dist != float64(plain[i].Dist) {
+			t.Errorf("member %d differs: %v vs %v", i, unit[i], plain[i])
+		}
+	}
+}
+
+func TestWeightedSphereDirectional(t *testing.T) {
+	_, cast := figure6(t)
+	// Cheap downward edges, expensive upward: radius 1.0 reaches both
+	// children levels but not the parent.
+	members := WeightedSphere(cast, 1.0, EdgeWeights{Up: 2, Down: 0.5})
+	labels := map[string]bool{}
+	for _, m := range members {
+		labels[m.Node.Label] = true
+	}
+	if !labels["star"] || !labels["stewart"] || !labels["kelly"] {
+		t.Errorf("descendants missing: %v", labels)
+	}
+	if labels["picture"] {
+		t.Error("expensive upward edge crossed")
+	}
+}
+
+func TestWeightedSphereCenterOnly(t *testing.T) {
+	_, cast := figure6(t)
+	members := WeightedSphere(cast, 0.4, EdgeWeights{Up: 1, Down: 1})
+	if len(members) != 1 || members[0].Node != cast {
+		t.Errorf("radius < min edge weight should yield only the center: %v", members)
+	}
+}
+
+func TestWeightedContextVector(t *testing.T) {
+	_, cast := figure6(t)
+	v := WeightedContextVector(cast, 2, UnitWeights())
+	plain := ContextVector(cast, 2)
+	if len(v) != len(plain) {
+		t.Fatalf("dims differ: %v vs %v", v, plain)
+	}
+	for l, w := range plain {
+		if diff := v[l] - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("weight[%s] = %f, want %f", l, v[l], w)
+		}
+	}
+}
+
+func TestWeightedSphereDeterministic(t *testing.T) {
+	doc := `<a><b><c/><d/></b><e><f/></e></a>`
+	tr, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tr.Node(1)
+	a := WeightedSphere(x, 3, EdgeWeights{Up: 1.5, Down: 0.5})
+	b := WeightedSphere(x, 3, EdgeWeights{Up: 1.5, Down: 0.5})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sphere
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func linkedTree(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	doc := `<root><anchor id="a"><inner/></anchor><far><ref idref="a"/></far></root>`
+	tr, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ResolveLinks(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		n.Label = n.Raw
+	}
+	return tr
+}
+
+func findNode(t *testing.T, tr *xmltree.Tree, label string) *xmltree.Node {
+	t.Helper()
+	for _, n := range tr.Nodes() {
+		if n.Label == label {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", label)
+	return nil
+}
+
+func TestGraphSphereCrossesLinks(t *testing.T) {
+	tr := linkedTree(t)
+	ref := findNode(t, tr, "ref")
+	// Tree sphere at d=1: parent "far" + attribute child only.
+	plain := Sphere(ref, 1)
+	for _, m := range plain {
+		if m.Node.Label == "anchor" {
+			t.Fatal("tree sphere must not cross links")
+		}
+	}
+	// Graph sphere at d=1 reaches the anchor through the hyperlink.
+	graph := GraphSphere(ref, 1)
+	found := false
+	for _, m := range graph {
+		if m.Node.Label == "anchor" && m.Dist == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("graph sphere missed the linked anchor: %v", graph)
+	}
+}
+
+func TestGraphSphereEqualsSphereWithoutLinks(t *testing.T) {
+	_, cast := figure6(t)
+	a := Sphere(cast, 2)
+	b := GraphSphere(cast, 2)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("graph sphere differs on link-free tree")
+		}
+	}
+}
+
+func TestGraphContextVectorIncludesLinkedLabels(t *testing.T) {
+	tr := linkedTree(t)
+	ref := findNode(t, tr, "ref")
+	v := GraphContextVector(ref, 2)
+	if v["anchor"] <= 0 || v["inner"] <= 0 {
+		t.Errorf("linked labels missing from vector: %v", v)
+	}
+	plain := ContextVector(ref, 2)
+	if _, ok := plain["inner"]; ok {
+		t.Error("tree vector should not see across the link")
+	}
+}

@@ -1,0 +1,192 @@
+// Package sphere implements the sphere neighborhood context model of §3.4:
+// XML rings and spheres (Definitions 4–5), weighted context vectors
+// (Definitions 6–7), and their semantic-network analogues used by
+// context-based disambiguation (§3.5.2).
+//
+// Convention: following the paper's worked example (Figure 7, vector
+// V1(T[2])), the sphere S_d(x) includes its center x at distance 0; the
+// center's label therefore appears as a vector dimension with maximal
+// structural proximity. (The paper's V2(T[2]) numbers use |S|+1 = 8, an
+// off-by-one inconsistent with V1; we follow the V1 arithmetic, which also
+// keeps weights in [0,1]. See EXPERIMENTS.md.)
+package sphere
+
+import (
+	"sort"
+
+	"repro/internal/semnet"
+	"repro/internal/xmltree"
+)
+
+// Member is one node of a sphere neighborhood together with its distance
+// from the center.
+type Member struct {
+	Node *xmltree.Node
+	Dist int
+}
+
+// Ring returns R_d(x): the nodes located exactly at distance d from x
+// (Definition 4), in preorder.
+func Ring(x *xmltree.Node, d int) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, m := range Sphere(x, d) {
+		if m.Dist == d {
+			out = append(out, m.Node)
+		}
+	}
+	return out
+}
+
+// Sphere returns S_d(x): all nodes within distance d of x, center included
+// at distance 0 (Definition 5). Members are ordered by distance, then
+// preorder index, making iteration deterministic.
+func Sphere(x *xmltree.Node, d int) []Member {
+	dist := map[*xmltree.Node]int{x: 0}
+	frontier := []*xmltree.Node{x}
+	members := []Member{{Node: x, Dist: 0}}
+	for depth := 1; depth <= d; depth++ {
+		var next []*xmltree.Node
+		for _, cur := range frontier {
+			var adj []*xmltree.Node
+			if cur.Parent != nil {
+				adj = append(adj, cur.Parent)
+			}
+			adj = append(adj, cur.Children...)
+			for _, nb := range adj {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				dist[nb] = depth
+				members = append(members, Member{Node: nb, Dist: depth})
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Dist != members[j].Dist {
+			return members[i].Dist < members[j].Dist
+		}
+		return members[i].Node.Index < members[j].Node.Index
+	})
+	return members
+}
+
+// Vector is a sparse context vector: dimension label -> weight.
+type Vector map[string]float64
+
+// Struct returns the structural proximity factor of Definition 7 (Eq. 7):
+//
+//	Struct(x_i, S_d(x)) = 1 - Dist(x, x_i)/(d+1)  ∈ [1/(d+1), 1]
+func Struct(dist, d int) float64 {
+	return 1 - float64(dist)/float64(d+1)
+}
+
+// ContextVector builds V_d(x), the weighted context vector of target node x
+// with sphere radius d (Definitions 6–7). Dimensions are the distinct node
+// labels in S_d(x); the weight of label ℓ is
+//
+//	w(ℓ) = 2·Freq(ℓ, S_d(x)) / (|S_d(x)| + 1)
+//
+// with Freq the structural-proximity-weighted occurrence count (Eq. 6).
+func ContextVector(x *xmltree.Node, d int) Vector {
+	members := Sphere(x, d)
+	return vectorFromMembers(members, d)
+}
+
+func vectorFromMembers(members []Member, d int) Vector {
+	freq := make(Vector, len(members))
+	for _, m := range members {
+		if m.Node.Label == "" {
+			continue
+		}
+		freq[m.Node.Label] += Struct(m.Dist, d)
+	}
+	norm := float64(len(members) + 1)
+	v := make(Vector, len(freq))
+	for l, f := range freq {
+		v[l] = 2 * f / norm
+	}
+	return v
+}
+
+// ConceptSphereMember is one concept of a semantic-network sphere with its
+// hop distance from the center concept.
+type ConceptSphereMember struct {
+	ID   semnet.ConceptID
+	Dist int
+}
+
+// ConceptSphere returns the sphere neighborhood S_d(c) of a concept in the
+// semantic network: rings are built using the semantic relations connecting
+// concepts (hypernyms, hyponyms, meronyms, holonyms, ...), in contrast with
+// the XML structural containment relations (§3.5.2).
+func ConceptSphere(net *semnet.Network, c semnet.ConceptID, d int) []ConceptSphereMember {
+	nb := net.Neighborhood(c, d)
+	out := make([]ConceptSphereMember, 0, len(nb))
+	for id, dist := range nb {
+		out = append(out, ConceptSphereMember{ID: id, Dist: dist})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ConceptVector builds V_d(s): the context vector of a concept (sense) in
+// the semantic network, using the same weight formula as ContextVector with
+// concept primary labels as dimensions.
+func ConceptVector(net *semnet.Network, c semnet.ConceptID, d int) Vector {
+	members := ConceptSphere(net, c, d)
+	freq := make(Vector, len(members))
+	for _, m := range members {
+		cn := net.Concept(m.ID)
+		if cn == nil {
+			continue
+		}
+		freq[cn.Label()] += Struct(m.Dist, d)
+	}
+	norm := float64(len(members) + 1)
+	v := make(Vector, len(freq))
+	for l, f := range freq {
+		v[l] = 2 * f / norm
+	}
+	return v
+}
+
+// CombinedConceptVector builds V_d(s_p, s_q) for the compound-label special
+// case (Eq. 12): the sphere neighborhoods of the individual senses are
+// unioned (keeping the smaller distance on overlap) before vector
+// construction.
+func CombinedConceptVector(net *semnet.Network, p, q semnet.ConceptID, d int) Vector {
+	union := net.Neighborhood(p, d)
+	for id, dist := range net.Neighborhood(q, d) {
+		if cur, ok := union[id]; !ok || dist < cur {
+			union[id] = dist
+		}
+	}
+	// Accumulate in sorted order: float addition is not associative, and
+	// weight construction must be bit-for-bit deterministic.
+	ids := make([]semnet.ConceptID, 0, len(union))
+	for id := range union {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	freq := make(Vector, len(union))
+	for _, id := range ids {
+		cn := net.Concept(id)
+		if cn == nil {
+			continue
+		}
+		freq[cn.Label()] += Struct(union[id], d)
+	}
+	norm := float64(len(union) + 1)
+	v := make(Vector, len(freq))
+	for l, f := range freq {
+		v[l] = 2 * f / norm
+	}
+	return v
+}

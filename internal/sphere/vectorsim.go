@@ -1,0 +1,100 @@
+package sphere
+
+import (
+	"math"
+	"sort"
+)
+
+// VectorSim is a similarity function over sparse context vectors, returning
+// values in [0, 1]. Cosine is the paper's default (footnote 10); Jaccard
+// and Pearson are the alternatives it mentions.
+//
+// All three accumulate in sorted dimension order: floating-point addition
+// is not associative, and Go's map iteration order is randomized, so naive
+// accumulation would make scores differ across calls in the last bits —
+// enough to flip exact ties and break the library's determinism guarantee.
+type VectorSim func(a, b Vector) float64
+
+// sortedDims returns the union of dimensions in sorted order.
+func sortedDims(a, b Vector) []string {
+	dims := make([]string, 0, len(a)+len(b))
+	for l := range a {
+		dims = append(dims, l)
+	}
+	for l := range b {
+		if _, ok := a[l]; !ok {
+			dims = append(dims, l)
+		}
+	}
+	sort.Strings(dims)
+	return dims
+}
+
+// Cosine returns the cosine similarity of a and b, 0 when either is empty.
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for _, l := range sortedDims(a, b) {
+		wa, wb := a[l], b[l]
+		dot += wa * wb
+		na += wa * wa
+		nb += wb * wb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	v := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if v > 1 { // guard against rounding
+		return 1
+	}
+	return v
+}
+
+// Jaccard returns the weighted (Ruzicka) Jaccard similarity:
+// sum(min)/sum(max) over the union of dimensions.
+func Jaccard(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var num, den float64
+	for _, l := range sortedDims(a, b) {
+		wa, wb := a[l], b[l]
+		num += math.Min(wa, wb)
+		den += math.Max(wa, wb)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pearson maps the Pearson correlation coefficient of the two vectors over
+// their union of dimensions onto [0, 1] via (r+1)/2, so it is usable as a
+// similarity. Degenerate (zero-variance) inputs score 0.
+func Pearson(a, b Vector) float64 {
+	dims := sortedDims(a, b)
+	n := float64(len(dims))
+	if n < 2 {
+		return 0
+	}
+	var sa, sb float64
+	for _, l := range dims {
+		sa += a[l]
+		sb += b[l]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for _, l := range dims {
+		da, db := a[l]-ma, b[l]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	r := cov / math.Sqrt(va*vb)
+	return (r + 1) / 2
+}

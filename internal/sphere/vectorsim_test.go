@@ -1,0 +1,96 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineBasics(t *testing.T) {
+	a := Vector{"x": 1, "y": 0}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Cosine(a, a) = %f", got)
+	}
+	b := Vector{"z": 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal Cosine = %f", got)
+	}
+	if got := Cosine(a, nil); got != 0 {
+		t.Errorf("Cosine with empty = %f", got)
+	}
+	// Scale invariance.
+	c := Vector{"x": 0.5, "y": 0.25}
+	c2 := Vector{"x": 1, "y": 0.5}
+	if math.Abs(Cosine(a, c)-Cosine(a, c2)) > 1e-9 {
+		t.Error("Cosine not scale invariant")
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := Vector{"x": 1, "y": 2}
+	if got := Jaccard(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Jaccard(a, a) = %f", got)
+	}
+	if got := Jaccard(a, Vector{"z": 1}); got != 0 {
+		t.Errorf("disjoint Jaccard = %f", got)
+	}
+	// Partial overlap: min-sum/max-sum = 1/(1+2+1) with b = {x:1, z:1}.
+	b := Vector{"x": 1, "z": 1}
+	want := 1.0 / 4
+	if got := Jaccard(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Jaccard = %f, want %f", got, want)
+	}
+}
+
+func TestPearsonBasics(t *testing.T) {
+	a := Vector{"x": 1, "y": 2, "z": 3}
+	if got := Pearson(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Pearson(a, a) = %f", got)
+	}
+	// Anti-correlated vectors map toward 0 under (r+1)/2.
+	b := Vector{"x": 3, "y": 2, "z": 1}
+	if got := Pearson(a, b); got > 0.01 {
+		t.Errorf("anti-correlated Pearson = %f, want ~0", got)
+	}
+	// Degenerate inputs.
+	if got := Pearson(Vector{"x": 1}, Vector{"x": 2}); got != 0 {
+		t.Errorf("single-dim Pearson = %f", got)
+	}
+}
+
+// TestVectorSimsRange: all three similarities stay in [0, 1] and are
+// symmetric on arbitrary sparse vectors.
+func TestVectorSimsRange(t *testing.T) {
+	mk := func(ws []float64) Vector {
+		v := Vector{}
+		for i, w := range ws {
+			if i >= 6 {
+				break
+			}
+			if w < 0 {
+				w = -w
+			}
+			w = math.Mod(w, 10)
+			if w > 0 {
+				v[string(rune('a'+i))] = w
+			}
+		}
+		return v
+	}
+	f := func(aw, bw []float64) bool {
+		a, b := mk(aw), mk(bw)
+		for _, sim := range []VectorSim{Cosine, Jaccard, Pearson} {
+			v := sim(a, b)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			if math.Abs(v-sim(b, a)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package tuning implements the parameter-optimization capability the
+// paper defers to future work (§3.3: "the fine-tuning of parameters is an
+// optimization problem such that parameters should be chosen to maximize
+// disambiguation quality (through some cost function such as f-measure)";
+// §5 lists it among the works in progress).
+//
+// Two optimizers are provided over the disambiguation parameter space
+// (sphere radius, process, similarity-measure weights, process-mix
+// weights): exhaustive grid search, and greedy coordinate descent for
+// larger spaces. Both treat the objective as a black box — typically
+// f-value on a held-out annotated validation set, which Evaluator builds
+// from corpus documents.
+package tuning
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/disambig"
+	"repro/internal/eval"
+	"repro/internal/semnet"
+	"repro/internal/simmeasure"
+	"repro/internal/xmltree"
+)
+
+// Objective scores one configuration; higher is better.
+type Objective func(opts disambig.Options) float64
+
+// Space enumerates the candidate values per axis of the search grid.
+// Empty axes keep the corresponding field of the seed configuration.
+type Space struct {
+	Radii      []int
+	Methods    []disambig.Method
+	SimWeights []simmeasure.Weights
+	// ConceptWeights are w_Concept values for the Combined process
+	// (w_Context = 1 - w_Concept).
+	ConceptWeights []float64
+}
+
+// DefaultSpace covers the grid of the paper's §4.3.1 sweep plus weight
+// variations.
+func DefaultSpace() Space {
+	return Space{
+		Radii:   []int{1, 2, 3},
+		Methods: []disambig.Method{disambig.ConceptBased, disambig.ContextBased, disambig.Combined},
+		SimWeights: []simmeasure.Weights{
+			simmeasure.EqualWeights(),
+			simmeasure.EdgeOnly(),
+			simmeasure.NodeOnly(),
+			simmeasure.GlossOnly(),
+			{Edge: 0.5, Node: 0.25, Gloss: 0.25},
+			{Edge: 0.25, Node: 0.25, Gloss: 0.5},
+		},
+		ConceptWeights: []float64{0.25, 0.5, 0.75},
+	}
+}
+
+// Result reports the best configuration an optimizer found.
+type Result struct {
+	Options   disambig.Options
+	Score     float64
+	Evaluated int
+}
+
+// GridSearch exhaustively evaluates the space around the seed
+// configuration and returns the best result. Deterministic: ties keep the
+// first-found configuration in grid order.
+func GridSearch(seed disambig.Options, space Space, objective Objective) Result {
+	radii := space.Radii
+	if len(radii) == 0 {
+		radii = []int{seed.Radius}
+	}
+	methods := space.Methods
+	if len(methods) == 0 {
+		methods = []disambig.Method{seed.Method}
+	}
+	sims := space.SimWeights
+	if len(sims) == 0 {
+		sims = []simmeasure.Weights{seed.SimWeights}
+	}
+	mixes := space.ConceptWeights
+	if len(mixes) == 0 {
+		mixes = []float64{seed.ConceptWeight}
+	}
+
+	best := Result{Score: math.Inf(-1)}
+	for _, m := range methods {
+		for _, r := range radii {
+			for _, sw := range sims {
+				// The mix axis only matters for the Combined process;
+				// evaluate it once otherwise.
+				effMixes := mixes
+				if m != disambig.Combined {
+					effMixes = mixes[:1]
+				}
+				for _, cw := range effMixes {
+					opts := seed
+					opts.Radius = r
+					opts.Method = m
+					opts.SimWeights = sw
+					opts.ConceptWeight = cw
+					opts.ContextWeight = 1 - cw
+					score := objective(opts)
+					best.Evaluated++
+					if score > best.Score {
+						best.Score = score
+						best.Options = opts
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// CoordinateDescent starts from seed and greedily improves one axis at a
+// time until a full pass yields no improvement or maxPasses is reached.
+// For spaces where the full grid is too expensive, it evaluates
+// O(passes · Σ axis sizes) configurations instead of the product.
+func CoordinateDescent(seed disambig.Options, space Space, objective Objective, maxPasses int) Result {
+	if maxPasses <= 0 {
+		maxPasses = 4
+	}
+	cur := seed
+	curScore := objective(cur)
+	evaluated := 1
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		tryCandidate := func(opts disambig.Options) {
+			score := objective(opts)
+			evaluated++
+			if score > curScore {
+				curScore = score
+				cur = opts
+				improved = true
+			}
+		}
+		for _, m := range space.Methods {
+			if m == cur.Method {
+				continue
+			}
+			o := cur
+			o.Method = m
+			tryCandidate(o)
+		}
+		for _, r := range space.Radii {
+			if r == cur.Radius {
+				continue
+			}
+			o := cur
+			o.Radius = r
+			tryCandidate(o)
+		}
+		for _, sw := range space.SimWeights {
+			if sw == cur.SimWeights {
+				continue
+			}
+			o := cur
+			o.SimWeights = sw
+			tryCandidate(o)
+		}
+		if cur.Method == disambig.Combined {
+			for _, cw := range space.ConceptWeights {
+				if cw == cur.ConceptWeight {
+					continue
+				}
+				o := cur
+				o.ConceptWeight = cw
+				o.ContextWeight = 1 - cw
+				tryCandidate(o)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{Options: cur, Score: curScore, Evaluated: evaluated}
+}
+
+// Evaluator builds f-measure objectives from annotated target nodes (nodes
+// whose expected sense is known — corpus gold or human annotations).
+type Evaluator struct {
+	net *semnet.Network
+	// samples are (node, expected sense id) pairs.
+	nodes    []*xmltree.Node
+	expected []string
+}
+
+// NewEvaluator collects the gold-bearing nodes of the given pre-processed
+// trees as the validation set.
+func NewEvaluator(net *semnet.Network, trees []*xmltree.Tree) *Evaluator {
+	e := &Evaluator{net: net}
+	for _, t := range trees {
+		for _, n := range t.Nodes() {
+			if n.Gold != "" {
+				e.nodes = append(e.nodes, n)
+				e.expected = append(e.expected, n.Gold)
+			}
+		}
+	}
+	return e
+}
+
+// Len returns the validation-set size.
+func (e *Evaluator) Len() int { return len(e.nodes) }
+
+// Score evaluates one configuration against the validation set.
+func (e *Evaluator) Score(opts disambig.Options) eval.PRF {
+	dis := disambig.New(e.net, opts)
+	var correct, assigned int
+	for i, n := range e.nodes {
+		s, ok := dis.Node(n)
+		if !ok {
+			continue
+		}
+		assigned++
+		if s.ID() == e.expected[i] {
+			correct++
+		}
+	}
+	return eval.Score(correct, assigned, len(e.nodes))
+}
+
+// FMeasure is the Objective form of Score.
+func (e *Evaluator) FMeasure(opts disambig.Options) float64 {
+	return e.Score(opts).F
+}
+
+// Describe renders a configuration compactly for reports.
+func Describe(o disambig.Options) string {
+	s := fmt.Sprintf("method=%s d=%d sim=(%.2f,%.2f,%.2f)",
+		o.Method, o.Radius, o.SimWeights.Edge, o.SimWeights.Node, o.SimWeights.Gloss)
+	if o.Method == disambig.Combined {
+		s += fmt.Sprintf(" mix=(%.2f,%.2f)", o.ConceptWeight, o.ContextWeight)
+	}
+	return s
+}

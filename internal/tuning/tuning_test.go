@@ -1,0 +1,113 @@
+package tuning
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/disambig"
+	"repro/internal/lingproc"
+	"repro/internal/simmeasure"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// syntheticObjective has a unique known optimum inside DefaultSpace.
+func syntheticObjective(opts disambig.Options) float64 {
+	score := 0.0
+	if opts.Method == disambig.ContextBased {
+		score += 1
+	}
+	if opts.Radius == 2 {
+		score += 1
+	}
+	if opts.SimWeights == simmeasure.GlossOnly() {
+		score += 1
+	}
+	return score
+}
+
+func TestGridSearchFindsKnownOptimum(t *testing.T) {
+	res := GridSearch(disambig.DefaultOptions(), DefaultSpace(), syntheticObjective)
+	if res.Score != 3 {
+		t.Fatalf("score = %f, want 3", res.Score)
+	}
+	if res.Options.Method != disambig.ContextBased || res.Options.Radius != 2 ||
+		res.Options.SimWeights != simmeasure.GlossOnly() {
+		t.Errorf("wrong optimum: %s", Describe(res.Options))
+	}
+	// Grid size: methods x radii x sims, with the mix axis collapsed for
+	// non-combined methods: 2*3*6*1 + 1*3*6*3 = 36 + 54 = 90.
+	if res.Evaluated != 90 {
+		t.Errorf("evaluated %d configurations, want 90", res.Evaluated)
+	}
+}
+
+func TestGridSearchEmptyAxesKeepSeed(t *testing.T) {
+	seed := disambig.DefaultOptions()
+	seed.Radius = 7
+	res := GridSearch(seed, Space{Methods: []disambig.Method{disambig.ConceptBased}},
+		func(o disambig.Options) float64 { return 1 })
+	if res.Options.Radius != 7 {
+		t.Errorf("empty radius axis should keep seed, got %d", res.Options.Radius)
+	}
+	if res.Evaluated != 1 {
+		t.Errorf("evaluated %d", res.Evaluated)
+	}
+}
+
+func TestCoordinateDescentReachesOptimum(t *testing.T) {
+	seed := disambig.DefaultOptions() // concept-based, d=1, equal weights
+	res := CoordinateDescent(seed, DefaultSpace(), syntheticObjective, 5)
+	if res.Score != 3 {
+		t.Fatalf("score = %f (%s), want 3", res.Score, Describe(res.Options))
+	}
+	full := GridSearch(seed, DefaultSpace(), syntheticObjective)
+	if res.Evaluated >= full.Evaluated {
+		t.Errorf("coordinate descent evaluated %d >= grid's %d", res.Evaluated, full.Evaluated)
+	}
+}
+
+func TestCoordinateDescentStopsWhenNoImprovement(t *testing.T) {
+	constObj := func(disambig.Options) float64 { return 1 }
+	res := CoordinateDescent(disambig.DefaultOptions(), DefaultSpace(), constObj, 10)
+	// One pass over all axes plus the seed evaluation, then stop.
+	if res.Evaluated > 20 {
+		t.Errorf("flat objective should stop after one pass, evaluated %d", res.Evaluated)
+	}
+}
+
+func TestEvaluatorOnCorpus(t *testing.T) {
+	net := wordnet.Default()
+	var trees []*xmltree.Tree
+	for _, d := range corpus.GenerateDataset(42, 4) { // small IMDB docs
+		lingproc.ProcessTree(d.Tree, net)
+		trees = append(trees, d.Tree)
+	}
+	ev := NewEvaluator(net, trees)
+	if ev.Len() == 0 {
+		t.Fatal("empty validation set")
+	}
+	prf := ev.Score(disambig.Options{Radius: 2, Method: disambig.ConceptBased,
+		SimWeights: simmeasure.EqualWeights()})
+	if prf.F <= 0 || prf.F > 1 {
+		t.Fatalf("F = %f", prf.F)
+	}
+	// The tuner must never return something worse than the seed it saw.
+	seed := disambig.DefaultOptions()
+	res := CoordinateDescent(seed, Space{Radii: []int{1, 2, 3}}, ev.FMeasure, 2)
+	if res.Score < ev.FMeasure(seed) {
+		t.Errorf("tuned %f worse than seed %f", res.Score, ev.FMeasure(seed))
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	o := disambig.DefaultOptions()
+	if s := Describe(o); !strings.Contains(s, "concept-based") || !strings.Contains(s, "d=1") {
+		t.Errorf("Describe = %q", s)
+	}
+	o.Method = disambig.Combined
+	if s := Describe(o); !strings.Contains(s, "mix=") {
+		t.Errorf("Describe combined = %q", s)
+	}
+}

@@ -1,0 +1,180 @@
+package wordnet
+
+// extendedVocabulary adds common polysemous English nouns beyond the test
+// corpus vocabulary. They make the lexicon's sense distribution more
+// WordNet-like (deliberately NOT used as corpus gold labels, so the
+// calibrated experiments are unaffected) and give downstream users useful
+// coverage for their own documents.
+var extendedVocabulary = []syn{
+	// ---- bank ----
+	{id: "bank.n.01", lemmas: []string{"bank", "banking company"}, gloss: "a financial institution that accepts deposits and channels the money into lending", parent: "company.n.01", freq: 20},
+	{id: "bank.n.02", lemmas: []string{"bank", "riverbank", "riverside"}, gloss: "sloping land beside a body of water", parent: "geological_formation.n.01", freq: 12},
+	{id: "bank.n.03", lemmas: []string{"bank", "bank building"}, gloss: "a building in which the business of banking is transacted", parent: "building.n.01", freq: 8},
+	{id: "bank.n.04", lemmas: []string{"bank"}, gloss: "an arrangement of similar objects in a row or in tiers such as a bank of switches", parent: "collection.n.01", freq: 5},
+	{id: "bank.n.05", lemmas: []string{"bank"}, gloss: "a supply or stock held in reserve for future use such as a blood bank", parent: "collection.n.01", freq: 5},
+
+	// ---- spring ----
+	{id: "spring.n.01", lemmas: []string{"spring", "springtime"}, gloss: "the season of growth between winter and summer", parent: "season.n.01", freq: 15},
+	{id: "spring.n.02", lemmas: []string{"spring"}, gloss: "a metal elastic device that returns to its shape when stretched or compressed", parent: "device.n.01", freq: 8},
+	{id: "spring.n.03", lemmas: []string{"spring", "fountain", "natural spring"}, gloss: "a natural flow of ground water emerging from the earth", parent: "geological_formation.n.01", freq: 7},
+	{id: "spring.n.04", lemmas: []string{"spring", "leap", "bound"}, gloss: "a light self propelled jumping movement upwards or forwards", parent: "act.n.02", freq: 5},
+	{id: "spring.n.05", lemmas: []string{"spring", "springiness"}, gloss: "the elasticity of something that can be stretched and returns to its original length", parent: "property.n.01", freq: 4},
+
+	// ---- note ----
+	{id: "note.n.01", lemmas: []string{"note", "short letter", "billet"}, gloss: "a short personal written message", parent: "document.n.01", freq: 12},
+	{id: "note.n.02", lemmas: []string{"note", "musical note", "tone"}, gloss: "a notation representing the pitch and duration of a musical sound", parent: "symbol.n.01", freq: 10},
+	{id: "note.n.03", lemmas: []string{"note", "annotation", "notation"}, gloss: "a comment or instruction usually added to a text", parent: "statement.n.01", freq: 8},
+	{id: "note.n.04", lemmas: []string{"note", "bank note", "banknote", "bill"}, gloss: "a piece of paper money issued by a bank", parent: "currency.n.01", freq: 6},
+	{id: "note.n.05", lemmas: []string{"note", "promissory note", "note of hand"}, gloss: "a promise to pay a specified amount on demand or at a certain time", parent: "document.n.01", freq: 4},
+
+	// ---- key ----
+	{id: "key.n.01", lemmas: []string{"key"}, gloss: "a metal device shaped to open or close a specific lock", parent: "device.n.01", freq: 15},
+	{id: "key.n.02", lemmas: []string{"key", "tonality"}, gloss: "any of 24 major or minor diatonic scales that provide the tonal framework of music", parent: "category.n.01", freq: 6},
+	{id: "key.n.03", lemmas: []string{"key"}, gloss: "something crucial for explaining a problem as in the key to the mystery", parent: "cognition.n.01", freq: 8},
+	{id: "key.n.04", lemmas: []string{"key"}, gloss: "a lever that actuates a mechanism when depressed such as a piano or keyboard key", parent: "device.n.01", freq: 6},
+	{id: "key.n.05", lemmas: []string{"key", "cay", "florida key"}, gloss: "a coral reef off the southern coast of Florida", parent: "geological_formation.n.01", freq: 3},
+	{id: "key.n.06", lemmas: []string{"key", "answer key"}, gloss: "a list of answers or solutions to questions or problems", parent: "list.n.01", freq: 4},
+
+	// ---- bar ----
+	{id: "bar.n.01", lemmas: []string{"bar", "barroom", "saloon", "taproom"}, gloss: "a room or establishment where alcoholic drinks are served over a counter", parent: "building.n.01", freq: 12},
+	{id: "bar.n.02", lemmas: []string{"bar"}, gloss: "a rigid piece of metal or wood usually used as a fastening or obstruction or weapon", parent: "device.n.01", freq: 10},
+	{id: "bar.n.03", lemmas: []string{"bar", "measure"}, gloss: "musical notation for a repeating pattern of musical beats", parent: "symbol.n.01", freq: 5},
+	{id: "bar.n.04", lemmas: []string{"bar", "legal profession", "legal community"}, gloss: "the body of individuals qualified to practice law", parent: "social_group.n.01", freq: 5},
+	{id: "bar.n.05", lemmas: []string{"bar"}, gloss: "a counter where you can obtain food or drink", parent: "structure.n.01", freq: 6},
+	{id: "bar.n.06", lemmas: []string{"bar"}, gloss: "a unit of pressure equal to a million dynes per square centimeter", parent: "unit_of_measurement.n.01", freq: 3},
+
+	// ---- board ----
+	{id: "board.n.01", lemmas: []string{"board", "plank"}, gloss: "a stout length of sawn timber", parent: "artifact.n.01", freq: 10},
+	{id: "board.n.02", lemmas: []string{"board", "board of directors", "directorate"}, gloss: "a committee having supervisory powers over an organization", parent: "committee.n.01", freq: 8},
+	{id: "board.n.03", lemmas: []string{"board", "gameboard"}, gloss: "a flat portable surface on which games are played", parent: "device.n.01", freq: 5},
+	{id: "board.n.04", lemmas: []string{"board", "circuit board", "card"}, gloss: "a printed circuit that can be inserted into expansion slots in a computer", parent: "device.n.01", freq: 5},
+
+	// ---- post ----
+	{id: "post.n.01", lemmas: []string{"post", "stake"}, gloss: "an upright consisting of a piece of timber fixed firmly in the ground", parent: "structure.n.01", freq: 8},
+	{id: "post.n.02", lemmas: []string{"post", "position", "berth", "office"}, gloss: "a job in an organization such as a diplomatic post", parent: "position.n.02", freq: 8},
+	{id: "post.n.03", lemmas: []string{"post", "mail", "mail service"}, gloss: "the system whereby messages and parcels are transported and delivered", parent: "system.n.02", freq: 6},
+	{id: "post.n.04", lemmas: []string{"post", "military post"}, gloss: "a military installation at which a body of troops is stationed", parent: "structure.n.01", freq: 4},
+
+	// ---- match ----
+	{id: "match.n.01", lemmas: []string{"match", "lucifer", "friction match"}, gloss: "a thin piece of wood tipped with material that ignites when rubbed", parent: "device.n.01", freq: 8},
+	{id: "match.n.02", lemmas: []string{"match", "sports match"}, gloss: "a formal contest in which two or more persons or teams compete", parent: "contest.n.01", freq: 10},
+	{id: "match.n.03", lemmas: []string{"match", "mate", "counterpart"}, gloss: "an exact duplicate or a person or thing that resembles another closely", parent: "relation.n.01", freq: 6},
+	{id: "match.n.04", lemmas: []string{"match", "couple", "pairing"}, gloss: "a pair of people who live together or are engaged to be married", parent: "social_group.n.01", freq: 4},
+
+	// ---- case ----
+	{id: "case.n.01", lemmas: []string{"case", "instance", "example"}, gloss: "an occurrence of something such as a case of the disease", parent: "event.n.01", freq: 15},
+	{id: "case.n.02", lemmas: []string{"case", "legal case", "lawsuit", "suit"}, gloss: "a legal action brought to a court of law for judgment", parent: "proceedings.n.02", freq: 10},
+	{id: "case.n.03", lemmas: []string{"case", "casing"}, gloss: "a protective container designed to hold or cover something", parent: "container.n.01", freq: 8},
+	{id: "case.n.04", lemmas: []string{"case", "grammatical case"}, gloss: "the grammatical category marking the function of a noun in a sentence", parent: "category.n.01", freq: 3},
+
+	// ---- court ----
+	{id: "court.n.01", lemmas: []string{"court", "tribunal", "judicature"}, gloss: "an assembly of judges that deliberates on legal cases", parent: "organization.n.01", freq: 10},
+	{id: "court.n.02", lemmas: []string{"court", "courtroom"}, gloss: "a room in which a law court sits", parent: "building.n.01", freq: 6},
+	{id: "court.n.03", lemmas: []string{"court", "tennis court", "playing court"}, gloss: "a specially marked horizontal area within which a game is played", parent: "area.n.01", freq: 6},
+	{id: "court.n.04", lemmas: []string{"court", "royal court"}, gloss: "the sovereign and his advisers who are the governing power of a state", parent: "organization.n.01", freq: 4},
+
+	// ---- field ----
+	{id: "field.n.01", lemmas: []string{"field"}, gloss: "a piece of land cleared of trees and usually enclosed for cultivation or pasture", parent: "region.n.01", freq: 12},
+	{id: "field.n.02", lemmas: []string{"field", "field of study", "discipline", "subject area"}, gloss: "a branch of knowledge studied or taught", parent: "cognition.n.01", freq: 10},
+	{id: "field.n.03", lemmas: []string{"field", "playing field", "athletic field"}, gloss: "a piece of land prepared for playing a game", parent: "area.n.01", freq: 6},
+	{id: "field.n.04", lemmas: []string{"field", "battlefield", "field of battle"}, gloss: "a region where a battle is being or has been fought", parent: "region.n.01", freq: 4},
+	{id: "field.n.05", lemmas: []string{"field", "data field"}, gloss: "a region of a record or database reserved for a particular item of information", parent: "part.n.01", freq: 4},
+
+	// ---- file ----
+	{id: "file.n.01", lemmas: []string{"file", "data file", "computer file"}, gloss: "a set of related records stored together in a computer", parent: "collection.n.01", freq: 12},
+	{id: "file.n.02", lemmas: []string{"file", "file cabinet", "filing cabinet"}, gloss: "office furniture consisting of a container for keeping papers in order", parent: "furniture.n.01", freq: 5},
+	{id: "file.n.03", lemmas: []string{"file", "single file", "indian file"}, gloss: "a line of persons or things ranged one behind the other", parent: "group.n.01", freq: 4},
+	{id: "file.n.04", lemmas: []string{"file"}, gloss: "a steel hand tool with small sharp teeth for smoothing wood or metal", parent: "device.n.01", freq: 4},
+
+	// ---- party ----
+	{id: "party.n.01", lemmas: []string{"party"}, gloss: "a social gathering of invited guests for pleasure", parent: "social_event.n.01", freq: 12},
+	{id: "party.n.02", lemmas: []string{"party", "political party"}, gloss: "an organization to gain political power", parent: "organization.n.01", freq: 10},
+	{id: "party.n.03", lemmas: []string{"party"}, gloss: "a band of people associated temporarily in some activity such as a search party", parent: "social_group.n.01", freq: 6},
+	{id: "party.n.04", lemmas: []string{"party"}, gloss: "a person involved in legal proceedings such as the injured party", parent: "person.n.01", freq: 5},
+
+	// ---- press ----
+	{id: "press.n.01", lemmas: []string{"press", "public press"}, gloss: "the print media responsible for gathering and publishing news", parent: "organization.n.01", freq: 8},
+	{id: "press.n.02", lemmas: []string{"press", "printing press"}, gloss: "a machine used for printing", parent: "machine.n.01", freq: 5},
+	{id: "press.n.03", lemmas: []string{"press", "pressing", "pressure"}, gloss: "the act of pressing or the exertion of force", parent: "act.n.02", freq: 4},
+	{id: "press.n.04", lemmas: []string{"press", "wardrobe"}, gloss: "a tall piece of furniture that provides storage space for clothes", parent: "furniture.n.01", freq: 3},
+
+	// ---- wave ----
+	{id: "wave.n.01", lemmas: []string{"wave", "moving ridge"}, gloss: "one of a series of ridges that moves across the surface of a liquid", parent: "phenomenon.n.01", freq: 10},
+	{id: "wave.n.02", lemmas: []string{"wave"}, gloss: "a movement like that of a sudden occurrence or increase as in a wave of emigration", parent: "event.n.01", freq: 6},
+	{id: "wave.n.03", lemmas: []string{"wave", "wafture", "wave of the hand"}, gloss: "the act of signaling by a movement of the hand", parent: "act.n.02", freq: 4},
+
+	// ---- branch ----
+	{id: "branch.n.01", lemmas: []string{"branch", "tree branch", "limb"}, gloss: "a division of a stem arising from the trunk of a tree", parent: "plant_organ.n.01", freq: 10},
+	{id: "branch.n.02", lemmas: []string{"branch", "subdivision", "arm"}, gloss: "a division of some larger or more complex organization", parent: "unit.n.03", freq: 8},
+	{id: "branch.n.03", lemmas: []string{"branch", "leg", "ramification"}, gloss: "a part of a forked or branching shape", parent: "part.n.01", freq: 4},
+
+	// ---- crane / mouse / web : device-animal ambiguity ----
+	{id: "crane.n.01", lemmas: []string{"crane"}, gloss: "a large long necked wading bird of marshes and plains", parent: "bird.n.01", freq: 5},
+	{id: "crane.n.02", lemmas: []string{"crane"}, gloss: "a lifting machine for moving heavy objects by suspending them from a projecting arm", parent: "machine.n.01", freq: 6},
+	{id: "mouse.n.01", lemmas: []string{"mouse"}, gloss: "any of numerous small rodents with pointed snouts and long slender tails", parent: "animal.n.01", freq: 8},
+	{id: "mouse.n.02", lemmas: []string{"mouse", "computer mouse"}, gloss: "a hand operated electronic device that controls a cursor on a computer display", parent: "device.n.01", freq: 8},
+	{id: "web.n.01", lemmas: []string{"web", "spider web"}, gloss: "a structure of fine threads constructed by a spider", parent: "natural_object.n.01", freq: 6},
+	{id: "web.n.02", lemmas: []string{"web", "world wide web", "www"}, gloss: "the worldwide network of interlinked hypertext documents", parent: "system.n.02", freq: 10},
+	{id: "web.n.03", lemmas: []string{"web", "entanglement"}, gloss: "an intricate network suggesting something that was formed by weaving", parent: "structure.n.01", freq: 4},
+
+	// ---- seal / bat / pupil : classic WSD pairs ----
+	{id: "seal.n.01", lemmas: []string{"seal"}, gloss: "any of numerous marine mammals that come on shore to breed", parent: "animal.n.01", freq: 6},
+	{id: "seal.n.02", lemmas: []string{"seal", "stamp"}, gloss: "a device incised to make an impression that certifies a document", parent: "device.n.01", freq: 5},
+	{id: "seal.n.03", lemmas: []string{"seal", "sealskin"}, gloss: "a fastener that provides a tight and perfect closure", parent: "device.n.01", freq: 4},
+	{id: "bat.n.01", lemmas: []string{"bat", "chiropteran"}, gloss: "a nocturnal flying mammal with membranous wings", parent: "animal.n.01", freq: 6},
+	{id: "bat.n.02", lemmas: []string{"bat"}, gloss: "a club used for hitting a ball in various games", parent: "equipment.n.01", freq: 6},
+	{id: "pupil.n.01", lemmas: []string{"pupil", "schoolchild", "school-age child"}, gloss: "a young person attending school", parent: "person.n.01", freq: 6},
+	{id: "pupil.n.02", lemmas: []string{"pupil"}, gloss: "the contractile aperture in the center of the iris of the eye", parent: "body_part.n.01", freq: 5},
+
+	// ---- organ / cell / mass ----
+	{id: "organ.n.01", lemmas: []string{"organ"}, gloss: "a fully differentiated structural and functional unit in an animal", parent: "body_part.n.01", freq: 8},
+	{id: "organ.n.02", lemmas: []string{"organ", "pipe organ"}, gloss: "a large musical keyboard instrument with pipes sounded by compressed air", parent: "instrument.n.01", freq: 5},
+	{id: "organ.n.03", lemmas: []string{"organ", "house organ", "newspaper"}, gloss: "a periodical that is published by a special interest group", parent: "periodical.n.01", freq: 3},
+	{id: "cell.n.01", lemmas: []string{"cell"}, gloss: "the basic structural and functional unit of all organisms", parent: "natural_object.n.01", freq: 10},
+	{id: "cell.n.02", lemmas: []string{"cell", "jail cell", "prison cell"}, gloss: "a room where a prisoner is kept", parent: "structure.n.01", freq: 5},
+	{id: "cell.n.03", lemmas: []string{"cell", "cellphone", "mobile phone"}, gloss: "a hand held mobile radiotelephone for use in an area divided into small sections", parent: "device.n.01", freq: 6},
+	{id: "cell.n.04", lemmas: []string{"cell", "electric cell", "battery cell"}, gloss: "a device that delivers an electric current as the result of a chemical reaction", parent: "device.n.01", freq: 4},
+	{id: "mass.n.01", lemmas: []string{"mass"}, gloss: "the property of a body that causes it to have weight in a gravitational field", parent: "property.n.01", freq: 8},
+	{id: "mass.n.02", lemmas: []string{"mass", "religious mass"}, gloss: "a sequence of prayers constituting the Christian eucharistic rite", parent: "ceremony.n.01", freq: 5},
+	{id: "mass.n.03", lemmas: []string{"mass", "the great unwashed", "multitude"}, gloss: "the common people generally considered as a group", parent: "social_group.n.01", freq: 4},
+
+	// ---- chair / cabinet / table : furniture-institution ambiguity ----
+	{id: "chair.n.01", lemmas: []string{"chair"}, gloss: "a seat for one person with a support for the back", parent: "furniture.n.01", freq: 10},
+	{id: "chair.n.02", lemmas: []string{"chair", "chairperson", "chairman of the board"}, gloss: "the officer who presides at the meetings of an organization", parent: "leader.n.01", freq: 6},
+	{id: "chair.n.03", lemmas: []string{"chair", "professorship"}, gloss: "the position of professor at a university", parent: "position.n.02", freq: 4},
+	{id: "cabinet.n.01", lemmas: []string{"cabinet"}, gloss: "a piece of furniture resembling a cupboard with shelves", parent: "furniture.n.01", freq: 6},
+	{id: "cabinet.n.02", lemmas: []string{"cabinet"}, gloss: "a committee of senior ministers responsible for advising the head of government", parent: "committee.n.01", freq: 5},
+	{id: "table.n.01", lemmas: []string{"table"}, gloss: "a piece of furniture having a smooth flat top supported by legs", parent: "furniture.n.01", freq: 12},
+	{id: "table.n.02", lemmas: []string{"table", "tabular array"}, gloss: "a set of data arranged in rows and columns", parent: "representation.n.01", freq: 8},
+	{id: "table.n.03", lemmas: []string{"table"}, gloss: "a company of people assembled at a table for a meal or game", parent: "social_group.n.01", freq: 3},
+
+	// ---- letter / sentence / period : writing ambiguity ----
+	{id: "letter.n.01", lemmas: []string{"letter", "missive"}, gloss: "a written message addressed to a person or organization", parent: "document.n.01", freq: 10},
+	{id: "letter.n.02", lemmas: []string{"letter", "letter of the alphabet", "alphabetic character"}, gloss: "a written symbol representing a speech sound", parent: "character.n.02", freq: 8},
+	{id: "sentence.n.01", lemmas: []string{"sentence"}, gloss: "a string of words satisfying the grammatical rules of a language", parent: "language_unit.n.01", freq: 8},
+	{id: "sentence.n.02", lemmas: []string{"sentence", "conviction", "judgment of conviction"}, gloss: "a final judgment of guilty in a criminal case and the punishment imposed", parent: "act.n.02", freq: 5},
+	{id: "period.n.02", lemmas: []string{"period", "full stop", "full point"}, gloss: "a punctuation mark placed at the end of a declarative sentence", parent: "symbol.n.01", freq: 5},
+	{id: "period.n.03", lemmas: []string{"period", "geological period"}, gloss: "a unit of geological time during which a system of rocks formed", parent: "time_period.n.01", freq: 4},
+
+	// ---- operation / interest / capital ----
+	{id: "operation.n.01", lemmas: []string{"operation", "surgery", "surgical operation"}, gloss: "a medical procedure involving an incision with instruments", parent: "act.n.02", freq: 8},
+	{id: "operation.n.02", lemmas: []string{"operation", "functioning", "performance"}, gloss: "the process of working or operating as in the operation of a machine", parent: "activity.n.01", freq: 6},
+	{id: "operation.n.03", lemmas: []string{"operation", "military operation"}, gloss: "activity by a military force as in a rescue operation", parent: "activity.n.01", freq: 5},
+	{id: "operation.n.04", lemmas: []string{"operation", "mathematical operation"}, gloss: "a calculation by mathematical methods", parent: "cognition.n.01", freq: 4},
+	{id: "interest.n.01", lemmas: []string{"interest", "involvement"}, gloss: "a sense of concern with and curiosity about someone or something", parent: "cognition.n.01", freq: 10},
+	{id: "interest.n.02", lemmas: []string{"interest"}, gloss: "a fixed charge for borrowing money usually a percentage of the amount borrowed", parent: "cost.n.01", freq: 8},
+	{id: "interest.n.03", lemmas: []string{"interest", "stake"}, gloss: "a right or legal share of something such as a financial involvement", parent: "asset.n.01", freq: 5},
+	{id: "interest.n.04", lemmas: []string{"interest", "pastime", "pursuit"}, gloss: "a diversion that occupies one's time and thoughts", parent: "activity.n.01", freq: 5},
+	{id: "capital.n.01", lemmas: []string{"capital"}, gloss: "assets available for use in the production of further assets", parent: "asset.n.01", freq: 8},
+	{id: "capital.n.02", lemmas: []string{"capital", "capital city"}, gloss: "a seat of government of a country or region", parent: "city.n.01", freq: 8},
+	{id: "capital.n.03", lemmas: []string{"capital", "capital letter", "majuscule"}, gloss: "one of the large alphabetic characters used as the first letter", parent: "character.n.02", freq: 4},
+
+	// ---- pipe / drill / saw ----
+	{id: "pipe.n.01", lemmas: []string{"pipe", "pipage", "piping"}, gloss: "a long tube made of metal or plastic used to carry water or oil or gas", parent: "instrumentality.n.01", freq: 8},
+	{id: "pipe.n.02", lemmas: []string{"pipe", "tobacco pipe"}, gloss: "a tube with a small bowl at one end used for smoking tobacco", parent: "device.n.01", freq: 5},
+	{id: "pipe.n.03", lemmas: []string{"pipe", "organ pipe"}, gloss: "the flues and stops on a pipe organ", parent: "part.n.01", freq: 3},
+	{id: "drill.n.01", lemmas: []string{"drill"}, gloss: "a tool with a sharp rotating point for making holes in hard materials", parent: "device.n.01", freq: 6},
+	{id: "drill.n.02", lemmas: []string{"drill", "exercise", "practice session"}, gloss: "systematic training by multiple repetitions", parent: "training.n.01", freq: 5},
+	{id: "saw.n.01", lemmas: []string{"saw"}, gloss: "hand tool having a toothed blade for cutting", parent: "device.n.01", freq: 5},
+	{id: "saw.n.02", lemmas: []string{"saw", "proverb", "adage", "byword"}, gloss: "a condensed but memorable saying embodying some important fact", parent: "statement.n.01", freq: 3},
+}

@@ -1,0 +1,175 @@
+package wordnet
+
+// fillerSynsets widen the hierarchy the way real WordNet is wide: every hub
+// concept (statement, document, device, activity, region, property, person
+// subtypes, ...) gets additional hyponyms that never appear as tags or
+// values in the test corpus. They matter for fidelity: semantic-network
+// sphere neighborhoods (§3.5.2) of real WordNet concepts are bushy, so
+// concept context vectors carry many dimensions unrelated to any one
+// document — without these, context-based disambiguation degenerates into
+// an oracle over a co-occurrence-shaped lexicon.
+var fillerSynsets = []syn{
+	// statement hyponyms
+	{id: "remark.n.01", lemmas: []string{"remark", "comment"}, gloss: "a statement that expresses a personal opinion or belief", parent: "statement.n.01"},
+	{id: "declaration.n.01", lemmas: []string{"declaration"}, gloss: "a statement that is emphatic and explicit", parent: "statement.n.01"},
+	{id: "announcement.n.01", lemmas: []string{"announcement", "proclamation"}, gloss: "a formal public statement", parent: "statement.n.01"},
+	{id: "answer.n.01", lemmas: []string{"answer", "reply", "response"}, gloss: "a statement that is made in reply to a question or request", parent: "statement.n.01"},
+	{id: "promise.n.01", lemmas: []string{"promise"}, gloss: "a verbal commitment by one person to another agreeing to do something", parent: "statement.n.01"},
+	{id: "excuse.n.01", lemmas: []string{"excuse", "alibi"}, gloss: "a defense of some offensive behavior", parent: "statement.n.01"},
+	// message hyponyms
+	{id: "request.n.01", lemmas: []string{"request", "petition"}, gloss: "a formal message requesting something", parent: "message.n.02"},
+	{id: "warning.n.01", lemmas: []string{"warning"}, gloss: "a message informing of danger", parent: "message.n.02"},
+	{id: "promotion.n.01", lemmas: []string{"promotion", "publicity"}, gloss: "a message issued on behalf of some product or cause", parent: "message.n.02"},
+	// text / writing hyponyms
+	{id: "paragraph.n.01", lemmas: []string{"paragraph"}, gloss: "one of several distinct subdivisions of a text intended to separate ideas", parent: "text.n.01"},
+	{id: "column.n.01", lemmas: []string{"column", "newspaper column"}, gloss: "an article giving opinions or perspectives printed regularly", parent: "text.n.01"},
+	{id: "essay.n.01", lemmas: []string{"essay"}, gloss: "an analytic or interpretive literary composition", parent: "writing.n.02"},
+	{id: "manuscript.n.01", lemmas: []string{"manuscript"}, gloss: "the form of a literary work submitted for publication", parent: "writing.n.02"},
+	{id: "poem.n.01", lemmas: []string{"poem", "verse form"}, gloss: "a composition written in metrical feet forming rhythmical lines", parent: "writing.n.02"},
+	{id: "novel.n.01", lemmas: []string{"novel"}, gloss: "an extended fictional work in prose", parent: "writing.n.02"},
+	// document hyponyms
+	{id: "certificate.n.01", lemmas: []string{"certificate", "credential"}, gloss: "a document attesting to the truth of certain stated facts", parent: "document.n.01"},
+	{id: "contract.n.01", lemmas: []string{"contract"}, gloss: "a binding agreement between two or more persons that is enforceable by law", parent: "document.n.01"},
+	{id: "license.n.01", lemmas: []string{"license", "permit"}, gloss: "a legal document giving official permission to do something", parent: "document.n.01"},
+	{id: "passport.n.01", lemmas: []string{"passport"}, gloss: "a document issued by a country to a citizen allowing that person to travel abroad", parent: "document.n.01"},
+	{id: "report.n.01", lemmas: []string{"report", "written report"}, gloss: "a written document describing the findings of some individual or group", parent: "document.n.01"},
+	// publication hyponyms
+	{id: "magazine.n.01", lemmas: []string{"magazine", "mag"}, gloss: "a periodic publication containing pictures and stories and articles", parent: "periodical.n.01"},
+	{id: "newspaper.n.01", lemmas: []string{"newspaper", "paper", "gazette"}, gloss: "a daily or weekly publication on folded sheets containing news and articles", parent: "periodical.n.01"},
+	{id: "handbook.n.01", lemmas: []string{"handbook", "manual"}, gloss: "a concise reference publication covering a particular subject", parent: "publication.n.01"},
+	{id: "atlas.n.01", lemmas: []string{"atlas", "book of maps"}, gloss: "a collection of maps in book form", parent: "publication.n.01"},
+	// dramatic composition hyponyms
+	{id: "opera.n.01", lemmas: []string{"opera"}, gloss: "a drama set to music consisting of singing with orchestral accompaniment", parent: "dramatic_composition.n.01"},
+	{id: "tragedy.n.01", lemmas: []string{"tragedy"}, gloss: "drama in which the protagonist is overcome by some superior force", parent: "dramatic_composition.n.01"},
+	{id: "comedy.n.01", lemmas: []string{"comedy"}, gloss: "light and humorous drama with a happy ending", parent: "dramatic_composition.n.01"},
+	{id: "ballet.n.01", lemmas: []string{"ballet", "concert dance"}, gloss: "a theatrical performance of a story by trained dancers", parent: "dramatic_composition.n.01"},
+	// symbol hyponyms
+	{id: "emblem.n.01", lemmas: []string{"emblem", "allegory"}, gloss: "a visible symbol representing an abstract idea", parent: "symbol.n.01"},
+	{id: "token.n.01", lemmas: []string{"token"}, gloss: "an individual instance of a type of symbol", parent: "symbol.n.01"},
+	{id: "numeral.n.01", lemmas: []string{"numeral", "number symbol"}, gloss: "a symbol used to represent a number", parent: "symbol.n.01"},
+	// device hyponyms
+	{id: "instrument.n.01", lemmas: []string{"instrument"}, gloss: "a device that requires skill for proper use", parent: "device.n.01"},
+	{id: "machine.n.01", lemmas: []string{"machine"}, gloss: "any mechanical or electrical device that transmits or modifies energy", parent: "device.n.01"},
+	{id: "keyboard.n.01", lemmas: []string{"keyboard"}, gloss: "a device consisting of a set of keys operated by hand", parent: "device.n.01"},
+	{id: "filter.n.01", lemmas: []string{"filter"}, gloss: "a device that removes something from whatever passes through it", parent: "device.n.01"},
+	{id: "lock.n.01", lemmas: []string{"lock"}, gloss: "a fastener fitted to a door or drawer to keep it closed", parent: "device.n.01"},
+	{id: "switch.n.01", lemmas: []string{"switch", "electric switch"}, gloss: "a device for making or breaking an electric circuit", parent: "device.n.01"},
+	// instrumentality / container hyponyms
+	{id: "furniture.n.01", lemmas: []string{"furniture", "furnishing"}, gloss: "furnishings that make a room ready for occupancy", parent: "instrumentality.n.01"},
+	{id: "vehicle.n.01", lemmas: []string{"vehicle"}, gloss: "a conveyance that transports people or objects", parent: "instrumentality.n.01"},
+	{id: "bottle.n.01", lemmas: []string{"bottle"}, gloss: "a container typically of glass with a narrow neck", parent: "container.n.01"},
+	{id: "box.n.01", lemmas: []string{"box"}, gloss: "a rigid rectangular container usually with a lid", parent: "container.n.01"},
+	{id: "basket.n.01", lemmas: []string{"basket", "handbasket"}, gloss: "a container that is usually woven and has handles", parent: "container.n.01"},
+	// structure / building hyponyms
+	{id: "bridge.n.01", lemmas: []string{"bridge", "span"}, gloss: "a structure that allows people or vehicles to cross an obstacle", parent: "structure.n.01"},
+	{id: "tower.n.01", lemmas: []string{"tower"}, gloss: "a structure taller than its diameter standing alone or attached to a larger building", parent: "structure.n.01"},
+	{id: "wall.n.01", lemmas: []string{"wall"}, gloss: "an architectural partition with a height and length greater than its thickness", parent: "structure.n.01"},
+	{id: "school.n.02", lemmas: []string{"school", "schoolhouse"}, gloss: "a building where young people receive education", parent: "building.n.01"},
+	{id: "hotel.n.01", lemmas: []string{"hotel"}, gloss: "a building where travelers can pay for lodging and meals", parent: "building.n.01"},
+	{id: "library.n.01", lemmas: []string{"library"}, gloss: "a building that houses a collection of books and other materials", parent: "building.n.01"},
+	// person subtypes
+	{id: "teacher.n.01", lemmas: []string{"teacher", "instructor"}, gloss: "a person whose occupation is teaching", parent: "worker.n.01"},
+	{id: "engineer.n.01", lemmas: []string{"engineer", "applied scientist"}, gloss: "a person who uses scientific knowledge to solve practical problems", parent: "worker.n.01"},
+	{id: "nurse.n.01", lemmas: []string{"nurse"}, gloss: "a worker who is skilled in caring for the sick under the supervision of a physician", parent: "worker.n.01"},
+	{id: "lawyer.n.01", lemmas: []string{"lawyer", "attorney"}, gloss: "a professional person authorized to practice law", parent: "expert.n.01"},
+	{id: "judge.n.01", lemmas: []string{"judge", "justice"}, gloss: "a public official authorized to decide questions brought before a court", parent: "leader.n.01"},
+	{id: "captain.n.01", lemmas: []string{"captain", "skipper"}, gloss: "the leader of a group of people such as the officer in command of a ship", parent: "leader.n.01"},
+	{id: "mayor.n.01", lemmas: []string{"mayor", "city manager"}, gloss: "the head of a city government", parent: "leader.n.01"},
+	{id: "poet.n.01", lemmas: []string{"poet"}, gloss: "a writer of poems", parent: "writer.n.01"},
+	{id: "journalist.n.01", lemmas: []string{"journalist"}, gloss: "a writer for newspapers and magazines", parent: "writer.n.01"},
+	{id: "painter.n.01", lemmas: []string{"painter"}, gloss: "an artist who paints pictures", parent: "artist.n.01"},
+	{id: "sculptor.n.01", lemmas: []string{"sculptor", "carver"}, gloss: "an artist who creates sculptures", parent: "artist.n.01"},
+	{id: "magician.n.01", lemmas: []string{"magician", "conjurer"}, gloss: "an entertainer who performs magic tricks of illusion and sleight of hand", parent: "entertainer.n.01"},
+	{id: "acrobat.n.01", lemmas: []string{"acrobat"}, gloss: "an athlete who performs gymnastic feats requiring skillful control of the body", parent: "performer.n.01"},
+	{id: "violinist.n.01", lemmas: []string{"violinist", "fiddler"}, gloss: "a musician who plays the violin", parent: "musician.n.01"},
+	{id: "pianist.n.01", lemmas: []string{"pianist", "piano player"}, gloss: "a musician who plays the piano", parent: "musician.n.01"},
+	{id: "swimmer.n.01", lemmas: []string{"swimmer"}, gloss: "a trained athlete who participates in swimming meets", parent: "athlete.n.01"},
+	{id: "runner.n.01", lemmas: []string{"runner"}, gloss: "an athlete who competes in foot races", parent: "athlete.n.01"},
+	// activity hyponyms
+	{id: "exercise.n.01", lemmas: []string{"exercise", "workout"}, gloss: "the activity of exerting muscles in order to keep fit", parent: "activity.n.01"},
+	{id: "training.n.01", lemmas: []string{"training", "preparation"}, gloss: "the activity of imparting and acquiring skills", parent: "activity.n.01"},
+	{id: "cooking.n.01", lemmas: []string{"cooking", "cookery"}, gloss: "the act of preparing food by the application of heat", parent: "activity.n.01"},
+	{id: "hunting.n.01", lemmas: []string{"hunting", "hunt"}, gloss: "the activity of pursuing and killing wild animals", parent: "activity.n.01"},
+	{id: "fishing.n.01", lemmas: []string{"fishing"}, gloss: "the activity of catching fish", parent: "activity.n.01"},
+	{id: "dancing.n.01", lemmas: []string{"dancing", "dance"}, gloss: "the activity of taking part in a social function involving rhythmic movement", parent: "activity.n.01"},
+	// event / act hyponyms
+	{id: "accident.n.01", lemmas: []string{"accident"}, gloss: "an unfortunate mishap that happens unexpectedly", parent: "event.n.01"},
+	{id: "ceremony.n.01", lemmas: []string{"ceremony"}, gloss: "a formal event performed on a special occasion", parent: "social_event.n.01"},
+	{id: "festival.n.01", lemmas: []string{"festival", "fete"}, gloss: "an organized series of performances and events", parent: "social_event.n.01"},
+	{id: "contest.n.01", lemmas: []string{"contest", "competition"}, gloss: "an occasion on which a winner is selected from among two or more contestants", parent: "social_event.n.01"},
+	{id: "rescue.n.01", lemmas: []string{"rescue", "deliverance"}, gloss: "the act of freeing from harm or evil", parent: "act.n.02"},
+	{id: "escape.n.01", lemmas: []string{"escape", "flight"}, gloss: "the act of escaping physically from confinement", parent: "act.n.02"},
+	// region / location hyponyms
+	{id: "desert.n.01", lemmas: []string{"desert"}, gloss: "an arid region with little or no vegetation", parent: "region.n.01"},
+	{id: "forest.n.01", lemmas: []string{"forest", "woodland"}, gloss: "a region densely covered with trees and underbrush", parent: "region.n.01"},
+	{id: "coast.n.01", lemmas: []string{"coast", "seashore"}, gloss: "the shore of a sea or ocean regarded as a region", parent: "region.n.01"},
+	{id: "valley.n.01", lemmas: []string{"valley", "vale"}, gloss: "a long depression in the surface of the land between hills", parent: "region.n.01"},
+	{id: "village.n.01", lemmas: []string{"village", "hamlet"}, gloss: "a community of people smaller than a town", parent: "administrative_district.n.01"},
+	{id: "county.n.01", lemmas: []string{"county"}, gloss: "a region created by territorial division for the purpose of local government", parent: "administrative_district.n.01"},
+	{id: "harbor.n.01", lemmas: []string{"harbor", "seaport"}, gloss: "a sheltered port where ships can take on or discharge cargo", parent: "geographic_point.n.01"},
+	// property / attribute hyponyms
+	{id: "color.n.01", lemmas: []string{"color", "colour"}, gloss: "a visual attribute of things that results from the light they reflect", parent: "property.n.01"},
+	{id: "temperature.n.01", lemmas: []string{"temperature"}, gloss: "the degree of hotness or coldness of a body or environment", parent: "property.n.01"},
+	{id: "speed.n.01", lemmas: []string{"speed", "velocity"}, gloss: "a rate at which something happens or moves", parent: "property.n.01"},
+	{id: "hardness.n.01", lemmas: []string{"hardness"}, gloss: "the property of being rigid and resistant to pressure", parent: "property.n.01"},
+	{id: "texture.n.01", lemmas: []string{"texture"}, gloss: "the feel of a surface or a fabric", parent: "property.n.01"},
+	{id: "honesty.n.01", lemmas: []string{"honesty", "honestness"}, gloss: "the quality of being honest", parent: "quality.n.01"},
+	{id: "courage.n.01", lemmas: []string{"courage", "bravery"}, gloss: "a quality of spirit that enables you to face danger despite fear", parent: "trait.n.01"},
+	// state / condition hyponyms
+	{id: "health.n.01", lemmas: []string{"health"}, gloss: "the general condition of body and mind", parent: "condition.n.01"},
+	{id: "poverty.n.01", lemmas: []string{"poverty", "impoverishment"}, gloss: "the state of having little or no money and few or no material possessions", parent: "condition.n.01"},
+	{id: "silence.n.01", lemmas: []string{"silence"}, gloss: "the state of being silent as when no one is speaking", parent: "state.n.02"},
+	{id: "freedom.n.01", lemmas: []string{"freedom"}, gloss: "the condition of being free from restraints", parent: "state.n.02"},
+	// measure / quantity hyponyms
+	{id: "mile.n.01", lemmas: []string{"mile", "statute mile"}, gloss: "a unit of length equal to 1760 yards", parent: "unit_of_measurement.n.01"},
+	{id: "gallon.n.01", lemmas: []string{"gallon"}, gloss: "a United States liquid unit equal to 4 quarts", parent: "unit_of_measurement.n.01"},
+	{id: "month.n.01", lemmas: []string{"month"}, gloss: "one of the twelve divisions of the calendar year", parent: "time_period.n.01"},
+	{id: "week.n.01", lemmas: []string{"week"}, gloss: "any period of seven consecutive days", parent: "time_period.n.01"},
+	{id: "decade.n.01", lemmas: []string{"decade", "decennium"}, gloss: "a period of ten years", parent: "time_period.n.01"},
+	{id: "season.n.01", lemmas: []string{"season"}, gloss: "a period of the year marked by special events or activities", parent: "time_period.n.01"},
+	// organization hyponyms
+	{id: "army.n.01", lemmas: []string{"army", "ground forces"}, gloss: "a permanent organization of the military land forces of a nation", parent: "unit.n.03"},
+	{id: "university.n.01", lemmas: []string{"university"}, gloss: "a large and diverse institution of higher learning", parent: "organization.n.01"},
+	{id: "team.n.01", lemmas: []string{"team", "squad"}, gloss: "a cooperative unit of persons organized for work or sport", parent: "unit.n.03"},
+	{id: "committee.n.01", lemmas: []string{"committee", "commission"}, gloss: "a special group delegated to consider some matter", parent: "organization.n.01"},
+	{id: "church.n.01", lemmas: []string{"church", "christian church"}, gloss: "one of the groups of Christians who have their own beliefs and forms of worship", parent: "organization.n.01"},
+	// food hyponyms
+	{id: "bread.n.01", lemmas: []string{"bread", "breadstuff"}, gloss: "a food made from dough of flour or meal and usually raised with yeast", parent: "food.n.02"},
+	{id: "cheese.n.01", lemmas: []string{"cheese"}, gloss: "a solid food prepared from the pressed curd of milk", parent: "food.n.02"},
+	{id: "soup.n.01", lemmas: []string{"soup"}, gloss: "liquid food especially of meat or fish or vegetable stock", parent: "food.n.02"},
+	{id: "salad.n.01", lemmas: []string{"salad"}, gloss: "food mixtures either arranged on a plate or tossed and served with a moist dressing", parent: "food.n.02"},
+	{id: "dinner.n.01", lemmas: []string{"dinner"}, gloss: "the main meal of the day served in the evening or at midday", parent: "meal.n.01"},
+	{id: "lunch.n.01", lemmas: []string{"lunch", "luncheon"}, gloss: "a midday meal", parent: "meal.n.01"},
+	{id: "tea.n.01", lemmas: []string{"tea"}, gloss: "a beverage made by steeping tea leaves in water", parent: "beverage.n.01"},
+	{id: "milk.n.01", lemmas: []string{"milk"}, gloss: "a white nutritious liquid secreted by mammals and used as food by human beings", parent: "beverage.n.01"},
+	// animal / plant hyponyms
+	{id: "dog.n.01", lemmas: []string{"dog", "domestic dog"}, gloss: "a domesticated carnivorous mammal that has been kept by humans since prehistoric times", parent: "animal.n.01"},
+	{id: "cat.n.01", lemmas: []string{"cat", "true cat"}, gloss: "a feline mammal usually having thick soft fur", parent: "animal.n.01"},
+	{id: "horse.n.01", lemmas: []string{"horse", "equus caballus"}, gloss: "a solid hoofed herbivorous quadruped domesticated since prehistoric times", parent: "animal.n.01"},
+	{id: "eagle.n.01", lemmas: []string{"eagle", "bird of jove"}, gloss: "any of various large keen sighted diurnal birds of prey", parent: "bird.n.01"},
+	{id: "sparrow.n.01", lemmas: []string{"sparrow", "true sparrow"}, gloss: "any of several small dull colored singing birds feeding on seeds", parent: "bird.n.01"},
+	{id: "oak.n.01", lemmas: []string{"oak", "oak tree"}, gloss: "a deciduous tree of the genus Quercus bearing acorns", parent: "plant.n.01"},
+	{id: "pine.n.01", lemmas: []string{"pine", "pine tree"}, gloss: "a coniferous tree of the genus Pinus with needlelike leaves", parent: "plant.n.01"},
+	{id: "grass.n.01", lemmas: []string{"grass"}, gloss: "narrow leaved green herbage grown as lawns or used as pasture", parent: "plant.n.01"},
+	{id: "leaf.n.01", lemmas: []string{"leaf", "foliage"}, gloss: "the main organ of photosynthesis in higher plants", parent: "plant_organ.n.01"},
+	{id: "root.n.01", lemmas: []string{"root"}, gloss: "the usually underground organ that anchors and supports a plant", parent: "plant_organ.n.01"},
+	{id: "seed.n.01", lemmas: []string{"seed"}, gloss: "a small hard fruit or ripened ovule of a plant", parent: "plant_organ.n.01"},
+	// body / natural object hyponyms
+	{id: "hand.n.01", lemmas: []string{"hand", "manus"}, gloss: "the prehensile extremity of the superior limb", parent: "body_part.n.01"},
+	{id: "eye.n.01", lemmas: []string{"eye", "oculus"}, gloss: "the organ of sight", parent: "body_part.n.01"},
+	{id: "heart.n.01", lemmas: []string{"heart", "pump", "ticker"}, gloss: "the hollow muscular organ that maintains the circulation of the blood", parent: "body_part.n.01"},
+	{id: "moon.n.01", lemmas: []string{"moon"}, gloss: "the natural satellite of the earth", parent: "celestial_body.n.01"},
+	{id: "planet.n.01", lemmas: []string{"planet"}, gloss: "a celestial body that revolves around the sun in its orbit", parent: "celestial_body.n.01"},
+	{id: "comet.n.01", lemmas: []string{"comet"}, gloss: "a relatively small celestial body consisting of a frozen mass that travels around the sun", parent: "celestial_body.n.01"},
+	// cognition hyponyms
+	{id: "memory.n.01", lemmas: []string{"memory", "remembrance"}, gloss: "the cognitive process whereby past experience is remembered", parent: "cognition.n.01"},
+	{id: "belief.n.01", lemmas: []string{"belief"}, gloss: "any cognitive content held as true", parent: "content.n.05"},
+	{id: "idea.n.01", lemmas: []string{"idea", "thought"}, gloss: "the content of cognition; the main thing you are thinking about", parent: "content.n.05"},
+	{id: "skill.n.01", lemmas: []string{"skill", "accomplishment"}, gloss: "an ability that has been acquired by training", parent: "ability.n.01"},
+	// group / collection hyponyms
+	{id: "crowd.n.01", lemmas: []string{"crowd"}, gloss: "a large number of things or people considered together", parent: "social_group.n.01"},
+	{id: "audience.n.01", lemmas: []string{"audience"}, gloss: "a gathering of spectators or listeners at a public performance", parent: "social_group.n.01"},
+	{id: "fleet.n.01", lemmas: []string{"fleet"}, gloss: "a group of ships or vehicles operating together under the same ownership", parent: "collection.n.01"},
+	{id: "library.n.02", lemmas: []string{"library", "program library"}, gloss: "a collection of standard programs and subroutines for immediate use", parent: "collection.n.01"},
+	{id: "archive.n.01", lemmas: []string{"archive"}, gloss: "a collection of records especially about an institution", parent: "collection.n.01"},
+}

@@ -1,0 +1,142 @@
+package wordnet
+
+// generalPolysemy holds the highly polysemous everyday words that drive the
+// ambiguity-degree experiments. "head" is the network's polysemy maximum,
+// mirroring its role in WordNet 2.1 (§3.3, Eq. 1).
+var generalPolysemy = []syn{
+	// ---- head: the Max(senses(SN)) anchor ----
+	{id: "head.n.01", lemmas: []string{"head", "caput"}, gloss: "the upper part of the human body or the front part of the body in animals that contains the face and brains", parent: "body_part.n.01", freq: 80},
+	{id: "head.n.02", lemmas: []string{"head", "chief", "top dog"}, gloss: "a person who is in charge of or leads an organization", parent: "leader.n.01", freq: 40},
+	{id: "head.n.03", lemmas: []string{"head", "mind", "brain", "psyche", "nous"}, gloss: "that which is responsible for thought and feeling; the seat of the faculty of reason", parent: "cognition.n.01", freq: 30},
+	{id: "head.n.04", lemmas: []string{"head"}, gloss: "the top or uppermost or forward part of anything", parent: "part.n.01", freq: 25},
+	{id: "head.n.05", lemmas: []string{"head"}, gloss: "the foam or froth that accumulates at the top when you pour an effervescent liquid into a container", parent: "substance.n.01", freq: 5},
+	{id: "head.n.06", lemmas: []string{"head", "fountainhead", "headspring"}, gloss: "the source of water from which a stream arises", parent: "location.n.01", freq: 5},
+	{id: "head.n.07", lemmas: []string{"head", "headmaster", "school principal"}, gloss: "the educator who has executive authority for a school", parent: "leader.n.01", freq: 8},
+	{id: "head.n.08", lemmas: []string{"head", "drumhead"}, gloss: "a membrane that is stretched taut over a drum", parent: "device.n.01", freq: 3},
+	{id: "head.n.09", lemmas: []string{"head", "read-write head"}, gloss: "an electromagnet that reads and writes information on a magnetic medium", parent: "device.n.01", freq: 4},
+	{id: "head.n.10", lemmas: []string{"head"}, gloss: "a toilet on a ship or boat", parent: "structure.n.01", freq: 3},
+	{id: "head.n.11", lemmas: []string{"head", "capitulum"}, gloss: "a dense cluster of flowers or foliage such as a head of cabbage or lettuce", parent: "plant_organ.n.01", freq: 4},
+	{id: "head.n.12", lemmas: []string{"head", "headline"}, gloss: "the heading or caption that appears at the top of a newspaper article", parent: "text.n.01", freq: 6},
+	{id: "head.n.13", lemmas: []string{"head"}, gloss: "a projecting part that is the striking or working end of a tool or instrument", parent: "part.n.01", freq: 5},
+	{id: "head.n.14", lemmas: []string{"head"}, gloss: "a single domestic animal counted as one of a larger number", parent: "animal.n.01", freq: 4},
+	{id: "head.n.15", lemmas: []string{"head"}, gloss: "the obverse side of a coin that bears the representation of a person", parent: "part.n.01", freq: 3},
+	{id: "head.n.16", lemmas: []string{"head"}, gloss: "the pressure exerted by a confined fluid as in a head of steam", parent: "property.n.01", freq: 3},
+	{id: "head.n.17", lemmas: []string{"head"}, gloss: "a critical and decisive point such as matters coming to a head", parent: "state.n.02", freq: 4},
+	{id: "head.n.18", lemmas: []string{"head", "head word"}, gloss: "the word in a grammatical constituent that plays the same grammatical role as the whole constituent", parent: "word.n.01", freq: 3},
+	{id: "head.n.19", lemmas: []string{"head", "promontory", "headland", "foreland"}, gloss: "a natural elevation of land jutting out into the sea", parent: "geological_formation.n.01", freq: 4},
+	{id: "head.n.20", lemmas: []string{"head"}, gloss: "the length or height of a head used as a unit of measurement as in winning by a head", parent: "unit_of_measurement.n.01", freq: 3},
+
+	// ---- line ----
+	{id: "line.n.01", lemmas: []string{"line"}, gloss: "a single row of written words or printed characters forming a unit of text", parent: "text.n.01", freq: 40},
+	{id: "line.n.02", lemmas: []string{"line", "queue", "waiting line"}, gloss: "a formation of people or things standing or waiting one behind another", parent: "group.n.01", freq: 15},
+	{id: "line.n.03", lemmas: []string{"line"}, gloss: "a mark that is long relative to its width drawn on a surface", parent: "symbol.n.01", freq: 15},
+	{id: "line.n.04", lemmas: []string{"line", "phone line", "telephone line"}, gloss: "a telephone connection carrying signals between two points", parent: "instrumentality.n.01", freq: 10},
+	{id: "line.n.05", lemmas: []string{"line", "product line", "line of products"}, gloss: "a particular kind of product or merchandise offered by a company", parent: "collection.n.01", freq: 8},
+	{id: "line.n.06", lemmas: []string{"line"}, gloss: "something long and thin and flexible such as a rope or cord", parent: "artifact.n.01", freq: 8},
+	{id: "line.n.07", lemmas: []string{"line", "railway line", "rail line"}, gloss: "the road consisting of railroad track and roadbed over which trains travel", parent: "way.n.01", freq: 7},
+	{id: "line.n.08", lemmas: []string{"line", "actor's line", "words"}, gloss: "the words of a speech spoken by an actor in a scene of a play or film", parent: "statement.n.01", wholes: []string{"speech.n.04"}, freq: 20},
+	{id: "line.n.09", lemmas: []string{"line", "lineage", "descent", "bloodline"}, gloss: "the descendants of one individual considered as a connected series", parent: "group.n.01", freq: 6},
+	{id: "line.n.10", lemmas: []string{"line", "dividing line", "demarcation"}, gloss: "a conceptual separation or boundary between two places or things", parent: "location.n.01", freq: 6},
+
+	// ---- state (state.n.02 condition lives in the upper ontology) ----
+	{id: "state.n.01", lemmas: []string{"state", "province"}, gloss: "the territory occupied by one of the constituent administrative districts of a nation", parent: "administrative_district.n.01", freq: 50},
+	{id: "state.n.03", lemmas: []string{"state", "nation", "country", "commonwealth", "land"}, gloss: "a politically organized body of people under a single government", parent: "organization.n.01", freq: 35},
+	{id: "state.n.04", lemmas: []string{"state"}, gloss: "the group of people comprising the government of a sovereign nation", parent: "organization.n.01", freq: 15},
+	{id: "state.n.05", lemmas: []string{"state", "state of matter"}, gloss: "the three traditional states of matter are solids and liquids and gases", parent: "property.n.01", freq: 8},
+	{id: "state.n.06", lemmas: []string{"state"}, gloss: "a state of depression or agitation as in being in such a state", parent: "condition.n.01", freq: 6},
+	{id: "state.n.07", lemmas: []string{"state", "department of state", "state department"}, gloss: "the federal department that sets and maintains foreign policies", parent: "organization.n.01", freq: 5},
+
+	// ---- name ----
+	{id: "name.n.02", lemmas: []string{"name", "reputation"}, gloss: "a person's reputation as in making a name for himself", parent: "attribute.n.01", freq: 12},
+	{id: "name.n.03", lemmas: []string{"name", "epithet"}, gloss: "a defamatory or abusive word or phrase as in calling someone names", parent: "statement.n.01", freq: 4},
+	{id: "first_name.n.01", lemmas: []string{"first name", "given name", "forename"}, gloss: "the name that precedes the surname and is used to identify a person within a family", parent: "name.n.01", freq: 15},
+	{id: "last_name.n.01", lemmas: []string{"last name", "surname", "family name", "cognomen"}, gloss: "the name used to identify the members of a family as distinguished from each member's given name", parent: "name.n.01", freq: 15},
+
+	// ---- year ----
+	{id: "year.n.01", lemmas: []string{"year", "twelvemonth", "yr"}, gloss: "a period of time containing 365 or 366 days", parent: "time_period.n.01", freq: 60},
+	{id: "year.n.02", lemmas: []string{"year", "school year", "academic year"}, gloss: "a period of time occupied by an academic calendar of teaching", parent: "time_period.n.01", freq: 10},
+	{id: "year.n.03", lemmas: []string{"year", "class", "cohort"}, gloss: "a body of students who graduate together such as the year of 1990", parent: "social_group.n.01", freq: 6},
+
+	// ---- number ----
+	{id: "number.n.01", lemmas: []string{"number", "figure"}, gloss: "the property possessed by a sum or total or indefinite quantity of units or individuals", parent: "definite_quantity.n.01", freq: 40},
+	{id: "number.n.02", lemmas: []string{"number", "phone number", "telephone number"}, gloss: "the number is used in calling a particular telephone", parent: "name.n.01", freq: 15},
+	{id: "number.n.03", lemmas: []string{"number", "numeral"}, gloss: "a symbol used to represent a number", parent: "symbol.n.01", freq: 12},
+	{id: "number.n.04", lemmas: []string{"number", "issue"}, gloss: "one of a series of periodical publications such as an issue of a magazine", parent: "publication.n.01", freq: 10},
+	{id: "number.n.05", lemmas: []string{"number", "act", "routine", "turn", "bit"}, gloss: "a short theatrical performance that is part of a longer program", parent: "show.n.01", freq: 6},
+	{id: "number.n.06", lemmas: []string{"number", "grammatical number"}, gloss: "the grammatical category for the forms of nouns and pronouns and verbs", parent: "category.n.01", freq: 4},
+
+	// ---- part (part.n.01 generic is upper) ----
+	{id: "part.n.02", lemmas: []string{"part", "piece"}, gloss: "a portion of a natural object as in parts of the river", parent: "natural_object.n.01", freq: 20},
+	{id: "part.n.03", lemmas: []string{"part", "role", "theatrical role", "character", "persona"}, gloss: "an actor's portrayal of someone in a play or film", parent: "imaginary_being.n.01", freq: 25},
+	{id: "part.n.04", lemmas: []string{"part", "share", "portion", "percentage"}, gloss: "assets belonging to or due to or contributed by an individual person or group", parent: "possession.n.01", freq: 12},
+	{id: "part.n.05", lemmas: []string{"part", "voice"}, gloss: "the melody carried by a particular voice or instrument in polyphonic music", parent: "auditory_communication.n.01", freq: 6},
+	{id: "part.n.06", lemmas: []string{"part", "region"}, gloss: "the extended spatial location of something as in the farming regions of France", parent: "region.n.01", freq: 10},
+
+	// ---- character ----
+	{id: "character.n.01", lemmas: []string{"character", "fictional character", "fictitious character"}, gloss: "an imaginary person represented in a work of fiction", parent: "imaginary_being.n.01", freq: 25},
+	{id: "character.n.02", lemmas: []string{"character", "grapheme", "graphic symbol"}, gloss: "a written symbol that is used to represent speech", parent: "symbol.n.01", freq: 15},
+	{id: "character.n.03", lemmas: []string{"character", "fiber", "fibre"}, gloss: "the inherent complex of attributes that determines a person's moral and ethical actions", parent: "trait.n.01", freq: 12},
+	{id: "character.n.04", lemmas: []string{"character", "eccentric", "case", "type"}, gloss: "a person of a specified kind usually with many eccentricities", parent: "person.n.01", freq: 8},
+	{id: "character.n.05", lemmas: []string{"character", "quality", "lineament"}, gloss: "a characteristic property that defines the apparent individual nature of something", parent: "property.n.01", freq: 6},
+
+	// ---- light ----
+	{id: "light.n.01", lemmas: []string{"light", "visible light", "visible radiation"}, gloss: "electromagnetic radiation that can produce a visual sensation", parent: "radiation.n.01", freq: 40},
+	{id: "light.n.02", lemmas: []string{"light", "light source"}, gloss: "a device sold as a product serving as a source of illumination such as an electric lamp", parent: "device.n.01", freq: 20},
+	{id: "light.n.03", lemmas: []string{"light", "illumination"}, gloss: "the degree of illumination received such as the amount of sunlight a plant requires", parent: "property.n.01", freq: 15},
+	{id: "light.n.04", lemmas: []string{"light", "daylight", "sunlight"}, gloss: "the natural light of day provided by the sun", parent: "radiation.n.01", freq: 12},
+	{id: "light.n.05", lemmas: []string{"light", "traffic light", "stoplight"}, gloss: "a visual signal to control the flow of traffic at intersections", parent: "device.n.01", freq: 6},
+	{id: "light.n.06", lemmas: []string{"light", "perspective"}, gloss: "a particular perspective or aspect of a situation as in seeing things in a new light", parent: "cognition.n.01", freq: 6},
+	{id: "light.n.07", lemmas: []string{"light", "flame", "fire"}, gloss: "a source used to ignite something such as a light for a cigarette", parent: "event.n.01", freq: 4},
+
+	// ---- time ----
+	{id: "time.n.01", lemmas: []string{"time"}, gloss: "the continuum of experience in which events pass from the future through the present to the past", parent: "measure.n.01", freq: 50},
+	{id: "time.n.02", lemmas: []string{"time", "clip"}, gloss: "an instance or single occasion for some event as in this time he succeeded", parent: "event.n.01", freq: 20},
+	{id: "time.n.03", lemmas: []string{"time"}, gloss: "an indefinite period usually marked by specific attributes or activities", parent: "time_period.n.01", freq: 15},
+	{id: "time.n.04", lemmas: []string{"time", "prison term", "sentence"}, gloss: "the period of time a prisoner is imprisoned", parent: "time_period.n.01", freq: 5},
+	{id: "time.n.05", lemmas: []string{"time", "clock time"}, gloss: "a reading of a point in time as given by a clock", parent: "value.n.01", freq: 10},
+
+	// ---- run ----
+	{id: "run.n.01", lemmas: []string{"run", "running"}, gloss: "the act of running or traveling on foot at a fast pace", parent: "activity.n.01", freq: 20},
+	{id: "run.n.02", lemmas: []string{"run"}, gloss: "a score in baseball made by a runner touching all four bases safely", parent: "accomplishment.n.01", freq: 8},
+	{id: "run.n.03", lemmas: []string{"run", "streak"}, gloss: "an unbroken series of events such as a run of bad luck", parent: "series.n.01", freq: 8},
+	{id: "run.n.04", lemmas: []string{"run", "rivulet", "rill", "streamlet"}, gloss: "a small stream of water", parent: "location.n.01", freq: 4},
+	{id: "run.n.05", lemmas: []string{"run"}, gloss: "the continuous period of time a theatrical production is performed", parent: "time_period.n.01", freq: 10},
+	{id: "run.n.06", lemmas: []string{"run", "ladder", "ravel"}, gloss: "a row of unravelled stitches in a stocking", parent: "part.n.01", freq: 3},
+
+	// ---- window ----
+	{id: "window.n.01", lemmas: []string{"window"}, gloss: "a framework of wood or metal that contains a glass windowpane and is built into a wall to admit light or air", parent: "structure.n.01", freq: 30},
+	{id: "window.n.02", lemmas: []string{"window"}, gloss: "a rectangular part of a computer screen that displays its own file or message", parent: "representation.n.01", freq: 10},
+	{id: "window.n.03", lemmas: []string{"window", "time window"}, gloss: "a limited period of time during which an opportunity exists", parent: "time_period.n.01", freq: 6},
+	{id: "window.n.04", lemmas: []string{"window"}, gloss: "an opening in a wall or screen through which business is transacted as at a ticket window", parent: "structure.n.01", freq: 5},
+
+	// ---- rear ----
+	{id: "rear.n.01", lemmas: []string{"rear", "back"}, gloss: "the side of an object that is opposite its front", parent: "part.n.01", freq: 15},
+	{id: "rear.n.02", lemmas: []string{"rear", "backside", "behind"}, gloss: "the fleshy part of the human body that you sit on", parent: "body_part.n.01", freq: 5},
+	{id: "rear.n.03", lemmas: []string{"rear"}, gloss: "the section of a military formation farthest from the fighting front", parent: "unit.n.03", freq: 4},
+
+	// ---- first / last ----
+	{id: "first.n.01", lemmas: []string{"first", "number one"}, gloss: "the first or highest rank in an ordering or series", parent: "position.n.02", freq: 20},
+	{id: "first.n.02", lemmas: []string{"first", "first gear", "low gear"}, gloss: "the lowest forward gear ratio in the gear box of a motor vehicle", parent: "device.n.01", freq: 4},
+	{id: "last.n.01", lemmas: []string{"last", "end", "final stage"}, gloss: "the concluding part of any performance or series", parent: "part.n.01", freq: 15},
+	{id: "last.n.02", lemmas: []string{"last", "shoemaker's last", "cobbler's last"}, gloss: "a holding device shaped like a human foot that is used to fashion or repair shoes", parent: "device.n.01", freq: 3},
+
+	// ---- group (group.n.01 generic is upper) ----
+	{id: "group.n.02", lemmas: []string{"group", "musical group", "musical organization"}, gloss: "an organization of musicians who perform together", parent: "organization.n.01", freq: 12},
+	{id: "group.n.03", lemmas: []string{"group", "radical", "chemical group"}, gloss: "a set of atoms that is part of a larger molecule and behaves as a unit", parent: "substance.n.01", freq: 4},
+
+	// ---- direction ----
+	{id: "direction.n.01", lemmas: []string{"direction", "way"}, gloss: "a line leading to a place or point as in the direction of the city", parent: "relation.n.01", freq: 20},
+	{id: "direction.n.02", lemmas: []string{"direction", "guidance", "counsel"}, gloss: "something that provides guidance about how to proceed", parent: "message.n.02", freq: 10},
+	{id: "direction.n.03", lemmas: []string{"direction", "management"}, gloss: "the act of managing or supervising something", parent: "activity.n.01", freq: 8},
+	{id: "direction.n.04", lemmas: []string{"direction", "trend"}, gloss: "a general course along which something has a tendency to develop", parent: "cognition.n.01", freq: 6},
+	{id: "stage_direction.n.01", lemmas: []string{"stage direction", "stagedir"}, gloss: "an instruction written as part of the script of a play telling the actors what to do", parent: "instruction.n.01", freq: 8},
+
+	// ---- system / art / database (book-title and value vocabulary) ----
+	{id: "system.n.01", lemmas: []string{"system"}, gloss: "a procedure or process for obtaining an objective; a complex method", parent: "cognition.n.01", freq: 20},
+	{id: "system.n.02", lemmas: []string{"system"}, gloss: "instrumentality that combines interrelated interacting artifacts designed to work as a coherent entity", parent: "instrumentality.n.01", freq: 15},
+	{id: "system.n.03", lemmas: []string{"system"}, gloss: "a group of physiologically or anatomically related organs or parts of the body", parent: "body_part.n.01", freq: 6},
+	{id: "art.n.01", lemmas: []string{"art", "fine art"}, gloss: "the products of human creativity such as works of art collectively", parent: "creation.n.01", freq: 20},
+	{id: "art.n.02", lemmas: []string{"art", "artistry", "prowess"}, gloss: "a superior skill that you can learn by study and practice", parent: "ability.n.01", freq: 10},
+	{id: "art.n.03", lemmas: []string{"art", "artwork", "graphics"}, gloss: "photographs or other visual representations in a printed publication", parent: "representation.n.01", freq: 6},
+	{id: "database.n.01", lemmas: []string{"database"}, gloss: "an organized body of related information stored in a computer", parent: "information.n.02", freq: 12},
+}

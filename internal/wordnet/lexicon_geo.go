@@ -1,0 +1,56 @@
+package wordnet
+
+// geoVocabulary adds countries, cities, and landmarks — the proper-noun
+// layer address-like values need when users run XSDF on their own
+// documents (the corpus keeps its own geographic values gold-free so the
+// calibrated experiments are untouched).
+var geoVocabulary = []syn{
+	// countries (instances of the nation sense of country)
+	{id: "france.n.01", lemmas: []string{"france", "french republic"}, gloss: "a republic in western europe famous for its art and cuisine", parent: "country.n.01", freq: 8},
+	{id: "germany.n.01", lemmas: []string{"germany", "federal republic of germany"}, gloss: "a republic in central europe", parent: "country.n.01", freq: 8},
+	{id: "italy.n.01", lemmas: []string{"italy", "italian republic"}, gloss: "a republic in southern europe on the italian peninsula", parent: "country.n.01", freq: 7},
+	{id: "spain.n.01", lemmas: []string{"spain", "kingdom of spain"}, gloss: "a parliamentary monarchy in southwestern europe", parent: "country.n.01", freq: 6},
+	{id: "england.n.01", lemmas: []string{"england"}, gloss: "a division of the united kingdom on the island of great britain", parent: "country.n.01", freq: 8},
+	{id: "uk.n.01", lemmas: []string{"uk", "united kingdom", "britain", "great britain"}, gloss: "a monarchy in northwestern europe comprising england scotland wales and northern ireland", parent: "country.n.01", freq: 8},
+	{id: "usa.n.01", lemmas: []string{"usa", "united states", "united states of america", "america"}, gloss: "a north american republic of fifty states", parent: "country.n.01", freq: 10},
+	{id: "japan.n.01", lemmas: []string{"japan"}, gloss: "a constitutional monarchy occupying an archipelago off east asia", parent: "country.n.01", freq: 7},
+	{id: "china.n.01", lemmas: []string{"china", "people's republic of china"}, gloss: "a communist nation covering a vast territory in east asia", parent: "country.n.01", freq: 7},
+	{id: "china.n.02", lemmas: []string{"china", "chinaware"}, gloss: "high quality porcelain dishware originally made in china", parent: "container.n.01", freq: 4},
+	{id: "india.n.01", lemmas: []string{"india", "republic of india"}, gloss: "a republic in south asia second most populous country in the world", parent: "country.n.01", freq: 7},
+	{id: "canada.n.01", lemmas: []string{"canada"}, gloss: "a nation in northern north america the second largest country in the world", parent: "country.n.01", freq: 6},
+	{id: "australia.n.01", lemmas: []string{"australia", "commonwealth of australia"}, gloss: "a nation occupying the whole of the australian continent", parent: "country.n.01", freq: 6},
+	{id: "egypt.n.01", lemmas: []string{"egypt", "arab republic of egypt"}, gloss: "a republic in northeastern africa known for ancient monuments", parent: "country.n.01", freq: 5},
+	{id: "greece.n.01", lemmas: []string{"greece", "hellenic republic"}, gloss: "a republic in southeastern europe regarded as the birthplace of western democracy", parent: "country.n.01", freq: 5},
+	{id: "monaco.n.01", lemmas: []string{"monaco", "principality of monaco"}, gloss: "a tiny principality on the mediterranean coast famous for its casino", parent: "country.n.01", freq: 4},
+	{id: "scotland.n.01", lemmas: []string{"scotland"}, gloss: "a division of the united kingdom occupying the northern part of great britain", parent: "country.n.01", freq: 5},
+
+	// cities (instances of the urban sense of city)
+	{id: "paris.n.01", lemmas: []string{"paris", "city of light"}, gloss: "the capital and largest city of france", parent: "city.n.01", freq: 7},
+	{id: "paris.n.02", lemmas: []string{"paris"}, gloss: "the trojan prince whose abduction of helen led to the trojan war", parent: "person.n.01", freq: 3},
+	{id: "london.n.01", lemmas: []string{"london", "greater london"}, gloss: "the capital and largest city of england and the united kingdom", parent: "city.n.01", freq: 8},
+	{id: "london.n.02", lemmas: []string{"london", "jack london"}, gloss: "united states writer of adventure novels", parent: "writer.n.01", freq: 3},
+	{id: "rome.n.01", lemmas: []string{"rome", "eternal city"}, gloss: "the capital and largest city of italy once the seat of the roman empire", parent: "city.n.01", freq: 6},
+	{id: "berlin.n.01", lemmas: []string{"berlin"}, gloss: "the capital and largest city of germany", parent: "city.n.01", freq: 6},
+	{id: "berlin.n.02", lemmas: []string{"berlin", "irving berlin"}, gloss: "united states songwriter of popular standards", parent: "musician.n.01", freq: 3},
+	{id: "madrid.n.01", lemmas: []string{"madrid"}, gloss: "the capital and largest city of spain centrally located", parent: "city.n.01", freq: 5},
+	{id: "tokyo.n.01", lemmas: []string{"tokyo", "edo"}, gloss: "the capital and largest city of japan", parent: "city.n.01", freq: 6},
+	{id: "newyork.n.01", lemmas: []string{"new york", "new york city", "big apple"}, gloss: "the largest city of the united states a center of finance and culture", parent: "city.n.01", freq: 8},
+	{id: "newyork.n.02", lemmas: []string{"new york", "new york state", "empire state"}, gloss: "a mid atlantic state of the united states", parent: "state.n.01", freq: 5},
+	{id: "hollywood.n.01", lemmas: []string{"hollywood"}, gloss: "a district of los angeles regarded as the center of the american film industry", parent: "city.n.01", freq: 5},
+	{id: "hollywood.n.02", lemmas: []string{"hollywood"}, gloss: "the american film industry considered collectively", parent: "organization.n.01", freq: 4},
+	{id: "madison.n.01", lemmas: []string{"madison"}, gloss: "the capital city of the state of wisconsin", parent: "city.n.01", freq: 4},
+	{id: "madison.n.02", lemmas: []string{"madison", "james madison"}, gloss: "fourth president of the united states", parent: "president.n.01", freq: 3},
+	{id: "wisconsin.n.01", lemmas: []string{"wisconsin", "badger state"}, gloss: "a midwestern state of the united states", parent: "state.n.01", freq: 4},
+
+	// landmarks and physical geography
+	{id: "thames.n.01", lemmas: []string{"thames", "river thames"}, gloss: "the river flowing through southern england past london", parent: "river.n.01", freq: 3},
+	{id: "seine.n.01", lemmas: []string{"seine"}, gloss: "the river flowing through paris into the english channel", parent: "river.n.01", freq: 3},
+	{id: "seine.n.02", lemmas: []string{"seine", "seine net"}, gloss: "a large fishing net that hangs vertically in the water", parent: "device.n.01", freq: 2},
+	{id: "nile.n.01", lemmas: []string{"nile", "nile river"}, gloss: "the longest river of the world flowing through egypt", parent: "river.n.01", freq: 4},
+	{id: "everest.n.01", lemmas: []string{"everest", "mount everest"}, gloss: "the highest mountain peak in the world located in the himalayas", parent: "mountain.n.01", freq: 4},
+	{id: "alps.n.01", lemmas: []string{"alps", "the alps"}, gloss: "a large mountain system in south central europe", parent: "mountain.n.01", freq: 4},
+	{id: "atlantic.n.01", lemmas: []string{"atlantic", "atlantic ocean"}, gloss: "the second largest ocean separating europe and africa from the americas", parent: "ocean.n.01", freq: 5},
+	{id: "pacific.n.01", lemmas: []string{"pacific", "pacific ocean"}, gloss: "the largest ocean in the world", parent: "ocean.n.01", freq: 5},
+	{id: "sahara.n.01", lemmas: []string{"sahara", "sahara desert"}, gloss: "the world's largest hot desert covering much of northern africa", parent: "desert.n.01", freq: 3},
+	{id: "amazonriver.n.01", lemmas: []string{"amazon river"}, gloss: "the south american river carrying more water than any other river", parent: "river.n.01", freq: 3},
+}

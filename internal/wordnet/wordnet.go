@@ -1,0 +1,89 @@
+// Package wordnet provides the reference semantic network instances used by
+// the reproduction.
+//
+// The paper uses WordNet 2.1, which is not redistributable inside this
+// offline module, so the package embeds a hand-curated mini-WordNet of
+// several hundred noun synsets covering the complete tag and value
+// vocabulary of the ten test datasets (Table 3), plus the polysemous common
+// words ("head", "line", "play", "state", "star", "cast", ...) that drive
+// the ambiguity experiments. The hierarchy, lemma sets, glosses, and
+// IS-A/PART-OF links follow WordNet's conventions; concept frequencies are
+// synthetic Brown-corpus-style counts decreasing with sense rank, which is
+// what the Lin information-content measure needs (see DESIGN.md,
+// "Substitutions").
+//
+// For scale and property-based testing, Generate builds seeded synthetic
+// networks of arbitrary size with the same structural properties.
+package wordnet
+
+import (
+	"sync"
+
+	"repro/internal/semnet"
+)
+
+// syn is one embedded synset definition. parent is the hypernym concept id
+// ("" for hierarchy roots); wholes lists holonym targets (this concept is
+// PART-OF each of them).
+type syn struct {
+	id     string
+	lemmas []string
+	gloss  string
+	parent string
+	wholes []string
+	freq   float64
+}
+
+// defaultFreq is the synthetic corpus count for synsets without an explicit
+// frequency. Dominant senses get explicit larger counts.
+const defaultFreq = 10
+
+var (
+	defaultOnce sync.Once
+	defaultNet  *semnet.Network
+)
+
+// Default returns the embedded mini-WordNet. The network is built once and
+// shared; it is immutable and safe for concurrent use.
+func Default() *semnet.Network {
+	defaultOnce.Do(func() {
+		defaultNet = build(allSynsets())
+	})
+	return defaultNet
+}
+
+func allSynsets() []syn {
+	var all []syn
+	all = append(all, upperOntology...)
+	all = append(all, generalPolysemy...)
+	all = append(all, mediaDomain...)
+	all = append(all, commerceDomain...)
+	all = append(all, peopleDomain...)
+	all = append(all, fillerSynsets...)
+	all = append(all, extendedVocabulary...)
+	all = append(all, worldVocabulary...)
+	all = append(all, commonVocabulary...)
+	all = append(all, geoVocabulary...)
+	all = append(all, natureVocabulary...)
+	return all
+}
+
+func build(defs []syn) *semnet.Network {
+	b := semnet.NewBuilder()
+	for _, s := range defs {
+		f := s.freq
+		if f == 0 {
+			f = defaultFreq
+		}
+		b.AddConcept(semnet.ConceptID(s.id), s.gloss, f, s.lemmas...)
+	}
+	for _, s := range defs {
+		if s.parent != "" {
+			b.IsA(semnet.ConceptID(s.id), semnet.ConceptID(s.parent))
+		}
+		for _, w := range s.wholes {
+			b.PartOf(semnet.ConceptID(s.id), semnet.ConceptID(w))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,27 @@
+package xmlsim
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/wordnet"
+)
+
+func BenchmarkDistanceSyntactic(b *testing.B) {
+	docs := corpus.GenerateDataset(42, 1) // Shakespeare, ~200 nodes each
+	a, c := docs[0].Tree, docs[1].Tree
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(a, c, SyntacticCosts{})
+	}
+}
+
+func BenchmarkDistanceSemantic(b *testing.B) {
+	docs := corpus.GenerateDataset(42, 4) // small movie docs
+	a, c := docs[0].Tree, docs[1].Tree
+	costs := NewSemanticCosts(wordnet.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(a, c, costs)
+	}
+}

@@ -1,0 +1,165 @@
+package xmlsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+func tree(t testing.TB, doc string) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(doc, xmltree.ParseOptions{IncludeContent: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		n.Label = n.Raw
+	}
+	return tr
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	a := tree(t, `<a><b/><c><d/></c></a>`)
+	b := tree(t, `<a><b/><c><d/></c></a>`)
+	if d := Distance(a, b, SyntacticCosts{}); d != 0 {
+		t.Errorf("identical trees distance = %f", d)
+	}
+	if s := Similarity(a, b, SyntacticCosts{}); s != 1 {
+		t.Errorf("identical trees similarity = %f", s)
+	}
+}
+
+func TestDistanceKnownSmallCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{`<a/>`, `<b/>`, 1},                       // one rename
+		{`<a><b/></a>`, `<a/>`, 1},                // one delete
+		{`<a/>`, `<a><b/><c/></a>`, 2},            // two inserts
+		{`<a><b/><c/></a>`, `<a><c/><b/></a>`, 2}, // swap = 2 renames
+		{`<a><b><c/></b></a>`, `<a><c/></a>`, 1},  // remove middle node (c keeps its place)
+	}
+	for _, c := range cases {
+		got := Distance(tree(t, c.a), tree(t, c.b), SyntacticCosts{})
+		if got != c.want {
+			t.Errorf("Distance(%s, %s) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetricUnderUnitCosts(t *testing.T) {
+	f := func(shapeA, shapeB []uint8) bool {
+		a := randomTree(shapeA)
+		b := randomTree(shapeB)
+		d1 := Distance(a, b, SyntacticCosts{})
+		d2 := Distance(b, a, SyntacticCosts{})
+		return d1 == d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(sa, sb, sc []uint8) bool {
+		a, b, c := randomTree(sa), randomTree(sb), randomTree(sc)
+		dab := Distance(a, b, SyntacticCosts{})
+		dbc := Distance(b, c, SyntacticCosts{})
+		dac := Distance(a, c, SyntacticCosts{})
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomTree(shape []uint8) *xmltree.Tree {
+	root := &xmltree.Node{Label: "r", Kind: xmltree.Element}
+	nodes := []*xmltree.Node{root}
+	for i, x := range shape {
+		if len(nodes) >= 14 {
+			break
+		}
+		parent := nodes[int(x)%len(nodes)]
+		n := &xmltree.Node{Label: string(rune('a' + i%5)), Kind: xmltree.Element}
+		parent.AddChild(n)
+		nodes = append(nodes, n)
+	}
+	return xmltree.New(root)
+}
+
+// TestFigure1SemanticVsSyntactic is the package's headline: the two
+// documents of the paper's Figure 1 describe the same movie with different
+// structures and tagging. After disambiguation, the semantic cost model
+// aligns "star" with "actor" and "picture" with "movie", so semantic
+// similarity must clearly exceed syntactic similarity.
+func TestFigure1SemanticVsSyntactic(t *testing.T) {
+	net := wordnet.Default()
+	fw, err := core.New(net, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	process := func(doc string) *xmltree.Tree {
+		res, err := fw.ProcessReader(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Tree
+	}
+	doc1 := process(`<films><picture><director>hitchcock</director><genre>mystery</genre>
+		<cast><star>stewart</star><star>kelly</star></cast></picture></films>`)
+	doc2 := process(`<movies><movie><name>vertigo</name><directed_by>alfred hitchcock</directed_by>
+		<actors><actor>james stewart</actor><actor>grace kelly</actor></actors></movie></movies>`)
+
+	syn := Similarity(doc1, doc2, SyntacticCosts{})
+	sem := Similarity(doc1, doc2, NewSemanticCosts(net))
+	if !(sem > syn) {
+		t.Errorf("semantic similarity %.3f should exceed syntactic %.3f", sem, syn)
+	}
+	if sem-syn < 0.05 {
+		t.Errorf("semantic gain too small: %.3f vs %.3f", sem, syn)
+	}
+	t.Logf("Figure 1 pair: syntactic %.3f, semantic %.3f", syn, sem)
+}
+
+func TestSemanticCostsFallbacks(t *testing.T) {
+	net := wordnet.Default()
+	c := NewSemanticCosts(net)
+	a := &xmltree.Node{Label: "x"}
+	b := &xmltree.Node{Label: "x"}
+	if c.Rename(a, b) != 0 {
+		t.Error("equal labels should cost 0")
+	}
+	b2 := &xmltree.Node{Label: "y"}
+	if c.Rename(a, b2) != 1 {
+		t.Error("sense-less differing labels should cost 1")
+	}
+	a.Sense, b2.Sense = "star.n.02", "actor.n.01"
+	cost := c.Rename(a, b2)
+	if cost <= 0 || cost >= 1 {
+		t.Errorf("related senses rename cost = %f, want in (0,1)", cost)
+	}
+	b2.Sense = "star.n.02"
+	if c.Rename(a, b2) != 0 {
+		t.Error("identical senses should cost 0")
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	var empty xmltree.Tree
+	a := tree(t, `<a><b/></a>`)
+	if d := Distance(&empty, a, SyntacticCosts{}); d != 2 {
+		t.Errorf("insert-all distance = %f, want 2", d)
+	}
+	if d := Distance(a, &empty, SyntacticCosts{}); d != 2 {
+		t.Errorf("delete-all distance = %f, want 2", d)
+	}
+	if s := Similarity(&empty, &empty, SyntacticCosts{}); s != 1 {
+		t.Errorf("two empty trees similarity = %f", s)
+	}
+}

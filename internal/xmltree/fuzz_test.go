@@ -1,0 +1,63 @@
+package xmltree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary byte inputs never panic the parser and
+// that anything it accepts survives a serialize/reparse round trip with the
+// same node count.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<films><picture title="Rear Window"><cast><star>Kelly</star></cast></picture></films>`,
+		`<a b="1" c="2">text <d/> more</a>`,
+		`<x><y><z/></y></x>`,
+		`not xml at all`,
+		`<a>&lt;&amp;&gt;</a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := ParseString(doc, DefaultParseOptions())
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteXML(&buf, false); err != nil {
+			t.Fatalf("accepted tree failed to serialize: %v", err)
+		}
+		tr2, err := Parse(&buf, DefaultParseOptions())
+		if err != nil {
+			t.Fatalf("serialized output does not reparse: %v\n%s", err, buf.String())
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed node count %d -> %d", tr.Len(), tr2.Len())
+		}
+	})
+}
+
+// FuzzSelect checks the path-query parser/matcher against arbitrary
+// queries: no panics, and results always belong to the tree.
+func FuzzSelect(f *testing.F) {
+	for _, q := range []string{"a/b", "//star", "films/*/cast", "a//b//c", "/", "", "//"} {
+		f.Add(q)
+	}
+	tr, err := ParseString(`<films><picture><cast><star>Kelly</star></cast></picture></films>`, DefaultParseOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		nodes, err := tr.Select(q)
+		if err != nil {
+			return
+		}
+		for _, n := range nodes {
+			if tr.Node(n.Index) != n {
+				t.Fatalf("query %q returned node outside the tree", q)
+			}
+		}
+	})
+}

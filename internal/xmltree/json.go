@@ -1,0 +1,95 @@
+package xmltree
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONNode is the JSON projection of a semantic tree node, the machine
+// interchange form of the "semantic XML tree" output (Figure 4.b): the
+// original tag, processed label, assigned concept, and recursively the
+// children. Empty fields are omitted.
+type JSONNode struct {
+	Kind     string      `json:"kind"`
+	Raw      string      `json:"raw"`
+	Label    string      `json:"label,omitempty"`
+	Sense    string      `json:"sense,omitempty"`
+	Score    float64     `json:"score,omitempty"`
+	Gold     string      `json:"gold,omitempty"`
+	Children []*JSONNode `json:"children,omitempty"`
+}
+
+// SemanticJSON converts the tree into its JSON projection.
+func (t *Tree) SemanticJSON() *JSONNode {
+	if t.Root == nil {
+		return nil
+	}
+	var conv func(n *Node) *JSONNode
+	conv = func(n *Node) *JSONNode {
+		j := &JSONNode{
+			Kind:  n.Kind.String(),
+			Raw:   n.Raw,
+			Sense: n.Sense,
+			Score: n.SenseScore,
+			Gold:  n.Gold,
+		}
+		if n.Label != n.Raw {
+			j.Label = n.Label
+		}
+		for _, c := range n.Children {
+			j.Children = append(j.Children, conv(c))
+		}
+		return j
+	}
+	return conv(t.Root)
+}
+
+// WriteJSON writes the semantic tree as indented JSON.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.SemanticJSON())
+}
+
+// FromSemanticJSON rebuilds a tree from its JSON projection (senses, scores
+// and gold labels included), the inverse of SemanticJSON.
+func FromSemanticJSON(j *JSONNode) *Tree {
+	if j == nil {
+		return &Tree{}
+	}
+	var conv func(j *JSONNode) *Node
+	conv = func(j *JSONNode) *Node {
+		n := &Node{
+			Raw:        j.Raw,
+			Label:      j.Label,
+			Sense:      j.Sense,
+			SenseScore: j.Score,
+			Gold:       j.Gold,
+		}
+		if n.Label == "" {
+			n.Label = n.Raw
+		}
+		switch j.Kind {
+		case "attribute":
+			n.Kind = Attribute
+		case "token":
+			n.Kind = Token
+		default:
+			n.Kind = Element
+		}
+		for _, c := range j.Children {
+			n.AddChild(conv(c))
+		}
+		return n
+	}
+	return New(conv(j))
+}
+
+// ReadJSON parses a semantic tree from its JSON form.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var j JSONNode
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, err
+	}
+	return FromSemanticJSON(&j), nil
+}

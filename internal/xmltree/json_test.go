@@ -1,0 +1,66 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSemanticJSONRoundTrip(t *testing.T) {
+	tr, err := ParseString(`<films><picture title="Rear Window"><cast><star>Kelly</star></cast></picture></films>`,
+		DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Node(2).Label = "picture"
+	for _, n := range tr.Nodes() {
+		if n.Raw == "cast" {
+			n.Sense = "cast.n.01"
+			n.SenseScore = 0.5
+		}
+		if n.Raw == "Kelly" {
+			n.Gold = "kelly.n.01"
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"sense": "cast.n.01"`, `"gold": "kelly.n.01"`, `"kind": "attribute"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip Len %d vs %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.Node(i), back.Node(i)
+		if a.Raw != b.Raw || a.Kind != b.Kind || a.Sense != b.Sense ||
+			a.SenseScore != b.SenseScore || a.Gold != b.Gold {
+			t.Errorf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSemanticJSONEmpty(t *testing.T) {
+	var tr Tree
+	if tr.SemanticJSON() != nil {
+		t.Error("empty tree should project to nil")
+	}
+	if got := FromSemanticJSON(nil); got.Len() != 0 {
+		t.Error("nil JSON should rebuild empty tree")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("expected decode error")
+	}
+}

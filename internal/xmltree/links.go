@@ -1,0 +1,102 @@
+package xmltree
+
+import "fmt"
+
+// The paper notes that semantic XML trees become graphs "when hyperlinks
+// come to play" (§1). This file implements intra-document hyperlinks via
+// the classic ID/IDREF convention: an attribute named "id" declares an
+// anchor, and attributes named "idref", "ref", or "href" (with a leading
+// '#') point at it. ResolveLinks materializes the references as Node.Links
+// edges, which the sphere package can optionally traverse so that linked
+// elements join each other's disambiguation contexts.
+
+// idAttrNames and refAttrNames are matched case-insensitively against
+// attribute labels.
+var refAttrNames = map[string]bool{"idref": true, "ref": true, "href": true}
+
+// ResolveLinks scans the tree for ID/IDREF attributes and connects the
+// owning elements with bidirectional Links edges. It returns the number of
+// links resolved. Dangling references are reported as an error after all
+// resolvable links are installed; duplicate anchor ids keep the first
+// declaration.
+func (t *Tree) ResolveLinks() (int, error) {
+	anchors := map[string]*Node{} // id value -> owning element
+	type pending struct {
+		from  *Node
+		value string
+	}
+	var refs []pending
+
+	for _, n := range t.Nodes() {
+		if n.Kind != Attribute || n.Parent == nil {
+			continue
+		}
+		value := attrValue(n)
+		if value == "" {
+			continue
+		}
+		switch {
+		case equalFold(n.Label, "id"):
+			if _, dup := anchors[value]; !dup {
+				anchors[value] = n.Parent
+			}
+		case refAttrNames[lowerASCII(n.Label)]:
+			if value[0] == '#' {
+				value = value[1:]
+			}
+			refs = append(refs, pending{from: n.Parent, value: value})
+		}
+	}
+
+	resolved := 0
+	var dangling []string
+	for _, r := range refs {
+		target, ok := anchors[r.value]
+		if !ok {
+			dangling = append(dangling, r.value)
+			continue
+		}
+		if target == r.from {
+			continue // self-reference adds nothing
+		}
+		r.from.Links = append(r.from.Links, target)
+		target.Links = append(target.Links, r.from)
+		resolved++
+	}
+	if len(dangling) > 0 {
+		return resolved, fmt.Errorf("xmltree: %d dangling idref(s): %v", len(dangling), dangling)
+	}
+	return resolved, nil
+}
+
+// attrValue joins an attribute's token children back into its raw value.
+func attrValue(attr *Node) string {
+	if len(attr.Children) == 0 {
+		return ""
+	}
+	if len(attr.Children) == 1 {
+		return attr.Children[0].Raw
+	}
+	out := attr.Children[0].Raw
+	for _, c := range attr.Children[1:] {
+		out += " " + c.Raw
+	}
+	return out
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+func equalFold(a, b string) bool { return lowerASCII(a) == lowerASCII(b) }

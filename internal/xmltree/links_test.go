@@ -1,0 +1,142 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const linkedDoc = `<plays>
+  <persona id="p1"><name>Hamlet</name></persona>
+  <persona id="p2"><name>Ophelia</name></persona>
+  <speech speaker="#p1"><line>words words</line></speech>
+  <speech speaker="p2"><line>more words</line></speech>
+</plays>`
+
+// speakerDoc uses the idref attribute name directly.
+const idrefDoc = `<a><b id="x"/><c idref="x"/><d ref="x"/></a>`
+
+func TestResolveLinksBasic(t *testing.T) {
+	tr, err := ParseString(idrefDoc, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.ResolveLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resolved %d links, want 2", n)
+	}
+	var b, c, d *Node
+	for _, x := range tr.Nodes() {
+		switch x.Label {
+		case "b":
+			b = x
+		case "c":
+			c = x
+		case "d":
+			d = x
+		}
+	}
+	if len(b.Links) != 2 {
+		t.Errorf("anchor has %d links, want 2 (c and d)", len(b.Links))
+	}
+	if len(c.Links) != 1 || c.Links[0] != b {
+		t.Errorf("c links = %v", c.Links)
+	}
+	if len(d.Links) != 1 || d.Links[0] != b {
+		t.Errorf("d links = %v", d.Links)
+	}
+}
+
+func TestResolveLinksHashPrefix(t *testing.T) {
+	tr, err := ParseString(linkedDoc, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.ResolveLinks()
+	if err == nil {
+		t.Log("no dangling refs") // speaker="p2" resolves; speaker isn't a ref name
+	}
+	_ = n
+	// speaker is not a recognized ref attribute: no links from it.
+	for _, x := range tr.Nodes() {
+		if x.Label == "speech" && len(x.Links) != 0 {
+			t.Errorf("speech should have no links via unrecognized attribute")
+		}
+	}
+}
+
+func TestResolveLinksRefNamedAttributes(t *testing.T) {
+	doc := strings.ReplaceAll(linkedDoc, "speaker=", "idref=")
+	tr, err := ParseString(doc, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.ResolveLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resolved %d, want 2 (with and without # prefix)", n)
+	}
+	// The first speech links to persona p1.
+	var speech, persona *Node
+	for _, x := range tr.Nodes() {
+		if x.Label == "speech" && speech == nil {
+			speech = x
+		}
+		if x.Label == "persona" && persona == nil {
+			persona = x
+		}
+	}
+	if len(speech.Links) != 1 || speech.Links[0] != persona {
+		t.Errorf("speech links = %v", speech.Links)
+	}
+}
+
+func TestResolveLinksDangling(t *testing.T) {
+	tr, err := ParseString(`<a><b idref="ghost"/></a>`, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ResolveLinks(); err == nil {
+		t.Error("expected dangling-reference error")
+	}
+}
+
+func TestResolveLinksSelfReferenceIgnored(t *testing.T) {
+	tr, err := ParseString(`<a id="s" idref="s"/>`, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.ResolveLinks()
+	if err != nil || n != 0 {
+		t.Errorf("self reference: n=%d err=%v", n, err)
+	}
+}
+
+func TestCloneRemapsLinks(t *testing.T) {
+	tr, err := ParseString(idrefDoc, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ResolveLinks(); err != nil {
+		t.Fatal(err)
+	}
+	cp := tr.Clone()
+	for i := 0; i < tr.Len(); i++ {
+		o, c := tr.Node(i), cp.Node(i)
+		if len(o.Links) != len(c.Links) {
+			t.Fatalf("node %d link count %d vs %d", i, len(o.Links), len(c.Links))
+		}
+		for j := range o.Links {
+			if c.Links[j] == o.Links[j] {
+				t.Fatal("clone shares link targets with original")
+			}
+			if c.Links[j].Index != o.Links[j].Index {
+				t.Fatal("clone link points at wrong node")
+			}
+		}
+	}
+}

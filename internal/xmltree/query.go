@@ -1,0 +1,145 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements a small path-query engine over document trees — an
+// XPath-like subset sufficient for the semantic-aware query-rewriting
+// scenarios of §1 and for tests/tools that need to address nodes
+// structurally:
+//
+//	films/picture/cast     exact label path from the root
+//	picture/*/star         * matches any single label
+//	//star                 // descends any number of levels
+//	films//kelly           descendant at any depth under films
+//
+// Matching is against Node.Label (the pre-processed label when linguistic
+// processing has run, the raw tag otherwise) and is case-sensitive.
+
+// Select returns, in preorder, every node whose root path matches the
+// query. An empty or "/" query selects the root. Invalid queries (empty
+// segments other than the // separator) return an error.
+func (t *Tree) Select(query string) ([]*Node, error) {
+	if t.Root == nil {
+		return nil, nil
+	}
+	segs, err := parseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return []*Node{t.Root}, nil
+	}
+	var out []*Node
+	seen := map[*Node]bool{}
+	// matchFrom matches the segment list starting at node n, where n must
+	// match segs[0].
+	var matchFrom func(n *Node, segs []segment)
+	matchFrom = func(n *Node, segs []segment) {
+		s := segs[0]
+		if !s.matches(n.Label) {
+			return
+		}
+		if len(segs) == 1 {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+			return
+		}
+		next := segs[1]
+		if next.deep {
+			var walk func(d *Node)
+			walk = func(d *Node) {
+				matchFrom(d, segs[1:])
+				for _, c := range d.Children {
+					walk(c)
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		} else {
+			for _, c := range n.Children {
+				matchFrom(c, segs[1:])
+			}
+		}
+	}
+	first := segs[0]
+	if first.deep {
+		var walk func(d *Node)
+		walk = func(d *Node) {
+			matchFrom(d, segs)
+			for _, c := range d.Children {
+				walk(c)
+			}
+		}
+		walk(t.Root)
+	} else {
+		matchFrom(t.Root, segs)
+	}
+	// Preorder output order.
+	sortByIndex(out)
+	return out, nil
+}
+
+// SelectFirst returns the first (preorder) match, or nil.
+func (t *Tree) SelectFirst(query string) (*Node, error) {
+	nodes, err := t.Select(query)
+	if err != nil || len(nodes) == 0 {
+		return nil, err
+	}
+	return nodes[0], nil
+}
+
+// segment is one step of a parsed query.
+type segment struct {
+	label string // "*" is a wildcard
+	// deep marks a step preceded by //: it may match at any depth below
+	// the previous match (or anywhere in the tree for the first step).
+	deep bool
+}
+
+func (s segment) matches(label string) bool {
+	return s.label == "*" || s.label == label
+}
+
+// parseQuery splits the query into segments, folding the // separator into
+// the deep flag of the following segment.
+func parseQuery(q string) ([]segment, error) {
+	q = strings.TrimSpace(q)
+	q = strings.TrimPrefix(q, "/")
+	if q == "" {
+		return nil, nil
+	}
+	var segs []segment
+	deep := strings.HasPrefix(q, "/") // original query began with //
+	q = strings.TrimPrefix(q, "/")
+	for _, part := range strings.Split(q, "/") {
+		if part == "" {
+			// An empty part marks a // separator before the next segment.
+			deep = true
+			continue
+		}
+		segs = append(segs, segment{label: part, deep: deep})
+		deep = false
+	}
+	if deep {
+		return nil, fmt.Errorf("xmltree: query %q ends with a dangling //", q)
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("xmltree: query %q has no segments", q)
+	}
+	return segs, nil
+}
+
+func sortByIndex(nodes []*Node) {
+	// Insertion sort: result sets are small and nearly ordered.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Index < nodes[j-1].Index; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func queryTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := ParseString(
+		`<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture>
+		 <picture><cast><star>Grant</star></cast></picture></films>`,
+		ParseOptions{IncludeContent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		n.Label = strings.ToLower(n.Raw)
+	}
+	return tr
+}
+
+func labels(nodes []*Node) string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Label)
+	}
+	return strings.Join(out, ",")
+}
+
+func TestSelectExactPath(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("films/picture/cast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || labels(nodes) != "cast,cast" {
+		t.Errorf("got %s", labels(nodes))
+	}
+}
+
+func TestSelectWildcard(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("films/*/cast/star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("wildcard matched %d stars, want 3", len(nodes))
+	}
+}
+
+func TestSelectDeep(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("//star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("//star matched %d, want 3", len(nodes))
+	}
+	nodes, err = tr.Select("films//kelly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Kind != Token {
+		t.Errorf("films//kelly = %s", labels(nodes))
+	}
+}
+
+func TestSelectDeepMiddle(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("films//star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("films//star = %s", labels(nodes))
+	}
+}
+
+func TestSelectRootAndMisses(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("")
+	if err != nil || len(nodes) != 1 || nodes[0] != tr.Root {
+		t.Errorf("empty query: %v %v", labels(nodes), err)
+	}
+	nodes, err = tr.Select("movies/picture")
+	if err != nil || len(nodes) != 0 {
+		t.Errorf("non-matching root: %v", labels(nodes))
+	}
+	if _, err := tr.Select("films//"); err == nil {
+		t.Error("dangling // should error")
+	}
+}
+
+func TestSelectFirst(t *testing.T) {
+	tr := queryTree(t)
+	n, err := tr.SelectFirst("//star")
+	if err != nil || n == nil {
+		t.Fatal(err)
+	}
+	// First in preorder: the Stewart star.
+	if n.Children[0].Label != "stewart" {
+		t.Errorf("first star holds %s", n.Children[0].Label)
+	}
+	if miss, err := tr.SelectFirst("//nothing"); err != nil || miss != nil {
+		t.Errorf("miss = %v %v", miss, err)
+	}
+}
+
+func TestSelectPreorderAndNoDuplicates(t *testing.T) {
+	tr := queryTree(t)
+	nodes, err := tr.Select("//picture//star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("duplicates or misses: %d results", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Index <= nodes[i-1].Index {
+			t.Error("results not in preorder")
+		}
+	}
+}
+
+func TestSelectOnEmptyTree(t *testing.T) {
+	var tr Tree
+	nodes, err := tr.Select("//x")
+	if err != nil || nodes != nil {
+		t.Errorf("empty tree: %v %v", nodes, err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package xsdf is the public API of the XSDF reproduction: an XML Semantic
+// Disambiguation Framework (Charbel, Tekli, Chbeir, Tekli — EDBT 2015) that
+// turns syntactic XML documents into semantic XML trees whose ambiguous
+// element/attribute labels and text tokens are annotated with unambiguous
+// concepts from a reference semantic network.
+//
+// Quickstart:
+//
+//	fw, _ := xsdf.New(xsdf.Options{})
+//	res, _ := fw.DisambiguateString(`<picture title="Rear Window">...`)
+//	res.Tree.WriteXML(os.Stdout, true)
+//
+// The zero Options use the embedded mini-WordNet lexicon, select every node
+// for disambiguation, and run the concept-based process with sphere radius
+// 1. See Options for every tunable parameter the paper exposes.
+package xsdf
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/ambiguity"
+	"repro/internal/core"
+	"repro/internal/disambig"
+	"repro/internal/lingproc"
+	"repro/internal/semnet"
+	"repro/internal/simmeasure"
+	"repro/internal/sphere"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// Re-exported building blocks so downstream users can work with results
+// without importing internal packages.
+type (
+	// Tree is the rooted ordered labeled XML tree (Definition 1).
+	Tree = xmltree.Tree
+	// Node is one tree node; disambiguated nodes carry Sense/SenseScore.
+	Node = xmltree.Node
+	// Network is a semantic network (Definition 2).
+	Network = semnet.Network
+	// ConceptID identifies a concept (word sense) in a Network.
+	ConceptID = semnet.ConceptID
+)
+
+// NodeKind distinguishes element, attribute, and text-token nodes.
+type NodeKind = xmltree.Kind
+
+// The three node kinds of the document model (§3.1).
+const (
+	ElementNode   = xmltree.Element
+	AttributeNode = xmltree.Attribute
+	TokenNode     = xmltree.Token
+)
+
+// Method selects the disambiguation process of §3.5.
+type Method = disambig.Method
+
+// The three disambiguation processes.
+const (
+	ConceptBased = disambig.ConceptBased
+	ContextBased = disambig.ContextBased
+	Combined     = disambig.Combined
+)
+
+// Options exposes every user parameter of the framework (Motivation 4).
+// Zero values select the documented defaults.
+type Options struct {
+	// Network is the reference semantic network; nil selects the embedded
+	// mini-WordNet (wordnet.Default()).
+	Network *Network
+
+	// StructureOnly drops element/attribute text values from the tree
+	// (§3.1); the default considers structure and content.
+	StructureOnly bool
+
+	// AmbiguityWeights are w_Polysemy/w_Depth/w_Density of the ambiguity
+	// degree (Definition 3). All-zero selects equal weights (1,1,1).
+	AmbiguityWeights struct{ Polysemy, Depth, Density float64 }
+
+	// Threshold is Thresh_Amb: only nodes with Amb_Deg >= Threshold are
+	// disambiguated. 0 disambiguates every node.
+	Threshold float64
+
+	// AutoThreshold estimates Thresh_Amb from the document itself
+	// (mean + AutoThresholdK stddev of the degree distribution).
+	AutoThreshold  bool
+	AutoThresholdK float64
+
+	// Radius is the sphere neighborhood context size d (default 1).
+	Radius int
+
+	// Method is the disambiguation process (default ConceptBased).
+	Method Method
+
+	// SimilarityWeights combine the edge-based (Wu-Palmer), node-based
+	// (Lin), and gloss-based (extended overlap) measures (Definition 9).
+	// All-zero selects equal thirds.
+	SimilarityWeights struct{ Edge, Node, Gloss float64 }
+
+	// ConceptWeight/ContextWeight mix the two processes under the Combined
+	// method (Eq. 13). Both zero selects 0.5/0.5.
+	ConceptWeight float64
+	ContextWeight float64
+
+	// VectorSimilarity names the context-vector similarity: "cosine"
+	// (default), "jaccard", or "pearson" (footnote 10).
+	VectorSimilarity string
+
+	// FollowLinks resolves ID/IDREF hyperlinks after parsing and lets
+	// sphere contexts traverse them, treating the document as a graph (§1).
+	// Dangling references are tolerated (resolvable links still apply).
+	FollowLinks bool
+
+	// OneSensePerDiscourse harmonizes repeated labels to a single document
+	// sense after disambiguation (the Gale-Church-Yarowsky heuristic;
+	// extension beyond the paper).
+	OneSensePerDiscourse bool
+}
+
+// Framework is a reusable disambiguation pipeline.
+type Framework struct {
+	inner       *core.Framework
+	followLinks bool
+}
+
+// Result reports a disambiguation run.
+type Result struct {
+	// Tree is the semantically augmented document tree.
+	Tree *Tree
+	// Targets is the number of nodes selected for disambiguation and
+	// Assigned the number that received a sense.
+	Targets  int
+	Assigned int
+	// Threshold is the effective Thresh_Amb used.
+	Threshold float64
+}
+
+// New builds a Framework from the options.
+func New(o Options) (*Framework, error) {
+	net := o.Network
+	if net == nil {
+		net = wordnet.Default()
+	}
+	aw := ambiguity.Weights{Polysemy: o.AmbiguityWeights.Polysemy,
+		Depth: o.AmbiguityWeights.Depth, Density: o.AmbiguityWeights.Density}
+	if aw == (ambiguity.Weights{}) {
+		aw = ambiguity.EqualWeights()
+	}
+	sw := simmeasure.Weights{Edge: o.SimilarityWeights.Edge,
+		Node: o.SimilarityWeights.Node, Gloss: o.SimilarityWeights.Gloss}
+	if sw == (simmeasure.Weights{}) {
+		sw = simmeasure.EqualWeights()
+	} else {
+		sw = sw.Normalize()
+	}
+	radius := o.Radius
+	if radius < 1 {
+		radius = 1
+	}
+	cw, xw := o.ConceptWeight, o.ContextWeight
+	if cw == 0 && xw == 0 {
+		cw, xw = 0.5, 0.5
+	}
+	var vs sphere.VectorSim
+	switch strings.ToLower(o.VectorSimilarity) {
+	case "", "cosine":
+		vs = sphere.Cosine
+	case "jaccard":
+		vs = sphere.Jaccard
+	case "pearson":
+		vs = sphere.Pearson
+	}
+	inner, err := core.New(net, core.Options{
+		IncludeContent: !o.StructureOnly,
+		Ambiguity:      aw,
+		Threshold:      o.Threshold,
+		AutoThreshold:  o.AutoThreshold,
+		AutoThresholdK: o.AutoThresholdK,
+		Disambiguation: disambig.Options{
+			Radius:        radius,
+			Method:        o.Method,
+			SimWeights:    sw,
+			ConceptWeight: cw,
+			ContextWeight: xw,
+			VectorSim:     vs,
+			FollowLinks:   o.FollowLinks,
+		},
+		OneSensePerDiscourse: o.OneSensePerDiscourse,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{inner: inner, followLinks: o.FollowLinks}, nil
+}
+
+// Network returns the reference semantic network in use.
+func (f *Framework) Network() *Network { return f.inner.Network() }
+
+// Disambiguate parses an XML document from r and runs the full pipeline:
+// linguistic pre-processing, (optional) hyperlink resolution,
+// ambiguity-based node selection, sphere context construction, and
+// semantic disambiguation.
+func (f *Framework) Disambiguate(r io.Reader) (*Result, error) {
+	t, err := xmltree.Parse(r, xmltree.ParseOptions{
+		IncludeContent: f.inner.Options().IncludeContent,
+		Tokenize:       lingproc.Tokenize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f.followLinks {
+		// Dangling references are tolerated: resolvable links still apply.
+		_, _ = t.ResolveLinks()
+	}
+	res, err := f.inner.ProcessTree(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tree: res.Tree, Targets: res.Targets, Assigned: res.Assigned, Threshold: res.Threshold}, nil
+}
+
+// DisambiguateString is Disambiguate over an in-memory document.
+func (f *Framework) DisambiguateString(doc string) (*Result, error) {
+	return f.Disambiguate(strings.NewReader(doc))
+}
+
+// DisambiguateTree runs the pipeline on an already-parsed tree in place.
+func (f *Framework) DisambiguateTree(t *Tree) (*Result, error) {
+	res, err := f.inner.ProcessTree(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tree: res.Tree, Targets: res.Targets, Assigned: res.Assigned, Threshold: res.Threshold}, nil
+}
+
+// DisambiguateBatch runs the pipeline over a batch of already-parsed trees
+// concurrently (workers <= 0 selects GOMAXPROCS). Results are in input
+// order; see core.Framework.ProcessTrees for error semantics.
+func (f *Framework) DisambiguateBatch(trees []*Tree, workers int) ([]*Result, error) {
+	inner, err := f.inner.ProcessTrees(trees, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(inner))
+	for i, r := range inner {
+		if r != nil {
+			out[i] = &Result{Tree: r.Tree, Targets: r.Targets, Assigned: r.Assigned, Threshold: r.Threshold}
+		}
+	}
+	return out, nil
+}
+
+// Candidate is one scored sense alternative for a node.
+type Candidate struct {
+	// Sense is the concept identifier ("movie.n.01", or "a+b" for compound
+	// labels).
+	Sense string
+	// Score is the disambiguation score in [0, 1].
+	Score float64
+	// Gloss is the concept definition (first concept for compounds).
+	Gloss string
+}
+
+// Candidates returns the full scored ranking of sense alternatives for a
+// node of a previously disambiguated tree, best first — the evidence behind
+// Node.Sense, for explanation UIs and confidence thresholds. Nil when the
+// node's label is unknown to the network.
+func (f *Framework) Candidates(n *Node) []Candidate {
+	dis := disambig.New(f.inner.Network(), f.inner.Options().Disambiguation)
+	senses := dis.Candidates(n)
+	if senses == nil {
+		return nil
+	}
+	out := make([]Candidate, len(senses))
+	for i, s := range senses {
+		c := Candidate{Sense: s.ID(), Score: s.Score}
+		if concept := f.inner.Network().Concept(s.Concepts[0]); concept != nil {
+			c.Gloss = concept.Gloss
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// ExplainSimilarity returns the taxonomic path connecting two concepts
+// (through their lowest common subsumer), or nil when they share no
+// ancestor — a human-readable account of why the edge-based measure
+// considers them related.
+func (f *Framework) ExplainSimilarity(a, b ConceptID) []ConceptID {
+	path, ok := f.inner.Network().PathBetween(a, b)
+	if !ok {
+		return nil
+	}
+	return path
+}
+
+// DefaultNetwork returns the embedded mini-WordNet semantic network.
+func DefaultNetwork() *Network { return wordnet.Default() }

@@ -1,0 +1,279 @@
+package xsdf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const figure1a = `<films>
+  <picture title="Rear Window">
+    <director> Hitchcock </director>
+    <year> 1954 </year>
+    <genre> mystery </genre>
+    <cast>
+      <star> Stewart </star>
+      <star> Kelly </star>
+    </cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>`
+
+const figure1b = `<movies>
+  <movie year="1954">
+    <name> Rear Window </name>
+    <directed_by>Alfred Hitchcock</directed_by>
+    <actors>
+      <actor><firstname>Grace</firstname><lastname>Kelly</lastname></actor>
+      <actor><firstname>James</firstname><lastname>Stewart</lastname></actor>
+    </actors>
+  </movie>
+</movies>`
+
+func TestDefaultFramework(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned == 0 {
+		t.Fatal("nothing disambiguated")
+	}
+	senses := map[string]string{}
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense != "" {
+			senses[n.Label] = n.Sense
+		}
+	}
+	if senses["cast"] != "cast.n.01" {
+		t.Errorf("cast -> %q", senses["cast"])
+	}
+	if senses["genre"] == "" || senses["director"] == "" {
+		t.Errorf("core labels unresolved: %v", senses)
+	}
+}
+
+// TestBothFigure1DocsAgree: the paper's motivation — two documents with
+// different structure and tagging describing the same movie should map
+// their key content onto the same concepts.
+func TestBothFigure1DocsAgree(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{Radius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senseOf := func(doc, raw string) string {
+		res, err := fw.DisambiguateString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range res.Tree.Nodes() {
+			if strings.EqualFold(n.Raw, raw) && n.Sense != "" {
+				return n.Sense
+			}
+		}
+		return ""
+	}
+	k1 := senseOf(figure1a, "Kelly")
+	k2 := senseOf(figure1b, "Kelly")
+	if k1 == "" || k1 != k2 {
+		t.Errorf("Kelly resolved differently across structures: %q vs %q", k1, k2)
+	}
+	if k1 != "kelly.n.01" {
+		t.Errorf("Kelly = %s, want Grace Kelly (kelly.n.01)", k1)
+	}
+}
+
+func TestCompoundTagInPublicAPI(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(figure1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Raw == "firstname" && n.Sense != "first_name.n.01" {
+			t.Errorf("firstname -> %q", n.Sense)
+		}
+	}
+}
+
+func TestOptionVariants(t *testing.T) {
+	variants := []xsdf.Options{
+		{Method: xsdf.ContextBased, Radius: 2},
+		{Method: xsdf.Combined, ConceptWeight: 0.7, ContextWeight: 0.3},
+		{VectorSimilarity: "jaccard", Method: xsdf.ContextBased},
+		{VectorSimilarity: "pearson", Method: xsdf.ContextBased},
+		{Threshold: 0.1},
+		{AutoThreshold: true, AutoThresholdK: 0},
+		{StructureOnly: true},
+	}
+	for i, o := range variants {
+		fw, err := xsdf.New(o)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if _, err := fw.DisambiguateString(figure1a); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+}
+
+func TestAmbiguityWeightOverride(t *testing.T) {
+	o := xsdf.Options{Threshold: 0.08}
+	o.AmbiguityWeights.Polysemy = 1
+	o.AmbiguityWeights.Depth = 0.5
+	o.AmbiguityWeights.Density = 0.5
+	fw, err := xsdf.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets == 0 || res.Targets >= res.Tree.Len() {
+		t.Errorf("targets = %d of %d", res.Targets, res.Tree.Len())
+	}
+}
+
+func TestAnnotatedOutput(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{})
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Tree.WriteXML(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "xsdf:sense=") {
+		t.Error("annotated XML lacks sense attributes")
+	}
+}
+
+func TestDefaultNetwork(t *testing.T) {
+	n := xsdf.DefaultNetwork()
+	if n == nil || !n.HasLemma("cast") {
+		t.Fatal("default network unusable")
+	}
+}
+
+func TestDisambiguateTree(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{})
+	res1, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := res1.Tree.Clone()
+	for _, n := range clone.Nodes() {
+		n.Sense = ""
+	}
+	res2, err := fw.DisambiguateTree(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Assigned != res1.Assigned {
+		t.Errorf("tree path assigned %d, reader path %d", res2.Assigned, res1.Assigned)
+	}
+}
+
+func TestCandidatesPublicAPI(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{Radius: 2})
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Label != "cast" {
+			continue
+		}
+		cands := fw.Candidates(n)
+		if len(cands) < 2 {
+			t.Fatalf("cast candidates = %v", cands)
+		}
+		if cands[0].Sense != n.Sense {
+			t.Errorf("top candidate %s != assigned %s", cands[0].Sense, n.Sense)
+		}
+		if cands[0].Gloss == "" {
+			t.Error("missing gloss")
+		}
+		for i := 1; i < len(cands); i++ {
+			if cands[i].Score > cands[i-1].Score {
+				t.Error("candidates not sorted")
+			}
+		}
+	}
+}
+
+func TestExplainSimilarity(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{})
+	path := fw.ExplainSimilarity("actor.n.01", "star.n.02")
+	if len(path) < 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0] != "actor.n.01" || path[len(path)-1] != "star.n.02" {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	if p := fw.ExplainSimilarity("actor.n.01", "nonexistent.n.99"); p != nil {
+		t.Errorf("path to unknown concept = %v", p)
+	}
+}
+
+func TestFollowLinksPublicAPI(t *testing.T) {
+	doc := `<root>
+	  <credits><cast id="c1"><star>stewart</star></cast></credits>
+	  <notes><entry idref="c1"><subject>kelly</subject></entry></notes>
+	</root>`
+	fw, err := xsdf.New(xsdf.Options{Radius: 3, FollowLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Label == "kelly" && n.Sense != "kelly.n.01" {
+			t.Errorf("kelly with linked cast context = %q, want kelly.n.01", n.Sense)
+		}
+	}
+}
+
+func TestDisambiguateBatchPublicAPI(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{})
+	var trees []*xsdf.Tree
+	for i := 0; i < 4; i++ {
+		res, err := fw.DisambiguateString(figure1a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := res.Tree.Clone()
+		for _, n := range clone.Nodes() {
+			n.Sense = ""
+		}
+		trees = append(trees, clone)
+	}
+	results, err := fw.DisambiguateBatch(trees, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil || r.Assigned == 0 {
+			t.Errorf("batch result %d empty", i)
+		}
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	fw, _ := xsdf.New(xsdf.Options{})
+	if _, err := fw.DisambiguateString("not xml"); err == nil {
+		t.Error("expected parse error")
+	}
+}
