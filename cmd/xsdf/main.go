@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +33,9 @@ func main() {
 		report    = flag.Bool("report", false, "print a label -> concept table instead of annotated XML")
 		asJSON    = flag.Bool("json", false, "emit the semantic tree as JSON instead of annotated XML")
 		vectorSim = flag.String("vector-sim", "cosine", "context-vector similarity: cosine | jaccard | pearson")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		maxDepth  = flag.Int("max-depth", 0, "element nesting limit (0 = default, -1 = unlimited)")
+		maxNodes  = flag.Int("max-nodes", 0, "tree node-count limit (0 = default, -1 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +58,8 @@ func main() {
 		AutoThreshold:    *auto,
 		StructureOnly:    *structure,
 		VectorSimilarity: *vectorSim,
+		MaxDepth:         *maxDepth,
+		MaxNodes:         *maxNodes,
 	}
 	switch *method {
 	case "concept":
@@ -69,9 +76,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := fw.Disambiguate(in)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := fw.DisambiguateContext(ctx, in)
 	if err != nil {
-		log.Fatal(err)
+		switch {
+		case errors.Is(err, xsdf.ErrCanceled):
+			log.Fatalf("deadline of %v exceeded (%v)", *timeout, err)
+		case errors.Is(err, xsdf.ErrLimitExceeded):
+			log.Fatalf("input rejected by resource guard: %v (raise -max-depth/-max-nodes to override)", err)
+		default:
+			log.Fatal(err)
+		}
 	}
 
 	if *asJSON {

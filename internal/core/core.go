@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/lingproc"
 	"repro/internal/semnet"
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
 )
 
 // Options aggregates every user parameter of the framework. Zero values are
@@ -42,6 +44,16 @@ type Options struct {
 	// after disambiguation: repeated labels in one document converge on
 	// their highest-scoring sense (extension beyond the paper, opt-in).
 	OneSensePerDiscourse bool
+
+	// MaxDepth and MaxNodes are resource guards for already-parsed trees
+	// (trees arriving through ProcessTree/ProcessTrees bypass the parse
+	// guards of xmltree.ParseOptions). MaxDepth bounds element nesting, so
+	// node depths may legitimately exceed it by the attribute and token
+	// levels (two extra edges); MaxNodes bounds the total node count. Zero
+	// or negative disables a guard. Violations return an
+	// *xsdferrors.LimitError before any processing starts.
+	MaxDepth int
+	MaxNodes int
 }
 
 // DefaultOptions mirrors §3.3's sensible starting configuration: equal
@@ -102,6 +114,8 @@ func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
 	t, err := xmltree.Parse(r, xmltree.ParseOptions{
 		IncludeContent: f.opts.IncludeContent,
 		Tokenize:       lingproc.Tokenize,
+		MaxDepth:       f.opts.MaxDepth,
+		MaxNodes:       f.opts.MaxNodes,
 	})
 	if err != nil {
 		return nil, err
@@ -113,8 +127,32 @@ func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
 // place. The tree may or may not have been linguistically pre-processed;
 // pre-processing is idempotent, so it always runs here.
 func (f *Framework) ProcessTree(t *xmltree.Tree) (*Result, error) {
+	return f.ProcessTreeContext(context.Background(), t)
+}
+
+// ProcessTreeContext is ProcessTree with cooperative cancellation and
+// resource guards. The context is checked between pipeline modules and
+// before every disambiguated node, so cancellation returns within one
+// node's processing time with an error matching xsdferrors.ErrCanceled;
+// trees violating Options.MaxDepth/MaxNodes are rejected up front with an
+// *xsdferrors.LimitError. On error the tree may be partially annotated.
+func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, xsdferrors.Canceled(err)
+	}
+	if err := f.guardTree(t); err != nil {
+		return nil, err
+	}
+	hooks := currentHooks()
+	if hooks.BeforeTree != nil {
+		hooks.BeforeTree(t)
+	}
+
 	// Module 1: linguistic pre-processing.
 	lingproc.ProcessTree(t, f.net)
+	if err := ctx.Err(); err != nil {
+		return nil, xsdferrors.Canceled(err)
+	}
 
 	// Module 2: node selection for disambiguation.
 	threshold := f.opts.Threshold
@@ -122,14 +160,38 @@ func (f *Framework) ProcessTree(t *xmltree.Tree) (*Result, error) {
 		threshold = ambiguity.AutoThreshold(t, f.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
 	}
 	targets := ambiguity.Select(t, f.net, f.opts.Ambiguity, threshold)
+	if err := ctx.Err(); err != nil {
+		return nil, xsdferrors.Canceled(err)
+	}
 
 	// Modules 3 + 4: sphere context construction and disambiguation.
-	dis := disambig.New(f.net, f.opts.Disambiguation)
-	assigned := dis.Apply(targets)
+	disOpts := f.opts.Disambiguation
+	if hooks.BeforeNode != nil {
+		disOpts.NodeHook = hooks.BeforeNode
+	}
+	dis := disambig.New(f.net, disOpts)
+	assigned, err := dis.ApplyContext(ctx, targets)
+	if err != nil {
+		return nil, err
+	}
 
 	if f.opts.OneSensePerDiscourse {
 		disambig.Harmonize(targets)
 	}
 
 	return &Result{Tree: t, Targets: len(targets), Assigned: assigned, Threshold: threshold}, nil
+}
+
+// guardTree enforces the whole-tree resource limits on pre-parsed input.
+func (f *Framework) guardTree(t *xmltree.Tree) error {
+	// Element nesting of depth d yields node depths up to d+2 (attribute
+	// and token levels), so the depth guard allows that slack: a document
+	// accepted by the equivalent parse-time guard passes here too.
+	if f.opts.MaxDepth > 0 && t.MaxDepth() > f.opts.MaxDepth+2 {
+		return &xsdferrors.LimitError{Limit: "depth", Max: f.opts.MaxDepth, Actual: t.MaxDepth()}
+	}
+	if f.opts.MaxNodes > 0 && t.Len() > f.opts.MaxNodes {
+		return &xsdferrors.LimitError{Limit: "nodes", Max: f.opts.MaxNodes, Actual: t.Len()}
+	}
+	return nil
 }

@@ -1,20 +1,48 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
 )
 
 // ProcessTrees runs the pipeline over a batch of documents concurrently
-// with the given number of workers (<= 0 selects GOMAXPROCS). The semantic
-// network is immutable and shared; every worker builds its own
-// disambiguator state, so no locking is needed on the hot path. Results
-// are returned in input order; the first error (if any) is reported after
-// all workers drain, and the corresponding result slots are nil.
+// with the given number of workers (<= 0 selects GOMAXPROCS). It is
+// ProcessTreesContext with a background context and no per-document
+// deadline.
 func (f *Framework) ProcessTrees(trees []*xmltree.Tree, workers int) ([]*Result, error) {
+	return f.ProcessTreesContext(context.Background(), trees, workers, 0)
+}
+
+// ProcessTreesContext runs the pipeline over a batch of documents
+// concurrently, fault-isolated per document. The semantic network is
+// immutable and shared; every worker builds its own disambiguator state,
+// so no locking is needed on the hot path.
+//
+// Failure semantics: each document succeeds or fails independently.
+// Results are in input order; a slot is nil exactly when that document
+// failed. When any document fails, the returned error is an
+// *xsdferrors.BatchError whose Errs slice is indexed by document, so
+// callers see every failure (not just the first) and can match typed
+// causes with errors.Is/As:
+//
+//   - a worker panic is recovered and boxed as an *xsdferrors.PanicError
+//     carrying the document index and stack — one poisoned document never
+//     takes down the batch;
+//   - a tree violating the resource guards fails with an
+//     *xsdferrors.LimitError;
+//   - docTimeout > 0 bounds each document's processing time; expiry fails
+//     that document with xsdferrors.ErrCanceled (wrapping
+//     context.DeadlineExceeded);
+//   - cancelling ctx aborts the whole batch promptly: in-flight documents
+//     stop at their next per-node check and undispatched documents fail
+//     with xsdferrors.ErrCanceled.
+func (f *Framework) ProcessTreesContext(ctx context.Context, trees []*xmltree.Tree, workers int, docTimeout time.Duration) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,37 +54,52 @@ func (f *Framework) ProcessTrees(trees []*xmltree.Tree, workers int) ([]*Result,
 		return results, nil
 	}
 
+	errs := make([]error, len(trees)) // slot i written only by the worker that took job i
 	jobs := make(chan int)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var firstErr error
 			for i := range jobs {
-				res, err := f.ProcessTree(trees[i])
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("document %d: %w", i, err)
-					}
-					continue
-				}
-				results[i] = res
-			}
-			if firstErr != nil {
-				errs <- firstErr
+				results[i], errs[i] = f.processOne(ctx, trees[i], i, docTimeout)
 			}
 		}()
 	}
-	for i := range trees {
-		jobs <- i
+	next := 0
+dispatch:
+	for ; next < len(trees); next++ {
+		select {
+		case jobs <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	if err, ok := <-errs; ok {
+	// Documents never dispatched fail with the cancellation cause.
+	for ; next < len(trees); next++ {
+		errs[next] = xsdferrors.Canceled(ctx.Err())
+	}
+	if err := xsdferrors.NewBatchError(errs); err != nil {
 		return results, err
 	}
 	return results, nil
+}
+
+// processOne runs one document with panic isolation and an optional
+// per-document deadline.
+func (f *Framework) processOne(ctx context.Context, t *xmltree.Tree, doc int, timeout time.Duration) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &xsdferrors.PanicError{Doc: doc, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return f.ProcessTreeContext(ctx, t)
 }

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/wordnet"
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
 )
 
 func corpusTrees(t testing.TB, n int) []*xmltree.Tree {
@@ -88,4 +92,168 @@ func BenchmarkProcessTreesWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// poisonHook returns hooks that panic when processing any tree in bad.
+func poisonHook(bad map[*xmltree.Tree]bool) TestHooks {
+	return TestHooks{BeforeTree: func(t *xmltree.Tree) {
+		if bad[t] {
+			panic("injected fault")
+		}
+	}}
+}
+
+func TestBatchPanicIsolation(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := corpusTrees(t, 6)
+	poisoned := trees[2]
+	restore := SetTestHooks(poisonHook(map[*xmltree.Tree]bool{poisoned: true}))
+	defer restore()
+
+	results, err := fw.ProcessTrees(trees, 3)
+	if err == nil {
+		t.Fatal("a poisoned document must surface an error")
+	}
+	var be *xsdferrors.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %T: %v", err, err)
+	}
+	if got := be.Failed(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Failed() = %v, want [2]", got)
+	}
+	var pe *xsdferrors.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError in the chain: %v", err)
+	}
+	if pe.Doc != 2 || pe.Value != "injected fault" || len(pe.Stack) == 0 {
+		t.Errorf("panic detail: doc=%d value=%v stack=%dB", pe.Doc, pe.Value, len(pe.Stack))
+	}
+	for i, r := range results {
+		if i == 2 {
+			if r != nil {
+				t.Error("poisoned slot must be nil")
+			}
+			continue
+		}
+		if r == nil {
+			t.Errorf("document %d lost to a neighbor's panic", i)
+		}
+	}
+}
+
+func TestBatchLimitIsolation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxDepth = 8
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := corpusTrees(t, 3)
+	// Graft a chain deeper than the guard onto a fresh tree.
+	deepRoot := &xmltree.Node{Raw: "a", Label: "a", Kind: xmltree.Element}
+	cur := deepRoot
+	for i := 0; i < 20; i++ {
+		child := &xmltree.Node{Raw: "a", Label: "a", Kind: xmltree.Element}
+		cur.AddChild(child)
+		cur = child
+	}
+	trees = append(trees, xmltree.New(deepRoot))
+
+	results, err := fw.ProcessTrees(trees, 2)
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Limit != "depth" {
+		t.Errorf("tripped %q, want depth", le.Limit)
+	}
+	if results[3] != nil {
+		t.Error("over-limit slot must be nil")
+	}
+	for i := 0; i < 3; i++ {
+		if results[i] == nil {
+			t.Errorf("document %d lost to a neighbor's limit violation", i)
+		}
+	}
+}
+
+func TestBatchCancellationPrompt(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := corpusTrees(t, 8)
+	started := make(chan struct{}, len(trees)*64)
+	restore := SetTestHooks(TestHooks{BeforeNode: func(*xmltree.Node) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+	}})
+	defer restore()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started // cancel once the first node is being processed
+		cancel()
+	}()
+	begin := time.Now()
+	results, err := fw.ProcessTreesContext(ctx, trees, 2, 0)
+	elapsed := time.Since(begin)
+
+	if !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("the context cause must stay matchable")
+	}
+	// Cooperative checks run per node; the abort must land well within one
+	// document's total processing time (hundreds of 2ms-sleep nodes).
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	if len(results) != len(trees) {
+		t.Fatalf("results length %d", len(results))
+	}
+}
+
+func TestBatchPerDocumentTimeout(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := corpusTrees(t, 3)
+	slow := trees[1]
+	restore := SetTestHooks(TestHooks{BeforeNode: func(n *xmltree.Node) {
+		if root(n) == slow.Root {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}})
+	defer restore()
+
+	results, err := fw.ProcessTreesContext(context.Background(), trees, 2, 40*time.Millisecond)
+	if !errors.Is(err, xsdferrors.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline-flavored ErrCanceled, got %v", err)
+	}
+	var be *xsdferrors.BatchError
+	if !errors.As(err, &be) {
+		t.Fatal("want *BatchError")
+	}
+	if got := be.Failed(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Failed() = %v, want [1]", got)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("fast documents must survive a slow neighbor's timeout")
+	}
+}
+
+func root(n *xmltree.Node) *xmltree.Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
 }

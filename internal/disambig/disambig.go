@@ -5,6 +5,7 @@
 package disambig
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/simmeasure"
 	"repro/internal/sphere"
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
 )
 
 // Method selects the disambiguation process.
@@ -64,6 +66,11 @@ type Options struct {
 	// FollowLinks makes sphere construction traverse ID/IDREF hyperlink
 	// edges (xmltree.ResolveLinks), treating the document as a graph (§1).
 	FollowLinks bool
+	// NodeHook, when non-nil, is invoked before each target node is
+	// disambiguated in ApplyContext. It exists as a fault-injection seam
+	// for tests (simulating slow or panicking nodes); production callers
+	// leave it nil.
+	NodeHook func(*xmltree.Node)
 }
 
 // DefaultOptions mirrors the paper's common configuration: radius 1,
@@ -438,13 +445,33 @@ func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
 // Node.Sense/Node.SenseScore, returning the number of nodes that received a
 // sense. Non-target nodes remain untouched (§3.1).
 func (d *Disambiguator) Apply(targets []*xmltree.Node) int {
-	assigned := 0
+	assigned, _ := d.ApplyContext(context.Background(), targets)
+	return assigned
+}
+
+// ApplyContext is Apply with cooperative cancellation: the context is
+// checked before every target node (the unit of work of the per-node hot
+// loop), so an abort returns within one node's disambiguation time with an
+// error matching xsdferrors.ErrCanceled. Nodes disambiguated before the
+// abort keep their senses; assigned counts them.
+func (d *Disambiguator) ApplyContext(ctx context.Context, targets []*xmltree.Node) (assigned int, err error) {
+	done := ctx.Done()
 	for _, x := range targets {
+		if done != nil {
+			select {
+			case <-done:
+				return assigned, xsdferrors.Canceled(ctx.Err())
+			default:
+			}
+		}
+		if d.opts.NodeHook != nil {
+			d.opts.NodeHook(x)
+		}
 		if s, ok := d.Node(x); ok {
 			x.Sense = s.ID()
 			x.SenseScore = s.Score
 			assigned++
 		}
 	}
-	return assigned
+	return assigned, nil
 }

@@ -1,6 +1,8 @@
 package disambig
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/sphere"
 	"repro/internal/wordnet"
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
 )
 
 // parse builds a pre-processed tree over the embedded lexicon.
@@ -257,5 +260,38 @@ func TestDefaultOptionsRadiusFloor(t *testing.T) {
 	d := New(wordnet.Default(), Options{Radius: 0})
 	if d.Options().Radius != 1 {
 		t.Errorf("radius floor = %d, want 1", d.Options().Radius)
+	}
+}
+
+func TestApplyContextCancellation(t *testing.T) {
+	tr := parse(t, `<films><picture><star>Kelly</star><genre>mystery</genre></picture></films>`)
+	d := New(wordnet.Default(), DefaultOptions())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: no node may be disambiguated
+	assigned, err := d.ApplyContext(ctx, tr.Nodes())
+	if !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if assigned != 0 {
+		t.Errorf("canceled run assigned %d senses", assigned)
+	}
+	for _, n := range tr.Nodes() {
+		if n.Sense != "" {
+			t.Errorf("node %s disambiguated after cancellation", n.Label)
+		}
+	}
+
+	// The hook seam fires per node and the live context lets work proceed.
+	var visited int
+	opts := DefaultOptions()
+	opts.NodeHook = func(*xmltree.Node) { visited++ }
+	d2 := New(wordnet.Default(), opts)
+	assigned, err = d2.ApplyContext(context.Background(), tr.Nodes())
+	if err != nil || assigned == 0 {
+		t.Fatalf("live context: assigned=%d err=%v", assigned, err)
+	}
+	if visited != tr.Len() {
+		t.Errorf("hook fired %d times, want %d", visited, tr.Len())
 	}
 }

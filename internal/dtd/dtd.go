@@ -199,6 +199,12 @@ func Parse(name, src string) (*DTD, error) {
 }
 
 // MustParse is Parse that panics, for the embedded grammar constants.
+//
+// Panic audit: this panic is unreachable from user input. Every non-test
+// caller (grammars.go) passes compile-time string constants that are
+// exercised at package initialization, so a malformed grammar fails the
+// build's own tests, never a serving process. User-supplied DTDs must go
+// through Parse, which returns the error.
 func MustParse(name, src string) *DTD {
 	d, err := Parse(name, src)
 	if err != nil {

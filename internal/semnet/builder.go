@@ -127,6 +127,14 @@ func (b *Builder) Build() (*Network, error) {
 }
 
 // MustBuild is Build that panics on error, for static embedded lexicons.
+//
+// Panic audit: this panic is unreachable from user input inside the
+// framework — the only library caller (wordnet.Default) builds the
+// embedded lexicon, which is validated by the wordnet package's tests at
+// CI time. Networks assembled from user data should call Build and handle
+// the error; additionally, the public pipeline entry points recover any
+// escaping panic into an *xsdferrors.PanicError, so even a Must* misuse in
+// caller code cannot take down a batch run.
 func (b *Builder) MustBuild() *Network {
 	n, err := b.Build()
 	if err != nil {

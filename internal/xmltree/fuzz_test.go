@@ -2,7 +2,11 @@ package xmltree
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
+
+	"repro/xsdferrors"
 )
 
 // FuzzParse checks that arbitrary byte inputs never panic the parser and
@@ -35,6 +39,35 @@ func FuzzParse(f *testing.F) {
 		}
 		if tr2.Len() != tr.Len() {
 			t.Fatalf("round trip changed node count %d -> %d", tr.Len(), tr2.Len())
+		}
+	})
+}
+
+// FuzzParseLimits drives the resource-guarded parser with tight limits:
+// any input must yield either a tree within the limits, a typed
+// *xsdferrors.LimitError, or a malformed-input error — never a panic and
+// never an over-limit tree.
+func FuzzParseLimits(f *testing.F) {
+	f.Add(`<a/>`)
+	f.Add(nested(20))
+	f.Add(`<a b="` + strings.Repeat("x", 40) + `">` + strings.Repeat("<c/>", 40) + `</a>`)
+	f.Add(`<a>` + strings.Repeat("tok ", 40) + `</a>`)
+	opts := ParseOptions{IncludeContent: true, MaxDepth: 8, MaxNodes: 32, MaxTokenBytes: 24}
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := ParseString(doc, opts)
+		if err != nil {
+			if !errors.Is(err, xsdferrors.ErrLimitExceeded) && !errors.Is(err, xsdferrors.ErrMalformedInput) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if tr.Len() > 32 {
+			t.Fatalf("accepted tree exceeds node limit: %d nodes", tr.Len())
+		}
+		// Element nesting limit 8 allows node depths up to 9 (attribute
+		// level) / 10 (token under attribute).
+		if tr.MaxDepth() > 10 {
+			t.Fatalf("accepted tree exceeds depth limit: depth %d", tr.MaxDepth())
 		}
 	})
 }

@@ -1,0 +1,126 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/xsdferrors"
+)
+
+// nested builds <a><a>...<a/>...</a></a> with the given element depth.
+func nested(depth int) string {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</a>")
+	}
+	return sb.String()
+}
+
+func TestParseAdversarialInputs(t *testing.T) {
+	cases := []struct {
+		name      string
+		doc       string
+		opts      ParseOptions
+		wantLimit string // LimitError.Limit, or "" for a malformed-input error
+	}{
+		{
+			name:      "billion-laughs nesting vs default depth guard",
+			doc:       nested(DefaultMaxDepth + 10),
+			opts:      DefaultParseOptions(),
+			wantLimit: "depth",
+		},
+		{
+			name:      "nesting just over a custom depth limit",
+			doc:       nested(6),
+			opts:      ParseOptions{IncludeContent: true, MaxDepth: 5},
+			wantLimit: "depth",
+		},
+		{
+			name:      "huge attribute value",
+			doc:       `<a b="` + strings.Repeat("x", 64) + `"/>`,
+			opts:      ParseOptions{IncludeContent: true, MaxTokenBytes: 32},
+			wantLimit: "token-bytes",
+		},
+		{
+			name:      "huge character-data chunk",
+			doc:       `<a>` + strings.Repeat("y", 64) + `</a>`,
+			opts:      ParseOptions{IncludeContent: true, MaxTokenBytes: 32},
+			wantLimit: "token-bytes",
+		},
+		{
+			name:      "node-count bomb",
+			doc:       `<a>` + strings.Repeat("<b/>", 50) + `</a>`,
+			opts:      ParseOptions{IncludeContent: true, MaxNodes: 20},
+			wantLimit: "nodes",
+		},
+		{
+			name:      "token flood counts against node limit",
+			doc:       `<a>` + strings.Repeat("w ", 50) + `</a>`,
+			opts:      ParseOptions{IncludeContent: true, MaxNodes: 20},
+			wantLimit: "nodes",
+		},
+		{name: "truncated document", doc: `<a><b>text`, opts: DefaultParseOptions()},
+		{name: "unbalanced end", doc: `<a></b></a>`, opts: DefaultParseOptions()},
+		{name: "multiple roots", doc: `<a/><b/>`, opts: DefaultParseOptions()},
+		{name: "empty input", doc: ``, opts: DefaultParseOptions()},
+		{name: "not xml", doc: `{"json": true}`, opts: DefaultParseOptions()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.doc, tc.opts)
+			if err == nil {
+				t.Fatal("hostile input must be rejected")
+			}
+			if tc.wantLimit != "" {
+				var le *xsdferrors.LimitError
+				if !errors.As(err, &le) {
+					t.Fatalf("want *LimitError, got %T: %v", err, err)
+				}
+				if le.Limit != tc.wantLimit {
+					t.Errorf("tripped %q guard, want %q", le.Limit, tc.wantLimit)
+				}
+				if !errors.Is(err, xsdferrors.ErrLimitExceeded) {
+					t.Error("limit errors must match ErrLimitExceeded")
+				}
+			} else {
+				if !errors.Is(err, xsdferrors.ErrMalformedInput) {
+					t.Errorf("want ErrMalformedInput, got: %v", err)
+				}
+				if errors.Is(err, xsdferrors.ErrLimitExceeded) {
+					t.Errorf("malformed input must not read as a limit violation: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestParseLimitsDisabledAndDefaults(t *testing.T) {
+	// Negative limits disable the guards entirely.
+	deep := nested(DefaultMaxDepth + 10)
+	tr, err := ParseString(deep, ParseOptions{IncludeContent: true, MaxDepth: -1})
+	if err != nil {
+		t.Fatalf("disabled depth guard must accept deep input: %v", err)
+	}
+	if tr.MaxDepth() != DefaultMaxDepth+9 {
+		t.Errorf("depth = %d", tr.MaxDepth())
+	}
+	// Documents within the default limits parse as before.
+	if _, err := ParseString(nested(50), DefaultParseOptions()); err != nil {
+		t.Fatalf("benign document rejected: %v", err)
+	}
+}
+
+func TestParseLimitErrorDetail(t *testing.T) {
+	_, err := ParseString(nested(10), ParseOptions{MaxDepth: 3})
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Max != 3 || le.Actual != 4 {
+		t.Errorf("limit detail = max %d actual %d, want max 3 actual 4", le.Max, le.Actual)
+	}
+}

@@ -20,6 +20,19 @@ var refAttrNames = map[string]bool{"idref": true, "ref": true, "href": true}
 // resolvable links are installed; duplicate anchor ids keep the first
 // declaration.
 func (t *Tree) ResolveLinks() (int, error) {
+	resolved, dangling := t.ResolveLinksReport()
+	if len(dangling) > 0 {
+		return resolved, fmt.Errorf("xmltree: %d dangling idref(s): %v", len(dangling), dangling)
+	}
+	return resolved, nil
+}
+
+// ResolveLinksReport is ResolveLinks with degraded-mode reporting instead
+// of an error: it returns the number of links installed and the list of
+// dangling reference values (references whose anchor id does not exist).
+// Dangling references are tolerated — every resolvable link still applies
+// — so callers can record the degradation without treating it as failure.
+func (t *Tree) ResolveLinksReport() (resolved int, dangling []string) {
 	anchors := map[string]*Node{} // id value -> owning element
 	type pending struct {
 		from  *Node
@@ -48,8 +61,6 @@ func (t *Tree) ResolveLinks() (int, error) {
 		}
 	}
 
-	resolved := 0
-	var dangling []string
 	for _, r := range refs {
 		target, ok := anchors[r.value]
 		if !ok {
@@ -63,10 +74,7 @@ func (t *Tree) ResolveLinks() (int, error) {
 		target.Links = append(target.Links, r.from)
 		resolved++
 	}
-	if len(dangling) > 0 {
-		return resolved, fmt.Errorf("xmltree: %d dangling idref(s): %v", len(dangling), dangling)
-	}
-	return resolved, nil
+	return resolved, dangling
 }
 
 // attrValue joins an attribute's token children back into its raw value.

@@ -6,6 +6,18 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/xsdferrors"
+)
+
+// Default resource limits applied when the corresponding ParseOptions
+// field is zero. They are generous for legitimate documents but stop
+// hostile inputs (the "billion laughs" nesting shape, megabyte attribute
+// values) before the tree is materialized.
+const (
+	DefaultMaxDepth      = 1_000
+	DefaultMaxNodes      = 1_000_000
+	DefaultMaxTokenBytes = 1 << 20 // 1 MiB per text value or character-data chunk
 )
 
 // ParseOptions controls how an XML byte stream is mapped onto the tree model.
@@ -19,7 +31,32 @@ type ParseOptions struct {
 	// words, stemming, compound handling) is applied later by
 	// internal/lingproc.
 	Tokenize func(string) []string
+
+	// MaxDepth bounds element nesting depth; MaxNodes bounds the total
+	// node count (elements + attributes + tokens); MaxTokenBytes bounds the
+	// byte length of a single attribute value or character-data chunk.
+	// Zero selects the package defaults above; a negative value disables
+	// the guard. Violations abort parsing with an
+	// *xsdferrors.LimitError.
+	MaxDepth      int
+	MaxNodes      int
+	MaxTokenBytes int
 }
+
+func resolveLimit(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return int(^uint(0) >> 1) // effectively unlimited
+	default:
+		return v
+	}
+}
+
+func (o ParseOptions) maxDepth() int      { return resolveLimit(o.MaxDepth, DefaultMaxDepth) }
+func (o ParseOptions) maxNodes() int      { return resolveLimit(o.MaxNodes, DefaultMaxNodes) }
+func (o ParseOptions) maxTokenBytes() int { return resolveLimit(o.MaxTokenBytes, DefaultMaxTokenBytes) }
 
 // DefaultParseOptions returns the structure-and-content configuration used
 // throughout the paper's experiments.
@@ -27,14 +64,37 @@ func DefaultParseOptions() ParseOptions {
 	return ParseOptions{IncludeContent: true}
 }
 
+// malformed builds a parse error that matches xsdferrors.ErrMalformedInput
+// under errors.Is while keeping the traditional message prefix.
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("xmltree: parse: %w: %s",
+		xsdferrors.ErrMalformedInput, fmt.Sprintf(format, args...))
+}
+
 // Parse reads an XML document and returns its rooted ordered labeled tree.
 // Attribute nodes are sorted by name and placed before sub-elements,
 // following the canonical ordering of §3.1.
+//
+// Parsing is resource-guarded: nesting depth, total node count, and
+// per-value byte size are bounded by the ParseOptions limits (package
+// defaults when zero), and violations return an *xsdferrors.LimitError.
+// Well-formedness failures return errors matching
+// xsdferrors.ErrMalformedInput. Parse never panics on hostile input.
 func Parse(r io.Reader, opts ParseOptions) (*Tree, error) {
 	dec := xml.NewDecoder(r)
 	tokenize := opts.Tokenize
 	if tokenize == nil {
 		tokenize = strings.Fields
+	}
+	maxDepth, maxNodes, maxValue := opts.maxDepth(), opts.maxNodes(), opts.maxTokenBytes()
+
+	nodes := 0
+	addNode := func() error {
+		nodes++
+		if nodes > maxNodes {
+			return &xsdferrors.LimitError{Limit: "nodes", Max: maxNodes, Actual: nodes}
+		}
+		return nil
 	}
 
 	var root *Node
@@ -45,25 +105,40 @@ func Parse(r io.Reader, opts ParseOptions) (*Tree, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmltree: parse: %w", err)
+			return nil, fmt.Errorf("xmltree: parse: %w: %w", xsdferrors.ErrMalformedInput, err)
 		}
 		switch tk := tok.(type) {
 		case xml.StartElement:
+			if len(stack)+1 > maxDepth {
+				return nil, &xsdferrors.LimitError{Limit: "depth", Max: maxDepth, Actual: len(stack) + 1}
+			}
+			if err := addNode(); err != nil {
+				return nil, err
+			}
 			n := &Node{Raw: tk.Name.Local, Label: tk.Name.Local, Kind: Element}
 			attrs := append([]xml.Attr(nil), tk.Attr...)
 			sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name.Local < attrs[j].Name.Local })
 			for _, a := range attrs {
+				if len(a.Value) > maxValue {
+					return nil, &xsdferrors.LimitError{Limit: "token-bytes", Max: maxValue, Actual: len(a.Value)}
+				}
+				if err := addNode(); err != nil {
+					return nil, err
+				}
 				an := &Node{Raw: a.Name.Local, Label: a.Name.Local, Kind: Attribute}
 				n.AddChild(an)
 				if opts.IncludeContent {
 					for _, w := range tokenize(a.Value) {
+						if err := addNode(); err != nil {
+							return nil, err
+						}
 						an.AddChild(&Node{Raw: w, Label: w, Kind: Token})
 					}
 				}
 			}
 			if len(stack) == 0 {
 				if root != nil {
-					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+					return nil, malformed("multiple root elements")
 				}
 				root = n
 			} else {
@@ -72,24 +147,30 @@ func Parse(r io.Reader, opts ParseOptions) (*Tree, error) {
 			stack = append(stack, n)
 		case xml.EndElement:
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", tk.Name.Local)
+				return nil, malformed("unbalanced end element %q", tk.Name.Local)
 			}
 			stack = stack[:len(stack)-1]
 		case xml.CharData:
+			if len(tk) > maxValue {
+				return nil, &xsdferrors.LimitError{Limit: "token-bytes", Max: maxValue, Actual: len(tk)}
+			}
 			if !opts.IncludeContent || len(stack) == 0 {
 				continue
 			}
 			parent := stack[len(stack)-1]
 			for _, w := range tokenize(string(tk)) {
+				if err := addNode(); err != nil {
+					return nil, err
+				}
 				parent.AddChild(&Node{Raw: w, Label: w, Kind: Token})
 			}
 		}
 	}
 	if root == nil {
-		return nil, fmt.Errorf("xmltree: parse: empty document")
+		return nil, malformed("empty document")
 	}
 	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmltree: parse: %d unclosed elements", len(stack))
+		return nil, malformed("%d unclosed elements", len(stack))
 	}
 	return New(root), nil
 }

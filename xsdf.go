@@ -16,8 +16,12 @@
 package xsdf
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"repro/internal/ambiguity"
 	"repro/internal/core"
@@ -28,6 +32,32 @@ import (
 	"repro/internal/sphere"
 	"repro/internal/wordnet"
 	"repro/internal/xmltree"
+	"repro/xsdferrors"
+)
+
+// Error taxonomy of the fault-tolerant execution layer, re-exported from
+// repro/xsdferrors so callers can dispatch on failure modes with
+// errors.Is / errors.As without importing a second package.
+var (
+	// ErrCanceled matches failures caused by context cancellation or
+	// deadline expiry (the underlying context error stays matchable too).
+	ErrCanceled = xsdferrors.ErrCanceled
+	// ErrLimitExceeded matches any tripped resource guard; the concrete
+	// error is a *LimitError naming the guard and the bound.
+	ErrLimitExceeded = xsdferrors.ErrLimitExceeded
+	// ErrMalformedInput matches parse failures on non-well-formed XML.
+	ErrMalformedInput = xsdferrors.ErrMalformedInput
+	// ErrUnknownOption matches option values outside the documented set.
+	ErrUnknownOption = xsdferrors.ErrUnknownOption
+)
+
+type (
+	// LimitError reports which resource guard rejected an input.
+	LimitError = xsdferrors.LimitError
+	// PanicError boxes a panic recovered from a pipeline worker.
+	PanicError = xsdferrors.PanicError
+	// BatchError is the per-document failure report of a batch run.
+	BatchError = xsdferrors.BatchError
 )
 
 // Re-exported building blocks so downstream users can work with results
@@ -116,12 +146,24 @@ type Options struct {
 	// sense after disambiguation (the Gale-Church-Yarowsky heuristic;
 	// extension beyond the paper).
 	OneSensePerDiscourse bool
+
+	// MaxDepth, MaxNodes, and MaxTokenBytes are resource guards against
+	// hostile inputs: element nesting depth, total node count, and the
+	// byte size of a single text value. Zero selects the safe defaults
+	// (xmltree.DefaultMaxDepth etc.); negative disables a guard. They
+	// apply both at parse time (Disambiguate) and to pre-parsed trees
+	// (DisambiguateTree, DisambiguateBatch); violations surface as
+	// *LimitError.
+	MaxDepth      int
+	MaxNodes      int
+	MaxTokenBytes int
 }
 
 // Framework is a reusable disambiguation pipeline.
 type Framework struct {
 	inner       *core.Framework
 	followLinks bool
+	limits      struct{ depth, nodes, tokenBytes int } // as given (0 = default, <0 = off)
 }
 
 // Result reports a disambiguation run.
@@ -134,6 +176,14 @@ type Result struct {
 	Assigned int
 	// Threshold is the effective Thresh_Amb used.
 	Threshold float64
+	// LinksResolved and LinksDangling report hyperlink resolution under
+	// Options.FollowLinks: the number of ID/IDREF edges installed and the
+	// number of references whose anchor did not exist. Dangling references
+	// degrade gracefully (resolvable links still apply), so they are
+	// reported here rather than failing the run. Both are zero when
+	// FollowLinks is off or the document was parsed by the caller.
+	LinksResolved int
+	LinksDangling int
 }
 
 // New builds a Framework from the options.
@@ -170,6 +220,13 @@ func New(o Options) (*Framework, error) {
 		vs = sphere.Jaccard
 	case "pearson":
 		vs = sphere.Pearson
+	default:
+		return nil, fmt.Errorf("%w: VectorSimilarity %q (want cosine, jaccard, or pearson)",
+			ErrUnknownOption, o.VectorSimilarity)
+	}
+	if o.Method > Combined {
+		return nil, fmt.Errorf("%w: Method %d (want ConceptBased, ContextBased, or Combined)",
+			ErrUnknownOption, o.Method)
 	}
 	inner, err := core.New(net, core.Options{
 		IncludeContent: !o.StructureOnly,
@@ -187,11 +244,28 @@ func New(o Options) (*Framework, error) {
 			FollowLinks:   o.FollowLinks,
 		},
 		OneSensePerDiscourse: o.OneSensePerDiscourse,
+		MaxDepth:             enabledLimit(o.MaxDepth, xmltree.DefaultMaxDepth),
+		MaxNodes:             enabledLimit(o.MaxNodes, xmltree.DefaultMaxNodes),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{inner: inner, followLinks: o.FollowLinks}, nil
+	fw := &Framework{inner: inner, followLinks: o.FollowLinks}
+	fw.limits.depth, fw.limits.nodes, fw.limits.tokenBytes = o.MaxDepth, o.MaxNodes, o.MaxTokenBytes
+	return fw, nil
+}
+
+// enabledLimit maps the public limit convention (0 = default, negative =
+// disabled) onto core's (positive = enabled, else disabled).
+func enabledLimit(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
 }
 
 // Network returns the reference semantic network in use.
@@ -202,22 +276,51 @@ func (f *Framework) Network() *Network { return f.inner.Network() }
 // ambiguity-based node selection, sphere context construction, and
 // semantic disambiguation.
 func (f *Framework) Disambiguate(r io.Reader) (*Result, error) {
-	t, err := xmltree.Parse(r, xmltree.ParseOptions{
-		IncludeContent: f.inner.Options().IncludeContent,
-		Tokenize:       lingproc.Tokenize,
-	})
+	return f.DisambiguateContext(context.Background(), r)
+}
+
+// DisambiguateContext is Disambiguate under a context: cancellation or
+// deadline expiry aborts the pipeline at its next per-node check and
+// returns an error matching ErrCanceled. Resource-guard violations return
+// a *LimitError, malformed documents an error matching ErrMalformedInput,
+// and a pipeline panic is isolated and returned as a *PanicError instead
+// of crashing the caller.
+func (f *Framework) DisambiguateContext(ctx context.Context, r io.Reader) (res *Result, err error) {
+	defer recoverToError(&res, &err)
+	if err := ctx.Err(); err != nil {
+		return nil, xsdferrors.Canceled(err) // don't parse on behalf of a dead caller
+	}
+	t, err := f.ParseTree(r)
 	if err != nil {
 		return nil, err
 	}
+	var resolved, dangling int
 	if f.followLinks {
 		// Dangling references are tolerated: resolvable links still apply.
-		_, _ = t.ResolveLinks()
+		ok, bad := t.ResolveLinksReport()
+		resolved, dangling = ok, len(bad)
 	}
-	res, err := f.inner.ProcessTree(t)
+	inner, err := f.inner.ProcessTreeContext(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Tree: res.Tree, Targets: res.Targets, Assigned: res.Assigned, Threshold: res.Threshold}, nil
+	out := fromCore(inner)
+	out.LinksResolved, out.LinksDangling = resolved, dangling
+	return out, nil
+}
+
+// ParseTree parses an XML document into a Tree under the framework's
+// content mode and resource limits, without disambiguating it — the
+// building block for batch callers that parse up front and call
+// DisambiguateBatch later.
+func (f *Framework) ParseTree(r io.Reader) (*Tree, error) {
+	return xmltree.Parse(r, xmltree.ParseOptions{
+		IncludeContent: f.inner.Options().IncludeContent,
+		Tokenize:       lingproc.Tokenize,
+		MaxDepth:       f.limits.depth,
+		MaxNodes:       f.limits.nodes,
+		MaxTokenBytes:  f.limits.tokenBytes,
+	})
 }
 
 // DisambiguateString is Disambiguate over an in-memory document.
@@ -227,28 +330,69 @@ func (f *Framework) DisambiguateString(doc string) (*Result, error) {
 
 // DisambiguateTree runs the pipeline on an already-parsed tree in place.
 func (f *Framework) DisambiguateTree(t *Tree) (*Result, error) {
-	res, err := f.inner.ProcessTree(t)
+	return f.DisambiguateTreeContext(context.Background(), t)
+}
+
+// DisambiguateTreeContext is DisambiguateTree with the fault-tolerance
+// semantics of DisambiguateContext (cancellation, resource guards, panic
+// isolation).
+func (f *Framework) DisambiguateTreeContext(ctx context.Context, t *Tree) (res *Result, err error) {
+	defer recoverToError(&res, &err)
+	inner, err := f.inner.ProcessTreeContext(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Tree: res.Tree, Targets: res.Targets, Assigned: res.Assigned, Threshold: res.Threshold}, nil
+	return fromCore(inner), nil
+}
+
+// BatchOptions tunes a DisambiguateBatchContext run.
+type BatchOptions struct {
+	// Workers is the worker-goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// DocTimeout, when positive, bounds each document's processing time.
+	// A document exceeding it fails with ErrCanceled (wrapping
+	// context.DeadlineExceeded) without affecting the others.
+	DocTimeout time.Duration
 }
 
 // DisambiguateBatch runs the pipeline over a batch of already-parsed trees
-// concurrently (workers <= 0 selects GOMAXPROCS). Results are in input
-// order; see core.Framework.ProcessTrees for error semantics.
+// concurrently (workers <= 0 selects GOMAXPROCS). It is
+// DisambiguateBatchContext with a background context and no per-document
+// deadline.
 func (f *Framework) DisambiguateBatch(trees []*Tree, workers int) ([]*Result, error) {
-	inner, err := f.inner.ProcessTrees(trees, workers)
-	if err != nil {
-		return nil, err
-	}
+	return f.DisambiguateBatchContext(context.Background(), trees, BatchOptions{Workers: workers})
+}
+
+// DisambiguateBatchContext runs the pipeline over a batch of trees with
+// per-document fault isolation. Results are in input order; a slot is nil
+// exactly when that document failed. When any document fails the returned
+// error is a *BatchError indexed by document, so one poisoned document (a
+// panic, boxed as *PanicError), one oversized document (*LimitError), or
+// one per-document timeout never discards the rest of the batch.
+// Cancelling ctx aborts the whole run promptly with ErrCanceled entries
+// for the unfinished documents.
+func (f *Framework) DisambiguateBatchContext(ctx context.Context, trees []*Tree, opts BatchOptions) ([]*Result, error) {
+	inner, err := f.inner.ProcessTreesContext(ctx, trees, opts.Workers, opts.DocTimeout)
 	out := make([]*Result, len(inner))
 	for i, r := range inner {
 		if r != nil {
-			out[i] = &Result{Tree: r.Tree, Targets: r.Targets, Assigned: r.Assigned, Threshold: r.Threshold}
+			out[i] = fromCore(r)
 		}
 	}
-	return out, nil
+	return out, err
+}
+
+func fromCore(r *core.Result) *Result {
+	return &Result{Tree: r.Tree, Targets: r.Targets, Assigned: r.Assigned, Threshold: r.Threshold}
+}
+
+// recoverToError converts a panic escaping the pipeline into a returned
+// *PanicError so one poisoned document cannot take down a serving process.
+func recoverToError(res **Result, err *error) {
+	if v := recover(); v != nil {
+		*res = nil
+		*err = &PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
+	}
 }
 
 // Candidate is one scored sense alternative for a node.

@@ -1,0 +1,156 @@
+// Package xsdferrors defines the typed error taxonomy of the XSDF
+// framework's fault-tolerant execution layer. Every failure mode of the
+// pipeline maps onto one of the sentinels or structured types below, so
+// callers can dispatch with errors.Is / errors.As instead of string
+// matching:
+//
+//	ErrCanceled       — a context was canceled or its deadline expired
+//	ErrLimitExceeded  — a resource guard tripped (see LimitError)
+//	ErrMalformedInput — the input document failed to parse
+//	ErrUnknownOption  — an option value is not one of the documented choices
+//	PanicError        — a worker panicked; the panic was isolated and boxed
+//	BatchError        — per-document failure report of a batch run
+//
+// The package sits below both the public xsdf API and the internal
+// pipeline packages so that all layers share one vocabulary.
+package xsdferrors
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors for errors.Is dispatch.
+var (
+	// ErrCanceled reports that processing stopped because the caller's
+	// context was canceled or timed out. Errors carrying it also wrap the
+	// underlying context error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("xsdf: canceled")
+
+	// ErrLimitExceeded reports that a resource guard (depth, node count,
+	// token size) rejected an input. Concrete occurrences are *LimitError
+	// values, which wrap this sentinel.
+	ErrLimitExceeded = errors.New("xsdf: resource limit exceeded")
+
+	// ErrMalformedInput reports that an input document is not well-formed
+	// XML (syntax error, multiple roots, unbalanced tags, empty input).
+	ErrMalformedInput = errors.New("xsdf: malformed input")
+
+	// ErrUnknownOption reports an option value outside the documented set
+	// (for example an unrecognized vector-similarity name).
+	ErrUnknownOption = errors.New("xsdf: unknown option")
+)
+
+// Canceled wraps a context error (context.Canceled or
+// context.DeadlineExceeded) so the result matches both ErrCanceled and the
+// original cause under errors.Is. A nil cause yields a bare ErrCanceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// LimitError reports which resource guard tripped and by how much. It
+// matches ErrLimitExceeded under errors.Is.
+type LimitError struct {
+	// Limit names the guard: "depth", "nodes", or "token-bytes".
+	Limit string
+	// Max is the configured bound and Actual the observed value that
+	// exceeded it (Actual may be the value at the point of abort, not the
+	// input's true total — parsing stops at the first violation).
+	Max    int
+	Actual int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xsdf: %s limit exceeded: %d > %d", e.Limit, e.Actual, e.Max)
+}
+
+// Is matches ErrLimitExceeded, making errors.Is(err, ErrLimitExceeded)
+// true for any *LimitError.
+func (e *LimitError) Is(target error) bool { return target == ErrLimitExceeded }
+
+// PanicError boxes a panic recovered from a pipeline worker: the panic
+// value, the goroutine stack at the panic site, and — in batch mode — the
+// index of the document being processed. One poisoned document therefore
+// surfaces as an inspectable error instead of taking down the process.
+type PanicError struct {
+	// Doc is the batch index of the failing document (-1 outside batches).
+	Doc int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured by the recover site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Doc >= 0 {
+		return fmt.Sprintf("xsdf: panic processing document %d: %v", e.Doc, e.Value)
+	}
+	return fmt.Sprintf("xsdf: panic: %v", e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value (panic(err)) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// BatchError is the partial-failure report of a batch run: one slot per
+// input document, nil for documents that succeeded. It unwraps to the
+// non-nil per-document errors, so errors.Is / errors.As search all of them
+// (like errors.Join, but retaining document positions).
+type BatchError struct {
+	// Errs is indexed by document; nil entries are successes.
+	Errs []error
+}
+
+// NewBatchError returns a *BatchError over errs, or nil when every entry
+// is nil — so callers can return it unconditionally.
+func NewBatchError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return &BatchError{Errs: errs}
+		}
+	}
+	return nil
+}
+
+func (e *BatchError) Error() string {
+	var parts []string
+	for i, err := range e.Errs {
+		if err != nil {
+			parts = append(parts, fmt.Sprintf("document %d: %v", i, err))
+		}
+	}
+	return fmt.Sprintf("xsdf: %d of %d documents failed: %s",
+		len(parts), len(e.Errs), strings.Join(parts, "; "))
+}
+
+// Unwrap returns the non-nil per-document errors for errors.Is/As
+// traversal.
+func (e *BatchError) Unwrap() []error {
+	var out []error
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// Failed returns the indices of the documents that failed, in order.
+func (e *BatchError) Failed() []int {
+	var out []int
+	for i, err := range e.Errs {
+		if err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package xsdferrors
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := Canceled(context.Canceled)
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("Canceled must match ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Canceled must keep matching context.Canceled")
+	}
+	dl := Canceled(context.DeadlineExceeded)
+	if !errors.Is(dl, ErrCanceled) || !errors.Is(dl, context.DeadlineExceeded) {
+		t.Error("deadline form must match both sentinels")
+	}
+	if !errors.Is(Canceled(nil), ErrCanceled) {
+		t.Error("nil cause must still be ErrCanceled")
+	}
+}
+
+func TestLimitError(t *testing.T) {
+	var err error = &LimitError{Limit: "depth", Max: 100, Actual: 101}
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Error("LimitError must match ErrLimitExceeded")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "depth" || le.Max != 100 {
+		t.Errorf("errors.As round trip failed: %+v", le)
+	}
+	wrapped := fmt.Errorf("document 3: %w", err)
+	if !errors.Is(wrapped, ErrLimitExceeded) || !errors.As(wrapped, &le) {
+		t.Error("wrapping must preserve matchability")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	err := &PanicError{Doc: 2, Value: "boom", Stack: []byte("stack")}
+	if got := err.Error(); got != `xsdf: panic processing document 2: boom` {
+		t.Errorf("message: %s", got)
+	}
+	cause := errors.New("inner")
+	perr := &PanicError{Doc: -1, Value: cause}
+	if !errors.Is(perr, cause) {
+		t.Error("panic(err) must unwrap to err")
+	}
+}
+
+func TestBatchError(t *testing.T) {
+	if NewBatchError([]error{nil, nil}) != nil {
+		t.Fatal("all-nil batch must produce a nil error")
+	}
+	limit := &LimitError{Limit: "nodes", Max: 10, Actual: 11}
+	pan := &PanicError{Doc: 0, Value: "boom"}
+	err := NewBatchError([]error{pan, nil, limit})
+	if err == nil {
+		t.Fatal("expected a batch error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatal("errors.As must find *BatchError")
+	}
+	if got := be.Failed(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Failed() = %v", got)
+	}
+	// Both typed failures must be reachable through the aggregate.
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "nodes" {
+		t.Error("LimitError not reachable through BatchError")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Doc != 0 {
+		t.Error("PanicError not reachable through BatchError")
+	}
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Error("sentinel not reachable through BatchError")
+	}
+}
