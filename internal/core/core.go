@@ -82,10 +82,17 @@ type Result struct {
 	Threshold float64
 }
 
-// Framework is a reusable XSDF instance bound to one semantic network.
+// Framework is a reusable XSDF instance bound to one semantic network. It
+// owns the shared similarity/vector cache (disambig.Cache): every
+// document processed through the framework — sequentially, across batch
+// workers, or across intra-document node workers — memoizes into the same
+// concurrency-safe store, so corpora with repeated vocabulary pay for
+// each pairwise similarity and each semantic-network sphere walk once per
+// framework, not once per document.
 type Framework struct {
-	net  *semnet.Network
-	opts Options
+	net   *semnet.Network
+	opts  Options
+	cache *disambig.Cache
 }
 
 // New returns a Framework over the given semantic network. net must be
@@ -100,7 +107,11 @@ func New(net *semnet.Network, opts Options) (*Framework, error) {
 	if err := opts.Disambiguation.SimWeights.Normalize().Validate(); err != nil {
 		return nil, err
 	}
-	return &Framework{net: net, opts: opts}, nil
+	return &Framework{
+		net:   net,
+		opts:  opts,
+		cache: disambig.NewCache(net, opts.Disambiguation.SimWeights),
+	}, nil
 }
 
 // Network returns the reference semantic network.
@@ -108,6 +119,18 @@ func (f *Framework) Network() *semnet.Network { return f.net }
 
 // Options returns the active configuration.
 func (f *Framework) Options() Options { return f.opts }
+
+// NewDisambiguator returns a disambiguator configured like the pipeline's
+// and backed by the framework's shared cache — the entry point for
+// callers (xsdf.Candidates, diagnostics) that score nodes outside a full
+// pipeline run but should still reuse the warm memos.
+func (f *Framework) NewDisambiguator() *disambig.Disambiguator {
+	return disambig.NewShared(f.cache, f.opts.Disambiguation)
+}
+
+// CacheStats reports the shared cache's hit/miss counters, for
+// observability and effectiveness tests.
+func (f *Framework) CacheStats() disambig.CacheStats { return f.cache.Stats() }
 
 // ProcessReader parses an XML document from r and runs the full pipeline.
 func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
@@ -164,12 +187,15 @@ func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*R
 		return nil, xsdferrors.Canceled(err)
 	}
 
-	// Modules 3 + 4: sphere context construction and disambiguation.
+	// Modules 3 + 4: sphere context construction and disambiguation. The
+	// disambiguator is per-document (it memoizes per-node contexts keyed
+	// by node pointer) but draws on the framework-shared similarity and
+	// vector caches.
 	disOpts := f.opts.Disambiguation
 	if hooks.BeforeNode != nil {
 		disOpts.NodeHook = hooks.BeforeNode
 	}
-	dis := disambig.New(f.net, disOpts)
+	dis := disambig.NewShared(f.cache, disOpts)
 	assigned, err := dis.ApplyContext(ctx, targets)
 	if err != nil {
 		return nil, err

@@ -21,8 +21,10 @@ func (f *Framework) ProcessTrees(trees []*xmltree.Tree, workers int) ([]*Result,
 
 // ProcessTreesContext runs the pipeline over a batch of documents
 // concurrently, fault-isolated per document. The semantic network is
-// immutable and shared; every worker builds its own disambiguator state,
-// so no locking is needed on the hot path.
+// immutable and shared, and all workers memoize into the framework's
+// shared similarity/vector cache (sharded locks), so repeated vocabulary
+// across documents is scored once for the whole batch. Per-document state
+// is limited to the disambiguator's node-context memo.
 //
 // Failure semantics: each document succeeds or fails independently.
 // Results are in input order; a slot is nil exactly when that document

@@ -1,0 +1,160 @@
+package disambig
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/semnet"
+	"repro/internal/simmeasure"
+	"repro/internal/sphere"
+)
+
+// Cache is the shared, concurrency-safe memoization layer of the semantic
+// hot path. One Cache is owned by a core.Framework and shared by every
+// disambiguator the framework creates — all batch workers and all
+// intra-document node workers hit the same pairwise-similarity and
+// concept-sphere-vector memos, so a corpus with repeated vocabulary pays
+// for each Sim(c1, c2) evaluation and each semantic-network sphere walk
+// once, not once per document.
+//
+// Invariants: the semantic network is immutable after Build, so every
+// cached value is a pure function of its key and never invalidates.
+// Cached sphere.Vector values are handed out shared — callers must treat
+// them as read-only (all in-tree consumers only read them). Sharded
+// read-write locks keep workers from serializing on a single mutex;
+// duplicated computation when two workers miss the same key concurrently
+// is harmless because both compute the identical value.
+type Cache struct {
+	net  *semnet.Network
+	sim  *simmeasure.Measure
+	seed maphash.Seed
+
+	vecs  [vecShardCount]vecShard  // single-sense semantic-network vectors
+	pairs [vecShardCount]pairShard // compound-label combined vectors (Eq. 12)
+
+	vecHits, vecMisses atomic.Uint64
+}
+
+const vecShardCount = 32
+
+type vecKey struct {
+	c semnet.ConceptID
+	d int
+}
+
+type pairKey struct {
+	p, q semnet.ConceptID
+	d    int
+}
+
+type vecShard struct {
+	mu sync.RWMutex
+	m  map[vecKey]sphere.Vector
+}
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]sphere.Vector
+}
+
+// NewCache returns an empty cache over net with the given similarity
+// weights (normalized as by simmeasure.New).
+func NewCache(net *semnet.Network, w simmeasure.Weights) *Cache {
+	c := &Cache{
+		net:  net,
+		sim:  simmeasure.New(net, w),
+		seed: maphash.MakeSeed(),
+	}
+	for i := range c.vecs {
+		c.vecs[i].m = make(map[vecKey]sphere.Vector)
+	}
+	for i := range c.pairs {
+		c.pairs[i].m = make(map[pairKey]sphere.Vector)
+	}
+	return c
+}
+
+// Network returns the semantic network the cache memoizes over.
+func (c *Cache) Network() *semnet.Network { return c.net }
+
+// Measure returns the shared pairwise-similarity measure.
+func (c *Cache) Measure() *simmeasure.Measure { return c.sim }
+
+// Sim returns the memoized combined similarity of the pair.
+func (c *Cache) Sim(a, b semnet.ConceptID) float64 { return c.sim.Sim(a, b) }
+
+func (c *Cache) hash(parts ...string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	for _, p := range parts {
+		h.WriteString(p)
+		h.WriteByte(0)
+	}
+	return h.Sum64()
+}
+
+// ConceptVector returns the memoized semantic-network context vector
+// V_d(s) of a sense (Definition 10). The returned vector is shared:
+// read-only.
+func (c *Cache) ConceptVector(id semnet.ConceptID, d int) sphere.Vector {
+	key := vecKey{c: id, d: d}
+	sh := &c.vecs[c.hash(string(id))%vecShardCount]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.vecHits.Add(1)
+		return v
+	}
+	c.vecMisses.Add(1)
+	v = sphere.ConceptVector(c.net, id, d)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// PairVector returns the memoized combined concept vector V_d(s_p, s_q) of
+// a compound-label candidate pair (Eq. 12). The union underlying the
+// vector is symmetric in p and q, so the key is canonicalized to sorted
+// order. The returned vector is shared: read-only.
+func (c *Cache) PairVector(p, q semnet.ConceptID, d int) sphere.Vector {
+	if q < p {
+		p, q = q, p
+	}
+	key := pairKey{p: p, q: q, d: d}
+	sh := &c.pairs[c.hash(string(p), string(q))%vecShardCount]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.vecHits.Add(1)
+		return v
+	}
+	c.vecMisses.Add(1)
+	v = sphere.CombinedConceptVector(c.net, p, q, d)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// CacheStats is a point-in-time snapshot of the shared cache counters, for
+// observability and effectiveness tests. Counters are atomics: exact in
+// serial runs, approximate snapshots under concurrency.
+type CacheStats struct {
+	SimHits, SimMisses       uint64
+	VectorHits, VectorMisses uint64
+}
+
+// Stats reports hit/miss counts since construction.
+func (c *Cache) Stats() CacheStats {
+	h, m := c.sim.Stats()
+	return CacheStats{
+		SimHits:      h,
+		SimMisses:    m,
+		VectorHits:   c.vecHits.Load(),
+		VectorMisses: c.vecMisses.Load(),
+	}
+}

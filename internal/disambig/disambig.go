@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/semnet"
 	"repro/internal/simmeasure"
@@ -69,8 +71,16 @@ type Options struct {
 	// NodeHook, when non-nil, is invoked before each target node is
 	// disambiguated in ApplyContext. It exists as a fault-injection seam
 	// for tests (simulating slow or panicking nodes); production callers
-	// leave it nil.
+	// leave it nil. With Workers > 1 the hook is called concurrently from
+	// the node workers and must be safe for concurrent use.
 	NodeHook func(*xmltree.Node)
+	// Workers is the intra-document parallelism of ApplyContext: the
+	// number of goroutines target nodes are fanned across. Values <= 1
+	// keep the historical serial loop. Parallel workers share the
+	// disambiguator's caches (concurrency-safe) and write only to their
+	// own target nodes, so sense assignments are identical to a serial
+	// run.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's common configuration: radius 1,
@@ -110,37 +120,63 @@ func (s Sense) ID() string {
 }
 
 // Disambiguator runs sense disambiguation for nodes of one document tree
-// against one semantic network. It caches sphere context vectors and
-// similarity scores, so reusing one Disambiguator across the nodes of a
-// document is much cheaper than rebuilding state per node.
+// against one semantic network. It memoizes similarity scores, semantic-
+// network sphere vectors (through a Cache, which may be shared across
+// documents), and per-node prepared contexts, so reusing one Disambiguator
+// across the nodes of a document — or calling the per-candidate scoring
+// APIs repeatedly for one node — costs each underlying computation once.
+//
+// A Disambiguator is safe for concurrent use: all memos are concurrency-
+// safe and the semantic network is immutable. The only mutation it
+// performs is writing Sense/SenseScore into the target nodes handed to
+// Apply/ApplyContext; callers must not hand the same node to two
+// concurrent Apply calls.
 type Disambiguator struct {
-	net  *semnet.Network
-	opts Options
-	sim  *simmeasure.Measure
+	net   *semnet.Network
+	opts  Options
+	cache *Cache
 
-	conceptVecCache map[vecKey]sphere.Vector
+	// ctxMemo memoizes prepareContext per target node (keyed by node
+	// pointer), making the public per-candidate APIs (ConceptScore,
+	// ContextScore, ...) linear instead of accidentally quadratic. It
+	// assumes the tree's structure, labels, and tokens stay fixed while
+	// the Disambiguator is in use — true for the pipeline, which finishes
+	// linguistic pre-processing before disambiguation starts.
+	ctxMemo sync.Map // *xmltree.Node -> *preparedContext
+
+	// bypassCache, set only by differential tests, recomputes every
+	// similarity, vector, and context from scratch on each call; golden
+	// tests assert the cached and bypass paths agree bit for bit.
+	bypassCache bool
 }
 
-type vecKey struct {
-	c semnet.ConceptID
-	d int
-}
-
-// New returns a Disambiguator over net with the given options.
+// New returns a Disambiguator over net with the given options, backed by a
+// private cache.
 func New(net *semnet.Network, opts Options) *Disambiguator {
+	return NewShared(NewCache(net, opts.SimWeights), opts)
+}
+
+// NewShared returns a Disambiguator backed by an existing (possibly
+// shared) cache. The cache's similarity weights take effect; callers are
+// expected to construct the cache from the same weights as opts.SimWeights
+// (core.Framework does).
+func NewShared(cache *Cache, opts Options) *Disambiguator {
 	if opts.Radius < 1 {
 		opts.Radius = 1
 	}
 	return &Disambiguator{
-		net:             net,
-		opts:            opts,
-		sim:             simmeasure.New(net, opts.SimWeights),
-		conceptVecCache: make(map[vecKey]sphere.Vector),
+		net:   cache.Network(),
+		opts:  opts,
+		cache: cache,
 	}
 }
 
 // Options returns the active configuration.
 func (d *Disambiguator) Options() Options { return d.opts }
+
+// Cache returns the (possibly shared) memoization layer backing this
+// disambiguator.
+func (d *Disambiguator) Cache() *Cache { return d.cache }
 
 // contextNode is one pre-resolved member of the target's sphere context.
 type contextNode struct {
@@ -150,26 +186,53 @@ type contextNode struct {
 	senses [][]semnet.ConceptID // senses per token
 }
 
-// prepareContext builds the sphere, context vector, and per-member sense
-// lists for a target node. The center node is excluded from the scoring
+// preparedContext is the fully-resolved sphere context of one target node:
+// the Definition 6–7 context vector, the per-member sense lists, and the
+// sphere size. It is computed once per node and memoized (ctxMemo).
+type preparedContext struct {
+	vec  sphere.Vector
+	ctx  []contextNode
+	size int
+}
+
+// prepareContext returns the memoized sphere context of a target node,
+// building it on first use. The center node is excluded from the scoring
 // context (its self-similarity is a constant offset for every candidate,
 // cf. Definition 8) but participates in the vector per the Figure 7
 // convention.
-func (d *Disambiguator) prepareContext(x *xmltree.Node) (vec sphere.Vector, ctx []contextNode, size int) {
+func (d *Disambiguator) prepareContext(x *xmltree.Node) *preparedContext {
+	if d.bypassCache {
+		return d.buildContext(x)
+	}
+	if v, ok := d.ctxMemo.Load(x); ok {
+		return v.(*preparedContext)
+	}
+	pc := d.buildContext(x)
+	if v, loaded := d.ctxMemo.LoadOrStore(x, pc); loaded {
+		return v.(*preparedContext) // a concurrent builder won; both are identical
+	}
+	return pc
+}
+
+// buildContext runs the sphere BFS once and derives both the membership
+// and the context vector from that single walk (the vector previously
+// re-ran the BFS).
+func (d *Disambiguator) buildContext(x *xmltree.Node) *preparedContext {
 	var members []sphere.Member
 	if d.opts.FollowLinks {
 		members = sphere.GraphSphere(x, d.opts.Radius)
-		vec = sphere.GraphContextVector(x, d.opts.Radius)
 	} else {
 		members = sphere.Sphere(x, d.opts.Radius)
-		vec = sphere.ContextVector(x, d.opts.Radius)
 	}
-	size = len(members)
+	pc := &preparedContext{
+		vec:  sphere.VectorFromMembers(members, d.opts.Radius),
+		size: len(members),
+	}
 	for _, m := range members {
 		if m.Node == x {
 			continue
 		}
-		cn := contextNode{node: m.Node, weight: vec[m.Node.Label]}
+		cn := contextNode{node: m.Node, weight: pc.vec[m.Node.Label]}
 		toks := m.Node.Tokens
 		if len(toks) == 0 {
 			toks = []string{m.Node.Label}
@@ -178,9 +241,18 @@ func (d *Disambiguator) prepareContext(x *xmltree.Node) (vec sphere.Vector, ctx 
 		for _, t := range toks {
 			cn.senses = append(cn.senses, d.net.Senses(t))
 		}
-		ctx = append(ctx, cn)
+		pc.ctx = append(pc.ctx, cn)
 	}
-	return vec, ctx, size
+	return pc
+}
+
+// pairSim routes concept-pair similarity through the shared cache, or
+// straight to the uncached computation in bypass mode.
+func (d *Disambiguator) pairSim(a, b semnet.ConceptID) float64 {
+	if d.bypassCache {
+		return d.cache.Measure().SimDirect(a, b)
+	}
+	return d.cache.Sim(a, b)
 }
 
 // simToContextNode returns max_j Sim(s, s_j^i) over the senses of context
@@ -196,7 +268,7 @@ func (d *Disambiguator) simToContextNode(s semnet.ConceptID, cn contextNode) flo
 		}
 		best := 0.0
 		for _, sj := range senses {
-			if v := d.sim.Sim(s, sj); v > best {
+			if v := d.pairSim(s, sj); v > best {
 				best = v
 			}
 		}
@@ -211,10 +283,11 @@ func (d *Disambiguator) simToContextNode(s semnet.ConceptID, cn contextNode) flo
 
 // ConceptScore computes Concept_Score(s_p, S_d(x), S̄N) (Definition 8): the
 // average over context nodes of the weighted maximum similarity between the
-// candidate sense and the context node's senses.
+// candidate sense and the context node's senses. The node's context is
+// memoized, so per-candidate calls cost one pass over the context, not one
+// sphere construction each.
 func (d *Disambiguator) ConceptScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
-	_, ctx, size := d.prepareContext(x)
-	return d.conceptScoreCtx([]semnet.ConceptID{sp}, ctx, size)
+	return d.conceptScoreCtx([]semnet.ConceptID{sp}, d.prepareContext(x))
 }
 
 // ConceptScoreCompound computes Eq. 10 for a compound target label: the
@@ -222,16 +295,15 @@ func (d *Disambiguator) ConceptScore(sp semnet.ConceptID, x *xmltree.Node) float
 // per-context-node similarity is the average of the individual
 // similarities.
 func (d *Disambiguator) ConceptScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
-	_, ctx, size := d.prepareContext(x)
-	return d.conceptScoreCtx([]semnet.ConceptID{sp, sq}, ctx, size)
+	return d.conceptScoreCtx([]semnet.ConceptID{sp, sq}, d.prepareContext(x))
 }
 
-func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, ctx []contextNode, size int) float64 {
-	if size == 0 {
+func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, pc *preparedContext) float64 {
+	if pc.size == 0 {
 		return 0
 	}
 	var total float64
-	for _, cn := range ctx {
+	for _, cn := range pc.ctx {
 		var s float64
 		for _, c := range candidate {
 			s += d.simToContextNode(c, cn)
@@ -239,61 +311,53 @@ func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, ctx []cont
 		s /= float64(len(candidate))
 		total += s * cn.weight
 	}
-	return total / float64(size)
+	return total / float64(pc.size)
 }
 
 // conceptVector returns the cached semantic-network context vector of a
 // sense.
 func (d *Disambiguator) conceptVector(c semnet.ConceptID) sphere.Vector {
-	key := vecKey{c: c, d: d.opts.Radius}
-	if v, ok := d.conceptVecCache[key]; ok {
-		return v
+	if d.bypassCache {
+		return sphere.ConceptVector(d.net, c, d.opts.Radius)
 	}
-	v := sphere.ConceptVector(d.net, c, d.opts.Radius)
-	d.conceptVecCache[key] = v
-	return v
+	return d.cache.ConceptVector(c, d.opts.Radius)
+}
+
+// pairVector returns the cached combined concept vector of a compound
+// candidate pair.
+func (d *Disambiguator) pairVector(p, q semnet.ConceptID) sphere.Vector {
+	if d.bypassCache {
+		return sphere.CombinedConceptVector(d.net, p, q, d.opts.Radius)
+	}
+	return d.cache.PairVector(p, q, d.opts.Radius)
 }
 
 // ContextScore computes Context_Score(s_p, S_d(x), SN) (Definition 10): the
 // vector similarity between the target's XML context vector and the
 // candidate sense's semantic-network context vector.
 func (d *Disambiguator) ContextScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
-	xv := d.xmlVector(x)
-	return d.opts.vectorSim()(xv, d.conceptVector(sp))
-}
-
-// xmlVector builds the target's context vector under the configured sphere
-// model (tree or hyperlink graph).
-func (d *Disambiguator) xmlVector(x *xmltree.Node) sphere.Vector {
-	if d.opts.FollowLinks {
-		return sphere.GraphContextVector(x, d.opts.Radius)
-	}
-	return sphere.ContextVector(x, d.opts.Radius)
+	return d.opts.vectorSim()(d.prepareContext(x).vec, d.conceptVector(sp))
 }
 
 // ContextScoreCompound computes Eq. 12: the candidate pair's combined
 // semantic-network sphere (union of the two sense spheres) against the
 // target's XML context vector.
 func (d *Disambiguator) ContextScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
-	xv := d.xmlVector(x)
-	cv := sphere.CombinedConceptVector(d.net, sp, sq, d.opts.Radius)
-	return d.opts.vectorSim()(xv, cv)
+	return d.opts.vectorSim()(d.prepareContext(x).vec, d.pairVector(sp, sq))
 }
 
 // score evaluates one candidate (1- or 2-sense) for target x under the
 // configured method, given the precomputed context.
-func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node,
-	xv sphere.Vector, ctx []contextNode, size int) float64 {
-
-	concept := func() float64 { return d.conceptScoreCtx(candidate, ctx, size) }
+func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node, pc *preparedContext) float64 {
+	concept := func() float64 { return d.conceptScoreCtx(candidate, pc) }
 	context := func() float64 {
 		var cv sphere.Vector
 		if len(candidate) == 2 {
-			cv = sphere.CombinedConceptVector(d.net, candidate[0], candidate[1], d.opts.Radius)
+			cv = d.pairVector(candidate[0], candidate[1])
 		} else {
 			cv = d.conceptVector(candidate[0])
 		}
-		return d.opts.vectorSim()(xv, cv)
+		return d.opts.vectorSim()(pc.vec, cv)
 	}
 	switch d.opts.Method {
 	case ConceptBased:
@@ -330,10 +394,10 @@ func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
 			// Assumption 4: monosemous labels are unambiguous.
 			return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
 		}
-		xv, ctx, size := d.prepareContext(x)
+		pc := d.prepareContext(x)
 		best := Sense{Score: -1}
 		for _, sp := range senses {
-			sc := d.score([]semnet.ConceptID{sp}, x, xv, ctx, size)
+			sc := d.score([]semnet.ConceptID{sp}, x, pc)
 			if sc > best.Score {
 				best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
 			}
@@ -352,11 +416,11 @@ func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
 		if len(sensesQ) == 0 {
 			return d.singleTokenFallback(sensesP, x)
 		}
-		xv, ctx, size := d.prepareContext(x)
+		pc := d.prepareContext(x)
 		best := Sense{Score: -1}
 		for _, sp := range sensesP {
 			for _, sq := range sensesQ {
-				sc := d.score([]semnet.ConceptID{sp, sq}, x, xv, ctx, size)
+				sc := d.score([]semnet.ConceptID{sp, sq}, x, pc)
 				if sc > best.Score {
 					best = Sense{Concepts: []semnet.ConceptID{sp, sq}, Score: sc}
 				}
@@ -370,10 +434,10 @@ func (d *Disambiguator) singleTokenFallback(senses []semnet.ConceptID, x *xmltre
 	if len(senses) == 1 {
 		return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
 	}
-	xv, ctx, size := d.prepareContext(x)
+	pc := d.prepareContext(x)
 	best := Sense{Score: -1}
 	for _, sp := range senses {
-		sc := d.score([]semnet.ConceptID{sp}, x, xv, ctx, size)
+		sc := d.score([]semnet.ConceptID{sp}, x, pc)
 		if sc > best.Score {
 			best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
 		}
@@ -400,11 +464,11 @@ func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
 		if len(senses) == 1 {
 			return []Sense{{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}}
 		}
-		xv, ctx, size := d.prepareContext(x)
+		pc := d.prepareContext(x)
 		for _, sp := range senses {
 			out = append(out, Sense{
 				Concepts: []semnet.ConceptID{sp},
-				Score:    d.score([]semnet.ConceptID{sp}, x, xv, ctx, size),
+				Score:    d.score([]semnet.ConceptID{sp}, x, pc),
 			})
 		}
 	default:
@@ -418,21 +482,21 @@ func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
 			if len(single) == 0 {
 				single = sensesQ
 			}
-			xv, ctx, size := d.prepareContext(x)
+			pc := d.prepareContext(x)
 			for _, sp := range single {
 				out = append(out, Sense{
 					Concepts: []semnet.ConceptID{sp},
-					Score:    d.score([]semnet.ConceptID{sp}, x, xv, ctx, size),
+					Score:    d.score([]semnet.ConceptID{sp}, x, pc),
 				})
 			}
 			break
 		}
-		xv, ctx, size := d.prepareContext(x)
+		pc := d.prepareContext(x)
 		for _, sp := range sensesP {
 			for _, sq := range sensesQ {
 				out = append(out, Sense{
 					Concepts: []semnet.ConceptID{sp, sq},
-					Score:    d.score([]semnet.ConceptID{sp, sq}, x, xv, ctx, size),
+					Score:    d.score([]semnet.ConceptID{sp, sq}, x, pc),
 				})
 			}
 		}
@@ -454,7 +518,19 @@ func (d *Disambiguator) Apply(targets []*xmltree.Node) int {
 // loop), so an abort returns within one node's disambiguation time with an
 // error matching xsdferrors.ErrCanceled. Nodes disambiguated before the
 // abort keep their senses; assigned counts them.
+//
+// With Options.Workers > 1, target nodes are fanned across a worker pool.
+// Per-node semantics are preserved: the cancellation check and NodeHook
+// run before each node in its worker, every node writes only its own
+// Sense/SenseScore, and the shared caches make the assignments identical
+// to a serial run. A panic on any worker is re-raised on the calling
+// goroutine with its original value, so the pipeline's panic isolation
+// (core.processOne, xsdf's recover seam) boxes it exactly as in serial
+// mode.
 func (d *Disambiguator) ApplyContext(ctx context.Context, targets []*xmltree.Node) (assigned int, err error) {
+	if w := d.workerCount(len(targets)); w > 1 {
+		return d.applyParallel(ctx, targets, w)
+	}
 	done := ctx.Done()
 	for _, x := range targets {
 		if done != nil {
@@ -474,4 +550,79 @@ func (d *Disambiguator) ApplyContext(ctx context.Context, targets []*xmltree.Nod
 		}
 	}
 	return assigned, nil
+}
+
+func (d *Disambiguator) workerCount(targets int) int {
+	w := d.opts.Workers
+	if w > targets {
+		w = targets
+	}
+	return w
+}
+
+// applyParallel is the Workers > 1 fan-out of ApplyContext.
+func (d *Disambiguator) applyParallel(ctx context.Context, targets []*xmltree.Node, workers int) (int, error) {
+	var assigned atomic.Int64
+	var (
+		panicOnce sync.Once
+		panicVal  any
+		quit      = make(chan struct{}) // closed on first worker panic
+	)
+	done := ctx.Done()
+	jobs := make(chan *xmltree.Node)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicOnce.Do(func() {
+						panicVal = v
+						close(quit)
+					})
+				}
+			}()
+			for x := range jobs {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				if d.opts.NodeHook != nil {
+					d.opts.NodeHook(x)
+				}
+				if s, ok := d.Node(x); ok {
+					x.Sense = s.ID()
+					x.SenseScore = s.Score
+					assigned.Add(1)
+				}
+			}
+		}()
+	}
+	aborted := false
+dispatch:
+	for _, x := range targets {
+		select {
+		case jobs <- x:
+		case <-done:
+			aborted = true
+			break dispatch
+		case <-quit:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if panicVal != nil {
+		// Re-raise with the original value so recover seams upstream see
+		// the same panic a serial run would produce.
+		panic(panicVal)
+	}
+	if aborted || ctx.Err() != nil {
+		return int(assigned.Load()), xsdferrors.Canceled(ctx.Err())
+	}
+	return int(assigned.Load()), nil
 }

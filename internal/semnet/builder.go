@@ -123,6 +123,23 @@ func (b *Builder) Build() (*Network, error) {
 	for _, id := range b.order {
 		n.glossTok[id] = tokenizeGloss(b.concepts[id].Gloss)
 	}
+	// Hot-path precomputations: ancestor lists/sets for LCS, expanded
+	// glosses for the overlap measure. Both are pure functions of the
+	// now-frozen edge set, so computing them once here removes the
+	// per-call taxonomy walks and gloss concatenations that dominate
+	// similarity scoring.
+	n.ancList = make(map[ConceptID][]ConceptID, len(b.order))
+	n.ancSet = make(map[ConceptID]map[ConceptID]struct{}, len(b.order))
+	for _, id := range b.order {
+		list := n.ancestorList(id)
+		n.ancList[id] = list
+		n.ancSet[id] = ancestorSetOf(list)
+	}
+	n.expGloss = make(map[ConceptID][]string, len(b.order))
+	for _, id := range b.order {
+		n.expGloss[id] = n.expandGloss(id)
+	}
+	n.lcsMemo.init()
 	return n, nil
 }
 

@@ -11,9 +11,11 @@ package semnet
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ConceptID uniquely identifies a concept (word sense). The embedded
@@ -112,6 +114,52 @@ type Network struct {
 	cumFreq   map[ConceptID]float64 // own freq + all hyponym descendants
 	totalFreq float64
 	glossTok  map[ConceptID][]string // tokenized gloss cache
+
+	// Hot-path precomputations, all derived at Build time from the immutable
+	// edge set: per-concept ancestor visit lists/sets feed LCS without
+	// re-walking the hypernym DAG per call, and expanded glosses feed the
+	// gloss-overlap measure without re-concatenating neighbor glosses per
+	// pair. The network is immutable after Build, so these never invalidate.
+	ancList  map[ConceptID][]ConceptID          // BFS-from-concept visit order over hypernyms
+	ancSet   map[ConceptID]map[ConceptID]struct{} // same contents as a set
+	expGloss map[ConceptID][]string             // own + direct-neighbor gloss tokens
+
+	lcsMemo lcsCache // concurrency-safe LCS memo (taxonomy walks dominate Sim cost)
+}
+
+// lcsCache memoizes LCS results under sharded locks so one immutable
+// Network can serve many goroutines without contention on a single mutex.
+const lcsShardCount = 32
+
+type lcsCache struct {
+	seed   maphash.Seed
+	shards [lcsShardCount]lcsShard
+}
+
+type lcsShard struct {
+	mu sync.RWMutex
+	m  map[[2]ConceptID]lcsEntry
+}
+
+type lcsEntry struct {
+	id ConceptID
+	ok bool
+}
+
+func (c *lcsCache) init() {
+	c.seed = maphash.MakeSeed()
+	for i := range c.shards {
+		c.shards[i].m = make(map[[2]ConceptID]lcsEntry)
+	}
+}
+
+func (c *lcsCache) shard(key [2]ConceptID) *lcsShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(string(key[0]))
+	h.WriteByte(0)
+	h.WriteString(string(key[1]))
+	return &c.shards[h.Sum64()%lcsShardCount]
 }
 
 // Len returns |C|.
@@ -190,26 +238,45 @@ func (n *Network) maxIC() float64 {
 // LCS returns the lowest common subsumer of a and b in the hypernym
 // hierarchy (the deepest shared ancestor, where a concept is an ancestor of
 // itself) and true, or "" and false when the two concepts share no ancestor.
+// Results are memoized per ordered pair under sharded locks; LCS is safe
+// for concurrent use and O(|ancestors(b)|) on a memo miss thanks to the
+// ancestor sets precomputed at Build time.
 func (n *Network) LCS(a, b ConceptID) (ConceptID, bool) {
-	anc := n.ancestorSet(a)
+	key := [2]ConceptID{a, b}
+	sh := n.lcsMemo.shard(key)
+	sh.mu.RLock()
+	e, hit := sh.m[key]
+	sh.mu.RUnlock()
+	if hit {
+		return e.id, e.ok
+	}
+	id, ok := n.lcsCompute(a, b)
+	sh.mu.Lock()
+	sh.m[key] = lcsEntry{id: id, ok: ok}
+	sh.mu.Unlock()
+	return id, ok
+}
+
+// lcsCompute scans b's ancestors in BFS visit order (the precomputed list
+// reproduces the historical walk exactly, tie-breaks included) and keeps
+// the deepest one that is also an ancestor of a.
+func (n *Network) lcsCompute(a, b ConceptID) (ConceptID, bool) {
+	anc := n.ancSet[a]
+	if anc == nil { // unknown id: derive on the fly (no precomputed entry)
+		anc = ancestorSetOf(n.ancestorList(a))
+	}
+	list := n.ancList[b]
+	if list == nil {
+		list = n.ancestorList(b)
+	}
 	var best ConceptID
 	bestDepth := -1
-	// BFS up from b; the first ancestor of b also in anc with maximal depth.
-	seen := map[ConceptID]struct{}{}
-	queue := []ConceptID{b}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if _, dup := seen[cur]; dup {
-			continue
-		}
-		seen[cur] = struct{}{}
+	for _, cur := range list {
 		if _, ok := anc[cur]; ok {
 			if d := n.depth[cur]; d > bestDepth {
 				best, bestDepth = cur, d
 			}
 		}
-		queue = append(queue, n.Hypernyms(cur)...)
 	}
 	if bestDepth < 0 {
 		return "", false
@@ -217,18 +284,29 @@ func (n *Network) LCS(a, b ConceptID) (ConceptID, bool) {
 	return best, true
 }
 
-// ancestorSet returns a and all its transitive hypernyms.
-func (n *Network) ancestorSet(a ConceptID) map[ConceptID]struct{} {
-	out := map[ConceptID]struct{}{}
+// ancestorList returns a and all its transitive hypernyms in BFS visit
+// order (dedup on first visit), matching the walk LCS historically did.
+func (n *Network) ancestorList(a ConceptID) []ConceptID {
+	var out []ConceptID
+	seen := map[ConceptID]struct{}{}
 	queue := []ConceptID{a}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if _, dup := out[cur]; dup {
+		if _, dup := seen[cur]; dup {
 			continue
 		}
-		out[cur] = struct{}{}
+		seen[cur] = struct{}{}
+		out = append(out, cur)
 		queue = append(queue, n.Hypernyms(cur)...)
+	}
+	return out
+}
+
+func ancestorSetOf(list []ConceptID) map[ConceptID]struct{} {
+	out := make(map[ConceptID]struct{}, len(list))
+	for _, id := range list {
+		out[id] = struct{}{}
 	}
 	return out
 }
@@ -236,6 +314,29 @@ func (n *Network) ancestorSet(a ConceptID) map[ConceptID]struct{} {
 // GlossTokens returns the tokenized, stop-word-free gloss of the concept,
 // cached at build time for the gloss-overlap measure.
 func (n *Network) GlossTokens(id ConceptID) []string { return n.glossTok[id] }
+
+// ExpandedGlossTokens returns the concept's gloss tokens concatenated with
+// those of its direct neighbors over all relation kinds — the "extended"
+// gloss of the Banerjee-Pedersen overlap measure — precomputed at Build
+// time. Callers must treat the returned slice as read-only.
+func (n *Network) ExpandedGlossTokens(id ConceptID) []string {
+	if g, ok := n.expGloss[id]; ok {
+		return g
+	}
+	return n.expandGloss(id)
+}
+
+// expandGloss assembles the extended gloss from the per-concept gloss
+// caches, in edge order (deterministic: edges are fixed at Build).
+func (n *Network) expandGloss(id ConceptID) []string {
+	own := n.glossTok[id]
+	out := make([]string, 0, len(own)*3)
+	out = append(out, own...)
+	for _, e := range n.edges[id] {
+		out = append(out, n.glossTok[e.To]...)
+	}
+	return out
+}
 
 // Neighborhood returns the concepts within hop distance <= radius of id
 // (over all relation kinds), mapped to their distance. The center is

@@ -12,7 +12,10 @@ package simmeasure
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/semnet"
 )
@@ -56,26 +59,60 @@ func (w Weights) Normalize() Weights {
 	return Weights{Edge: w.Edge / s, Node: w.Node / s, Gloss: w.Gloss / s}
 }
 
+// simShardCount is the number of lock shards of the pairwise-Sim cache.
+// Sharding keeps many disambiguation goroutines from serializing on one
+// mutex; 64 shards are plenty for the worker counts a single host runs.
+const simShardCount = 64
+
+type simShard struct {
+	mu sync.RWMutex
+	m  map[[2]semnet.ConceptID]float64
+}
+
 // Measure evaluates combined semantic similarity between concepts of one
 // network. It caches pairwise scores, which matters because disambiguation
-// evaluates the same sense pairs many times across context nodes.
+// evaluates the same sense pairs many times across context nodes — and,
+// when one Measure is shared by a whole batch run, across documents.
+//
+// Measure is safe for concurrent use: the cache is sharded under
+// read-write locks, and cached values are pure functions of the immutable
+// network, so duplicated computation under contention is harmless.
 type Measure struct {
 	net     *semnet.Network
 	weights Weights
-	cache   map[[2]semnet.ConceptID]float64
+	seed    maphash.Seed
+	shards  [simShardCount]simShard
+
+	hits, misses atomic.Uint64
 }
 
 // New returns a Measure over net with the given (normalized) weights.
 func New(net *semnet.Network, w Weights) *Measure {
-	return &Measure{
+	m := &Measure{
 		net:     net,
 		weights: w.Normalize(),
-		cache:   make(map[[2]semnet.ConceptID]float64),
+		seed:    maphash.MakeSeed(),
 	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[[2]semnet.ConceptID]float64)
+	}
+	return m
 }
 
 // Weights returns the active combination weights.
 func (m *Measure) Weights() Weights { return m.weights }
+
+// Network returns the network the measure scores over.
+func (m *Measure) Network() *semnet.Network { return m.net }
+
+func (m *Measure) shard(key [2]semnet.ConceptID) *simShard {
+	var h maphash.Hash
+	h.SetSeed(m.seed)
+	h.WriteString(string(key[0]))
+	h.WriteByte(0)
+	h.WriteString(string(key[1]))
+	return &m.shards[h.Sum64()%simShardCount]
+}
 
 // Sim returns the combined similarity Sim(c1, c2, S̄N) in [0, 1]
 // (Definition 9). Identical concepts score 1. Sim is symmetric.
@@ -87,8 +124,32 @@ func (m *Measure) Sim(c1, c2 semnet.ConceptID) float64 {
 	if c2 < c1 {
 		key = [2]semnet.ConceptID{c2, c1}
 	}
-	if v, ok := m.cache[key]; ok {
+	sh := m.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
 		return v
+	}
+	m.misses.Add(1)
+	v = m.SimDirect(c1, c2)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// SimDirect computes the combined similarity without consulting or filling
+// the cache — the bypass path differential tests compare Sim against. It
+// evaluates the pair in canonical (sorted) order, exactly as Sim caches it,
+// so Sim(a, b) == SimDirect(a, b) == SimDirect(b, a) bit for bit.
+func (m *Measure) SimDirect(c1, c2 semnet.ConceptID) float64 {
+	if c1 == c2 {
+		return 1
+	}
+	if c2 < c1 {
+		c1, c2 = c2, c1
 	}
 	v := m.weights.Edge*Edge(m.net, c1, c2) +
 		m.weights.Node*NodeIC(m.net, c1, c2) +
@@ -98,8 +159,13 @@ func (m *Measure) Sim(c1, c2 semnet.ConceptID) float64 {
 	} else if v > 1 {
 		v = 1
 	}
-	m.cache[key] = v
 	return v
+}
+
+// Stats reports cache hits and misses since construction (atomic counters;
+// approximate under concurrency, exact in serial runs).
+func (m *Measure) Stats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
 }
 
 // Edge is the Wu-Palmer edge-based measure:
@@ -168,26 +234,13 @@ func Gloss(net *semnet.Network, c1, c2 semnet.ConceptID) float64 {
 	if c1 == c2 {
 		return 1
 	}
-	g1 := expandedGloss(net, c1)
-	g2 := expandedGloss(net, c2)
+	g1 := net.ExpandedGlossTokens(c1)
+	g2 := net.ExpandedGlossTokens(c2)
 	if len(g1) == 0 || len(g2) == 0 {
 		return 0
 	}
 	raw := phraseOverlap(g1, g2)
 	return raw / (raw + glossSaturation)
-}
-
-// expandedGloss concatenates the concept's own gloss tokens with those of
-// its direct neighbors over all relation kinds (the "extended" part of the
-// Banerjee-Pedersen measure).
-func expandedGloss(net *semnet.Network, c semnet.ConceptID) []string {
-	own := net.GlossTokens(c)
-	out := make([]string, 0, len(own)*3)
-	out = append(out, own...)
-	for _, e := range net.Edges(c) {
-		out = append(out, net.GlossTokens(e.To)...)
-	}
-	return out
 }
 
 // phraseOverlap computes the extended-gloss-overlap raw score: repeatedly

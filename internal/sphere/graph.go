@@ -1,8 +1,6 @@
 package sphere
 
 import (
-	"sort"
-
 	"repro/internal/xmltree"
 )
 
@@ -12,40 +10,11 @@ import (
 // contexts at distance 1. On documents without links it is identical to
 // Sphere.
 func GraphSphere(x *xmltree.Node, d int) []Member {
-	dist := map[*xmltree.Node]int{x: 0}
-	frontier := []*xmltree.Node{x}
-	members := []Member{{Node: x, Dist: 0}}
-	for depth := 1; depth <= d; depth++ {
-		var next []*xmltree.Node
-		for _, cur := range frontier {
-			var adj []*xmltree.Node
-			if cur.Parent != nil {
-				adj = append(adj, cur.Parent)
-			}
-			adj = append(adj, cur.Children...)
-			adj = append(adj, cur.Links...)
-			for _, nb := range adj {
-				if _, seen := dist[nb]; seen {
-					continue
-				}
-				dist[nb] = depth
-				members = append(members, Member{Node: nb, Dist: depth})
-				next = append(next, nb)
-			}
-		}
-		frontier = next
-	}
-	sort.Slice(members, func(i, j int) bool {
-		if members[i].Dist != members[j].Dist {
-			return members[i].Dist < members[j].Dist
-		}
-		return members[i].Node.Index < members[j].Node.Index
-	})
-	return members
+	return bfsSphere(x, d, true)
 }
 
 // GraphContextVector builds the Definition 6–7 context vector over the
 // link-aware sphere.
 func GraphContextVector(x *xmltree.Node, d int) Vector {
-	return vectorFromMembers(GraphSphere(x, d), d)
+	return VectorFromMembers(GraphSphere(x, d), d)
 }

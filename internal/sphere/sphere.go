@@ -26,40 +26,72 @@ type Member struct {
 }
 
 // Ring returns R_d(x): the nodes located exactly at distance d from x
-// (Definition 4), in preorder.
+// (Definition 4), in preorder. It walks the BFS once and keeps only the
+// final frontier instead of materializing and sorting the whole sphere.
 func Ring(x *xmltree.Node, d int) []*xmltree.Node {
-	var out []*xmltree.Node
-	for _, m := range Sphere(x, d) {
-		if m.Dist == d {
-			out = append(out, m.Node)
+	if d == 0 {
+		return []*xmltree.Node{x}
+	}
+	seen := map[*xmltree.Node]struct{}{x: {}}
+	frontier := []*xmltree.Node{x}
+	for depth := 1; depth <= d; depth++ {
+		var next []*xmltree.Node
+		for _, cur := range frontier {
+			expand(cur, false, func(nb *xmltree.Node) {
+				if _, dup := seen[nb]; dup {
+					return
+				}
+				seen[nb] = struct{}{}
+				next = append(next, nb)
+			})
+		}
+		frontier = next
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].Index < frontier[j].Index })
+	return frontier
+}
+
+// expand visits the sphere-adjacent nodes of cur in the canonical order
+// (parent, children, then — when links is set — hyperlink anchors). Tree
+// and graph spheres, rings, and vectors all deduplicate through this one
+// adjacency, so the two BFS variants cannot drift apart.
+func expand(cur *xmltree.Node, links bool, visit func(*xmltree.Node)) {
+	if cur.Parent != nil {
+		visit(cur.Parent)
+	}
+	for _, c := range cur.Children {
+		visit(c)
+	}
+	if links {
+		for _, l := range cur.Links {
+			visit(l)
 		}
 	}
-	return out
 }
 
 // Sphere returns S_d(x): all nodes within distance d of x, center included
 // at distance 0 (Definition 5). Members are ordered by distance, then
 // preorder index, making iteration deterministic.
 func Sphere(x *xmltree.Node, d int) []Member {
+	return bfsSphere(x, d, false)
+}
+
+// bfsSphere is the shared breadth-first walk behind Sphere and GraphSphere.
+func bfsSphere(x *xmltree.Node, d int, links bool) []Member {
 	dist := map[*xmltree.Node]int{x: 0}
 	frontier := []*xmltree.Node{x}
 	members := []Member{{Node: x, Dist: 0}}
 	for depth := 1; depth <= d; depth++ {
 		var next []*xmltree.Node
 		for _, cur := range frontier {
-			var adj []*xmltree.Node
-			if cur.Parent != nil {
-				adj = append(adj, cur.Parent)
-			}
-			adj = append(adj, cur.Children...)
-			for _, nb := range adj {
+			expand(cur, links, func(nb *xmltree.Node) {
 				if _, seen := dist[nb]; seen {
-					continue
+					return
 				}
 				dist[nb] = depth
 				members = append(members, Member{Node: nb, Dist: depth})
 				next = append(next, nb)
-			}
+			})
 		}
 		frontier = next
 	}
@@ -90,11 +122,13 @@ func Struct(dist, d int) float64 {
 //
 // with Freq the structural-proximity-weighted occurrence count (Eq. 6).
 func ContextVector(x *xmltree.Node, d int) Vector {
-	members := Sphere(x, d)
-	return vectorFromMembers(members, d)
+	return VectorFromMembers(Sphere(x, d), d)
 }
 
-func vectorFromMembers(members []Member, d int) Vector {
+// VectorFromMembers builds the Definition 6–7 context vector from an
+// already-computed sphere membership, letting callers that need both the
+// members and the vector (disambig.prepareContext) run the BFS once.
+func VectorFromMembers(members []Member, d int) Vector {
 	freq := make(Vector, len(members))
 	for _, m := range members {
 		if m.Node.Label == "" {

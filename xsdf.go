@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -142,6 +143,16 @@ type Options struct {
 	// Dangling references are tolerated (resolvable links still apply).
 	FollowLinks bool
 
+	// NodeWorkers enables intra-document parallelism: the number of
+	// goroutines the target nodes of one document are fanned across
+	// during disambiguation. 0 or 1 keeps the serial per-node loop (the
+	// default — batch runs already parallelize across documents);
+	// negative selects GOMAXPROCS. Sense assignments are identical to a
+	// serial run: workers share the framework's concurrency-safe caches
+	// and each node's result depends only on the immutable network and
+	// the node's own context.
+	NodeWorkers int
+
 	// OneSensePerDiscourse harmonizes repeated labels to a single document
 	// sense after disambiguation (the Gale-Church-Yarowsky heuristic;
 	// extension beyond the paper).
@@ -228,6 +239,10 @@ func New(o Options) (*Framework, error) {
 		return nil, fmt.Errorf("%w: Method %d (want ConceptBased, ContextBased, or Combined)",
 			ErrUnknownOption, o.Method)
 	}
+	nodeWorkers := o.NodeWorkers
+	if nodeWorkers < 0 {
+		nodeWorkers = runtime.GOMAXPROCS(0)
+	}
 	inner, err := core.New(net, core.Options{
 		IncludeContent: !o.StructureOnly,
 		Ambiguity:      aw,
@@ -242,6 +257,7 @@ func New(o Options) (*Framework, error) {
 			ContextWeight: xw,
 			VectorSim:     vs,
 			FollowLinks:   o.FollowLinks,
+			Workers:       nodeWorkers,
 		},
 		OneSensePerDiscourse: o.OneSensePerDiscourse,
 		MaxDepth:             enabledLimit(o.MaxDepth, xmltree.DefaultMaxDepth),
@@ -409,9 +425,11 @@ type Candidate struct {
 // Candidates returns the full scored ranking of sense alternatives for a
 // node of a previously disambiguated tree, best first — the evidence behind
 // Node.Sense, for explanation UIs and confidence thresholds. Nil when the
-// node's label is unknown to the network.
+// node's label is unknown to the network. Scoring reuses the framework's
+// shared similarity/vector cache, so explaining a node of a processed
+// document hits warm memos instead of recomputing the semantic measures.
 func (f *Framework) Candidates(n *Node) []Candidate {
-	dis := disambig.New(f.inner.Network(), f.inner.Options().Disambiguation)
+	dis := f.inner.NewDisambiguator()
 	senses := dis.Candidates(n)
 	if senses == nil {
 		return nil
@@ -438,6 +456,16 @@ func (f *Framework) ExplainSimilarity(a, b ConceptID) []ConceptID {
 	}
 	return path
 }
+
+// CacheStats is a snapshot of the framework's shared memoization
+// counters (pairwise similarities and semantic-network sphere vectors).
+type CacheStats = disambig.CacheStats
+
+// CacheStats reports the shared cache's hit/miss counters — an
+// observability hook for serving deployments (cache effectiveness is the
+// difference between cold and warm batch throughput) and for tests
+// asserting that repeated vocabulary is actually shared.
+func (f *Framework) CacheStats() CacheStats { return f.inner.CacheStats() }
 
 // DefaultNetwork returns the embedded mini-WordNet semantic network.
 func DefaultNetwork() *Network { return wordnet.Default() }
