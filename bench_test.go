@@ -503,6 +503,65 @@ func BenchmarkPipelineBatch(b *testing.B) {
 	b.Run("parallel-nodes", func(b *testing.B) { run(b, false, -1) })
 }
 
+// BenchmarkPipelineDegraded quantifies the degradation ladder's
+// quality/latency trade-off: the full corpus batch at each rung, forced via
+// node-count watermarks so every document runs entirely at that level. Each
+// sub-bench reports gold-label F over element/attribute targets ("f-gold")
+// next to its ns/op, giving the README's trade-off table both axes from one
+// run.
+func BenchmarkPipelineDegraded(b *testing.B) {
+	for _, rung := range []struct {
+		name    string
+		degrade xsdf.DegradeOptions
+	}{
+		{"full", xsdf.DegradeOptions{}},
+		{"concept-only", xsdf.DegradeOptions{Enabled: true, ConceptOnlyAfter: 1}},
+		{"first-sense", xsdf.DegradeOptions{Enabled: true, FirstSenseAfter: 1}},
+	} {
+		b.Run(rung.name, func(b *testing.B) {
+			fw, err := xsdf.New(xsdf.Options{Radius: 2, Method: xsdf.Combined, Degrade: rung.degrade})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm pass, matching BenchmarkPipelineBatch's steady state.
+			if _, err := fw.DisambiguateBatch(freshCorpusTrees(), 4); err != nil {
+				b.Fatal(err)
+			}
+			var f eval.PRF
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				trees := freshCorpusTrees()
+				b.StartTimer()
+				results, err := fw.DisambiguateBatch(trees, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				var correct, assigned, total int
+				for _, res := range results {
+					for _, n := range res.Tree.Nodes() {
+						if n.Kind == xsdf.TokenNode || n.Gold == "" {
+							continue
+						}
+						total++
+						if n.Sense == "" {
+							continue
+						}
+						assigned++
+						if n.Sense == n.Gold {
+							correct++
+						}
+					}
+				}
+				f = eval.Score(correct, assigned, total)
+				b.StartTimer()
+			}
+			b.ReportMetric(f.F, "f-gold")
+		})
+	}
+}
+
 func benchDoc() string {
 	return `<films>
   <picture title="Rear Window">

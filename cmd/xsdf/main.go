@@ -6,7 +6,17 @@
 //	xsdf -report doc.xml              # label -> concept table
 //	xsdf -json doc.xml                # semantic tree as JSON
 //	xsdf -d 2 -method combined -threshold 0.05 doc.xml
+//	xsdf -timeout 50ms -degrade doc.xml   # degrade instead of failing
 //	cat doc.xml | xsdf -              # read stdin
+//
+// Exit codes distinguish the failure modes for scripting:
+//
+//	0  success at full quality
+//	1  internal or unexpected error
+//	2  input error (unreadable, malformed, or rejected by a resource guard)
+//	3  deadline exceeded
+//	4  rejected by the admission gate (overload)
+//	5  success, but degraded: the -degrade ladder reduced scoring quality
 package main
 
 import (
@@ -21,6 +31,23 @@ import (
 	"repro"
 )
 
+// The command's exit codes (see the package comment).
+const (
+	exitOK       = 0
+	exitErr      = 1
+	exitInput    = 2
+	exitTimeout  = 3
+	exitOverload = 4
+	exitDegraded = 5
+)
+
+// fail logs the message and exits with the given code. Deferred cleanups
+// (the input file close) are skipped, as with log.Fatal before.
+func fail(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xsdf: ")
@@ -34,19 +61,20 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the semantic tree as JSON instead of annotated XML")
 		vectorSim = flag.String("vector-sim", "cosine", "context-vector similarity: cosine | jaccard | pearson")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		degrade   = flag.Bool("degrade", false, "degrade scoring quality instead of failing when -timeout expires")
 		maxDepth  = flag.Int("max-depth", 0, "element nesting limit (0 = default, -1 = unlimited)")
 		maxNodes  = flag.Int("max-nodes", 0, "tree node-count limit (0 = default, -1 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: xsdf [flags] <file.xml | ->")
+		fail(exitInput, "usage: xsdf [flags] <file.xml | ->")
 	}
 
 	var in io.Reader = os.Stdin
 	if name := flag.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			log.Fatal(err)
+			fail(exitInput, "%v", err)
 		}
 		defer f.Close()
 		in = f
@@ -60,6 +88,7 @@ func main() {
 		VectorSimilarity: *vectorSim,
 		MaxDepth:         *maxDepth,
 		MaxNodes:         *maxNodes,
+		Degrade:          xsdf.DegradeOptions{Enabled: *degrade},
 	}
 	switch *method {
 	case "concept":
@@ -69,12 +98,12 @@ func main() {
 	case "combined":
 		opts.Method = xsdf.Combined
 	default:
-		log.Fatalf("unknown method %q", *method)
+		fail(exitInput, "unknown method %q", *method)
 	}
 
 	fw, err := xsdf.New(opts)
 	if err != nil {
-		log.Fatal(err)
+		fail(exitErr, "%v", err)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -85,23 +114,37 @@ func main() {
 	res, err := fw.DisambiguateContext(ctx, in)
 	if err != nil {
 		switch {
+		case errors.Is(err, xsdf.ErrOverloaded):
+			fail(exitOverload, "rejected by admission gate: %v", err)
 		case errors.Is(err, xsdf.ErrCanceled):
-			log.Fatalf("deadline of %v exceeded (%v)", *timeout, err)
+			fail(exitTimeout, "deadline of %v exceeded (%v); use -degrade to finish at reduced quality", *timeout, err)
 		case errors.Is(err, xsdf.ErrLimitExceeded):
-			log.Fatalf("input rejected by resource guard: %v (raise -max-depth/-max-nodes to override)", err)
+			fail(exitInput, "input rejected by resource guard: %v (raise -max-depth/-max-nodes to override)", err)
+		case errors.Is(err, xsdf.ErrMalformedInput):
+			fail(exitInput, "%v", err)
 		default:
-			log.Fatal(err)
+			fail(exitErr, "%v", err)
 		}
 	}
 
-	if *asJSON {
-		if err := res.Tree.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
+	code := exitOK
+	if res.Degraded != xsdf.DegradeNone {
+		// Keep stdout clean for the document; the quality note goes to
+		// stderr and into the exit code.
+		log.Printf("degraded to %s (%d/%d targets below full quality)",
+			res.Degraded, res.Targets-res.NodesAtLevel[xsdf.DegradeNone], res.Targets)
+		code = exitDegraded
 	}
-	if *report {
-		fmt.Printf("# %d targets, %d assigned (threshold %.3f)\n", res.Targets, res.Assigned, res.Threshold)
+
+	switch {
+	case *asJSON:
+		// Per-node "degraded" fields mark the rung each node was scored at.
+		if err := res.Tree.WriteJSON(os.Stdout); err != nil {
+			fail(exitErr, "%v", err)
+		}
+	case *report:
+		fmt.Printf("# %d targets, %d assigned (threshold %.3f, quality %s)\n",
+			res.Targets, res.Assigned, res.Threshold, res.Degraded)
 		for _, n := range res.Tree.Nodes() {
 			if n.Sense == "" {
 				continue
@@ -112,9 +155,10 @@ func main() {
 			}
 			fmt.Printf("%-16s %-20s %.3f  %s\n", n.Label, n.Sense, n.SenseScore, gloss)
 		}
-		return
+	default:
+		if err := res.Tree.WriteXML(os.Stdout, true); err != nil {
+			fail(exitErr, "%v", err)
+		}
 	}
-	if err := res.Tree.WriteXML(os.Stdout, true); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(code)
 }

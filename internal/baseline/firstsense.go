@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"repro/internal/semnet"
+	"repro/internal/xmltree"
+)
+
+// FirstSense is the Most Frequent Sense baseline: every token of a
+// (pre-processed) label receives its first listed sense, relying on the
+// semantic network's frequency ordering (semnet.Senses returns senses
+// dominant-first) and ignoring the document context entirely. It is the
+// classic WSD floor any context-aware method must beat — and the last rung
+// of the pipeline's graceful-degradation ladder, which falls back to
+// exactly this assignment when a document's budget runs out.
+type FirstSense struct {
+	net *semnet.Network
+}
+
+// NewFirstSense returns the baseline over net.
+func NewFirstSense(net *semnet.Network) *FirstSense {
+	return &FirstSense{net: net}
+}
+
+// Node picks the most frequent sense for each token of the node's label.
+// Unlike RPD/VSD this baseline runs after linguistic pre-processing, so
+// compound labels yield one concept per token ("first+name"), mirroring
+// the pipeline's own sense identifiers. ok is false when no token is known
+// to the network.
+func (b *FirstSense) Node(x *xmltree.Node) ([]semnet.ConceptID, bool) {
+	tokens := x.Tokens
+	if len(tokens) == 0 {
+		tokens = []string{x.Label}
+	}
+	var out []semnet.ConceptID
+	for _, t := range tokens {
+		if s := b.net.Senses(t); len(s) > 0 {
+			out = append(out, s[0])
+		}
+	}
+	return out, len(out) > 0
+}
+
+// Apply runs the baseline over the target nodes, writing senses in place,
+// and returns the number of senses assigned. Sense identifiers join
+// compound concepts with "+", matching disambig.Sense.ID.
+func (b *FirstSense) Apply(targets []*xmltree.Node) int {
+	n := 0
+	for _, x := range targets {
+		cs, ok := b.Node(x)
+		if !ok {
+			continue
+		}
+		id := string(cs[0])
+		for _, c := range cs[1:] {
+			id += "+" + string(c)
+		}
+		x.Sense = id
+		n++
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/disambig"
+	"repro/internal/wordnet"
+)
+
+func TestFirstSensePicksDominantSense(t *testing.T) {
+	net := wordnet.Default()
+	tr := parse(t, bibDoc)
+	fs := NewFirstSense(net)
+	x := find(t, tr, "book")
+	cs, ok := fs.Node(x)
+	if !ok || len(cs) != 1 {
+		t.Fatalf("FirstSense on %q: %v %v", x.Label, cs, ok)
+	}
+	if want := net.Senses("book")[0]; cs[0] != want {
+		t.Errorf("FirstSense = %s, want dominant sense %s", cs[0], want)
+	}
+}
+
+func TestFirstSenseUnknownLabel(t *testing.T) {
+	tr := parse(t, `<bib><zzqx>y</zzqx></bib>`)
+	if _, ok := NewFirstSense(wordnet.Default()).Node(find(t, tr, "zzqx")); ok {
+		t.Error("unknown label must fail")
+	}
+}
+
+// TestFirstSenseMatchesLadderRung cross-checks the baseline against the
+// pipeline's last degradation rung: forcing every node onto first-sense
+// (FirstSenseAfter: 1 watermark) must yield the same assignments this
+// baseline produces, because the rung IS the MFS baseline.
+func TestFirstSenseMatchesLadderRung(t *testing.T) {
+	net := wordnet.Default()
+	base := parse(t, bibDoc)
+	ladder := parse(t, bibDoc)
+
+	baseTargets := base.Nodes()
+	NewFirstSense(net).Apply(baseTargets)
+
+	opts := disambig.DefaultOptions()
+	opts.Degrade = disambig.Degradation{Enabled: true, FirstSenseAfter: 1}
+	if _, err := disambig.New(net, opts).ApplyReport(t.Context(), ladder.Nodes()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, want := range baseTargets {
+		got := ladder.Node(i)
+		if got.Sense != want.Sense {
+			t.Errorf("node %q: ladder sense %q, baseline sense %q",
+				want.Label, got.Sense, want.Sense)
+		}
+	}
+}

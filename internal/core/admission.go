@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/xsdferrors"
+)
+
+// AdmissionOptions configures the framework's admission gate: a weighted
+// semaphore that bounds how much work is in flight before documents start
+// being turned away with a typed *xsdferrors.OverloadError, instead of
+// letting an overloaded process slow every caller down. The zero value
+// disables the gate.
+type AdmissionOptions struct {
+	// MaxDocs bounds the number of documents in flight. 0 disables the
+	// bound.
+	MaxDocs int
+	// MaxNodes bounds the summed node count of in-flight documents — the
+	// gate's weight dimension, so one huge document consumes the capacity
+	// of many small ones. A document larger than MaxNodes is weighted at
+	// MaxNodes: it can still run, but only alone. 0 disables the bound.
+	MaxNodes int
+	// MaxWait bounds how long an arriving document waits for capacity
+	// before overload is reported. 0 rejects immediately when the gate is
+	// full (classic load shedding).
+	MaxWait time.Duration
+}
+
+// enabled reports whether any bound is configured.
+func (o AdmissionOptions) enabled() bool { return o.MaxDocs > 0 || o.MaxNodes > 0 }
+
+// gate is the weighted semaphore behind AdmissionOptions. Waiters block on
+// a broadcast channel that every release closes and replaces, then retry;
+// admission order under contention is therefore scheduler-determined, not
+// FIFO, which is fine for a load shedder.
+type gate struct {
+	maxDocs  int
+	maxNodes int
+
+	mu    sync.Mutex
+	turn  chan struct{} // closed and replaced on every release
+	docs  int
+	nodes int
+}
+
+// newGate returns the gate for o, or nil when o disables admission.
+func newGate(o AdmissionOptions) *gate {
+	if !o.enabled() {
+		return nil
+	}
+	return &gate{maxDocs: o.MaxDocs, maxNodes: o.MaxNodes, turn: make(chan struct{})}
+}
+
+// weight is the admission weight of a document of n nodes, capped at
+// MaxNodes so oversized documents remain admissible (alone).
+func (g *gate) weight(n int) int {
+	if g.maxNodes > 0 && n > g.maxNodes {
+		return g.maxNodes
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// tryAcquire admits weight w if capacity allows; otherwise it returns the
+// current turn channel to wait on.
+func (g *gate) tryAcquire(w int) (ok bool, wait <-chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if (g.maxDocs <= 0 || g.docs < g.maxDocs) && (g.maxNodes <= 0 || g.nodes+w <= g.maxNodes) {
+		g.docs++
+		g.nodes += w
+		return true, nil
+	}
+	return false, g.turn
+}
+
+// release returns weight w to the gate and wakes every waiter.
+func (g *gate) release(w int) {
+	g.mu.Lock()
+	g.docs--
+	g.nodes -= w
+	close(g.turn)
+	g.turn = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// acquire admits a document of n nodes, waiting up to maxWait for
+// capacity. It returns the release function on admission, a
+// *xsdferrors.OverloadError when capacity never frees in time, or the
+// canceled context's error.
+func (g *gate) acquire(ctx context.Context, n int, maxWait time.Duration) (release func(), err error) {
+	w := g.weight(n)
+	start := time.Now()
+	var timeout <-chan time.Time
+	if maxWait > 0 {
+		tm := time.NewTimer(maxWait)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	for {
+		ok, wait := g.tryAcquire(w)
+		if ok {
+			return func() { g.release(w) }, nil
+		}
+		if maxWait <= 0 {
+			return nil, g.overloadErr(start)
+		}
+		select {
+		case <-wait:
+		case <-timeout:
+			return nil, g.overloadErr(start)
+		case <-ctx.Done():
+			return nil, xsdferrors.Canceled(ctx.Err())
+		}
+	}
+}
+
+// overloadErr snapshots the gate state into the typed overload error.
+func (g *gate) overloadErr(start time.Time) *xsdferrors.OverloadError {
+	g.mu.Lock()
+	docs, nodes := g.docs, g.nodes
+	g.mu.Unlock()
+	return &xsdferrors.OverloadError{Docs: docs, Nodes: nodes, Waited: time.Since(start)}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wordnet"
+	"repro/xsdferrors"
+)
+
+// TestGateDisabledByZeroOptions: the zero AdmissionOptions builds no gate.
+func TestGateDisabledByZeroOptions(t *testing.T) {
+	if g := newGate(AdmissionOptions{}); g != nil {
+		t.Fatal("zero options must disable the gate")
+	}
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.gate != nil {
+		t.Fatal("framework must not gate by default")
+	}
+}
+
+// TestGateWeightCap: a document larger than MaxNodes is weighted at
+// MaxNodes, so it can still be admitted — alone.
+func TestGateWeightCap(t *testing.T) {
+	g := newGate(AdmissionOptions{MaxNodes: 100})
+	release, err := g.acquire(context.Background(), 5000, 0)
+	if err != nil {
+		t.Fatalf("oversized document must be admissible alone: %v", err)
+	}
+	// While it holds the full capacity, even a tiny document is rejected.
+	if _, err := g.acquire(context.Background(), 1, 0); !errors.Is(err, xsdferrors.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded while capacity is held, got %v", err)
+	}
+	release()
+	release2, err := g.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatalf("released capacity must readmit: %v", err)
+	}
+	release2()
+}
+
+// TestGateMaxDocs: the document-count bound rejects the N+1th arrival and
+// reports the gate state in the typed error.
+func TestGateMaxDocs(t *testing.T) {
+	g := newGate(AdmissionOptions{MaxDocs: 2})
+	r1, err1 := g.acquire(context.Background(), 10, 0)
+	r2, err2 := g.acquire(context.Background(), 10, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	_, err := g.acquire(context.Background(), 10, 0)
+	var oe *xsdferrors.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OverloadError, got %v", err)
+	}
+	if oe.Docs != 2 || oe.Nodes != 20 {
+		t.Errorf("overload snapshot = %d docs / %d nodes, want 2/20", oe.Docs, oe.Nodes)
+	}
+	r1()
+	r2()
+}
+
+// TestGateBoundedWaitAdmits: a waiter inside MaxWait is admitted once
+// capacity frees.
+func TestGateBoundedWaitAdmits(t *testing.T) {
+	g := newGate(AdmissionOptions{MaxDocs: 1})
+	release, err := g.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := g.acquire(context.Background(), 1, 5*time.Second)
+		if r != nil {
+			defer r()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter must be admitted after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never admitted")
+	}
+}
+
+// TestGateWaitExpiryAndCancel: the bounded wait reports Waited > 0 on
+// expiry, and a canceled context aborts the wait with ErrCanceled.
+func TestGateWaitExpiryAndCancel(t *testing.T) {
+	g := newGate(AdmissionOptions{MaxDocs: 1})
+	release, err := g.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = g.acquire(context.Background(), 1, 20*time.Millisecond)
+	var oe *xsdferrors.OverloadError
+	if !errors.As(err, &oe) || oe.Waited < 20*time.Millisecond {
+		t.Fatalf("want *OverloadError with Waited >= 20ms, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.acquire(ctx, 1, time.Minute); !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("canceled wait: want ErrCanceled, got %v", err)
+	}
+}
+
+// TestGateConcurrencyInvariant hammers the gate from many goroutines and
+// asserts the bounds were never exceeded (run with -race).
+func TestGateConcurrencyInvariant(t *testing.T) {
+	const (
+		maxDocs = 3
+		loops   = 200
+	)
+	g := newGate(AdmissionOptions{MaxDocs: maxDocs, MaxNodes: 50})
+	var (
+		mu      sync.Mutex
+		inUse   int
+		maxSeen int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				release, err := g.acquire(context.Background(), 5+(seed+i)%20, time.Second)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				inUse++
+				if inUse > maxSeen {
+					maxSeen = inUse
+				}
+				mu.Unlock()
+				mu.Lock()
+				inUse--
+				mu.Unlock()
+				release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if maxSeen > maxDocs {
+		t.Fatalf("observed %d concurrent holders, bound is %d", maxSeen, maxDocs)
+	}
+}
+
+// TestFrameworkAdmissionOverload: a framework whose gate is held rejects a
+// document with *OverloadError through the public pipeline entry point.
+func TestFrameworkAdmissionOverload(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Admission = AdmissionOptions{MaxDocs: 1}
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := fw.gate.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := corpusTrees(t, 1)
+	if _, err := fw.ProcessTree(trees[0]); !errors.Is(err, xsdferrors.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	release()
+	if _, err := fw.ProcessTree(trees[0]); err != nil {
+		t.Fatalf("after release the document must process: %v", err)
+	}
+}
+
+// TestEffectiveWorkers: the one normalization rule every worker pool uses.
+func TestEffectiveWorkers(t *testing.T) {
+	if got := EffectiveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("EffectiveWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := EffectiveWorkers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("EffectiveWorkers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := EffectiveWorkers(5); got != 5 {
+		t.Errorf("EffectiveWorkers(5) = %d", got)
+	}
+}

@@ -9,11 +9,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/ambiguity"
 	"repro/internal/disambig"
+	"repro/internal/faultinject"
 	"repro/internal/lingproc"
 	"repro/internal/semnet"
 	"repro/internal/xmltree"
@@ -54,6 +56,13 @@ type Options struct {
 	// *xsdferrors.LimitError before any processing starts.
 	MaxDepth int
 	MaxNodes int
+
+	// Admission bounds how much work the framework accepts concurrently;
+	// documents arriving beyond the bounds wait up to Admission.MaxWait and
+	// are then rejected with a *xsdferrors.OverloadError. The zero value
+	// admits everything. The degradation ladder is configured separately,
+	// on Disambiguation.Degrade.
+	Admission AdmissionOptions
 }
 
 // DefaultOptions mirrors §3.3's sensible starting configuration: equal
@@ -80,6 +89,17 @@ type Result struct {
 	// Threshold is the effective Thresh_Amb used (relevant with
 	// AutoThreshold).
 	Threshold float64
+	// Degraded is the worst degradation-ladder level any target was scored
+	// at: DegradeNone when the ladder is off or the document ran at full
+	// quality throughout.
+	Degraded xsdferrors.DegradationLevel
+	// NodesAtLevel counts the targets attempted at each ladder level;
+	// NodesAtLevel sum + Unscored == Targets on every return, including
+	// degraded ones.
+	NodesAtLevel [xsdferrors.NumDegradationLevels]int
+	// Unscored is the number of targets never attempted (the run was
+	// canceled mid-ladder). Non-zero only alongside an ErrDegraded error.
+	Unscored int
 }
 
 // Framework is a reusable XSDF instance bound to one semantic network. It
@@ -93,6 +113,7 @@ type Framework struct {
 	net   *semnet.Network
 	opts  Options
 	cache *disambig.Cache
+	gate  *gate // nil when Options.Admission is the zero value
 }
 
 // New returns a Framework over the given semantic network. net must be
@@ -111,6 +132,7 @@ func New(net *semnet.Network, opts Options) (*Framework, error) {
 		net:   net,
 		opts:  opts,
 		cache: disambig.NewCache(net, opts.Disambiguation.SimWeights),
+		gate:  newGate(opts.Admission),
 	}, nil
 }
 
@@ -153,28 +175,57 @@ func (f *Framework) ProcessTree(t *xmltree.Tree) (*Result, error) {
 	return f.ProcessTreeContext(context.Background(), t)
 }
 
-// ProcessTreeContext is ProcessTree with cooperative cancellation and
-// resource guards. The context is checked between pipeline modules and
-// before every disambiguated node, so cancellation returns within one
-// node's processing time with an error matching xsdferrors.ErrCanceled;
-// trees violating Options.MaxDepth/MaxNodes are rejected up front with an
-// *xsdferrors.LimitError. On error the tree may be partially annotated.
+// ProcessTreeContext is ProcessTree with cooperative cancellation,
+// resource guards, admission control, and graceful degradation. The
+// context is checked between pipeline modules and before every
+// disambiguated node, so cancellation returns within one node's processing
+// time with an error matching xsdferrors.ErrCanceled; trees violating
+// Options.MaxDepth/MaxNodes are rejected up front with an
+// *xsdferrors.LimitError, and trees arriving while the admission gate is
+// full are rejected with a *xsdferrors.OverloadError.
+//
+// With Disambiguation.Degrade enabled, a deadline that expires mid-run no
+// longer aborts: scoring steps down the ladder and the call returns a
+// complete Result with the achieved level in Result.Degraded. Only an
+// explicit cancellation still cuts the run short, returning the partial
+// Result alongside a *xsdferrors.DegradedError. With the ladder off (the
+// default), errors leave the result nil and the tree possibly partially
+// annotated, exactly as before.
 func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, xsdferrors.Canceled(err)
+	// With the ladder on, an expired deadline is not a reason to abort
+	// between modules: disambiguation will ride it out at the last rung.
+	degrade := f.opts.Disambiguation.Degrade.Enabled
+	ctxErr := func() error {
+		err := ctx.Err()
+		if err == nil || (degrade && errors.Is(err, context.DeadlineExceeded)) {
+			return nil
+		}
+		return xsdferrors.Canceled(err)
+	}
+
+	if err := ctxErr(); err != nil {
+		return nil, err
 	}
 	if err := f.guardTree(t); err != nil {
 		return nil, err
+	}
+	if f.gate != nil {
+		release, err := f.gate.acquire(ctx, t.Len(), f.opts.Admission.MaxWait)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 	}
 	hooks := currentHooks()
 	if hooks.BeforeTree != nil {
 		hooks.BeforeTree(t)
 	}
+	faultinject.TreeStart()
 
 	// Module 1: linguistic pre-processing.
 	lingproc.ProcessTree(t, f.net)
-	if err := ctx.Err(); err != nil {
-		return nil, xsdferrors.Canceled(err)
+	if err := ctxErr(); err != nil {
+		return nil, err
 	}
 
 	// Module 2: node selection for disambiguation.
@@ -183,8 +234,8 @@ func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*R
 		threshold = ambiguity.AutoThreshold(t, f.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
 	}
 	targets := ambiguity.Select(t, f.net, f.opts.Ambiguity, threshold)
-	if err := ctx.Err(); err != nil {
-		return nil, xsdferrors.Canceled(err)
+	if err := ctxErr(); err != nil {
+		return nil, err
 	}
 
 	// Modules 3 + 4: sphere context construction and disambiguation. The
@@ -196,8 +247,22 @@ func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*R
 		disOpts.NodeHook = hooks.BeforeNode
 	}
 	dis := disambig.NewShared(f.cache, disOpts)
-	assigned, err := dis.ApplyContext(ctx, targets)
+	rep, err := dis.ApplyReport(ctx, targets)
+	res := &Result{
+		Tree:         t,
+		Targets:      len(targets),
+		Assigned:     rep.Assigned,
+		Threshold:    threshold,
+		Degraded:     rep.Level,
+		NodesAtLevel: rep.NodesAtLevel,
+		Unscored:     rep.Unscored,
+	}
 	if err != nil {
+		if errors.Is(err, xsdferrors.ErrDegraded) {
+			// Canceled mid-ladder: hand back what was scored, skipping the
+			// harmonization pass (it would act on an inconsistent prefix).
+			return res, err
+		}
 		return nil, err
 	}
 
@@ -205,7 +270,7 @@ func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*R
 		disambig.Harmonize(targets)
 	}
 
-	return &Result{Tree: t, Targets: len(targets), Assigned: assigned, Threshold: threshold}, nil
+	return res, nil
 }
 
 // guardTree enforces the whole-tree resource limits on pre-parsed input.

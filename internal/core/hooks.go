@@ -1,47 +1,23 @@
 package core
 
-import (
-	"sync"
+import "repro/internal/faultinject"
 
-	"repro/internal/xmltree"
-)
-
-// TestHooks is the fault-injection seam of the pipeline. Tests install
-// hooks to deterministically simulate failure modes — a hook that panics
-// models a poisoned document, a hook that sleeps models a slow node, a
-// hook that inspects the tree can assert ordering. Production code never
-// sets hooks; all call sites tolerate the nil zero value.
-type TestHooks struct {
-	// BeforeTree runs at the start of ProcessTreeContext, after the
-	// resource guards, with the tree about to be processed.
-	BeforeTree func(*xmltree.Tree)
-	// BeforeNode runs before each target node is disambiguated (it is
-	// threaded into disambig.Options.NodeHook).
-	BeforeNode func(*xmltree.Node)
-}
-
-var (
-	hooksMu   sync.Mutex
-	testHooks TestHooks
-)
+// TestHooks is the fault-injection seam of the pipeline, now owned by
+// internal/faultinject (the alias keeps the historical name working).
+// Tests install hooks to deterministically simulate failure modes — a
+// hook that panics models a poisoned document, a hook that sleeps models
+// a slow node, a hook that inspects the tree can assert ordering.
+// Production code never sets hooks; all call sites tolerate the nil zero
+// value.
+type TestHooks = faultinject.Hooks
 
 // SetTestHooks installs h and returns a function restoring the previous
 // hooks; tests should defer it. Safe for concurrent use with running
 // pipelines (workers snapshot the hooks at tree start).
 func SetTestHooks(h TestHooks) (restore func()) {
-	hooksMu.Lock()
-	prev := testHooks
-	testHooks = h
-	hooksMu.Unlock()
-	return func() {
-		hooksMu.Lock()
-		testHooks = prev
-		hooksMu.Unlock()
-	}
+	return faultinject.SetHooks(h)
 }
 
 func currentHooks() TestHooks {
-	hooksMu.Lock()
-	defer hooksMu.Unlock()
-	return testHooks
+	return faultinject.CurrentHooks()
 }

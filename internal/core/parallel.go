@@ -40,14 +40,20 @@ func (f *Framework) ProcessTrees(trees []*xmltree.Tree, workers int) ([]*Result,
 //     *xsdferrors.LimitError;
 //   - docTimeout > 0 bounds each document's processing time; expiry fails
 //     that document with xsdferrors.ErrCanceled (wrapping
-//     context.DeadlineExceeded);
+//     context.DeadlineExceeded) — unless the degradation ladder is on, in
+//     which case the document finishes at a cheaper rung and succeeds with
+//     the achieved level in Result.Degraded;
+//   - a document turned away by the admission gate fails with an
+//     *xsdferrors.OverloadError;
+//   - a document canceled mid-ladder keeps its partial Result in results
+//     and fails with a *xsdferrors.DegradedError (the one error kind whose
+//     result slot is non-nil — BatchError.Failed excludes it,
+//     BatchError.Degraded lists it);
 //   - cancelling ctx aborts the whole batch promptly: in-flight documents
 //     stop at their next per-node check and undispatched documents fail
 //     with xsdferrors.ErrCanceled.
 func (f *Framework) ProcessTreesContext(ctx context.Context, trees []*xmltree.Tree, workers int, docTimeout time.Duration) ([]*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = EffectiveWorkers(workers)
 	if workers > len(trees) {
 		workers = len(trees)
 	}
@@ -87,6 +93,18 @@ dispatch:
 		return results, err
 	}
 	return results, nil
+}
+
+// EffectiveWorkers normalizes a worker-count option: values <= 0 select
+// GOMAXPROCS. Every worker-pool entry point — the core batch path here,
+// the intra-document node pool (disambig.NewShared), and the public batch
+// API — routes through this one rule, so the layers cannot drift apart in
+// how they read "use all cores".
+func EffectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // processOne runs one document with panic isolation and an optional

@@ -7,11 +7,13 @@ package disambig
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/semnet"
 	"repro/internal/simmeasure"
 	"repro/internal/sphere"
@@ -75,12 +77,19 @@ type Options struct {
 	// the node workers and must be safe for concurrent use.
 	NodeHook func(*xmltree.Node)
 	// Workers is the intra-document parallelism of ApplyContext: the
-	// number of goroutines target nodes are fanned across. Values <= 1
-	// keep the historical serial loop. Parallel workers share the
-	// disambiguator's caches (concurrency-safe) and write only to their
-	// own target nodes, so sense assignments are identical to a serial
-	// run.
+	// number of goroutines target nodes are fanned across. 0 and 1 keep
+	// the historical serial loop; negative selects GOMAXPROCS (normalized
+	// once, in NewShared, so every layer sees the same convention).
+	// Parallel workers share the disambiguator's caches
+	// (concurrency-safe) and write only to their own target nodes, so
+	// sense assignments are identical to a serial run.
 	Workers int
+
+	// Degrade configures the graceful-degradation ladder: under deadline
+	// pressure or past the node-count watermarks, scoring steps down
+	// configured method → concept-only → first-sense instead of failing.
+	// The zero value keeps the historical all-or-nothing semantics.
+	Degrade Degradation
 }
 
 // DefaultOptions mirrors the paper's common configuration: radius 1,
@@ -164,6 +173,9 @@ func NewShared(cache *Cache, opts Options) *Disambiguator {
 	if opts.Radius < 1 {
 		opts.Radius = 1
 	}
+	if opts.Workers < 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Disambiguator{
 		net:   cache.Network(),
 		opts:  opts,
@@ -239,18 +251,33 @@ func (d *Disambiguator) buildContext(x *xmltree.Node) *preparedContext {
 		}
 		cn.tokens = toks
 		for _, t := range toks {
-			cn.senses = append(cn.senses, d.net.Senses(t))
+			cn.senses = append(cn.senses, d.senses(t))
 		}
 		pc.ctx = append(pc.ctx, cn)
 	}
 	return pc
 }
 
+// senses looks a token up in the semantic network, through the
+// fault-injection seam: an injected lookup fault behaves like a failed
+// semantic-network backend (no senses) without touching the network.
+func (d *Disambiguator) senses(tok string) []semnet.ConceptID {
+	if faultinject.DropLookup() {
+		return nil
+	}
+	return d.net.Senses(tok)
+}
+
 // pairSim routes concept-pair similarity through the shared cache, or
-// straight to the uncached computation in bypass mode.
+// straight to the uncached computation in bypass mode. Cached reads pass
+// the cache-poison fault point, which chaos tests use to prove that a
+// corrupted score degrades answer quality, never answer shape.
 func (d *Disambiguator) pairSim(a, b semnet.ConceptID) float64 {
 	if d.bypassCache {
 		return d.cache.Measure().SimDirect(a, b)
+	}
+	if v, ok := faultinject.PoisonSim(); ok {
+		return v
 	}
 	return d.cache.Sim(a, b)
 }
@@ -349,6 +376,13 @@ func (d *Disambiguator) ContextScoreCompound(sp, sq semnet.ConceptID, x *xmltree
 // score evaluates one candidate (1- or 2-sense) for target x under the
 // configured method, given the precomputed context.
 func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node, pc *preparedContext) float64 {
+	return d.scoreAs(d.opts.Method, candidate, pc)
+}
+
+// scoreAs is score under an explicit method — the seam the degradation
+// ladder uses to force concept-only scoring (Definition 8) without
+// touching the configured options.
+func (d *Disambiguator) scoreAs(method Method, candidate []semnet.ConceptID, pc *preparedContext) float64 {
 	concept := func() float64 { return d.conceptScoreCtx(candidate, pc) }
 	context := func() float64 {
 		var cv sphere.Vector
@@ -359,7 +393,7 @@ func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node, pc 
 		}
 		return d.opts.vectorSim()(pc.vec, cv)
 	}
-	switch d.opts.Method {
+	switch method {
 	case ConceptBased:
 		return concept()
 	case ContextBased:
@@ -380,13 +414,19 @@ func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node, pc 
 // ok is false when no token of the label is known to the network — the node
 // is left untouched, which the evaluation counts against recall.
 func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
+	return d.nodeWith(x, d.opts.Method)
+}
+
+// nodeWith is Node under an explicit method, the per-node entry point of
+// the degradation ladder's upper rungs.
+func (d *Disambiguator) nodeWith(x *xmltree.Node, method Method) (Sense, bool) {
 	tokens := x.Tokens
 	if len(tokens) == 0 {
 		tokens = []string{x.Label}
 	}
 	switch len(tokens) {
 	case 1:
-		senses := d.net.Senses(tokens[0])
+		senses := d.senses(tokens[0])
 		if len(senses) == 0 {
 			return Sense{}, false
 		}
@@ -397,30 +437,30 @@ func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
 		pc := d.prepareContext(x)
 		best := Sense{Score: -1}
 		for _, sp := range senses {
-			sc := d.score([]semnet.ConceptID{sp}, x, pc)
+			sc := d.scoreAs(method, []semnet.ConceptID{sp}, pc)
 			if sc > best.Score {
 				best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
 			}
 		}
 		return best, true
 	default:
-		sensesP := d.net.Senses(tokens[0])
-		sensesQ := d.net.Senses(tokens[1])
+		sensesP := d.senses(tokens[0])
+		sensesQ := d.senses(tokens[1])
 		if len(sensesP) == 0 && len(sensesQ) == 0 {
 			return Sense{}, false
 		}
 		// If only one token is known, fall back to single-token candidates.
 		if len(sensesP) == 0 {
-			return d.singleTokenFallback(sensesQ, x)
+			return d.singleTokenFallback(sensesQ, x, method)
 		}
 		if len(sensesQ) == 0 {
-			return d.singleTokenFallback(sensesP, x)
+			return d.singleTokenFallback(sensesP, x, method)
 		}
 		pc := d.prepareContext(x)
 		best := Sense{Score: -1}
 		for _, sp := range sensesP {
 			for _, sq := range sensesQ {
-				sc := d.score([]semnet.ConceptID{sp, sq}, x, pc)
+				sc := d.scoreAs(method, []semnet.ConceptID{sp, sq}, pc)
 				if sc > best.Score {
 					best = Sense{Concepts: []semnet.ConceptID{sp, sq}, Score: sc}
 				}
@@ -430,14 +470,14 @@ func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
 	}
 }
 
-func (d *Disambiguator) singleTokenFallback(senses []semnet.ConceptID, x *xmltree.Node) (Sense, bool) {
+func (d *Disambiguator) singleTokenFallback(senses []semnet.ConceptID, x *xmltree.Node, method Method) (Sense, bool) {
 	if len(senses) == 1 {
 		return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
 	}
 	pc := d.prepareContext(x)
 	best := Sense{Score: -1}
 	for _, sp := range senses {
-		sc := d.score([]semnet.ConceptID{sp}, x, pc)
+		sc := d.scoreAs(method, []semnet.ConceptID{sp}, pc)
 		if sc > best.Score {
 			best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
 		}
@@ -457,7 +497,7 @@ func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
 	var out []Sense
 	switch len(tokens) {
 	case 1:
-		senses := d.net.Senses(tokens[0])
+		senses := d.senses(tokens[0])
 		if len(senses) == 0 {
 			return nil
 		}
@@ -472,8 +512,8 @@ func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
 			})
 		}
 	default:
-		sensesP := d.net.Senses(tokens[0])
-		sensesQ := d.net.Senses(tokens[1])
+		sensesP := d.senses(tokens[0])
+		sensesQ := d.senses(tokens[1])
 		if len(sensesP) == 0 && len(sensesQ) == 0 {
 			return nil
 		}
@@ -513,43 +553,107 @@ func (d *Disambiguator) Apply(targets []*xmltree.Node) int {
 	return assigned
 }
 
-// ApplyContext is Apply with cooperative cancellation: the context is
-// checked before every target node (the unit of work of the per-node hot
-// loop), so an abort returns within one node's disambiguation time with an
-// error matching xsdferrors.ErrCanceled. Nodes disambiguated before the
-// abort keep their senses; assigned counts them.
+// ApplyContext is ApplyReport reduced to the assigned count, the
+// historical signature.
+func (d *Disambiguator) ApplyContext(ctx context.Context, targets []*xmltree.Node) (int, error) {
+	rep, err := d.ApplyReport(ctx, targets)
+	return rep.Assigned, err
+}
+
+// ApplyReport is Apply with cooperative cancellation and graceful
+// degradation. The context is checked before every target node (the unit
+// of work of the per-node hot loop), so an abort returns within one node's
+// disambiguation time. Nodes disambiguated before the abort keep their
+// senses; the Report counts them.
+//
+// With Options.Degrade disabled (the default), a Done context aborts the
+// run with an error matching xsdferrors.ErrCanceled, exactly as before the
+// ladder existed. With the ladder enabled, a run that falls behind its
+// deadline share steps down through cheaper scoring rungs (see
+// Degradation) instead of failing: deadline expiry mid-run finishes the
+// remaining targets at first-sense and returns a nil error with the
+// achieved level in the Report, while an explicit cancellation returns the
+// partial Report alongside a *xsdferrors.DegradedError (matching both
+// ErrDegraded and ErrCanceled).
 //
 // With Options.Workers > 1, target nodes are fanned across a worker pool.
-// Per-node semantics are preserved: the cancellation check and NodeHook
-// run before each node in its worker, every node writes only its own
-// Sense/SenseScore, and the shared caches make the assignments identical
-// to a serial run. A panic on any worker is re-raised on the calling
-// goroutine with its original value, so the pipeline's panic isolation
-// (core.processOne, xsdf's recover seam) boxes it exactly as in serial
-// mode.
-func (d *Disambiguator) ApplyContext(ctx context.Context, targets []*xmltree.Node) (assigned int, err error) {
+// Per-node semantics are preserved: the cancellation check, ladder-level
+// draw, and NodeHook run before each node in its worker, every node writes
+// only its own Sense/SenseScore/Degraded, and the shared caches make the
+// assignments identical to a serial run. A panic on any worker is
+// re-raised on the calling goroutine with its original value, so the
+// pipeline's panic isolation (core.processOne, xsdf's recover seam) boxes
+// it exactly as in serial mode.
+func (d *Disambiguator) ApplyReport(ctx context.Context, targets []*xmltree.Node) (Report, error) {
+	b := newBudget(ctx, len(targets), d.opts.Degrade)
 	if w := d.workerCount(len(targets)); w > 1 {
-		return d.applyParallel(ctx, targets, w)
+		return d.applyParallel(ctx, targets, w, b)
 	}
+	assigned, attempted := 0, 0
 	done := ctx.Done()
 	for _, x := range targets {
 		if done != nil {
 			select {
 			case <-done:
-				return assigned, xsdferrors.Canceled(ctx.Err())
+				if degradeThrough(b, ctx) {
+					// Deadline expired with the ladder on: ride out the
+					// rest at the last rung. ctx.Err() has latched, so
+					// stop polling it.
+					b.raise(xsdferrors.DegradeFirstSense)
+					done = nil
+				} else {
+					rep := finishReport(b, assigned, attempted, len(targets))
+					return rep, abortErr(b, rep, ctx)
+				}
 			default:
 			}
 		}
+		lvl := xsdferrors.DegradeNone
+		if b != nil {
+			lvl = b.next()
+		}
+		attempted++
 		if d.opts.NodeHook != nil {
 			d.opts.NodeHook(x)
 		}
-		if s, ok := d.Node(x); ok {
+		faultinject.NodeStart()
+		if lvl > xsdferrors.DegradeNone {
+			x.Degraded = lvl
+		}
+		if s, ok := d.nodeAt(x, lvl); ok {
 			x.Sense = s.ID()
 			x.SenseScore = s.Score
 			assigned++
 		}
 	}
-	return assigned, nil
+	return finishReport(b, assigned, attempted, len(targets)), nil
+}
+
+// finishReport folds either the budget counters (ladder on) or the plain
+// attempt count (ladder off) into a Report upholding the accounting
+// invariant NodesAtLevel sum + Unscored == total.
+func finishReport(b *budget, assigned, attempted, total int) Report {
+	if b != nil {
+		return b.report(assigned, total)
+	}
+	rep := Report{Assigned: assigned}
+	rep.NodesAtLevel[xsdferrors.DegradeNone] = attempted
+	rep.Unscored = total - attempted
+	return rep
+}
+
+// abortErr is the error for a run cut short by its context: a
+// *xsdferrors.DegradedError carrying the achieved level when the ladder
+// was on, the plain canceled error otherwise.
+func abortErr(b *budget, rep Report, ctx context.Context) error {
+	if b == nil {
+		return xsdferrors.Canceled(ctx.Err())
+	}
+	return &xsdferrors.DegradedError{
+		Level:    rep.Level,
+		Unscored: rep.Unscored,
+		Cause:    xsdferrors.Canceled(ctx.Err()),
+	}
 }
 
 func (d *Disambiguator) workerCount(targets int) int {
@@ -560,15 +664,14 @@ func (d *Disambiguator) workerCount(targets int) int {
 	return w
 }
 
-// applyParallel is the Workers > 1 fan-out of ApplyContext.
-func (d *Disambiguator) applyParallel(ctx context.Context, targets []*xmltree.Node, workers int) (int, error) {
-	var assigned atomic.Int64
+// applyParallel is the Workers > 1 fan-out of ApplyReport.
+func (d *Disambiguator) applyParallel(ctx context.Context, targets []*xmltree.Node, workers int, b *budget) (Report, error) {
+	var assigned, attempted atomic.Int64
 	var (
 		panicOnce sync.Once
 		panicVal  any
 		quit      = make(chan struct{}) // closed on first worker panic
 	)
-	done := ctx.Done()
 	jobs := make(chan *xmltree.Node)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -583,18 +686,32 @@ func (d *Disambiguator) applyParallel(ctx context.Context, targets []*xmltree.No
 					})
 				}
 			}()
+			done := ctx.Done()
 			for x := range jobs {
 				if done != nil {
 					select {
 					case <-done:
-						return
+						if !degradeThrough(b, ctx) {
+							return
+						}
+						b.raise(xsdferrors.DegradeFirstSense)
+						done = nil
 					default:
 					}
 				}
+				lvl := xsdferrors.DegradeNone
+				if b != nil {
+					lvl = b.next()
+				}
+				attempted.Add(1)
 				if d.opts.NodeHook != nil {
 					d.opts.NodeHook(x)
 				}
-				if s, ok := d.Node(x); ok {
+				faultinject.NodeStart()
+				if lvl > xsdferrors.DegradeNone {
+					x.Degraded = lvl
+				}
+				if s, ok := d.nodeAt(x, lvl); ok {
 					x.Sense = s.ID()
 					x.SenseScore = s.Score
 					assigned.Add(1)
@@ -603,15 +720,26 @@ func (d *Disambiguator) applyParallel(ctx context.Context, targets []*xmltree.No
 		}()
 	}
 	aborted := false
+	done := ctx.Done()
 dispatch:
 	for _, x := range targets {
-		select {
-		case jobs <- x:
-		case <-done:
-			aborted = true
-			break dispatch
-		case <-quit:
-			break dispatch
+	send:
+		for {
+			select {
+			case jobs <- x:
+				break send
+			case <-done:
+				if degradeThrough(b, ctx) {
+					// Keep dispatching: workers finish the tail at the
+					// last rung.
+					done = nil
+					continue send
+				}
+				aborted = true
+				break dispatch
+			case <-quit:
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
@@ -621,8 +749,9 @@ dispatch:
 		// the same panic a serial run would produce.
 		panic(panicVal)
 	}
-	if aborted || ctx.Err() != nil {
-		return int(assigned.Load()), xsdferrors.Canceled(ctx.Err())
+	rep := finishReport(b, int(assigned.Load()), int(attempted.Load()), len(targets))
+	if aborted || (ctx.Err() != nil && !degradeThrough(b, ctx)) {
+		return rep, abortErr(b, rep, ctx)
 	}
-	return int(assigned.Load()), nil
+	return rep, nil
 }

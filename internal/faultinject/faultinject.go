@@ -1,0 +1,266 @@
+// Package faultinject is the deterministic fault-injection seam of the
+// XSDF pipeline. It has two layers:
+//
+//   - Hooks, the hand-written seam promoted from the original
+//     core.SetTestHooks: tests install callbacks that run at tree start
+//     and before each target node (a panicking hook models a poisoned
+//     document, a sleeping hook a slow node).
+//   - Injector, a seeded schedule of randomized faults fired at named
+//     pipeline points (semnet lookup latency/error, cached-similarity
+//     poison, per-node panic/delay, clock skew on degradation deadlines).
+//     Given the same Config, the multiset of decisions drawn at each
+//     point is identical across runs, so a chaos failure reproduces from
+//     its seed.
+//
+// Production code never installs either layer; every site tolerates the
+// nil zero value with a single atomic load on the fast path.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// Hooks is the callback seam of the pipeline (formerly core.TestHooks).
+// All call sites tolerate the zero value.
+type Hooks struct {
+	// BeforeTree runs at the start of document processing, after the
+	// resource guards, with the tree about to be processed.
+	BeforeTree func(*xmltree.Tree)
+	// BeforeNode runs before each target node is disambiguated.
+	BeforeNode func(*xmltree.Node)
+}
+
+var (
+	hooksMu sync.Mutex
+	hooks   Hooks
+)
+
+// SetHooks installs h and returns a function restoring the previous
+// hooks; tests should defer it. Safe for concurrent use with running
+// pipelines (workers snapshot the hooks at tree start).
+func SetHooks(h Hooks) (restore func()) {
+	hooksMu.Lock()
+	prev := hooks
+	hooks = h
+	hooksMu.Unlock()
+	return func() {
+		hooksMu.Lock()
+		hooks = prev
+		hooksMu.Unlock()
+	}
+}
+
+// CurrentHooks snapshots the installed hooks.
+func CurrentHooks() Hooks {
+	hooksMu.Lock()
+	defer hooksMu.Unlock()
+	return hooks
+}
+
+// Point names an injection site in the pipeline. Each point keeps its own
+// deterministic draw sequence, so enabling one fault class does not shift
+// the decisions of another.
+type Point uint8
+
+const (
+	// PointTree fires at the start of document processing.
+	PointTree Point = iota
+	// PointNode fires before each target node is disambiguated.
+	PointNode
+	// PointLookup fires at each sense lookup during scoring; a hit makes
+	// the lookup behave like a failed semantic-network backend (no senses).
+	PointLookup
+	// PointCache fires at each cached pairwise-similarity read; a hit
+	// returns a poisoned (out-of-range) score.
+	PointCache
+	// PointClock fires at each budget-tracker clock read; a hit skews the
+	// observed time forward, aging deadlines prematurely.
+	PointClock
+
+	numPoints
+)
+
+// String names the point.
+func (p Point) String() string {
+	switch p {
+	case PointTree:
+		return "tree"
+	case PointNode:
+		return "node"
+	case PointLookup:
+		return "semnet-lookup"
+	case PointCache:
+		return "cache-sim"
+	case PointClock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Point(%d)", uint8(p))
+	}
+}
+
+// Config is a seeded fault schedule: per-point firing rates (in [0, 1])
+// and fault magnitudes. The zero value injects nothing.
+type Config struct {
+	// Seed determines every draw; equal seeds give equal schedules.
+	Seed int64
+
+	// TreePanicRate panics at PointTree (a poisoned document).
+	TreePanicRate float64
+	// NodePanicRate panics at PointNode (a poisoned node).
+	NodePanicRate float64
+	// NodeDelayRate sleeps NodeDelay at PointNode (a slow node).
+	NodeDelayRate float64
+	NodeDelay     time.Duration
+	// LookupErrRate makes a sense lookup return nothing (a failed
+	// semantic-network backend); LookupDelayRate/LookupDelay model a slow
+	// backend.
+	LookupErrRate   float64
+	LookupDelayRate float64
+	LookupDelay     time.Duration
+	// CachePoisonRate corrupts a cached-similarity read with PoisonValue
+	// (default -1, outside the valid [0, 1] score range).
+	CachePoisonRate float64
+	PoisonValue     float64
+	// ClockSkewRate skews a budget clock read forward by a deterministic
+	// amount up to ClockSkewMax.
+	ClockSkewRate float64
+	ClockSkewMax  time.Duration
+}
+
+// Injector fires the faults of one Config. Each point draws from its own
+// counter-indexed hash sequence: the n-th draw at a point is a pure
+// function of (seed, point, n), so the decision multiset is reproducible
+// even when concurrent goroutines race for draw slots.
+type Injector struct {
+	cfg   Config
+	draws [numPoints]atomic.Uint64
+}
+
+// New returns an Injector over cfg.
+func New(cfg Config) *Injector {
+	if cfg.PoisonValue == 0 {
+		cfg.PoisonValue = -1
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the injector's schedule.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+var active atomic.Pointer[Injector]
+
+// Install makes inj the process-wide injector and returns a restore
+// function; tests should defer it. Installing nil disables injection.
+func Install(inj *Injector) (restore func()) {
+	prev := active.Swap(inj)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mix used
+// to turn (seed, point, counter) into an independent uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw takes the next slot at p and returns a uniform value in [0, 1)
+// plus the raw hash for magnitude derivation.
+func (inj *Injector) draw(p Point) (float64, uint64) {
+	n := inj.draws[p].Add(1) - 1
+	h := splitmix64(uint64(inj.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p)<<56 + n)
+	return float64(h>>11) / (1 << 53), h
+}
+
+// InjectedPanic is the value thrown by schedule-driven panics, so chaos
+// tests can tell injected panics from genuine pipeline bugs.
+type InjectedPanic struct {
+	Point Point
+	Draw  uint64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (draw %d)", p.Point, p.Draw)
+}
+
+// TreeStart fires PointTree: it may panic per the installed schedule.
+func TreeStart() {
+	inj := active.Load()
+	if inj == nil {
+		return
+	}
+	if u, h := inj.draw(PointTree); u < inj.cfg.TreePanicRate {
+		panic(InjectedPanic{Point: PointTree, Draw: h})
+	}
+}
+
+// NodeStart fires PointNode: it may sleep or panic per the schedule.
+func NodeStart() {
+	inj := active.Load()
+	if inj == nil {
+		return
+	}
+	u, h := inj.draw(PointNode)
+	if u < inj.cfg.NodePanicRate {
+		panic(InjectedPanic{Point: PointNode, Draw: h})
+	}
+	if u < inj.cfg.NodePanicRate+inj.cfg.NodeDelayRate && inj.cfg.NodeDelay > 0 {
+		time.Sleep(inj.cfg.NodeDelay)
+	}
+}
+
+// DropLookup fires PointLookup and reports whether the sense lookup
+// should behave as failed; it may also sleep (slow backend).
+func DropLookup() bool {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	u, _ := inj.draw(PointLookup)
+	if u < inj.cfg.LookupErrRate {
+		return true
+	}
+	if u < inj.cfg.LookupErrRate+inj.cfg.LookupDelayRate && inj.cfg.LookupDelay > 0 {
+		time.Sleep(inj.cfg.LookupDelay)
+	}
+	return false
+}
+
+// PoisonSim fires PointCache: when the fault hits it returns a corrupted
+// similarity value and true, and the caller must use it in place of the
+// cached score.
+func PoisonSim() (float64, bool) {
+	inj := active.Load()
+	if inj == nil {
+		return 0, false
+	}
+	if u, _ := inj.draw(PointCache); u < inj.cfg.CachePoisonRate {
+		return inj.cfg.PoisonValue, true
+	}
+	return 0, false
+}
+
+// Now is the pipeline's budget clock: time.Now plus any scheduled skew.
+// Skew is always forward (time appears to have passed), modeling a clock
+// jump that ages a deadline prematurely.
+func Now() time.Time {
+	now := time.Now()
+	inj := active.Load()
+	if inj == nil {
+		return now
+	}
+	if u, h := inj.draw(PointClock); u < inj.cfg.ClockSkewRate && inj.cfg.ClockSkewMax > 0 {
+		skew := time.Duration(h % uint64(inj.cfg.ClockSkewMax))
+		return now.Add(skew)
+	}
+	return now
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// TestDisabledFastPath: with no injector installed, every site is inert.
+func TestDisabledFastPath(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no injector should be installed by default")
+	}
+	TreeStart()
+	NodeStart()
+	if DropLookup() {
+		t.Error("DropLookup must be false when disabled")
+	}
+	if _, ok := PoisonSim(); ok {
+		t.Error("PoisonSim must not fire when disabled")
+	}
+	before := time.Now()
+	if now := Now(); now.Before(before) {
+		t.Error("Now must not run backwards when disabled")
+	}
+}
+
+// TestDeterministicSchedule: equal seeds draw identical decision
+// sequences; different seeds diverge.
+func TestDeterministicSchedule(t *testing.T) {
+	sample := func(seed int64) []bool {
+		restore := Install(New(Config{Seed: seed, LookupErrRate: 0.3}))
+		defer restore()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = DropLookup()
+		}
+		return out
+	}
+	a, b, c := sample(7), sample(7), sample(8)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at draw %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 drew identical schedules")
+	}
+	var hits int
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits < 30 || hits > 90 {
+		t.Errorf("rate 0.3 over 200 draws fired %d times, want ~60", hits)
+	}
+}
+
+// TestPointIndependence: draws at one point do not shift another point's
+// sequence.
+func TestPointIndependence(t *testing.T) {
+	seq := func(interleave bool) []bool {
+		restore := Install(New(Config{Seed: 3, LookupErrRate: 0.5, CachePoisonRate: 0.5}))
+		defer restore()
+		out := make([]bool, 50)
+		for i := range out {
+			if interleave {
+				PoisonSim() // consume PointCache slots between lookups
+			}
+			out[i] = DropLookup()
+		}
+		return out
+	}
+	plain, mixed := seq(false), seq(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("PointCache draws shifted PointLookup's sequence at %d", i)
+		}
+	}
+}
+
+// TestInjectedPanics: tree and node panics throw InjectedPanic values.
+func TestInjectedPanics(t *testing.T) {
+	restore := Install(New(Config{Seed: 1, TreePanicRate: 1, NodePanicRate: 1}))
+	defer restore()
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if v := recover(); v == nil {
+				t.Errorf("%s: expected panic", name)
+			} else if _, ok := v.(InjectedPanic); !ok {
+				t.Errorf("%s: panic value %T, want InjectedPanic", name, v)
+			}
+		}()
+		f()
+	}
+	expectPanic("TreeStart", TreeStart)
+	expectPanic("NodeStart", NodeStart)
+}
+
+// TestPoisonAndClock: poison returns the configured out-of-range value;
+// clock skew only moves time forward, bounded by ClockSkewMax.
+func TestPoisonAndClock(t *testing.T) {
+	restore := Install(New(Config{Seed: 5, CachePoisonRate: 1, ClockSkewRate: 1, ClockSkewMax: time.Second}))
+	defer restore()
+	if v, ok := PoisonSim(); !ok || v != -1 {
+		t.Errorf("PoisonSim = %v, %v; want -1, true (default poison)", v, ok)
+	}
+	for i := 0; i < 20; i++ {
+		before := time.Now()
+		now := Now()
+		if now.Before(before) {
+			t.Fatal("skewed clock ran backwards")
+		}
+		if now.Sub(before) > time.Second+50*time.Millisecond {
+			t.Fatalf("skew %v exceeds ClockSkewMax", now.Sub(before))
+		}
+	}
+}
+
+// TestHooksRestore: SetHooks layers and restores like the original
+// core.SetTestHooks seam.
+func TestHooksRestore(t *testing.T) {
+	var calls int
+	restore := SetHooks(Hooks{BeforeTree: func(_ *xmltree.Tree) { calls++ }})
+	if h := CurrentHooks(); h.BeforeTree == nil {
+		t.Fatal("hook not installed")
+	} else {
+		h.BeforeTree(nil)
+	}
+	restore()
+	if h := CurrentHooks(); h.BeforeTree != nil {
+		t.Fatal("hook not restored")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}

@@ -120,9 +120,9 @@ type Network struct {
 	// re-walking the hypernym DAG per call, and expanded glosses feed the
 	// gloss-overlap measure without re-concatenating neighbor glosses per
 	// pair. The network is immutable after Build, so these never invalidate.
-	ancList  map[ConceptID][]ConceptID          // BFS-from-concept visit order over hypernyms
+	ancList  map[ConceptID][]ConceptID            // BFS-from-concept visit order over hypernyms
 	ancSet   map[ConceptID]map[ConceptID]struct{} // same contents as a set
-	expGloss map[ConceptID][]string             // own + direct-neighbor gloss tokens
+	expGloss map[ConceptID][]string               // own + direct-neighbor gloss tokens
 
 	lcsMemo lcsCache // concurrency-safe LCS memo (taxonomy walks dominate Sim cost)
 }

@@ -3,6 +3,8 @@ package xmltree
 import (
 	"encoding/json"
 	"io"
+
+	"repro/xsdferrors"
 )
 
 // JSONNode is the JSON projection of a semantic tree node, the machine
@@ -15,6 +17,7 @@ type JSONNode struct {
 	Label    string      `json:"label,omitempty"`
 	Sense    string      `json:"sense,omitempty"`
 	Score    float64     `json:"score,omitempty"`
+	Degraded string      `json:"degraded,omitempty"`
 	Gold     string      `json:"gold,omitempty"`
 	Children []*JSONNode `json:"children,omitempty"`
 }
@@ -32,6 +35,9 @@ func (t *Tree) SemanticJSON() *JSONNode {
 			Sense: n.Sense,
 			Score: n.SenseScore,
 			Gold:  n.Gold,
+		}
+		if n.Degraded != xsdferrors.DegradeNone {
+			j.Degraded = n.Degraded.String()
 		}
 		if n.Label != n.Raw {
 			j.Label = n.Label
@@ -65,6 +71,9 @@ func FromSemanticJSON(j *JSONNode) *Tree {
 			Sense:      j.Sense,
 			SenseScore: j.Score,
 			Gold:       j.Gold,
+		}
+		if lvl, ok := xsdferrors.ParseDegradationLevel(j.Degraded); ok {
+			n.Degraded = lvl
 		}
 		if n.Label == "" {
 			n.Label = n.Raw

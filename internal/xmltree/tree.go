@@ -13,6 +13,8 @@ package xmltree
 import (
 	"fmt"
 	"strings"
+
+	"repro/xsdferrors"
 )
 
 // Kind distinguishes the three node categories of the XSDF document model.
@@ -75,6 +77,11 @@ type Node struct {
 	Sense string
 	// SenseScore is the score of the winning sense in [0,1].
 	SenseScore float64
+	// Degraded records the degradation-ladder level the node was scored
+	// at: zero for the full configured method (or when the ladder is off),
+	// higher values for the cheaper fallbacks a budget-pressured run
+	// stepped down to.
+	Degraded xsdferrors.DegradationLevel
 	// Gold is the ground-truth concept identifier attached by the corpus
 	// generators (empty for real documents).
 	Gold string
@@ -291,6 +298,7 @@ func (t *Tree) Clone() *Tree {
 			Kind:       n.Kind,
 			Sense:      n.Sense,
 			SenseScore: n.SenseScore,
+			Degraded:   n.Degraded,
 			Gold:       n.Gold,
 		}
 		mapping[n] = m

@@ -17,9 +17,9 @@ package xsdf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -50,6 +50,12 @@ var (
 	ErrMalformedInput = xsdferrors.ErrMalformedInput
 	// ErrUnknownOption matches option values outside the documented set.
 	ErrUnknownOption = xsdferrors.ErrUnknownOption
+	// ErrOverloaded matches documents turned away by the admission gate
+	// (Options.Admission); the concrete error is an *OverloadError.
+	ErrOverloaded = xsdferrors.ErrOverloaded
+	// ErrDegraded matches runs cut short mid-degradation-ladder: the
+	// returned *DegradedError rides alongside a partial Result.
+	ErrDegraded = xsdferrors.ErrDegraded
 )
 
 type (
@@ -59,6 +65,30 @@ type (
 	PanicError = xsdferrors.PanicError
 	// BatchError is the per-document failure report of a batch run.
 	BatchError = xsdferrors.BatchError
+	// OverloadError reports the admission-gate state that rejected a
+	// document.
+	OverloadError = xsdferrors.OverloadError
+	// DegradedError reports a run canceled mid-ladder: the achieved level
+	// and the targets never scored. It matches both ErrDegraded and
+	// ErrCanceled.
+	DegradedError = xsdferrors.DegradedError
+)
+
+// DegradationLevel identifies a rung of the graceful-degradation ladder.
+type DegradationLevel = xsdferrors.DegradationLevel
+
+// The ladder rungs, cheapest last.
+const (
+	// DegradeNone is full-quality scoring under the configured method.
+	DegradeNone = xsdferrors.DegradeNone
+	// DegradeConceptOnly drops context vectors: concept-based scoring
+	// only (Definition 8).
+	DegradeConceptOnly = xsdferrors.DegradeConceptOnly
+	// DegradeFirstSense assigns each token its most frequent sense with
+	// no scoring at all — the MFS baseline.
+	DegradeFirstSense = xsdferrors.DegradeFirstSense
+	// NumDegradationLevels sizes per-level accounting arrays.
+	NumDegradationLevels = xsdferrors.NumDegradationLevels
 )
 
 // Re-exported building blocks so downstream users can work with results
@@ -93,6 +123,14 @@ const (
 	ContextBased = disambig.ContextBased
 	Combined     = disambig.Combined
 )
+
+// DegradeOptions configures the graceful-degradation ladder (see
+// Options.Degrade): node-count watermarks and deadline-pacing parameters.
+type DegradeOptions = disambig.Degradation
+
+// AdmissionOptions configures the admission gate (see Options.Admission):
+// in-flight document/node bounds and the bounded wait for capacity.
+type AdmissionOptions = core.AdmissionOptions
 
 // Options exposes every user parameter of the framework (Motivation 4).
 // Zero values select the documented defaults.
@@ -158,6 +196,22 @@ type Options struct {
 	// extension beyond the paper).
 	OneSensePerDiscourse bool
 
+	// Degrade configures the graceful-degradation ladder: under deadline
+	// pressure (or past the node-count watermarks) scoring steps down
+	//
+	//	configured method → concept-only → first-sense
+	//
+	// instead of failing, and the achieved level is reported per node
+	// (Node.Degraded) and per document (Result.Degraded). The zero value
+	// keeps the historical fail-on-deadline behavior.
+	Degrade DegradeOptions
+
+	// Admission bounds concurrent work: documents arriving beyond
+	// MaxDocs/MaxNodes wait up to MaxWait and are then rejected with an
+	// *OverloadError, so an overloaded process sheds load instead of
+	// slowing every caller. The zero value admits everything.
+	Admission AdmissionOptions
+
 	// MaxDepth, MaxNodes, and MaxTokenBytes are resource guards against
 	// hostile inputs: element nesting depth, total node count, and the
 	// byte size of a single text value. Zero selects the safe defaults
@@ -187,6 +241,14 @@ type Result struct {
 	Assigned int
 	// Threshold is the effective Thresh_Amb used.
 	Threshold float64
+	// Degraded is the worst degradation-ladder level any target was scored
+	// at (DegradeNone when the ladder is off or never stepped down), and
+	// NodesAtLevel counts the targets attempted at each rung. Unscored is
+	// the number of targets never attempted — non-zero only alongside an
+	// ErrDegraded error. NodesAtLevel sum + Unscored == Targets always.
+	Degraded     DegradationLevel
+	NodesAtLevel [NumDegradationLevels]int
+	Unscored     int
 	// LinksResolved and LinksDangling report hyperlink resolution under
 	// Options.FollowLinks: the number of ID/IDREF edges installed and the
 	// number of references whose anchor did not exist. Dangling references
@@ -239,10 +301,6 @@ func New(o Options) (*Framework, error) {
 		return nil, fmt.Errorf("%w: Method %d (want ConceptBased, ContextBased, or Combined)",
 			ErrUnknownOption, o.Method)
 	}
-	nodeWorkers := o.NodeWorkers
-	if nodeWorkers < 0 {
-		nodeWorkers = runtime.GOMAXPROCS(0)
-	}
 	inner, err := core.New(net, core.Options{
 		IncludeContent: !o.StructureOnly,
 		Ambiguity:      aw,
@@ -257,11 +315,15 @@ func New(o Options) (*Framework, error) {
 			ContextWeight: xw,
 			VectorSim:     vs,
 			FollowLinks:   o.FollowLinks,
-			Workers:       nodeWorkers,
+			// Negative NodeWorkers means GOMAXPROCS; disambig.NewShared
+			// owns that normalization.
+			Workers: o.NodeWorkers,
+			Degrade: o.Degrade,
 		},
 		OneSensePerDiscourse: o.OneSensePerDiscourse,
 		MaxDepth:             enabledLimit(o.MaxDepth, xmltree.DefaultMaxDepth),
 		MaxNodes:             enabledLimit(o.MaxNodes, xmltree.DefaultMaxNodes),
+		Admission:            o.Admission,
 	})
 	if err != nil {
 		return nil, err
@@ -303,8 +365,13 @@ func (f *Framework) Disambiguate(r io.Reader) (*Result, error) {
 // of crashing the caller.
 func (f *Framework) DisambiguateContext(ctx context.Context, r io.Reader) (res *Result, err error) {
 	defer recoverToError(&res, &err)
-	if err := ctx.Err(); err != nil {
-		return nil, xsdferrors.Canceled(err) // don't parse on behalf of a dead caller
+	if cerr := ctx.Err(); cerr != nil {
+		// Don't parse on behalf of a dead caller — unless the ladder is on
+		// and the context merely ran out of time, in which case the
+		// pipeline finishes the document at reduced quality.
+		if !(f.inner.Options().Disambiguation.Degrade.Enabled && errors.Is(cerr, context.DeadlineExceeded)) {
+			return nil, xsdferrors.Canceled(cerr)
+		}
 	}
 	t, err := f.ParseTree(r)
 	if err != nil {
@@ -317,12 +384,14 @@ func (f *Framework) DisambiguateContext(ctx context.Context, r io.Reader) (res *
 		resolved, dangling = ok, len(bad)
 	}
 	inner, err := f.inner.ProcessTreeContext(ctx, t)
-	if err != nil {
+	if inner == nil {
 		return nil, err
 	}
 	out := fromCore(inner)
 	out.LinksResolved, out.LinksDangling = resolved, dangling
-	return out, nil
+	// A degraded abort (errors.Is(err, ErrDegraded)) keeps the partial
+	// result alongside the error; every other error leaves it nil above.
+	return out, err
 }
 
 // ParseTree parses an XML document into a Tree under the framework's
@@ -351,23 +420,30 @@ func (f *Framework) DisambiguateTree(t *Tree) (*Result, error) {
 
 // DisambiguateTreeContext is DisambiguateTree with the fault-tolerance
 // semantics of DisambiguateContext (cancellation, resource guards, panic
-// isolation).
+// isolation, admission control, graceful degradation). When the run is
+// canceled mid-degradation-ladder the partial Result is returned alongside
+// the *DegradedError.
 func (f *Framework) DisambiguateTreeContext(ctx context.Context, t *Tree) (res *Result, err error) {
 	defer recoverToError(&res, &err)
 	inner, err := f.inner.ProcessTreeContext(ctx, t)
-	if err != nil {
+	if inner == nil {
 		return nil, err
 	}
-	return fromCore(inner), nil
+	return fromCore(inner), err
 }
 
 // BatchOptions tunes a DisambiguateBatchContext run.
 type BatchOptions struct {
-	// Workers is the worker-goroutine count; <= 0 selects GOMAXPROCS.
+	// Workers is the worker-goroutine count; <= 0 selects GOMAXPROCS
+	// (normalized by core.EffectiveWorkers, the same rule every worker
+	// pool in the stack uses).
 	Workers int
 	// DocTimeout, when positive, bounds each document's processing time.
 	// A document exceeding it fails with ErrCanceled (wrapping
-	// context.DeadlineExceeded) without affecting the others.
+	// context.DeadlineExceeded) without affecting the others — unless
+	// Options.Degrade is enabled, in which case the document steps down
+	// the degradation ladder and succeeds with the achieved level in
+	// Result.Degraded.
 	DocTimeout time.Duration
 }
 
@@ -381,12 +457,16 @@ func (f *Framework) DisambiguateBatch(trees []*Tree, workers int) ([]*Result, er
 
 // DisambiguateBatchContext runs the pipeline over a batch of trees with
 // per-document fault isolation. Results are in input order; a slot is nil
-// exactly when that document failed. When any document fails the returned
-// error is a *BatchError indexed by document, so one poisoned document (a
-// panic, boxed as *PanicError), one oversized document (*LimitError), or
-// one per-document timeout never discards the rest of the batch.
-// Cancelling ctx aborts the whole run promptly with ErrCanceled entries
-// for the unfinished documents.
+// exactly when that document failed — except for documents canceled
+// mid-degradation-ladder, whose partial Result stays in its slot alongside
+// the *DegradedError entry. When any document fails the returned error is
+// a *BatchError indexed by document, so one poisoned document (a panic,
+// boxed as *PanicError), one oversized document (*LimitError), one
+// rejected arrival (*OverloadError), or one per-document timeout never
+// discards the rest of the batch; BatchError.Failed lists hard failures
+// and BatchError.Degraded the degraded-partial documents. Cancelling ctx
+// aborts the whole run promptly with ErrCanceled entries for the
+// unfinished documents.
 func (f *Framework) DisambiguateBatchContext(ctx context.Context, trees []*Tree, opts BatchOptions) ([]*Result, error) {
 	inner, err := f.inner.ProcessTreesContext(ctx, trees, opts.Workers, opts.DocTimeout)
 	out := make([]*Result, len(inner))
@@ -399,7 +479,15 @@ func (f *Framework) DisambiguateBatchContext(ctx context.Context, trees []*Tree,
 }
 
 func fromCore(r *core.Result) *Result {
-	return &Result{Tree: r.Tree, Targets: r.Targets, Assigned: r.Assigned, Threshold: r.Threshold}
+	return &Result{
+		Tree:         r.Tree,
+		Targets:      r.Targets,
+		Assigned:     r.Assigned,
+		Threshold:    r.Threshold,
+		Degraded:     r.Degraded,
+		NodesAtLevel: r.NodesAtLevel,
+		Unscored:     r.Unscored,
+	}
 }
 
 // recoverToError converts a panic escaping the pipeline into a returned

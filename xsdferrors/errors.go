@@ -8,8 +8,15 @@
 //	ErrLimitExceeded  — a resource guard tripped (see LimitError)
 //	ErrMalformedInput — the input document failed to parse
 //	ErrUnknownOption  — an option value is not one of the documented choices
+//	ErrOverloaded     — admission control shed the document (see OverloadError)
+//	ErrDegraded       — a usable but incomplete result (see DegradedError)
 //	PanicError        — a worker panicked; the panic was isolated and boxed
 //	BatchError        — per-document failure report of a batch run
+//
+// The package also defines DegradationLevel, the quality vocabulary of
+// the graceful-degradation ladder, because it is shared by the same
+// layers that share the error taxonomy (the tree model records the level
+// per node, the pipeline per document, and DegradedError carries it).
 //
 // The package sits below both the public xsdf API and the internal
 // pipeline packages so that all layers share one vocabulary.
@@ -19,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Sentinel errors for errors.Is dispatch.
@@ -41,7 +49,112 @@ var (
 	// ErrUnknownOption reports an option value outside the documented set
 	// (for example an unrecognized vector-similarity name).
 	ErrUnknownOption = errors.New("xsdf: unknown option")
+
+	// ErrOverloaded reports that admission control refused to start a
+	// document because the framework was at capacity and the bounded wait
+	// expired. Concrete occurrences are *OverloadError values.
+	ErrOverloaded = errors.New("xsdf: overloaded")
+
+	// ErrDegraded reports that a run produced a usable but incomplete
+	// result: the degradation ladder was active and processing stopped
+	// (cancellation) before every target was attempted. Errors matching
+	// this sentinel accompany a non-nil, partially annotated result.
+	// Concrete occurrences are *DegradedError values.
+	ErrDegraded = errors.New("xsdf: degraded result")
 )
+
+// DegradationLevel is one rung of the graceful-degradation ladder. Levels
+// are ordered: a larger value means cheaper scoring and lower expected
+// quality, and within one run the level only ever steps down (the value
+// is monotone non-decreasing).
+type DegradationLevel uint8
+
+const (
+	// DegradeNone scores nodes with the configured method at full quality.
+	DegradeNone DegradationLevel = iota
+	// DegradeConceptOnly falls back to concept-only scoring (Definition 8):
+	// no semantic-network sphere vectors are built or compared.
+	DegradeConceptOnly
+	// DegradeFirstSense assigns each token its most frequent sense (the
+	// canonical WSD last resort) without any context scoring.
+	DegradeFirstSense
+
+	// NumDegradationLevels is the number of ladder rungs.
+	NumDegradationLevels = int(DegradeFirstSense) + 1
+)
+
+// String names the level: "full", "concept-only", or "first-sense".
+func (l DegradationLevel) String() string {
+	switch l {
+	case DegradeNone:
+		return "full"
+	case DegradeConceptOnly:
+		return "concept-only"
+	case DegradeFirstSense:
+		return "first-sense"
+	default:
+		return fmt.Sprintf("DegradationLevel(%d)", uint8(l))
+	}
+}
+
+// ParseDegradationLevel is the inverse of DegradationLevel.String.
+func ParseDegradationLevel(s string) (DegradationLevel, bool) {
+	switch s {
+	case "full":
+		return DegradeNone, true
+	case "concept-only":
+		return DegradeConceptOnly, true
+	case "first-sense":
+		return DegradeFirstSense, true
+	}
+	return DegradeNone, false
+}
+
+// OverloadError reports an admission-control rejection: the gate was at
+// capacity for the whole bounded wait. It matches ErrOverloaded under
+// errors.Is.
+type OverloadError struct {
+	// Docs and Nodes are the in-flight document count and summed node
+	// weight observed when the wait gave up.
+	Docs  int
+	Nodes int
+	// Waited is how long the document waited for admission.
+	Waited time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("xsdf: overloaded: admission denied after %v (%d documents / %d nodes in flight)",
+		e.Waited, e.Docs, e.Nodes)
+}
+
+// Is matches ErrOverloaded, making errors.Is(err, ErrOverloaded) true for
+// any *OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// DegradedError reports a run that ended with a usable partial result:
+// the ladder was active, Unscored targets were never attempted, and the
+// nodes that were attempted are annotated in the accompanying result. It
+// matches ErrDegraded under errors.Is and unwraps to the cause (typically
+// an error matching ErrCanceled), so both sentinels dispatch.
+type DegradedError struct {
+	// Level is the ladder level in effect when processing stopped.
+	Level DegradationLevel
+	// Unscored is the number of targets never attempted.
+	Unscored int
+	// Cause is why processing stopped early.
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("xsdf: degraded result at level %s: %d targets unscored: %v",
+		e.Level, e.Unscored, e.Cause)
+}
+
+// Is matches ErrDegraded.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Cause }
 
 // Canceled wraps a context error (context.Canceled or
 // context.DeadlineExceeded) so the result matches both ErrCanceled and the
@@ -102,9 +215,11 @@ func (e *PanicError) Unwrap() error {
 }
 
 // BatchError is the partial-failure report of a batch run: one slot per
-// input document, nil for documents that succeeded. It unwraps to the
-// non-nil per-document errors, so errors.Is / errors.As search all of them
-// (like errors.Join, but retaining document positions).
+// input document, nil for documents that succeeded cleanly. It unwraps to
+// the non-nil per-document errors, so errors.Is / errors.As search all of
+// them (like errors.Join, but retaining document positions). An entry
+// matching ErrDegraded is not a failure: that document carries a usable
+// partial result alongside its error (see Failed and Degraded).
 type BatchError struct {
 	// Errs is indexed by document; nil entries are successes.
 	Errs []error
@@ -144,11 +259,26 @@ func (e *BatchError) Unwrap() []error {
 	return out
 }
 
-// Failed returns the indices of the documents that failed, in order.
+// Failed returns the indices of the documents that failed outright —
+// produced no result — in order. Entries matching ErrDegraded are
+// excluded: those documents have a partial result and are listed by
+// Degraded instead.
 func (e *BatchError) Failed() []int {
 	var out []int
 	for i, err := range e.Errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrDegraded) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Degraded returns the indices of the documents whose error matches
+// ErrDegraded: they ended early but still carry a usable partial result.
+func (e *BatchError) Degraded() []int {
+	var out []int
+	for i, err := range e.Errs {
+		if err != nil && errors.Is(err, ErrDegraded) {
 			out = append(out, i)
 		}
 	}

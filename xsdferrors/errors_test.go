@@ -51,6 +51,48 @@ func TestPanicError(t *testing.T) {
 	}
 }
 
+func TestOverloadError(t *testing.T) {
+	var err error = &OverloadError{Docs: 4, Nodes: 900, Waited: 0}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Error("OverloadError must match ErrOverloaded")
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDegraded) {
+		t.Error("OverloadError must not match unrelated sentinels")
+	}
+	var oe *OverloadError
+	if !errors.As(fmt.Errorf("doc 1: %w", err), &oe) || oe.Docs != 4 || oe.Nodes != 900 {
+		t.Errorf("errors.As round trip failed: %+v", oe)
+	}
+}
+
+func TestDegradedError(t *testing.T) {
+	cause := Canceled(context.Canceled)
+	var err error = &DegradedError{Level: DegradeFirstSense, Unscored: 7, Cause: cause}
+	if !errors.Is(err, ErrDegraded) {
+		t.Error("DegradedError must match ErrDegraded")
+	}
+	// The cancellation cause stays matchable through the wrapper.
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Error("DegradedError must keep its cause matchable")
+	}
+	var de *DegradedError
+	if !errors.As(fmt.Errorf("doc 0: %w", err), &de) || de.Level != DegradeFirstSense || de.Unscored != 7 {
+		t.Errorf("errors.As round trip failed: %+v", de)
+	}
+}
+
+func TestDegradationLevelRoundTrip(t *testing.T) {
+	for l := DegradeNone; int(l) < NumDegradationLevels; l++ {
+		got, ok := ParseDegradationLevel(l.String())
+		if !ok || got != l {
+			t.Errorf("ParseDegradationLevel(%q) = %v, %v", l.String(), got, ok)
+		}
+	}
+	if _, ok := ParseDegradationLevel("bogus"); ok {
+		t.Error("bogus level must not parse")
+	}
+}
+
 func TestBatchError(t *testing.T) {
 	if NewBatchError([]error{nil, nil}) != nil {
 		t.Fatal("all-nil batch must produce a nil error")
@@ -79,5 +121,30 @@ func TestBatchError(t *testing.T) {
 	}
 	if !errors.Is(err, ErrLimitExceeded) {
 		t.Error("sentinel not reachable through BatchError")
+	}
+}
+
+// TestBatchErrorFailedVsDegraded: Failed lists hard failures only;
+// Degraded lists the entries whose result slot is still populated.
+func TestBatchErrorFailedVsDegraded(t *testing.T) {
+	err := NewBatchError([]error{
+		&PanicError{Doc: 0, Value: "boom"},
+		nil,
+		Canceled(context.DeadlineExceeded),
+		&DegradedError{Level: DegradeConceptOnly, Unscored: 3, Cause: Canceled(context.Canceled)},
+		&OverloadError{Docs: 2, Nodes: 100},
+	})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatal("errors.As must find *BatchError")
+	}
+	if got := be.Failed(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("Failed() = %v, want [0 2 4]", got)
+	}
+	if got := be.Degraded(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Degraded() = %v, want [3]", got)
+	}
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, ErrDegraded) {
+		t.Error("new sentinels not reachable through BatchError")
 	}
 }
