@@ -1,0 +1,195 @@
+package xsdf_test
+
+// HTTP chaos suite: drives the serving layer (internal/server over
+// httptest) through seeded fault schedules — slow/failing semantic-network
+// lookups, poisoned cache reads, injected server faults — and asserts the
+// wire-level robustness invariant per response: every answer is either a
+// typed non-200 status with a machine-readable kind, or a 200 whose JSON
+// result accounts for every target exactly (sum over NodesAtLevel +
+// Unscored == Targets) and whose X-Xsdf-Quality header agrees with the
+// degradation report. Run with -race; a failure reproduces from the seed
+// in the subtest name.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+// httpChaosSchedules is the number of seeded schedules the HTTP suite runs.
+const httpChaosSchedules = 8
+
+// httpChaosConfig is one seed's derived serving scenario.
+type httpChaosConfig struct {
+	faults   faultinject.Config
+	degrade  xsdf.DegradeOptions
+	budgetMS int64
+}
+
+// deriveHTTPChaosConfig expands a seed into a scenario; pure function of
+// the seed, so a failing schedule replays exactly.
+func deriveHTTPChaosConfig(seed int64) httpChaosConfig {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := httpChaosConfig{
+		faults: faultinject.Config{
+			Seed:            seed,
+			LookupErrRate:   0.10 * rng.Float64(),
+			LookupDelayRate: 0.10 * rng.Float64(),
+			LookupDelay:     200 * time.Microsecond,
+			CachePoisonRate: 0.10 * rng.Float64(),
+			ServerErrRate:   0.05 * rng.Float64(),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		cfg.degrade = xsdf.DegradeOptions{Enabled: true, FirstSenseAfter: 20 + rng.Intn(40)}
+	}
+	if rng.Intn(2) == 0 {
+		cfg.budgetMS = int64(10 + rng.Intn(40))
+	}
+	return cfg
+}
+
+func TestHTTPChaosSchedules(t *testing.T) {
+	n := int64(httpChaosSchedules)
+	if testing.Short() {
+		n = 3
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runHTTPChaosSchedule(t, seed)
+		})
+	}
+}
+
+func runHTTPChaosSchedule(t *testing.T, seed int64) {
+	cfg := deriveHTTPChaosConfig(seed)
+	restore := faultinject.Install(faultinject.New(cfg.faults))
+	defer restore()
+
+	fw, err := xsdf.New(xsdf.Options{Radius: 2, Degrade: cfg.degrade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Framework: fw,
+		// Disable the breaker: a chaos seed is allowed to fail often
+		// enough to trip it, and this suite asserts per-response typing,
+		// not fail-fast behavior (breaker_test covers that).
+		Breaker: server.BreakerOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Serialize a slice of the corpus back to raw XML documents.
+	trees := freshCorpusTrees()
+	if len(trees) > 12 {
+		trees = trees[:12]
+	}
+	for i, tree := range trees {
+		var buf bytes.Buffer
+		if err := tree.WriteXML(&buf, false); err != nil {
+			t.Fatalf("doc %d: serialize: %v", i, err)
+		}
+		checkHTTPChaosResponse(t, ts, i, cfg, buf.String())
+	}
+}
+
+// checkHTTPChaosResponse posts one document and asserts the wire
+// invariant: typed status or exact accounting.
+func checkHTTPChaosResponse(t *testing.T, ts *httptest.Server, doc int, cfg httpChaosConfig, document string) {
+	t.Helper()
+	payload, err := json.Marshal(server.DisambiguateRequest{Document: document, BudgetMS: cfg.budgetMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/disambiguate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("doc %d: transport: %v", doc, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("doc %d: read body: %v", doc, err)
+	}
+
+	if resp.StatusCode != http.StatusOK {
+		// Non-200: must be a known fault family with a typed kind.
+		var eb server.ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Errorf("doc %d: status %d with undecodable error body %q", doc, resp.StatusCode, body)
+			return
+		}
+		switch {
+		case resp.StatusCode == http.StatusGatewayTimeout && eb.Kind == "canceled":
+			// Budget expiry with the ladder off (or before rung one).
+		case resp.StatusCode == http.StatusInternalServerError && (eb.Kind == "injected" || eb.Kind == "internal"):
+			// Injected server fault or an injected lookup failure
+			// surfacing as an isolated pipeline error.
+		case resp.StatusCode == http.StatusTooManyRequests && eb.Kind == "overloaded":
+			// Admission shedding (not configured here, but a legal family).
+		default:
+			t.Errorf("doc %d: untyped failure: status %d kind %q error %q",
+				doc, resp.StatusCode, eb.Kind, eb.Error)
+		}
+		return
+	}
+
+	// 200: the result must account for every target exactly and the
+	// quality header must agree with the body.
+	var res server.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Errorf("doc %d: 200 with undecodable result: %v", doc, err)
+		return
+	}
+	quality := resp.Header.Get(server.QualityHeader)
+	if quality != res.Quality {
+		t.Errorf("doc %d: %s header %q != body quality %q", doc, server.QualityHeader, quality, res.Quality)
+	}
+	if res.Degradation == nil {
+		if quality != "full" {
+			t.Errorf("doc %d: quality %q without a degradation report", doc, quality)
+		}
+		if res.Assigned > res.Targets {
+			t.Errorf("doc %d: Assigned %d > Targets %d", doc, res.Assigned, res.Targets)
+		}
+		return
+	}
+	rep := res.Degradation
+	sum := 0
+	for _, n := range rep.NodesAtLevel {
+		sum += n
+	}
+	// The wire report lists every rung with a non-zero count, including
+	// "full", so the account closes exactly.
+	if sum+rep.Unscored != res.Targets {
+		t.Errorf("doc %d: NodesAtLevel sum %d + Unscored %d != Targets %d",
+			doc, sum, rep.Unscored, res.Targets)
+	}
+	// A scored target may still end unassigned (no candidate senses, an
+	// injected lookup failure), so Assigned is bounded, not pinned.
+	if res.Assigned > res.Targets-rep.Unscored {
+		t.Errorf("doc %d: Assigned %d > Targets %d - Unscored %d",
+			doc, res.Assigned, res.Targets, rep.Unscored)
+	}
+	if rep.Level == "" || quality != rep.Level {
+		t.Errorf("doc %d: report level %q disagrees with quality %q", doc, rep.Level, quality)
+	}
+	if cfg.degrade.Enabled && cfg.degrade.FirstSenseAfter > 0 && res.Targets > cfg.degrade.FirstSenseAfter {
+		if n := rep.NodesAtLevel["first-sense"]; n == 0 {
+			t.Errorf("doc %d: %d targets past the first-sense watermark but none marked", doc, res.Targets)
+		}
+	}
+}

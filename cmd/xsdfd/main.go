@@ -1,0 +1,127 @@
+// Command xsdfd serves XSDF disambiguation over HTTP against the embedded
+// mini-WordNet (or the same pipeline options the xsdf CLI exposes):
+//
+//	xsdfd -addr :8080
+//	xsdfd -addr :8080 -d 2 -method combined -degrade
+//	xsdfd -addr :8080 -max-docs 8 -max-wait 100ms      # admission gate
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/disambiguate   {"document": "<a>...</a>", "budget_ms": 100}
+//	POST /v1/batch          {"documents": ["...", "..."]}
+//	GET  /healthz  /readyz  /statusz
+//
+// The daemon is built to stay up: per-request deadlines (client budgets
+// clamped by -max-timeout), request body limits, panic recovery, a
+// per-route circuit breaker, typed status codes (429 + Retry-After under
+// overload, 200 + X-Xsdf-Quality for degraded results), and graceful
+// drain — SIGTERM/SIGINT flips /readyz to 503, refuses new connections,
+// finishes every in-flight request, and exits 0; in-flight work that
+// outlives -drain forces exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdfd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		radius    = flag.Int("d", 1, "sphere neighborhood radius (context size)")
+		method    = flag.String("method", "concept", "disambiguation process: concept | context | combined")
+		threshold = flag.Float64("threshold", 0, "Thresh_Amb: only nodes with Amb_Deg >= threshold are disambiguated")
+		vectorSim = flag.String("vector-sim", "cosine", "context-vector similarity: cosine | jaccard | pearson")
+		degrade   = flag.Bool("degrade", true, "step down the quality ladder under deadline pressure instead of failing")
+		maxDepth  = flag.Int("max-depth", 0, "element nesting limit (0 = default, -1 = unlimited)")
+		maxNodes  = flag.Int("max-nodes", 0, "tree node-count limit (0 = default, -1 = unlimited)")
+
+		maxDocs     = flag.Int("max-docs", 0, "admission gate: max in-flight documents (0 = ungated)")
+		maxGateWait = flag.Duration("max-wait", 50*time.Millisecond, "admission gate: bounded wait for capacity before shedding")
+
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "cap on any client-supplied request budget")
+		defTimeout  = flag.Duration("default-timeout", 10*time.Second, "request budget when the client sends none")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		concurrency = flag.Int("concurrency", 0, "max concurrent pipeline requests (0 = one per core)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+
+	opts := xsdf.Options{
+		Radius:           *radius,
+		Threshold:        *threshold,
+		VectorSimilarity: *vectorSim,
+		MaxDepth:         *maxDepth,
+		MaxNodes:         *maxNodes,
+		Degrade:          xsdf.DegradeOptions{Enabled: *degrade},
+	}
+	switch *method {
+	case "concept":
+		opts.Method = xsdf.ConceptBased
+	case "context":
+		opts.Method = xsdf.ContextBased
+	case "combined":
+		opts.Method = xsdf.Combined
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	if *maxDocs > 0 {
+		opts.Admission = xsdf.AdmissionOptions{MaxDocs: *maxDocs, MaxWait: *maxGateWait}
+	}
+
+	fw, err := xsdf.New(opts)
+	if err != nil {
+		log.Fatalf("building framework: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Framework:      fw,
+		MaxBodyBytes:   *maxBody,
+		MaxTimeout:     *maxTimeout,
+		DefaultTimeout: *defTimeout,
+		Concurrency:    *concurrency,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("building server: %v", err)
+	}
+
+	// Serve in the background; the main goroutine owns the signal-driven
+	// drain so SIGTERM always reaches a goroutine that can act on it.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	log.Printf("serving on %s (method %s, radius %d, degrade %v)", *addr, *method, *radius, *degrade)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-serveErr:
+		// The listener died without a shutdown request (port in use, ...).
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigs:
+		log.Printf("received %v, draining (deadline %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain deadline exceeded, connections abandoned: %v", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -43,6 +43,59 @@ type gate struct {
 	turn  chan struct{} // closed and replaced on every release
 	docs  int
 	nodes int
+
+	// Cumulative admission accounting (guarded by mu), exported through
+	// GateStats so a serving layer can size Retry-After hints from how
+	// long admitted documents actually waited.
+	admitted  uint64
+	rejected  uint64
+	waited    uint64 // admissions that did not get in on the first try
+	totalWait time.Duration
+}
+
+// GateStats is a snapshot of the admission gate: current occupancy plus
+// cumulative admission/rejection counters. AvgWait is the mean admission
+// wait over the admissions that had to wait at all — the natural base for
+// a serving layer's Retry-After hint (it estimates how long capacity takes
+// to free under the current load).
+type GateStats struct {
+	// Docs and Nodes are the in-flight document count and summed node
+	// weight at snapshot time.
+	Docs  int
+	Nodes int
+	// Admitted and Rejected count documents let through and turned away
+	// since construction; Waited counts the admitted documents that had
+	// to wait for capacity.
+	Admitted uint64
+	Rejected uint64
+	Waited   uint64
+	// AvgWait is the mean wait over the Waited admissions (zero when none
+	// has waited yet).
+	AvgWait time.Duration
+}
+
+// stats snapshots the gate.
+func (g *gate) stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := GateStats{
+		Docs: g.docs, Nodes: g.nodes,
+		Admitted: g.admitted, Rejected: g.rejected, Waited: g.waited,
+	}
+	if g.waited > 0 {
+		s.AvgWait = g.totalWait / time.Duration(g.waited)
+	}
+	return s
+}
+
+// GateStats reports the admission gate's occupancy and wait statistics.
+// The second return is false when Options.Admission is disabled (there is
+// no gate to report on).
+func (f *Framework) GateStats() (GateStats, bool) {
+	if f.gate == nil {
+		return GateStats{}, false
+	}
+	return f.gate.stats(), true
 }
 
 // newGate returns the gate for o, or nil when o disables admission.
@@ -101,11 +154,14 @@ func (g *gate) acquire(ctx context.Context, n int, maxWait time.Duration) (relea
 		defer tm.Stop()
 		timeout = tm.C
 	}
+	firstTry := true
 	for {
 		ok, wait := g.tryAcquire(w)
 		if ok {
+			g.recordAdmit(firstTry, time.Since(start))
 			return func() { g.release(w) }, nil
 		}
+		firstTry = false
 		if maxWait <= 0 {
 			return nil, g.overloadErr(start)
 		}
@@ -119,9 +175,22 @@ func (g *gate) acquire(ctx context.Context, n int, maxWait time.Duration) (relea
 	}
 }
 
+// recordAdmit accounts a successful admission; elapsed only accrues into
+// the wait statistics when the document did not get in on the first try.
+func (g *gate) recordAdmit(firstTry bool, elapsed time.Duration) {
+	g.mu.Lock()
+	g.admitted++
+	if !firstTry {
+		g.waited++
+		g.totalWait += elapsed
+	}
+	g.mu.Unlock()
+}
+
 // overloadErr snapshots the gate state into the typed overload error.
 func (g *gate) overloadErr(start time.Time) *xsdferrors.OverloadError {
 	g.mu.Lock()
+	g.rejected++
 	docs, nodes := g.docs, g.nodes
 	g.mu.Unlock()
 	return &xsdferrors.OverloadError{Docs: docs, Nodes: nodes, Waited: time.Since(start)}

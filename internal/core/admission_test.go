@@ -181,6 +181,80 @@ func TestFrameworkAdmissionOverload(t *testing.T) {
 	}
 }
 
+// TestGateStats: the wait-statistics export a serving layer sizes
+// Retry-After from. First-try admissions must not count as waits; bounded
+// waits that succeed must; rejections must be counted.
+func TestGateStats(t *testing.T) {
+	g := newGate(AdmissionOptions{MaxDocs: 1})
+
+	// First-try admission: admitted grows, waited does not.
+	release, err := g.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.stats(); s.Admitted != 1 || s.Waited != 0 || s.Docs != 1 {
+		t.Fatalf("after first admit: %+v", s)
+	}
+
+	// A waiter admitted after a release: waited and AvgWait grow.
+	done := make(chan error, 1)
+	go func() {
+		r, err := g.acquire(context.Background(), 1, 5*time.Second)
+		if r != nil {
+			r()
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter must be admitted: %v", err)
+	}
+	s := g.stats()
+	if s.Admitted != 2 || s.Waited != 1 || s.AvgWait <= 0 {
+		t.Fatalf("after waited admit: %+v", s)
+	}
+
+	// A rejection: rejected grows, admitted does not.
+	release2, err := g.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.acquire(context.Background(), 1, 0); !errors.Is(err, xsdferrors.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	release2()
+	s = g.stats()
+	if s.Rejected != 1 || s.Admitted != 3 || s.Docs != 0 {
+		t.Fatalf("after rejection: %+v", s)
+	}
+}
+
+// TestFrameworkGateStats: the framework-level export reports ok=false
+// without a gate and live numbers with one.
+func TestFrameworkGateStats(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fw.GateStats(); ok {
+		t.Fatal("ungated framework must report ok=false")
+	}
+	opts := DefaultOptions()
+	opts.Admission = AdmissionOptions{MaxDocs: 2}
+	fw, err = New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.ProcessTree(corpusTrees(t, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := fw.GateStats()
+	if !ok || s.Admitted != 1 || s.Docs != 0 {
+		t.Fatalf("GateStats = %+v ok=%v, want 1 admitted, 0 in flight", s, ok)
+	}
+}
+
 // TestEffectiveWorkers: the one normalization rule every worker pool uses.
 func TestEffectiveWorkers(t *testing.T) {
 	if got := EffectiveWorkers(0); got != runtime.GOMAXPROCS(0) {

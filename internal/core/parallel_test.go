@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -59,6 +60,34 @@ func TestProcessTreesMatchesSequential(t *testing.T) {
 					seq[i].Node(j).Sense, par[i].Node(j).Sense)
 			}
 		}
+	}
+}
+
+// TestEffectiveWorkersNormalization pins the one worker-count rule every
+// pool entry point shares (batch workers, intra-document node workers, and
+// the server's default handler concurrency): non-positive values select
+// GOMAXPROCS, and positive values — including 1 and values beyond the
+// machine's core count — pass through untouched.
+func TestEffectiveWorkersNormalization(t *testing.T) {
+	ncpu := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name string
+		in   int
+		want int
+	}{
+		{"negative", -1, ncpu},
+		{"very-negative", -1 << 20, ncpu},
+		{"zero", 0, ncpu},
+		{"one", 1, 1},
+		{"exactly-numcpu", ncpu, ncpu},
+		{"beyond-numcpu", ncpu + 7, ncpu + 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EffectiveWorkers(tc.in); got != tc.want {
+				t.Errorf("EffectiveWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+			}
+		})
 	}
 }
 

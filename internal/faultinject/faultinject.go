@@ -81,6 +81,10 @@ const (
 	// PointClock fires at each budget-tracker clock read; a hit skews the
 	// observed time forward, aging deadlines prematurely.
 	PointClock
+	// PointServer fires once per HTTP request on the serving path, before
+	// the pipeline runs; a hit fails the request (an internal server
+	// fault) or delays it (a slow dependency ahead of the pipeline).
+	PointServer
 
 	numPoints
 )
@@ -98,6 +102,8 @@ func (p Point) String() string {
 		return "cache-sim"
 	case PointClock:
 		return "clock"
+	case PointServer:
+		return "server"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
@@ -130,6 +136,13 @@ type Config struct {
 	// amount up to ClockSkewMax.
 	ClockSkewRate float64
 	ClockSkewMax  time.Duration
+	// ServerErrRate fails an HTTP request at PointServer before the
+	// pipeline runs (an injected internal server fault, surfaced as a
+	// 500); ServerDelayRate/ServerDelay model a slow dependency ahead of
+	// the pipeline, burning request budget without doing work.
+	ServerErrRate   float64
+	ServerDelayRate float64
+	ServerDelay     time.Duration
 }
 
 // Injector fires the faults of one Config. Each point draws from its own
@@ -247,6 +260,29 @@ func PoisonSim() (float64, bool) {
 		return inj.cfg.PoisonValue, true
 	}
 	return 0, false
+}
+
+// ErrInjectedServerFault is what ServerFault returns on a hit, so the
+// serving layer (and its tests) can tell injected request failures from
+// genuine handler bugs.
+var ErrInjectedServerFault = fmt.Errorf("faultinject: injected server fault")
+
+// ServerFault fires PointServer once per request on the serving path. It
+// may sleep (slow upstream dependency) and may return
+// ErrInjectedServerFault, which the server surfaces as a 500.
+func ServerFault() error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	u, _ := inj.draw(PointServer)
+	if u < inj.cfg.ServerErrRate {
+		return ErrInjectedServerFault
+	}
+	if u < inj.cfg.ServerErrRate+inj.cfg.ServerDelayRate && inj.cfg.ServerDelay > 0 {
+		time.Sleep(inj.cfg.ServerDelay)
+	}
+	return nil
 }
 
 // Now is the pipeline's budget clock: time.Now plus any scheduled skew.

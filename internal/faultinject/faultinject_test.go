@@ -17,6 +17,9 @@ func TestDisabledFastPath(t *testing.T) {
 	if DropLookup() {
 		t.Error("DropLookup must be false when disabled")
 	}
+	if err := ServerFault(); err != nil {
+		t.Errorf("ServerFault must be nil when disabled: %v", err)
+	}
 	if _, ok := PoisonSim(); ok {
 		t.Error("PoisonSim must not fire when disabled")
 	}
@@ -120,6 +123,38 @@ func TestPoisonAndClock(t *testing.T) {
 		if now.Sub(before) > time.Second+50*time.Millisecond {
 			t.Fatalf("skew %v exceeds ClockSkewMax", now.Sub(before))
 		}
+	}
+}
+
+// TestServerFaultSchedule: the server point draws its own deterministic
+// sequence, fires ErrInjectedServerFault at roughly the configured rate,
+// and replays identically from the same seed.
+func TestServerFaultSchedule(t *testing.T) {
+	sample := func(seed int64) []bool {
+		restore := Install(New(Config{Seed: seed, ServerErrRate: 0.25}))
+		defer restore()
+		out := make([]bool, 200)
+		for i := range out {
+			err := ServerFault()
+			if err != nil && err != ErrInjectedServerFault {
+				t.Fatalf("unexpected fault value: %v", err)
+			}
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := sample(11), sample(11)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 11 diverged at draw %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < 20 || hits > 80 {
+		t.Errorf("rate 0.25 over 200 draws fired %d times, want ~50", hits)
 	}
 }
 

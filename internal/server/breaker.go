@@ -1,0 +1,242 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerOptions configures the per-route circuit breaker: a rolling
+// failure-ratio window with half-open probing. Zero fields select the
+// documented defaults; Disabled turns the breaker off entirely.
+//
+// The breaker protects callers from a route whose handler keeps failing
+// hard (5xx outcomes — pipeline panics, expired budgets, internal faults):
+// once the rolling failure ratio crosses FailureRatio, the route fails
+// fast with 503 for Cooldown, then lets HalfOpenProbes trial requests
+// through; one probe success closes the circuit, one probe failure re-opens
+// it. Client errors (4xx) and shed load (429) never count against the
+// route — they are the caller's fault or the gate working as designed.
+type BreakerOptions struct {
+	// Disabled turns the breaker off (every request is allowed).
+	Disabled bool
+	// Window is the rolling observation window (default 10s), quantized
+	// into Buckets buckets (default 10).
+	Window  time.Duration
+	Buckets int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the ratio is meaningful (default 20).
+	MinSamples int
+	// FailureRatio opens the circuit when failures/total reaches it
+	// (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long an open circuit rejects before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent trial requests the half-open
+	// state admits (default 1).
+	HalfOpenProbes int
+}
+
+// withDefaults fills zero fields.
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 10
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 20
+	}
+	if o.FailureRatio <= 0 {
+		o.FailureRatio = 0.5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	return o
+}
+
+// breakerState is the classic three-state machine.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// bucket holds one window slice's outcome counts.
+type bucket struct{ ok, fail uint64 }
+
+// breaker is one route's circuit breaker. All time flows through the
+// injected clock, so tests (and the faultinject clock-skew schedule) can
+// advance it deterministically without sleeping.
+type breaker struct {
+	opts  BreakerOptions
+	clock func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+	buckets  []bucket
+	cur      int       // index of the current bucket
+	curStart time.Time // start of the current bucket's slice
+}
+
+func newBreaker(opts BreakerOptions, clock func() time.Time) *breaker {
+	opts = opts.withDefaults()
+	b := &breaker{opts: opts, clock: clock, buckets: make([]bucket, opts.Buckets)}
+	b.curStart = clock()
+	return b
+}
+
+// bucketSpan is one bucket's time slice.
+func (b *breaker) bucketSpan() time.Duration {
+	return b.opts.Window / time.Duration(b.opts.Buckets)
+}
+
+// advance rotates the ring forward to now, zeroing buckets that fell out
+// of the window. Caller holds mu.
+func (b *breaker) advance(now time.Time) {
+	span := b.bucketSpan()
+	steps := 0
+	for now.Sub(b.curStart) >= span && steps < len(b.buckets) {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = bucket{}
+		b.curStart = b.curStart.Add(span)
+		steps++
+	}
+	if steps == len(b.buckets) {
+		// The whole window elapsed; re-anchor instead of looping further.
+		b.curStart = now
+	}
+}
+
+// totals sums the window. Caller holds mu.
+func (b *breaker) totals() (ok, fail uint64) {
+	for _, bk := range b.buckets {
+		ok += bk.ok
+		fail += bk.fail
+	}
+	return ok, fail
+}
+
+// allow asks the breaker whether a request may proceed. When admitted it
+// returns done, which the caller must invoke with the request's outcome
+// (failure = a 5xx-class result). When rejected it returns retryAfter, the
+// time until the circuit will next admit a probe.
+func (b *breaker) allow() (done func(failure bool), retryAfter time.Duration, admitted bool) {
+	if b.opts.Disabled {
+		return func(bool) {}, 0, true
+	}
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+
+	switch b.state {
+	case breakerOpen:
+		if since := now.Sub(b.openedAt); since < b.opts.Cooldown {
+			return nil, b.opts.Cooldown - since, false
+		}
+		b.state = breakerHalfOpen
+		b.probes = 0
+		fallthrough
+	case breakerHalfOpen:
+		if b.probes >= b.opts.HalfOpenProbes {
+			return nil, b.opts.Cooldown, false
+		}
+		b.probes++
+		return b.probeDone, 0, true
+	default: // closed
+		return b.closedDone, 0, true
+	}
+}
+
+// closedDone records a closed-state outcome and trips the circuit when the
+// window's failure ratio crosses the threshold.
+func (b *breaker) closedDone(failure bool) {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	if b.state != breakerClosed {
+		return // a concurrent outcome already tripped the circuit
+	}
+	if failure {
+		b.buckets[b.cur].fail++
+	} else {
+		b.buckets[b.cur].ok++
+	}
+	ok, fail := b.totals()
+	total := ok + fail
+	if total >= uint64(b.opts.MinSamples) &&
+		float64(fail)/float64(total) >= b.opts.FailureRatio {
+		b.trip(now)
+	}
+}
+
+// probeDone settles a half-open probe: success closes the circuit,
+// failure re-opens it for another cooldown.
+func (b *breaker) probeDone(failure bool) {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerHalfOpen {
+		return
+	}
+	if failure {
+		b.trip(now)
+		return
+	}
+	b.state = breakerClosed
+	b.probes = 0
+	for i := range b.buckets {
+		b.buckets[i] = bucket{}
+	}
+	b.curStart = now
+	b.cur = 0
+}
+
+// trip opens the circuit. Caller holds mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.probes = 0
+}
+
+// BreakerReport is one breaker's statusz snapshot.
+type BreakerReport struct {
+	State    string `json:"state"`
+	OK       uint64 `json:"window_ok"`
+	Failures uint64 `json:"window_failures"`
+}
+
+// report snapshots the breaker for statusz.
+func (b *breaker) report() BreakerReport {
+	if b.opts.Disabled {
+		return BreakerReport{State: "disabled"}
+	}
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	ok, fail := b.totals()
+	return BreakerReport{State: b.state.String(), OK: ok, Failures: fail}
+}

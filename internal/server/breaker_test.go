@@ -1,0 +1,200 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/faultinject"
+)
+
+// fakeClock is a hand-cranked time source: every state transition in the
+// breaker tests is driven by explicit Advance calls, never wall time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2015, 3, 23, 9, 0, 0, 0, time.UTC)} // EDBT'15 week
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var breakerTestOpts = BreakerOptions{
+	Window:         10 * time.Second,
+	Buckets:        10,
+	MinSamples:     4,
+	FailureRatio:   0.5,
+	Cooldown:       5 * time.Second,
+	HalfOpenProbes: 1,
+}
+
+// TestBreakerStateMachine drives the full closed → open → half-open →
+// closed cycle deterministically on a fake clock, including the re-open
+// on a failed probe.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(breakerTestOpts, clock.Now)
+
+	record := func(failure bool) {
+		t.Helper()
+		done, _, admitted := b.allow()
+		if !admitted {
+			t.Fatal("closed breaker rejected a request")
+		}
+		done(failure)
+	}
+
+	// Below MinSamples the circuit holds even at 100% failures.
+	record(true)
+	record(true)
+	record(true)
+	if b.report().State != "closed" {
+		t.Fatal("tripped below MinSamples")
+	}
+	// The fourth sample reaches MinSamples with ratio 1.0 → open.
+	record(true)
+	if got := b.report().State; got != "open" {
+		t.Fatalf("state = %s, want open after ratio trip", got)
+	}
+
+	// Open rejects with the remaining cooldown.
+	if _, retryAfter, admitted := b.allow(); admitted || retryAfter <= 0 || retryAfter > breakerTestOpts.Cooldown {
+		t.Fatalf("open breaker: admitted=%v retryAfter=%v", admitted, retryAfter)
+	}
+
+	// Cooldown elapses → exactly one half-open probe is admitted.
+	clock.Advance(breakerTestOpts.Cooldown)
+	done, _, admitted := b.allow()
+	if !admitted {
+		t.Fatal("no probe after cooldown")
+	}
+	if _, _, second := b.allow(); second {
+		t.Fatal("second concurrent probe admitted, HalfOpenProbes is 1")
+	}
+	// Probe fails → re-open for another full cooldown.
+	done(true)
+	if got := b.report().State; got != "open" {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if _, _, admitted := b.allow(); admitted {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+
+	// Second cooldown → probe succeeds → closed with a clean window.
+	clock.Advance(breakerTestOpts.Cooldown)
+	done, _, admitted = b.allow()
+	if !admitted {
+		t.Fatal("no probe after second cooldown")
+	}
+	done(false)
+	rep := b.report()
+	if rep.State != "closed" || rep.Failures != 0 {
+		t.Fatalf("after successful probe: %+v, want closed with reset window", rep)
+	}
+
+	// And the closed circuit serves again.
+	record(false)
+	if b.report().State != "closed" {
+		t.Fatal("closed breaker flapped")
+	}
+}
+
+// TestBreakerWindowExpiry: failures age out of the rolling window, so a
+// burst followed by quiet does not trip the circuit later.
+func TestBreakerWindowExpiry(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(breakerTestOpts, clock.Now)
+
+	for i := 0; i < 3; i++ { // one below the trip point
+		done, _, _ := b.allow()
+		done(true)
+	}
+	clock.Advance(breakerTestOpts.Window + time.Second) // the burst ages out
+	done, _, _ := b.allow()
+	done(true) // would trip if the old failures still counted
+	if got := b.report(); got.State != "open" && got.Failures != 1 {
+		// Exactly one failure remains in the fresh window and the
+		// circuit stays closed.
+		if got.State != "closed" || got.Failures != 1 {
+			t.Fatalf("after window expiry: %+v, want closed with 1 failure", got)
+		}
+	}
+}
+
+// TestBreakerOverHTTP is the end-to-end determinism test: a seeded
+// faultinject schedule (ServerErrRate 1) fails every request with a 500
+// until the breaker opens and the route starts failing fast with
+// 503/circuit-open — no pipeline work done. Clearing the fault and
+// advancing the seeded clock half-opens the circuit; the probe succeeds
+// and the route closes again.
+func TestBreakerOverHTTP(t *testing.T) {
+	clock := newFakeClock()
+	s := newTestServer(t, xsdf.Options{}, Config{
+		Breaker: breakerTestOpts,
+		Clock:   clock.Now,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	restore := faultinject.Install(faultinject.New(faultinject.Config{Seed: 17, ServerErrRate: 1}))
+
+	post := func() *http.Response {
+		t.Helper()
+		resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+		resp.Body.Close()
+		return resp
+	}
+
+	// MinSamples injected 500s trip the route.
+	for i := 0; i < breakerTestOpts.MinSamples; i++ {
+		if resp := post(); resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want injected 500", i, resp.StatusCode)
+		}
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after trip: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("circuit-open 503 without Retry-After")
+	}
+
+	// Clear the fault; before the cooldown the route still fails fast.
+	restore()
+	if resp := post(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during cooldown: status %d, want 503", resp.StatusCode)
+	}
+
+	// Cooldown elapses on the injected clock → the probe runs the real
+	// pipeline, succeeds, and closes the circuit for everyone.
+	clock.Advance(breakerTestOpts.Cooldown)
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe: status %d, want 200", resp.StatusCode)
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after close: status %d, want 200", resp.StatusCode)
+	}
+	if got := s.breakers["disambiguate"].report().State; got != "closed" {
+		t.Fatalf("breaker state = %s, want closed", got)
+	}
+
+	// The batch route kept its own independent breaker the whole time.
+	if got := s.breakers["batch"].report().State; got != "closed" {
+		t.Fatalf("batch breaker state = %s, want closed (per-route isolation)", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package client is the companion retry client of the xsdfd serving
+// layer: capped exponential backoff with seeded jitter, Retry-After
+// honoring, and a retry policy derived from the server's status mapping —
+// it retries only outcomes that are safe and useful to retry (shed load,
+// open circuits, transport failures) and never re-runs work the server
+// already answered, including degraded 200s: a degraded result is a
+// deliberate quality trade the server made to stay up, not a transient
+// fault, and retrying it would double the load precisely when the server
+// is protecting itself.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/xsdferrors"
+)
+
+// Options configures a Client. BaseURL is required; zero values select
+// the documented defaults.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds the re-attempts after the first try (default 3).
+	MaxRetries int
+	// BaseBackoff seeds the exponential schedule (default 50ms); delay n
+	// is BaseBackoff·2ⁿ jittered in [½, 1]·full, capped at MaxBackoff
+	// (default 2s). A server Retry-After overrides the schedule when it
+	// asks for longer, and is itself capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed makes the jitter sequence reproducible; 0 selects 1.
+	JitterSeed int64
+}
+
+// Client calls the xsdfd API with retries.
+type Client struct {
+	opts Options
+	hc   *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client.
+func New(opts Options) (*Client, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("client: empty BaseURL")
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	if opts.JitterSeed == 0 {
+		opts.JitterSeed = 1
+	}
+	return &Client{
+		opts: opts,
+		hc:   opts.HTTPClient,
+		rng:  rand.New(rand.NewSource(opts.JitterSeed)),
+	}, nil
+}
+
+// APIError is a non-2xx server answer. It carries the wire kind and maps
+// back onto the xsdferrors taxonomy under errors.Is, so callers dispatch
+// on the same sentinels locally and over the network.
+type APIError struct {
+	Status int
+	Kind   string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("xsdfd: %d (%s): %s", e.Status, e.Kind, e.Msg)
+}
+
+// Is maps the wire kind back to the taxonomy sentinel.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case xsdferrors.ErrOverloaded:
+		return e.Kind == "overloaded"
+	case xsdferrors.ErrCanceled:
+		return e.Kind == "canceled"
+	case xsdferrors.ErrLimitExceeded:
+		return e.Kind == "limit"
+	case xsdferrors.ErrMalformedInput:
+		return e.Kind == "malformed-input"
+	case xsdferrors.ErrUnknownOption:
+		return e.Kind == "unknown-option"
+	}
+	return false
+}
+
+// Retryable reports whether the client's policy may re-attempt after this
+// answer: shed load (429), an open circuit or unready server (503), and
+// bad gateways (502) are transient by design; everything else — client
+// errors, budget expiry (the budget is spent), and isolated pipeline
+// faults (500, possibly non-idempotent work) — is final.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// Disambiguate runs one document through the server, retrying per the
+// policy. A 200 answer — including a degraded one — is returned as-is:
+// degraded results are never retried.
+func (c *Client) Disambiguate(ctx context.Context, document string, budget time.Duration) (*server.Result, error) {
+	req := server.DisambiguateRequest{Document: document, BudgetMS: budget.Milliseconds()}
+	var out server.Result
+	if err := c.do(ctx, "/v1/disambiguate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch runs a document batch through the server with the same retry
+// policy applied to the envelope (per-document outcomes inside a 200
+// envelope are final — the server already isolated the failures).
+func (c *Client) Batch(ctx context.Context, documents []string, budget time.Duration) (*server.BatchResponse, error) {
+	req := server.BatchRequest{Documents: documents, BudgetMS: budget.Milliseconds()}
+	var out server.BatchResponse
+	if err := c.do(ctx, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes /readyz once (no retries — readiness polling is the
+// caller's loop).
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Kind: "not-ready", Msg: "server not ready"}
+	}
+	return nil
+}
+
+// do POSTs body to path with the retry loop.
+func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, path, payload, out)
+		if err == nil && apiErr == nil {
+			return nil
+		}
+		var delay time.Duration
+		switch {
+		case apiErr != nil && !apiErr.Retryable():
+			return &apiErr.APIError
+		case apiErr != nil:
+			lastErr = &apiErr.APIError
+			delay = c.backoff(attempt, apiErr.retryAfter)
+		default:
+			// Transport failure: the request may not have reached the
+			// server; disambiguation is read-only server-side, so a
+			// re-send is safe.
+			lastErr = err
+			delay = c.backoff(attempt, 0)
+		}
+		if attempt >= c.opts.MaxRetries {
+			return fmt.Errorf("client: %d attempts exhausted: %w", attempt+1, lastErr)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("client: %w (last attempt: %v)", xsdferrors.Canceled(ctx.Err()), lastErr)
+		}
+	}
+}
+
+// once performs a single attempt. A non-2xx answer comes back as a
+// *apiAttemptError (nil error); transport failures as err.
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) (*apiAttemptError, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil, json.NewDecoder(resp.Body).Decode(out)
+	}
+	var eb server.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		eb = server.ErrorBody{Error: resp.Status, Kind: "internal"}
+	}
+	return &apiAttemptError{
+		APIError:   APIError{Status: resp.StatusCode, Kind: eb.Kind, Msg: eb.Error},
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}, nil
+}
+
+// apiAttemptError pairs the public APIError with the attempt's
+// Retry-After hint.
+type apiAttemptError struct {
+	APIError
+	retryAfter time.Duration
+}
+
+// backoff computes the delay before re-attempt attempt+1: the jittered
+// exponential schedule, floored by the server's Retry-After ask, capped
+// at MaxBackoff.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	full := c.opts.BaseBackoff << uint(attempt)
+	if full > c.opts.MaxBackoff || full <= 0 {
+		full = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	jittered := full/2 + time.Duration(c.rng.Int63n(int64(full/2)+1))
+	c.mu.Unlock()
+	if retryAfter > jittered {
+		jittered = retryAfter
+	}
+	if jittered > c.opts.MaxBackoff {
+		jittered = c.opts.MaxBackoff
+	}
+	return jittered
+}
+
+// parseRetryAfter reads the integral-seconds Retry-After form the server
+// emits; anything else yields zero (fall back to the backoff schedule).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

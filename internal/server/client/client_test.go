@@ -1,0 +1,267 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/xsdferrors"
+)
+
+// scriptedHandler answers each request from a fixed status script and
+// counts attempts; after the script runs out it serves the final entry.
+type scriptedHandler struct {
+	attempts   atomic.Int64
+	script     []int
+	retryAfter string
+	result     server.Result
+}
+
+func (h *scriptedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(h.attempts.Add(1)) - 1
+	status := h.script[len(h.script)-1]
+	if n < len(h.script) {
+		status = h.script[n]
+	}
+	if status == http.StatusOK {
+		w.Header().Set(server.QualityHeader, h.result.Quality)
+		json.NewEncoder(w).Encode(h.result)
+		return
+	}
+	if h.retryAfter != "" {
+		w.Header().Set("Retry-After", h.retryAfter)
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(server.ErrorBody{Error: "scripted", Kind: kindFor(status)})
+}
+
+func kindFor(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusGatewayTimeout:
+		return "canceled"
+	case http.StatusBadRequest:
+		return "malformed-input"
+	case http.StatusRequestEntityTooLarge:
+		return "limit"
+	}
+	return "internal"
+}
+
+func newScripted(t *testing.T, script ...int) (*scriptedHandler, *Client) {
+	t.Helper()
+	h := &scriptedHandler{
+		script: script,
+		result: server.Result{Targets: 2, Assigned: 2, Quality: "full"},
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(Options{
+		BaseURL:     ts.URL,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, c
+}
+
+func TestRetrySucceedsAfterShedding(t *testing.T) {
+	h, c := newScripted(t, http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusOK)
+	res, err := c.Disambiguate(context.Background(), "<a>x</a>", 0)
+	if err != nil {
+		t.Fatalf("Disambiguate: %v", err)
+	}
+	if res.Quality != "full" || res.Assigned != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two retryable failures + success)", got)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	h, c := newScripted(t, http.StatusTooManyRequests, http.StatusOK)
+	h.retryAfter = "1" // 1s, well above the millisecond backoff schedule
+	c.opts.MaxBackoff = 10 * time.Second
+
+	start := time.Now()
+	if _, err := c.Disambiguate(context.Background(), "<a>x</a>", 0); err != nil {
+		t.Fatalf("Disambiguate: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, Retry-After asked for >= 1s", elapsed)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	h, c := newScripted(t, http.StatusServiceUnavailable)
+	c.opts.MaxRetries = 2
+
+	_, err := c.Disambiguate(context.Background(), "<a>x</a>", 0)
+	if err == nil {
+		t.Fatal("want error after exhaustion")
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + MaxRetries)", got)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 APIError", err)
+	}
+}
+
+func TestNoRetryOnFinalStatuses(t *testing.T) {
+	for _, tc := range []struct {
+		status   int
+		sentinel error
+	}{
+		{http.StatusBadRequest, xsdferrors.ErrMalformedInput},
+		{http.StatusGatewayTimeout, xsdferrors.ErrCanceled},
+		{http.StatusRequestEntityTooLarge, xsdferrors.ErrLimitExceeded},
+		{http.StatusInternalServerError, nil},
+	} {
+		h, c := newScripted(t, tc.status, http.StatusOK)
+		_, err := c.Disambiguate(context.Background(), "<a>x</a>", 0)
+		if err == nil {
+			t.Fatalf("status %d: want error, got success via retry", tc.status)
+		}
+		if got := h.attempts.Load(); got != 1 {
+			t.Fatalf("status %d: attempts = %d, want 1 (final, no retry)", tc.status, got)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != tc.status {
+			t.Fatalf("status %d: err = %v", tc.status, err)
+		}
+		if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+			t.Fatalf("status %d: errors.Is(%v) = false", tc.status, tc.sentinel)
+		}
+	}
+}
+
+func TestDegraded200IsFinal(t *testing.T) {
+	h, c := newScripted(t, http.StatusOK)
+	h.result = server.Result{
+		Targets:  3,
+		Assigned: 3,
+		Quality:  "first-sense",
+		Degradation: &server.DegradationReport{
+			Level:        "first-sense",
+			NodesAtLevel: map[string]int{"first-sense": 3},
+		},
+	}
+	res, err := c.Disambiguate(context.Background(), "<a>x</a>", 0)
+	if err != nil {
+		t.Fatalf("Disambiguate: %v", err)
+	}
+	if res.Quality != "first-sense" || res.Degradation == nil {
+		t.Fatalf("result = %+v, want degraded payload surfaced", res)
+	}
+	if got := h.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want exactly 1 — degraded 200s are never retried", got)
+	}
+}
+
+func TestRetryTransportFailure(t *testing.T) {
+	// A server that dies after the handshake: first attempt hits a closed
+	// listener (transport error), so the client must re-send.
+	h := &scriptedHandler{script: []int{http.StatusOK}, result: server.Result{Targets: 1, Assigned: 1, Quality: "full"}}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // guaranteed connection-refused URL
+
+	c, err := New(Options{BaseURL: dead.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Disambiguate(context.Background(), "<a>x</a>", 0); err == nil {
+		t.Fatal("want transport error from dead server")
+	}
+
+	// Against the live server the same client options succeed first try.
+	c2, err := New(Options{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Disambiguate(context.Background(), "<a>x</a>", 0); err != nil {
+		t.Fatalf("live server: %v", err)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	h, c := newScripted(t, http.StatusServiceUnavailable)
+	h.retryAfter = "5" // force a long wait so cancellation wins the select
+	c.opts.MaxBackoff = 10 * time.Second
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Disambiguate(ctx, "<a>x</a>", 0)
+	if !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := h.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (canceled during backoff)", got)
+	}
+}
+
+func TestBatchEnvelope(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.BatchResponse{Results: []server.BatchItem{
+			{Status: 200, Result: &server.Result{Targets: 1, Assigned: 1, Quality: "full"}},
+			{Status: 400, Error: "bad xml", Kind: "malformed-input"},
+		}})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	c, err := New(Options{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Batch(context.Background(), []string{"<a>x</a>", "<a>"}, 0)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(resp.Results) != 2 || resp.Results[0].Status != 200 || resp.Results[1].Kind != "malformed-input" {
+		t.Fatalf("envelope = %+v", resp)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	a, err := New(Options{BaseURL: "http://x", BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{BaseURL: "http://x", BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := a.backoff(attempt, 0), b.backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+		if da > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds MaxBackoff", attempt, da)
+		}
+		if da <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, da)
+		}
+	}
+	// Retry-After floors the schedule but still respects the cap.
+	if got := a.backoff(0, 60*time.Millisecond); got < 60*time.Millisecond || got > 80*time.Millisecond {
+		t.Fatalf("Retry-After floor: %v", got)
+	}
+	if got := a.backoff(0, time.Minute); got != 80*time.Millisecond {
+		t.Fatalf("Retry-After above cap: %v, want MaxBackoff", got)
+	}
+}

@@ -1,0 +1,562 @@
+// Package server is the resilient network serving layer of the XSDF
+// framework: an HTTP JSON API over xsdf.Framework with per-request
+// deadlines, request-size limits, panic recovery, typed status mapping,
+// per-route circuit breaking, bounded handler concurrency, and graceful
+// connection draining. It is the layer that turns the fault-tolerant
+// pipeline (typed errors, admission gate, degradation ladder) into a
+// daemon that stays up under real traffic (cmd/xsdfd).
+//
+// Endpoints:
+//
+//	POST /v1/disambiguate  one document  → Result | ErrorBody
+//	POST /v1/batch         many documents → BatchResponse (per-doc status)
+//	GET  /healthz          liveness: 200 while the process runs
+//	GET  /readyz           readiness: 503 once draining begins
+//	GET  /statusz          JSON operational snapshot
+//
+// Status mapping follows xsdferrors.HTTPStatus: overload → 429 (with a
+// Retry-After hint sized from the admission gate's observed wait times),
+// malformed input → 400, resource-guard violations → 413, expired budgets
+// → 504, isolated panics → 500, and degraded-but-usable results → 200 with
+// the achieved quality rung in the X-Xsdf-Quality header plus a JSON
+// degradation report.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/core"
+	"repro/internal/disambig"
+	"repro/internal/faultinject"
+	"repro/xsdferrors"
+)
+
+// Config configures a Server. Framework is required; every other zero
+// field selects the documented default.
+type Config struct {
+	// Framework is the disambiguation pipeline to serve. Its own
+	// robustness options keep working underneath the server: the
+	// admission gate sheds load as 429s, the degradation ladder turns
+	// deadline pressure into 200-with-quality-header responses, and the
+	// parse guards reject hostile inputs as 413s.
+	Framework *xsdf.Framework
+
+	// MaxBodyBytes bounds a request body (default 1 MiB). The limit is
+	// the HTTP-layer counterpart of the xmltree parse guards: an
+	// over-sized body is rejected as a 413 before the pipeline sees it,
+	// and documents that fit still face MaxDepth/MaxNodes/MaxTokenBytes
+	// at parse time.
+	MaxBodyBytes int64
+
+	// MaxTimeout caps any client-supplied budget (default 30s);
+	// DefaultTimeout applies when the client sends none (default
+	// MaxTimeout). The effective budget becomes the request context's
+	// deadline, propagated into DisambiguateContext.
+	MaxTimeout     time.Duration
+	DefaultTimeout time.Duration
+
+	// Concurrency bounds how many requests run the pipeline at once;
+	// excess requests wait for a slot until their budget expires and are
+	// then shed with 429. Non-positive selects
+	// core.EffectiveWorkers(0) — the same "use all cores" rule as every
+	// worker pool in the stack.
+	Concurrency int
+
+	// Breaker configures the per-route circuit breakers.
+	Breaker BreakerOptions
+
+	// Clock is the time source for the circuit breakers (default
+	// faultinject.Now, so seeded clock-skew schedules can age cooldowns
+	// deterministically in tests).
+	Clock func() time.Time
+
+	// Logf receives operational log lines (default: drop them).
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving layer. Construct with New, mount with
+// Handler or run with Serve/ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	fw      *xsdf.Framework
+	handler http.Handler
+	httpSrv *http.Server
+
+	sem      chan struct{} // handler-concurrency slots
+	draining atomic.Bool
+	inFlight atomic.Int64
+	served   atomic.Uint64
+	start    time.Time
+
+	statusMu     sync.Mutex
+	statusCounts map[int]uint64
+
+	breakers map[string]*breaker
+}
+
+// New builds a Server over cfg.Framework.
+func New(cfg Config) (*Server, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("server: nil Framework")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.DefaultTimeout <= 0 || cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	cfg.Concurrency = core.EffectiveWorkers(cfg.Concurrency)
+	if cfg.Clock == nil {
+		cfg.Clock = faultinject.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	s := &Server{
+		cfg:          cfg,
+		fw:           cfg.Framework,
+		sem:          make(chan struct{}, cfg.Concurrency),
+		start:        time.Now(),
+		statusCounts: make(map[int]uint64),
+		breakers: map[string]*breaker{
+			"disambiguate": newBreaker(cfg.Breaker, cfg.Clock),
+			"batch":        newBreaker(cfg.Breaker, cfg.Clock),
+		},
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.Handle("POST /v1/disambiguate", s.guarded("disambiguate", s.serveDisambiguate))
+	mux.Handle("POST /v1/batch", s.guarded("batch", s.serveBatch))
+	s.handler = s.withAccounting(s.withRecovery(mux))
+
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Handler returns the fully middleware-wrapped handler, for mounting in
+// tests (httptest) or a caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown. Like http.Server.Serve
+// it returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Drain marks the server not-ready: /readyz answers 503 so load balancers
+// stop routing here, while open connections and in-flight requests keep
+// being served. Shutdown calls it implicitly; calling it earlier gives
+// orchestrators a pre-stop window.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Shutdown gracefully stops the server: it drains (readyz flips to 503),
+// closes the listeners so new connections are refused, and waits for
+// in-flight requests to finish — each one receives its complete response.
+// It returns nil on a clean drain, or ctx's error when in-flight work
+// outlives the caller's drain deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// InFlight reports how many requests are currently being served.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// withAccounting tracks in-flight and served counts and the response
+// status distribution.
+func (s *Server) withAccounting(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		s.served.Add(1)
+		s.countStatus(rec.Status())
+	})
+}
+
+// withRecovery converts a handler panic into a 500 carrying a
+// *xsdferrors.PanicError-shaped body, without killing the process. The
+// pipeline's own entry points already box their panics; this is the
+// defense line for handler bugs and injected faults above the pipeline.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &xsdferrors.PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
+				s.cfg.Logf("server: panic serving %s: %v", r.URL.Path, v)
+				// Best effort: if the handler already wrote, the connection
+				// carries a truncated response and this header set is a no-op.
+				s.writeErrorBody(w, xsdferrors.HTTPStatus(pe), pe.Error(), xsdferrors.Kind(pe))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// guarded wraps a route handler with its circuit breaker: an open circuit
+// fails fast with 503 + Retry-After, and 5xx outcomes feed the breaker's
+// rolling window.
+func (s *Server) guarded(route string, fn http.HandlerFunc) http.Handler {
+	br := s.breakers[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		done, retryAfter, admitted := br.allow()
+		if !admitted {
+			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+			s.writeErrorBody(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("server: %s circuit open, retry in %v", route, retryAfter.Round(time.Millisecond)),
+				"circuit-open")
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		fn(rec, r)
+		done(rec.Status() >= 500)
+	})
+}
+
+// handleHealthz: liveness — the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: readiness — 503 once draining has begun, so orchestrators
+// stop routing new work here while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// GateReport is the statusz view of the admission gate.
+type GateReport struct {
+	Docs      int    `json:"docs_in_flight"`
+	Nodes     int    `json:"nodes_in_flight"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Waited    uint64 `json:"waited"`
+	AvgWaitMS int64  `json:"avg_wait_ms"`
+}
+
+// StatusReport is the /statusz body.
+type StatusReport struct {
+	UptimeSeconds int64                    `json:"uptime_seconds"`
+	Draining      bool                     `json:"draining"`
+	InFlight      int64                    `json:"in_flight"`
+	Served        uint64                   `json:"served"`
+	Concurrency   int                      `json:"concurrency"`
+	StatusCounts  map[string]uint64        `json:"status_counts"`
+	Gate          *GateReport              `json:"gate,omitempty"`
+	Cache         disambig.CacheStats      `json:"cache"`
+	Breakers      map[string]BreakerReport `json:"breakers"`
+}
+
+// handleStatusz: one JSON snapshot of everything an operator asks first.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	rep := StatusReport{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Draining:      s.draining.Load(),
+		InFlight:      s.inFlight.Load(),
+		Served:        s.served.Load(),
+		Concurrency:   s.cfg.Concurrency,
+		StatusCounts:  map[string]uint64{},
+		Cache:         s.fw.CacheStats(),
+		Breakers:      map[string]BreakerReport{},
+	}
+	s.statusMu.Lock()
+	for code, n := range s.statusCounts {
+		rep.StatusCounts[strconv.Itoa(code)] = n
+	}
+	s.statusMu.Unlock()
+	if gs, ok := s.fw.GateStats(); ok {
+		rep.Gate = &GateReport{
+			Docs: gs.Docs, Nodes: gs.Nodes,
+			Admitted: gs.Admitted, Rejected: gs.Rejected, Waited: gs.Waited,
+			AvgWaitMS: gs.AvgWait.Milliseconds(),
+		}
+	}
+	for route, br := range s.breakers {
+		rep.Breakers[route] = br.report()
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// serveDisambiguate: POST /v1/disambiguate.
+func (s *Server) serveDisambiguate(w http.ResponseWriter, r *http.Request) {
+	var req DisambiguateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Document) == "" {
+		s.writeErrorBody(w, http.StatusBadRequest,
+			"server: empty document", xsdferrors.Kind(xsdferrors.ErrMalformedInput))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.BudgetMS)
+	defer cancel()
+
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	if err := faultinject.ServerFault(); err != nil {
+		s.writeErrorBody(w, http.StatusInternalServerError, err.Error(), "injected")
+		return
+	}
+
+	res, runErr := s.fw.DisambiguateContext(ctx, strings.NewReader(req.Document))
+	if res == nil {
+		s.writeError(w, runErr)
+		return
+	}
+	// Success — possibly degraded (runErr matching ErrDegraded rides
+	// alongside a usable partial result and still answers 200).
+	out := resultFromRun(res, runErr)
+	w.Header().Set(QualityHeader, out.Quality)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// serveBatch: POST /v1/batch. The response is always a 200 envelope with
+// one per-document status mirroring what each document would have
+// received alone, so one poisoned or oversized document never discards
+// its neighbors — the HTTP face of BatchError.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		s.writeErrorBody(w, http.StatusBadRequest,
+			"server: empty batch", xsdferrors.Kind(xsdferrors.ErrMalformedInput))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.BudgetMS)
+	defer cancel()
+
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	if err := faultinject.ServerFault(); err != nil {
+		s.writeErrorBody(w, http.StatusInternalServerError, err.Error(), "injected")
+		return
+	}
+
+	// Parse every document first; parse failures become per-item errors
+	// and only the well-formed remainder enters the batch pipeline.
+	items := make([]BatchItem, len(req.Documents))
+	var trees []*xsdf.Tree
+	var treeIdx []int
+	for i, doc := range req.Documents {
+		t, err := s.fw.ParseTree(strings.NewReader(doc))
+		if err != nil {
+			items[i] = errorItem(err)
+			continue
+		}
+		trees = append(trees, t)
+		treeIdx = append(treeIdx, i)
+	}
+
+	results, batchErr := s.fw.DisambiguateBatchContext(ctx, trees, xsdf.BatchOptions{})
+	var be *xsdf.BatchError
+	if batchErr != nil && !errors.As(batchErr, &be) {
+		s.writeError(w, batchErr)
+		return
+	}
+	for j, res := range results {
+		var docErr error
+		if be != nil {
+			docErr = be.Errs[j]
+		}
+		i := treeIdx[j]
+		if res == nil {
+			items[i] = errorItem(docErr)
+			continue
+		}
+		items[i] = BatchItem{Status: http.StatusOK, Result: resultFromRun(res, docErr)}
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// errorItem maps one document's pipeline error onto its wire item.
+func errorItem(err error) BatchItem {
+	if err == nil {
+		err = fmt.Errorf("server: document produced no result and no error")
+	}
+	return BatchItem{
+		Status: xsdferrors.HTTPStatus(err),
+		Error:  err.Error(),
+		Kind:   xsdferrors.Kind(err),
+	}
+}
+
+// requestContext derives the request's processing context: the client
+// budget (clamped by MaxTimeout, defaulted by DefaultTimeout) becomes a
+// deadline layered over the connection's own cancellation.
+func (s *Server) requestContext(r *http.Request, budgetMS int64) (context.Context, context.CancelFunc) {
+	budget := s.cfg.DefaultTimeout
+	if budgetMS > 0 {
+		budget = time.Duration(budgetMS) * time.Millisecond
+		if budget > s.cfg.MaxTimeout {
+			budget = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// acquireSlot takes a handler-concurrency slot, waiting until the request
+// context dies; saturation past the budget is shed as overload.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: handler concurrency %d saturated (%v)",
+			xsdferrors.ErrOverloaded, s.cfg.Concurrency, ctx.Err())
+	}
+}
+
+// decodeBody JSON-decodes the size-limited request body into v, writing
+// the typed error response itself when decoding fails.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, &xsdferrors.LimitError{
+				Limit: "body-bytes", Max: int(mbe.Limit), Actual: int(mbe.Limit) + 1,
+			})
+			return false
+		}
+		s.writeErrorBody(w, http.StatusBadRequest,
+			fmt.Sprintf("server: bad request body: %v", err),
+			xsdferrors.Kind(xsdferrors.ErrMalformedInput))
+		return false
+	}
+	return true
+}
+
+// writeError maps a pipeline error onto its HTTP response, adding the
+// Retry-After hint on overload.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := xsdferrors.HTTPStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfterHint()))
+	}
+	s.writeErrorBody(w, code, err.Error(), xsdferrors.Kind(err))
+}
+
+// retryAfterHint sizes the Retry-After answer for shed load from the
+// admission gate's observed waits: when admitted documents have been
+// waiting w on average, telling the client to come back after ~2w gives
+// capacity a realistic chance to free; without data, hint one second.
+func (s *Server) retryAfterHint() time.Duration {
+	if gs, ok := s.fw.GateStats(); ok && gs.AvgWait > 0 {
+		hint := 2 * gs.AvgWait
+		if hint > 30*time.Second {
+			hint = 30 * time.Second
+		}
+		return hint
+	}
+	return time.Second
+}
+
+// retryAfterSeconds renders d as the integral-seconds form of Retry-After,
+// rounding up so "soon" never becomes "now".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// writeErrorBody writes the standard error envelope.
+func (s *Server) writeErrorBody(w http.ResponseWriter, code int, msg, kind string) {
+	s.writeJSON(w, code, ErrorBody{Error: msg, Kind: kind})
+}
+
+// writeJSON writes v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("server: writing response: %v", err)
+	}
+}
+
+// countStatus records one response's status code.
+func (s *Server) countStatus(code int) {
+	s.statusMu.Lock()
+	s.statusCounts[code]++
+	s.statusMu.Unlock()
+}
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Status is the recorded code (200 when the handler wrote a body without
+// an explicit WriteHeader; 200 also when it wrote nothing at all, which
+// matches net/http's behavior at end of handler).
+func (r *statusRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}

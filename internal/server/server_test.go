@@ -1,0 +1,509 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/xmltree"
+)
+
+const testDoc = `<movie genre="drama"><title>rear window</title><director>hitchcock</director><star>kelly</star></movie>`
+
+func newTestServer(t *testing.T, opts xsdf.Options, cfg Config) *Server {
+	t.Helper()
+	fw, err := xsdf.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Framework = fw
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBodyInto[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// TestDisambiguateHappyPath: a well-formed document answers 200 with
+// non-empty assignments and the full-quality header.
+func TestDisambiguateHappyPath(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if q := resp.Header.Get(QualityHeader); q != "full" {
+		t.Errorf("%s = %q, want full", QualityHeader, q)
+	}
+	res := decodeBodyInto[Result](t, resp)
+	if res.Assigned == 0 || len(res.Assignments) == 0 {
+		t.Fatalf("no assignments: %+v", res)
+	}
+	for _, a := range res.Assignments {
+		if a.Sense == "" {
+			t.Errorf("assignment %q has empty sense", a.Label)
+		}
+	}
+	if res.Degradation != nil {
+		t.Errorf("unexpected degradation report: %+v", res.Degradation)
+	}
+}
+
+// TestDisambiguateClientErrors: malformed JSON, empty documents, and
+// non-well-formed XML all answer 400 with the matching kind.
+func TestDisambiguateClientErrors(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		kind string
+	}{
+		{"bad-json", `{"document": `, "malformed-input"},
+		{"empty-document", `{"document": ""}`, "malformed-input"},
+		{"malformed-xml", `{"document": "<a><b></a>"}`, "malformed-input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/disambiguate", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			eb := decodeBodyInto[ErrorBody](t, resp)
+			if eb.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q", eb.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+// TestBodySizeLimit: a body beyond MaxBodyBytes answers 413 with the
+// limit kind — the HTTP face of the resource guards.
+func TestBodySizeLimit(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{MaxBodyBytes: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := DisambiguateRequest{Document: "<a>" + strings.Repeat("x ", 4096) + "</a>"}
+	resp := postJSON(t, ts, "/v1/disambiguate", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	eb := decodeBodyInto[ErrorBody](t, resp)
+	if eb.Kind != "limit" {
+		t.Errorf("kind = %q, want limit", eb.Kind)
+	}
+}
+
+// TestDeadlinePropagation: with the ladder off, a budget too small for
+// the document answers 504; the budget reaches the pipeline as a real
+// context deadline (the slow-node hook would otherwise run for seconds).
+func TestDeadlinePropagation(t *testing.T) {
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeNode: func(*xmltree.Node) {
+		time.Sleep(5 * time.Millisecond)
+	}})
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc, BudgetMS: 15})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	eb := decodeBodyInto[ErrorBody](t, resp)
+	if eb.Kind != "canceled" {
+		t.Errorf("kind = %q, want canceled", eb.Kind)
+	}
+}
+
+// TestDegradedAnswers200WithQualityHeader: with the ladder on, a document
+// past the first-sense watermark still answers 200 — the quality header
+// and the degradation report carry the trade.
+func TestDegradedAnswers200WithQualityHeader(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{
+		Degrade: xsdf.DegradeOptions{Enabled: true, FirstSenseAfter: 1},
+	}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if q := resp.Header.Get(QualityHeader); q != "first-sense" {
+		t.Errorf("%s = %q, want first-sense", QualityHeader, q)
+	}
+	res := decodeBodyInto[Result](t, resp)
+	if res.Degradation == nil || res.Degradation.Level != "first-sense" {
+		t.Fatalf("missing or wrong degradation report: %+v", res.Degradation)
+	}
+	if n := res.Degradation.NodesAtLevel["first-sense"]; n != res.Targets {
+		t.Errorf("%d of %d targets at first-sense", n, res.Targets)
+	}
+}
+
+// TestBatchIsolation: one malformed document in a batch gets its own 400
+// item while its neighbors still answer 200 results.
+func TestBatchIsolation(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/batch", BatchRequest{Documents: []string{
+		testDoc, "<a><b></a>", testDoc,
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 envelope", resp.StatusCode)
+	}
+	br := decodeBodyInto[BatchResponse](t, resp)
+	if len(br.Results) != 3 {
+		t.Fatalf("%d items, want 3", len(br.Results))
+	}
+	for _, i := range []int{0, 2} {
+		item := br.Results[i]
+		if item.Status != http.StatusOK || item.Result == nil || item.Result.Assigned == 0 {
+			t.Errorf("item %d: %+v, want a 200 result", i, item)
+		}
+	}
+	if bad := br.Results[1]; bad.Status != http.StatusBadRequest || bad.Kind != "malformed-input" {
+		t.Errorf("malformed item: %+v, want 400/malformed-input", bad)
+	}
+}
+
+// TestServerFaultInjection: the seeded server fault point turns requests
+// into 500s with the injected kind — and those 500s are what the breaker
+// feeds on.
+func TestServerFaultInjection(t *testing.T) {
+	restore := faultinject.Install(faultinject.New(faultinject.Config{Seed: 5, ServerErrRate: 1}))
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	eb := decodeBodyInto[ErrorBody](t, resp)
+	if eb.Kind != "injected" {
+		t.Errorf("kind = %q, want injected", eb.Kind)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panic above the pipeline's own recovery
+// answers 500 with the panic kind and leaves the server serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	wrapped := s.withAccounting(s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})))
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	eb := decodeBodyInto[ErrorBody](t, resp)
+	if eb.Kind != "panic" || !strings.Contains(eb.Error, "handler bug") {
+		t.Errorf("body = %+v, want panic kind carrying the value", eb)
+	}
+}
+
+// TestPipelinePanicIsolated: a poisoned document (injected tree panic)
+// answers 500 without killing the server; the next request succeeds.
+func TestPipelinePanicIsolated(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeTree: func(*xmltree.Tree) {
+		panic("poisoned document")
+	}})
+	resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	restore()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if eb := decodeBodyInto[ErrorBody](t, resp); eb.Kind != "panic" {
+		t.Errorf("kind = %q, want panic", eb.Kind)
+	}
+
+	resp = postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHealthAndStatus: the three observability endpoints.
+func TestHealthAndStatus(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{Admission: xsdf.AdmissionOptions{MaxDocs: 4}}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// One real request so statusz has something to report.
+	postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statusz = %d", resp.StatusCode)
+	}
+	rep := decodeBodyInto[StatusReport](t, resp)
+	if rep.Served == 0 || rep.StatusCounts["200"] == 0 {
+		t.Errorf("statusz shows no traffic: %+v", rep)
+	}
+	if rep.Gate == nil || rep.Gate.Admitted == 0 {
+		t.Errorf("statusz gate report missing or empty: %+v", rep.Gate)
+	}
+	if rep.Breakers["disambiguate"].State != "closed" {
+		t.Errorf("breaker state = %+v, want closed", rep.Breakers["disambiguate"])
+	}
+	if rep.Concurrency <= 0 {
+		t.Errorf("concurrency = %d, want derived from EffectiveWorkers", rep.Concurrency)
+	}
+}
+
+// TestAdmissionFairnessUnderServer is the gate-fairness satellite: with
+// MaxDocs=1, every one of N concurrent requests must either complete (200)
+// or be shed with a typed 429 carrying Retry-After — no request lost or
+// hung. Run under -race.
+func TestAdmissionFairnessUnderServer(t *testing.T) {
+	const n = 12
+	s := newTestServer(t, xsdf.Options{
+		Admission: xsdf.AdmissionOptions{MaxDocs: 1, MaxWait: 30 * time.Millisecond},
+	}, Config{Concurrency: n}) // the gate, not the handler pool, is the bottleneck under test
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses []int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				eb := decodeBodyInto[ErrorBody](t, resp)
+				if eb.Kind != "overloaded" {
+					t.Errorf("429 kind = %q, want overloaded", eb.Kind)
+				}
+			}
+			mu.Lock()
+			statuses = append(statuses, resp.StatusCode)
+			mu.Unlock()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("requests hung: admission fairness violated")
+	}
+
+	ok, shed := 0, 0
+	for _, code := range statuses {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", code)
+		}
+	}
+	if ok+shed != n {
+		t.Fatalf("%d responses accounted, want %d", ok+shed, n)
+	}
+	if ok == 0 {
+		t.Error("no request ever completed")
+	}
+	t.Logf("fairness: %d completed, %d shed", ok, shed)
+}
+
+// TestGracefulShutdown is the acceptance drain test: with a request in
+// flight, Shutdown flips readiness, refuses new connections, lets the
+// in-flight request finish with its full response, and returns nil within
+// the drain deadline.
+func TestGracefulShutdown(t *testing.T) {
+	nodeStarted := make(chan struct{}, 1)
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeNode: func(*xmltree.Node) {
+		select {
+		case nodeStarted <- struct{}{}:
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+	}})
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	// Fire the slow in-flight request.
+	type reply struct {
+		status  int
+		result  Result
+		realErr error
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		payload, _ := json.Marshal(DisambiguateRequest{Document: testDoc})
+		resp, err := http.Post(base+"/v1/disambiguate", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			inflight <- reply{realErr: err}
+			return
+		}
+		defer resp.Body.Close()
+		var res Result
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		inflight <- reply{status: resp.StatusCode, result: res, realErr: err}
+	}()
+	select {
+	case <-nodeStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never reached the pipeline")
+	}
+
+	// Drain: readiness must flip while the connection is still served.
+	s.Drain()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// Shutdown with a generous deadline; it must return nil (clean drain).
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// New connections must be refused once the listener closes.
+	refused := false
+	for i := 0; i < 100; i++ {
+		conn, err := net.DialTimeout("tcp", l.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections were still accepted during shutdown")
+	}
+
+	// The in-flight request receives its complete, successful response.
+	select {
+	case r := <-inflight:
+		if r.realErr != nil {
+			t.Fatalf("in-flight request broken by shutdown: %v", r.realErr)
+		}
+		if r.status != http.StatusOK || r.result.Assigned == 0 {
+			t.Fatalf("in-flight response: status %d, %+v", r.status, r.result)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v, want nil (clean drain)", err)
+	}
+	if err := <-serveDone; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestConcurrencyDefaultFromEffectiveWorkers: the satellite wiring — a
+// zero Concurrency derives the handler pool from the same normalization
+// rule as every other pool.
+func TestConcurrencyDefaultFromEffectiveWorkers(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	if got, want := cap(s.sem), core.EffectiveWorkers(0); got != want {
+		t.Errorf("default concurrency = %d, want EffectiveWorkers(0) = %d", got, want)
+	}
+	s = newTestServer(t, xsdf.Options{}, Config{Concurrency: 3})
+	if got := cap(s.sem); got != 3 {
+		t.Errorf("explicit concurrency = %d, want 3", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Wire types of the xsdfd HTTP JSON API, shared by the handlers and the
+// retry client so the two cannot drift apart.
+package server
+
+import (
+	xsdf "repro"
+	"repro/xsdferrors"
+)
+
+// QualityHeader is the response header carrying the degradation-ladder
+// rung of a successful disambiguation ("full", "concept-only",
+// "first-sense"). Degraded runs still answer 200: the caller holds a
+// usable result, and the header plus the degradation report say how much
+// quality was traded for staying up.
+const QualityHeader = "X-Xsdf-Quality"
+
+// DisambiguateRequest is the body of POST /v1/disambiguate.
+type DisambiguateRequest struct {
+	// Document is the XML document to disambiguate.
+	Document string `json:"document"`
+	// BudgetMS is the client's processing budget in milliseconds. It is
+	// clamped by the server's MaxTimeout cap; zero selects the server's
+	// default budget.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Documents []string `json:"documents"`
+	// BudgetMS bounds the whole batch, with the same clamping as the
+	// single-document budget.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+}
+
+// Assignment is one disambiguated node of the response.
+type Assignment struct {
+	// Label is the pre-processed node label, Sense the assigned concept
+	// identifier, and Score the winning sense's score in [0, 1].
+	Label string  `json:"label"`
+	Sense string  `json:"sense"`
+	Score float64 `json:"score"`
+	// Quality marks the ladder rung the node was scored at; omitted for
+	// full-quality nodes.
+	Quality string `json:"quality,omitempty"`
+}
+
+// DegradationReport accompanies any result produced below full quality.
+type DegradationReport struct {
+	// Level is the worst rung any target was scored at.
+	Level string `json:"level"`
+	// NodesAtLevel counts targets per rung, keyed by rung name; Unscored
+	// counts targets never attempted (cancellation mid-ladder).
+	NodesAtLevel map[string]int `json:"nodes_at_level"`
+	Unscored     int            `json:"unscored"`
+	// Cause is why processing stopped early, when it did.
+	Cause string `json:"cause,omitempty"`
+}
+
+// Result is the JSON body of a successful disambiguation.
+type Result struct {
+	Targets   int     `json:"targets"`
+	Assigned  int     `json:"assigned"`
+	Threshold float64 `json:"threshold"`
+	// Quality mirrors the QualityHeader value.
+	Quality       string             `json:"quality"`
+	LinksResolved int                `json:"links_resolved,omitempty"`
+	LinksDangling int                `json:"links_dangling,omitempty"`
+	Assignments   []Assignment       `json:"assignments"`
+	Degradation   *DegradationReport `json:"degradation,omitempty"`
+}
+
+// BatchItem is one document's outcome inside a BatchResponse: an HTTP
+// status code with either a result or a typed error, mirroring what the
+// document would have received from /v1/disambiguate.
+type BatchItem struct {
+	Status int     `json:"status"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch answer, indexed like the
+// request's Documents.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// ErrorBody is the JSON body of every error response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Kind is the stable taxonomy token (xsdferrors.Kind), plus the
+	// server-layer kinds "circuit-open" and "injected".
+	Kind string `json:"kind"`
+}
+
+// resultFromRun converts a pipeline result (and its optional degraded
+// error) into the wire form.
+func resultFromRun(res *xsdf.Result, runErr error) *Result {
+	out := &Result{
+		Targets:       res.Targets,
+		Assigned:      res.Assigned,
+		Threshold:     res.Threshold,
+		Quality:       res.Degraded.String(),
+		LinksResolved: res.LinksResolved,
+		LinksDangling: res.LinksDangling,
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Sense == "" {
+			continue
+		}
+		a := Assignment{Label: n.Label, Sense: n.Sense, Score: n.SenseScore}
+		if n.Degraded != xsdf.DegradeNone {
+			a.Quality = n.Degraded.String()
+		}
+		out.Assignments = append(out.Assignments, a)
+	}
+	if res.Degraded != xsdf.DegradeNone || res.Unscored > 0 {
+		rep := &DegradationReport{
+			Level:        res.Degraded.String(),
+			NodesAtLevel: map[string]int{},
+			Unscored:     res.Unscored,
+		}
+		for lvl, n := range res.NodesAtLevel {
+			if n > 0 {
+				rep.NodesAtLevel[xsdferrors.DegradationLevel(lvl).String()] = n
+			}
+		}
+		if runErr != nil {
+			rep.Cause = runErr.Error()
+		}
+		out.Degradation = rep
+	}
+	return out
+}

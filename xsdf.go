@@ -132,6 +132,10 @@ type DegradeOptions = disambig.Degradation
 // in-flight document/node bounds and the bounded wait for capacity.
 type AdmissionOptions = core.AdmissionOptions
 
+// GateStats is a snapshot of the admission gate: occupancy plus cumulative
+// admission/rejection/wait counters (see Framework.GateStats).
+type GateStats = core.GateStats
+
 // Options exposes every user parameter of the framework (Motivation 4).
 // Zero values select the documented defaults.
 type Options struct {
@@ -548,6 +552,11 @@ func (f *Framework) ExplainSimilarity(a, b ConceptID) []ConceptID {
 // CacheStats is a snapshot of the framework's shared memoization
 // counters (pairwise similarities and semantic-network sphere vectors).
 type CacheStats = disambig.CacheStats
+
+// GateStats reports the admission gate's occupancy and wait statistics —
+// the serving layer derives Retry-After hints for shed requests from
+// AvgWait. ok is false when Options.Admission is disabled.
+func (f *Framework) GateStats() (stats GateStats, ok bool) { return f.inner.GateStats() }
 
 // CacheStats reports the shared cache's hit/miss counters — an
 // observability hook for serving deployments (cache effectiveness is the

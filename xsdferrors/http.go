@@ -1,0 +1,76 @@
+package xsdferrors
+
+import (
+	"errors"
+	"net/http"
+)
+
+// HTTPStatus maps an error from the pipeline onto the HTTP status code a
+// serving layer should answer with. The mapping follows the taxonomy's
+// semantics rather than Go error mechanics:
+//
+//	nil                    → 200 (success at full quality)
+//	ErrDegraded            → 200 (a usable result exists; quality is
+//	                              reported out of band, e.g. a header)
+//	ErrOverloaded          → 429 (shed load; retry later)
+//	*PanicError            → 500 (isolated pipeline fault)
+//	ErrLimitExceeded       → 413 (input larger than a resource guard)
+//	ErrMalformedInput      → 400
+//	ErrUnknownOption       → 400
+//	ErrCanceled            → 504 (budget or connection expired)
+//	anything else          → 500
+//
+// ErrDegraded is checked before ErrCanceled on purpose: a *DegradedError
+// unwraps to its (typically canceled) cause, and the degraded result must
+// win — the caller holds usable output, not a timeout.
+func HTTPStatus(err error) int {
+	var pe *PanicError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrDegraded):
+		return http.StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrLimitExceeded):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrMalformedInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownOption):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Kind names an error's taxonomy family with a stable lowercase token for
+// wire formats and logs ("overloaded", "degraded", "limit", ...). The
+// precedence mirrors HTTPStatus. A nil error is "ok"; an error outside the
+// taxonomy is "internal".
+func Kind(err error) string {
+	var pe *PanicError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, ErrLimitExceeded):
+		return "limit"
+	case errors.Is(err, ErrMalformedInput):
+		return "malformed-input"
+	case errors.Is(err, ErrUnknownOption):
+		return "unknown-option"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return "internal"
+	}
+}

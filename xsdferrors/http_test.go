@@ -1,0 +1,73 @@
+package xsdferrors
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHTTPStatus covers every typed error of the taxonomy, the nil
+// success, wrapped occurrences, and the precedence corners (a
+// *DegradedError unwraps to a canceled cause but must still read as a
+// degraded success; a *PanicError boxing a typed error stays a 500).
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		code int
+		kind string
+	}{
+		{"nil", nil, http.StatusOK, "ok"},
+		{"overload", &OverloadError{Docs: 3, Nodes: 90, Waited: time.Millisecond},
+			http.StatusTooManyRequests, "overloaded"},
+		{"overload-sentinel", ErrOverloaded, http.StatusTooManyRequests, "overloaded"},
+		{"degraded", &DegradedError{Level: DegradeFirstSense, Unscored: 2,
+			Cause: Canceled(context.Canceled)}, http.StatusOK, "degraded"},
+		{"degraded-sentinel", ErrDegraded, http.StatusOK, "degraded"},
+		{"limit", &LimitError{Limit: "nodes", Max: 10, Actual: 11},
+			http.StatusRequestEntityTooLarge, "limit"},
+		{"limit-sentinel", ErrLimitExceeded, http.StatusRequestEntityTooLarge, "limit"},
+		{"panic", &PanicError{Doc: -1, Value: "boom"},
+			http.StatusInternalServerError, "panic"},
+		{"panic-wrapping-typed", &PanicError{Doc: 0, Value: &LimitError{Limit: "depth", Max: 1, Actual: 2}},
+			http.StatusInternalServerError, "panic"},
+		{"canceled", Canceled(context.Canceled), http.StatusGatewayTimeout, "canceled"},
+		{"deadline", Canceled(context.DeadlineExceeded), http.StatusGatewayTimeout, "canceled"},
+		{"canceled-sentinel", ErrCanceled, http.StatusGatewayTimeout, "canceled"},
+		{"malformed", ErrMalformedInput, http.StatusBadRequest, "malformed-input"},
+		{"malformed-wrapped", fmt.Errorf("line 3: %w", ErrMalformedInput),
+			http.StatusBadRequest, "malformed-input"},
+		{"unknown-option", fmt.Errorf("%w: VectorSimilarity %q", ErrUnknownOption, "x"),
+			http.StatusBadRequest, "unknown-option"},
+		{"untyped", errors.New("surprise"), http.StatusInternalServerError, "internal"},
+		{"batch-with-overload", NewBatchError([]error{nil, &OverloadError{}}),
+			http.StatusTooManyRequests, "overloaded"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HTTPStatus(tc.err); got != tc.code {
+				t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.code)
+			}
+			if got := Kind(tc.err); got != tc.kind {
+				t.Errorf("Kind(%v) = %q, want %q", tc.err, got, tc.kind)
+			}
+		})
+	}
+}
+
+// TestHTTPStatusDegradedBeatsCanceled pins the precedence rule: the
+// degraded error carries a usable partial result, so even though it
+// matches ErrCanceled through its cause it must not surface as a 504.
+func TestHTTPStatusDegradedBeatsCanceled(t *testing.T) {
+	err := error(&DegradedError{Level: DegradeConceptOnly, Unscored: 1,
+		Cause: Canceled(context.DeadlineExceeded)})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatal("precondition: degraded error should match ErrCanceled via its cause")
+	}
+	if got := HTTPStatus(err); got != http.StatusOK {
+		t.Errorf("degraded-with-canceled-cause = %d, want 200", got)
+	}
+}
