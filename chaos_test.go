@@ -66,6 +66,8 @@ func deriveChaosConfig(seed int64) chaosConfig {
 	if rng.Intn(2) == 0 {
 		cfg.docTimeout = time.Duration(5+rng.Intn(25)) * time.Millisecond
 	}
+	// Drawn last so earlier schedule shapes are unchanged across seeds.
+	cfg.faults.StagePanicRate = 0.02 * rng.Float64()
 	return cfg
 }
 

@@ -7,6 +7,7 @@
 //	xsdf -json doc.xml                # semantic tree as JSON
 //	xsdf -d 2 -method combined -threshold 0.05 doc.xml
 //	xsdf -timeout 50ms -degrade doc.xml   # degrade instead of failing
+//	xsdf -stages doc.xml              # per-stage timings on stderr
 //	cat doc.xml | xsdf -              # read stdin
 //
 // Exit codes distinguish the failure modes for scripting:
@@ -64,6 +65,7 @@ func main() {
 		degrade   = flag.Bool("degrade", false, "degrade scoring quality instead of failing when -timeout expires")
 		maxDepth  = flag.Int("max-depth", 0, "element nesting limit (0 = default, -1 = unlimited)")
 		maxNodes  = flag.Int("max-nodes", 0, "tree node-count limit (0 = default, -1 = unlimited)")
+		stages    = flag.Bool("stages", false, "print per-stage pipeline timings to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -124,6 +126,19 @@ func main() {
 			fail(exitInput, "%v", err)
 		default:
 			fail(exitErr, "%v", err)
+		}
+	}
+
+	if *stages {
+		// Stdout stays clean for the document; the timing table goes to
+		// stderr like the quality note.
+		log.Printf("%-14s %8s %12s", "stage", "items", "duration")
+		for _, st := range res.Stages {
+			mark := ""
+			if st.Failed {
+				mark = "  (failed)"
+			}
+			log.Printf("%-14s %8d %12s%s", st.Stage, st.Items, st.Duration, mark)
 		}
 	}
 

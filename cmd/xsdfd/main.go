@@ -123,5 +123,14 @@ func main() {
 		log.Printf("serve: %v", err)
 		os.Exit(1)
 	}
+	// Final operational accounting: where this process spent its pipeline
+	// time, one line per stage (mirrors the /statusz stages section).
+	for _, st := range fw.StageStats() {
+		if st.Calls == 0 {
+			continue
+		}
+		log.Printf("stage %-14s calls %-6d errors %-4d items %-8d total %v",
+			st.Stage, st.Calls, st.Errors, st.Items, st.Total.Round(time.Microsecond))
+	}
 	log.Printf("drained cleanly")
 }

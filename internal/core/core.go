@@ -15,8 +15,8 @@ import (
 
 	"repro/internal/ambiguity"
 	"repro/internal/disambig"
-	"repro/internal/faultinject"
 	"repro/internal/lingproc"
+	"repro/internal/pipeline"
 	"repro/internal/semnet"
 	"repro/internal/xmltree"
 	"repro/xsdferrors"
@@ -56,6 +56,11 @@ type Options struct {
 	// *xsdferrors.LimitError before any processing starts.
 	MaxDepth int
 	MaxNodes int
+	// MaxTokenBytes bounds the byte size of a single text value at parse
+	// time (ProcessReader only: pre-parsed trees already hold their
+	// tokens). Zero selects the xmltree default; negative disables the
+	// guard.
+	MaxTokenBytes int
 
 	// Admission bounds how much work the framework accepts concurrently;
 	// documents arriving beyond the bounds wait up to Admission.MaxWait and
@@ -100,6 +105,12 @@ type Result struct {
 	// Unscored is the number of targets never attempted (the run was
 	// canceled mid-ladder). Non-zero only alongside an ErrDegraded error.
 	Unscored int
+	// Stages is the per-stage instrumentation of this run: one entry per
+	// attempted pipeline stage, in execution order, with the item count
+	// and monotonic duration of each. On a degraded abort it covers the
+	// stages that ran (harmonization is skipped); nil only when the run
+	// failed before the disambiguation stage could build a Result.
+	Stages []StageTiming
 }
 
 // Framework is a reusable XSDF instance bound to one semantic network. It
@@ -114,6 +125,13 @@ type Framework struct {
 	opts  Options
 	cache *disambig.Cache
 	gate  *gate // nil when Options.Admission is the zero value
+
+	// pipe is the staged pipeline every document runs through; built once
+	// in New and shared (stages keep all per-document state in a run
+	// value). stageStats accumulates per-stage calls/errors/items/time
+	// across the framework's lifetime.
+	pipe       *pipeline.Runner[*run]
+	stageStats [numStages]stageCounters
 }
 
 // New returns a Framework over the given semantic network. net must be
@@ -128,12 +146,14 @@ func New(net *semnet.Network, opts Options) (*Framework, error) {
 	if err := opts.Disambiguation.SimWeights.Normalize().Validate(); err != nil {
 		return nil, err
 	}
-	return &Framework{
+	f := &Framework{
 		net:   net,
 		opts:  opts,
 		cache: disambig.NewCache(net, opts.Disambiguation.SimWeights),
 		gate:  newGate(opts.Admission),
-	}, nil
+	}
+	f.pipe = f.newPipeline()
+	return f, nil
 }
 
 // Network returns the reference semantic network.
@@ -161,6 +181,7 @@ func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
 		Tokenize:       lingproc.Tokenize,
 		MaxDepth:       f.opts.MaxDepth,
 		MaxNodes:       f.opts.MaxNodes,
+		MaxTokenBytes:  f.opts.MaxTokenBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -192,85 +213,30 @@ func (f *Framework) ProcessTree(t *xmltree.Tree) (*Result, error) {
 // default), errors leave the result nil and the tree possibly partially
 // annotated, exactly as before.
 func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*Result, error) {
-	// With the ladder on, an expired deadline is not a reason to abort
-	// between modules: disambiguation will ride it out at the last rung.
-	degrade := f.opts.Disambiguation.Degrade.Enabled
-	ctxErr := func() error {
-		err := ctx.Err()
-		if err == nil || (degrade && errors.Is(err, context.DeadlineExceeded)) {
-			return nil
+	// Every module body lives in a named pipeline.Stage (stages.go); this
+	// function only dispatches the run, threads the timings, and maps the
+	// stop condition onto the historical result/error contract.
+	r := &run{fw: f, tree: t, hooks: currentHooks()}
+	defer func() {
+		if r.release != nil {
+			r.release()
 		}
-		return xsdferrors.Canceled(err)
-	}
-
-	if err := ctxErr(); err != nil {
-		return nil, err
-	}
-	if err := f.guardTree(t); err != nil {
-		return nil, err
-	}
-	if f.gate != nil {
-		release, err := f.gate.acquire(ctx, t.Len(), f.opts.Admission.MaxWait)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-	}
-	hooks := currentHooks()
-	if hooks.BeforeTree != nil {
-		hooks.BeforeTree(t)
-	}
-	faultinject.TreeStart()
-
-	// Module 1: linguistic pre-processing.
-	lingproc.ProcessTree(t, f.net)
-	if err := ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Module 2: node selection for disambiguation.
-	threshold := f.opts.Threshold
-	if f.opts.AutoThreshold {
-		threshold = ambiguity.AutoThreshold(t, f.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
-	}
-	targets := ambiguity.Select(t, f.net, f.opts.Ambiguity, threshold)
-	if err := ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Modules 3 + 4: sphere context construction and disambiguation. The
-	// disambiguator is per-document (it memoizes per-node contexts keyed
-	// by node pointer) but draws on the framework-shared similarity and
-	// vector caches.
-	disOpts := f.opts.Disambiguation
-	if hooks.BeforeNode != nil {
-		disOpts.NodeHook = hooks.BeforeNode
-	}
-	dis := disambig.NewShared(f.cache, disOpts)
-	rep, err := dis.ApplyReport(ctx, targets)
-	res := &Result{
-		Tree:         t,
-		Targets:      len(targets),
-		Assigned:     rep.Assigned,
-		Threshold:    threshold,
-		Degraded:     rep.Level,
-		NodesAtLevel: rep.NodesAtLevel,
-		Unscored:     rep.Unscored,
+	}()
+	timings, err := f.pipe.Run(ctx, r)
+	f.recordStages(timings)
+	if r.res != nil {
+		r.res.Stages = timings
 	}
 	if err != nil {
 		if errors.Is(err, xsdferrors.ErrDegraded) {
-			// Canceled mid-ladder: hand back what was scored, skipping the
-			// harmonization pass (it would act on an inconsistent prefix).
-			return res, err
+			// Canceled mid-ladder: hand back what was scored. The runner
+			// stopped at the disambiguation stage, so the harmonization
+			// pass never acts on an inconsistent prefix.
+			return r.res, err
 		}
 		return nil, err
 	}
-
-	if f.opts.OneSensePerDiscourse {
-		disambig.Harmonize(targets)
-	}
-
-	return res, nil
+	return r.res, nil
 }
 
 // guardTree enforces the whole-tree resource limits on pre-parsed input.

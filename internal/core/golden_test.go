@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ambiguity"
+	"repro/internal/corpus"
+	"repro/internal/disambig"
+	"repro/internal/lingproc"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+)
+
+// inlineComposition reproduces the seed's pre-pipeline ProcessTree body —
+// the four module calls composed by hand, with no stage middleware — and
+// annotates t in place.
+func inlineComposition(opts Options, t *xmltree.Tree) error {
+	net := wordnet.Default()
+	lingproc.ProcessTree(t, net)
+	threshold := opts.Threshold
+	if opts.AutoThreshold {
+		threshold = ambiguity.AutoThreshold(t, net, opts.Ambiguity, opts.AutoThresholdK)
+	}
+	targets := ambiguity.Select(t, net, opts.Ambiguity, threshold)
+	cache := disambig.NewCache(net, opts.Disambiguation.SimWeights)
+	dis := disambig.NewShared(cache, opts.Disambiguation)
+	if _, err := dis.ApplyReport(context.Background(), targets); err != nil {
+		return err
+	}
+	if opts.OneSensePerDiscourse {
+		disambig.Harmonize(targets)
+	}
+	return nil
+}
+
+// senseFingerprint serializes every node's assignment bit-exactly: label,
+// sense, and the full float64 score (%.17g round-trips any float64).
+func senseFingerprint(t *xmltree.Tree) string {
+	var b strings.Builder
+	for _, n := range t.Nodes() {
+		fmt.Fprintf(&b, "%s\x00%s\x00%.17g\n", n.Label, n.Sense, n.SenseScore)
+	}
+	return b.String()
+}
+
+// TestStagedPipelineMatchesInlineComposition: the staged pipeline must be
+// a pure refactor — bit-identical sense assignments and scores against the
+// hand-inlined module composition, across all 10 embedded datasets, the
+// three disambiguation methods, and hyperlink traversal on/off.
+func TestStagedPipelineMatchesInlineComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus equivalence sweep")
+	}
+	for _, method := range []disambig.Method{
+		disambig.ConceptBased, disambig.ContextBased, disambig.Combined,
+	} {
+		for _, links := range []bool{false, true} {
+			name := fmt.Sprintf("method=%v/links=%v", method, links)
+			t.Run(name, func(t *testing.T) {
+				opts := DefaultOptions()
+				opts.Disambiguation.Method = method
+				opts.Disambiguation.FollowLinks = links
+				fw, err := New(wordnet.Default(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Annotation is in place, so each side gets its own fresh
+				// generation of the (deterministic) corpus.
+				staged := corpus.Generate(1)
+				inline := corpus.Generate(1)
+				for i := range staged {
+					st, in := staged[i].Tree, inline[i].Tree
+					if links {
+						st.ResolveLinks()
+						in.ResolveLinks()
+					}
+					if _, err := fw.ProcessTree(st); err != nil {
+						t.Fatalf("%s: staged: %v", staged[i].Name, err)
+					}
+					if err := inlineComposition(opts, in); err != nil {
+						t.Fatalf("%s: inline: %v", inline[i].Name, err)
+					}
+					if got, want := senseFingerprint(st), senseFingerprint(in); got != want {
+						t.Errorf("%s: staged pipeline diverged from the inline composition", staged[i].Name)
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -121,5 +122,12 @@ func (f *Framework) processOne(ctx context.Context, t *xmltree.Tree, doc int, ti
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return f.ProcessTreeContext(ctx, t)
+	res, err = f.ProcessTreeContext(ctx, t)
+	// Stage panics arrive boxed by the pipeline middleware with no document
+	// index (the pipeline is batch-agnostic); stamp this slot's index on.
+	var pe *xsdferrors.PanicError
+	if errors.As(err, &pe) && pe.Doc < 0 {
+		pe.Doc = doc
+	}
+	return res, err
 }

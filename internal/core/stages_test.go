@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+	"repro/xsdferrors"
+)
+
+// TestResultStagesInstrumentation: a real document reports every declared
+// stage, in order, with non-zero durations and the right item counts.
+func TestResultStagesInstrumentation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.OneSensePerDiscourse = true
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != numStages {
+		t.Fatalf("Stages has %d entries, want %d: %+v", len(res.Stages), numStages, res.Stages)
+	}
+	for i, st := range res.Stages {
+		if st.Stage != stageNames[i] {
+			t.Errorf("Stages[%d] = %q, want %q", i, st.Stage, stageNames[i])
+		}
+		if st.Failed {
+			t.Errorf("stage %s marked failed on a clean run", st.Stage)
+		}
+		if st.Duration <= 0 {
+			t.Errorf("stage %s duration = %v, want > 0", st.Stage, st.Duration)
+		}
+	}
+	n := res.Tree.Len()
+	for _, want := range []struct {
+		stage string
+		items int
+	}{
+		{StageGuard, n},
+		{StageAdmission, 0}, // gate disabled
+		{StagePreprocess, n},
+		{StageSelect, res.Targets},
+		{StageDisambiguate, res.Targets},
+	} {
+		got := -1
+		for _, st := range res.Stages {
+			if st.Stage == want.stage {
+				got = st.Items
+			}
+		}
+		if got != want.items {
+			t.Errorf("stage %s items = %d, want %d", want.stage, got, want.items)
+		}
+	}
+}
+
+// TestStageStatsAccumulate: cumulative counters sum across runs, in
+// declared order.
+func TestStageStatsAccumulate(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes int
+	for i := 0; i < 2; i++ {
+		res, err := fw.ProcessReader(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = res.Tree.Len()
+	}
+	stats := fw.StageStats()
+	if len(stats) != numStages {
+		t.Fatalf("StageStats has %d entries, want %d", len(stats), numStages)
+	}
+	for i, st := range stats {
+		if st.Stage != stageNames[i] {
+			t.Errorf("StageStats[%d] = %q, want %q", i, st.Stage, stageNames[i])
+		}
+		if st.Calls != 2 {
+			t.Errorf("stage %s calls = %d, want 2", st.Stage, st.Calls)
+		}
+		if st.Errors != 0 {
+			t.Errorf("stage %s errors = %d, want 0", st.Stage, st.Errors)
+		}
+		if st.Total <= 0 {
+			t.Errorf("stage %s total = %v, want > 0", st.Stage, st.Total)
+		}
+	}
+	if got, want := stats[0].Items, uint64(2*nodes); got != want {
+		t.Errorf("guard items = %d, want %d", got, want)
+	}
+}
+
+// TestStageStatsCountErrors: a run stopped by the guard counts one call
+// and one error against the guard stage and nothing downstream.
+func TestStageStatsCountErrors(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxNodes = 1
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProcessTree(parseDoc(t, doc))
+	if res != nil || !errors.Is(err, xsdferrors.ErrLimitExceeded) {
+		t.Fatalf("res = %v, err = %v, want nil + limit error", res, err)
+	}
+	stats := fw.StageStats()
+	if g := stats[0]; g.Stage != StageGuard || g.Calls != 1 || g.Errors != 1 {
+		t.Errorf("guard stats = %+v, want 1 call, 1 error", g)
+	}
+	for _, st := range stats[1:] {
+		if st.Calls != 0 {
+			t.Errorf("stage %s ran (%d calls) after a guard failure", st.Stage, st.Calls)
+		}
+	}
+}
+
+// parseDoc parses a document with no limits, for guard tests over
+// pre-parsed trees.
+func parseDoc(t *testing.T, src string) *xmltree.Tree {
+	t.Helper()
+	tree, err := xmltree.Parse(strings.NewReader(src), xmltree.ParseOptions{
+		IncludeContent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestProcessReaderMaxTokenBytes: the parse-time token-size guard is
+// honored by ProcessReader (regression: it used to be silently dropped
+// when building ParseOptions).
+func TestProcessReaderMaxTokenBytes(t *testing.T) {
+	oversized := "<a>" + strings.Repeat("x", 33) + "</a>"
+
+	opts := DefaultOptions()
+	opts.MaxTokenBytes = 32
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fw.ProcessReader(strings.NewReader(oversized))
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("oversized token returned %v, want *LimitError", err)
+	}
+	if le.Limit != "token-bytes" || le.Max != 32 {
+		t.Errorf("limit = %q max %d, want token-bytes max 32", le.Limit, le.Max)
+	}
+
+	// The same document passes with the guard at its default.
+	fw, err = New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.ProcessReader(strings.NewReader(oversized)); err != nil {
+		t.Errorf("default guard rejected a 33-byte token: %v", err)
+	}
+}
+
+// deepChain builds a pre-parsed element chain whose MaxDepth() is exactly n.
+func deepChain(n int) *xmltree.Tree {
+	root := &xmltree.Node{Raw: "e", Label: "e", Kind: xmltree.Element}
+	cur := root
+	for i := 0; i < n; i++ {
+		c := &xmltree.Node{Raw: "e", Label: "e", Kind: xmltree.Element}
+		cur.AddChild(c)
+		cur = c
+	}
+	return xmltree.New(root)
+}
+
+// TestGuardTreeDepthSlackBoundary: the pre-parsed depth guard allows
+// exactly MaxDepth+2 (the attribute and token levels a parse-time-accepted
+// document can legitimately reach) and trips one level deeper.
+func TestGuardTreeDepthSlackBoundary(t *testing.T) {
+	const maxDepth = 3
+	opts := DefaultOptions()
+	opts.MaxDepth = maxDepth
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	atSlack := deepChain(maxDepth + 2)
+	if err := fw.guardTree(atSlack); err != nil {
+		t.Errorf("depth %d (exactly MaxDepth+2) rejected: %v", atSlack.MaxDepth(), err)
+	}
+
+	beyond := deepChain(maxDepth + 3)
+	err = fw.guardTree(beyond)
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("depth %d returned %v, want *LimitError", beyond.MaxDepth(), err)
+	}
+	if le.Limit != "depth" || le.Max != maxDepth || le.Actual != maxDepth+3 {
+		t.Errorf("limit = %+v, want depth max %d actual %d", le, maxDepth, maxDepth+3)
+	}
+}
+
+// nestedDoc builds a document of the given element-nesting depth whose
+// deepest element carries an attribute and a text token — the worst case
+// the guardTree slack exists for.
+func nestedDoc(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth-1; i++ {
+		fmt.Fprintf(&b, "<e%d>", i)
+	}
+	b.WriteString(`<deep t="x">word</deep>`)
+	for i := depth - 2; i >= 0; i-- {
+		fmt.Fprintf(&b, "</e%d>", i)
+	}
+	return b.String()
+}
+
+// TestGuardAgreementParseVsPreParsed: the same documents get the same
+// verdict from the parse-time depth guard and from guardTree on the
+// pre-parsed tree, on both sides of the limit.
+func TestGuardAgreementParseVsPreParsed(t *testing.T) {
+	const maxDepth = 3
+	opts := DefaultOptions()
+	opts.MaxDepth = maxDepth
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseGuard := func(src string) error {
+		_, err := xmltree.Parse(strings.NewReader(src), xmltree.ParseOptions{
+			IncludeContent: true,
+			MaxDepth:       maxDepth,
+		})
+		return err
+	}
+
+	// Nesting at the limit, with the attribute + token levels on top:
+	// accepted by both guards.
+	ok := nestedDoc(maxDepth)
+	if err := parseGuard(ok); err != nil {
+		t.Errorf("parse guard rejected nesting %d: %v", maxDepth, err)
+	}
+	if err := fw.guardTree(parseDoc(t, ok)); err != nil {
+		t.Errorf("pre-parsed guard rejected nesting %d: %v", maxDepth, err)
+	}
+
+	// Nesting past the slack window: rejected by both guards with the
+	// same limit name.
+	bad := nestedDoc(maxDepth + 2)
+	for name, err := range map[string]error{
+		"parse":      parseGuard(bad),
+		"pre-parsed": fw.guardTree(parseDoc(t, bad)),
+	} {
+		var le *xsdferrors.LimitError
+		if !errors.As(err, &le) || le.Limit != "depth" {
+			t.Errorf("%s guard on nesting %d: %v, want depth *LimitError", name, maxDepth+2, err)
+		}
+	}
+}

@@ -85,6 +85,11 @@ const (
 	// the pipeline runs; a hit fails the request (an internal server
 	// fault) or delays it (a slow dependency ahead of the pipeline).
 	PointServer
+	// PointStage fires before each pipeline stage runs (the uniform
+	// middleware seam of internal/pipeline); a hit panics — modeling a
+	// poisoned stage boundary, boxed by the stage middleware into a
+	// *PanicError — or delays the stage.
+	PointStage
 
 	numPoints
 )
@@ -104,6 +109,8 @@ func (p Point) String() string {
 		return "clock"
 	case PointServer:
 		return "server"
+	case PointStage:
+		return "stage"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
@@ -143,6 +150,12 @@ type Config struct {
 	ServerErrRate   float64
 	ServerDelayRate float64
 	ServerDelay     time.Duration
+	// StagePanicRate panics at PointStage, before a pipeline stage runs
+	// (the stage middleware boxes it into a *PanicError);
+	// StageDelayRate/StageDelay model a slow stage boundary.
+	StagePanicRate float64
+	StageDelayRate float64
+	StageDelay     time.Duration
 }
 
 // Injector fires the faults of one Config. Each point draws from its own
@@ -199,9 +212,14 @@ func (inj *Injector) draw(p Point) (float64, uint64) {
 type InjectedPanic struct {
 	Point Point
 	Draw  uint64
+	// Stage names the pipeline stage for PointStage hits, empty otherwise.
+	Stage string
 }
 
 func (p InjectedPanic) String() string {
+	if p.Stage != "" {
+		return fmt.Sprintf("faultinject: injected panic at %s %q (draw %d)", p.Point, p.Stage, p.Draw)
+	}
 	return fmt.Sprintf("faultinject: injected panic at %s (draw %d)", p.Point, p.Draw)
 }
 
@@ -283,6 +301,24 @@ func ServerFault() error {
 		time.Sleep(inj.cfg.ServerDelay)
 	}
 	return nil
+}
+
+// StageStart fires PointStage before the named pipeline stage runs: it
+// may panic or sleep per the installed schedule. The stage middleware
+// (internal/pipeline) is its only caller, so a schedule with a non-zero
+// StagePanicRate exercises every stage boundary uniformly.
+func StageStart(stage string) {
+	inj := active.Load()
+	if inj == nil {
+		return
+	}
+	u, h := inj.draw(PointStage)
+	if u < inj.cfg.StagePanicRate {
+		panic(InjectedPanic{Point: PointStage, Draw: h, Stage: stage})
+	}
+	if u < inj.cfg.StagePanicRate+inj.cfg.StageDelayRate && inj.cfg.StageDelay > 0 {
+		time.Sleep(inj.cfg.StageDelay)
+	}
 }
 
 // Now is the pipeline's budget clock: time.Now plus any scheduled skew.

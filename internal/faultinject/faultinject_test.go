@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -104,6 +105,38 @@ func TestInjectedPanics(t *testing.T) {
 	}
 	expectPanic("TreeStart", TreeStart)
 	expectPanic("NodeStart", NodeStart)
+}
+
+// TestStageStartPanicCarriesStageName: stage panics identify both the
+// point and the pipeline stage they fired at, so a chaos failure names
+// the boundary that was poisoned.
+func TestStageStartPanicCarriesStageName(t *testing.T) {
+	restore := Install(New(Config{Seed: 1, StagePanicRate: 1}))
+	defer restore()
+	defer func() {
+		v := recover()
+		ip, ok := v.(InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want InjectedPanic", v)
+		}
+		if ip.Point != PointStage || ip.Stage != "preprocess" {
+			t.Errorf("injected panic = %+v, want PointStage at preprocess", ip)
+		}
+		if s := ip.String(); !strings.Contains(s, `"preprocess"`) {
+			t.Errorf("String() = %q, want the stage name quoted", s)
+		}
+	}()
+	StageStart("preprocess")
+}
+
+// TestStageStartDisabledAndDelay: the nil fast path never fires, and a
+// pure-delay schedule returns without panicking.
+func TestStageStartDisabledAndDelay(t *testing.T) {
+	StageStart("guard") // no injector installed: must be a no-op
+
+	restore := Install(New(Config{Seed: 2, StageDelayRate: 1, StageDelay: time.Microsecond}))
+	defer restore()
+	StageStart("guard") // delay path: sleeps, never panics
 }
 
 // TestPoisonAndClock: poison returns the configured out-of-range value;

@@ -1,0 +1,129 @@
+// Package pipeline is the staged-execution backbone of the XSDF
+// framework: it turns the paper's module diagram (§3, Figure 3) into the
+// program's actual control flow. A pipeline is a declared list of named
+// stages run in order over a shared state value, with one uniform
+// middleware layer applied around every stage:
+//
+//   - cooperative cancellation: the context is checked before each stage,
+//     with a configurable tolerance predicate so the degradation ladder
+//     can ride out an expired deadline instead of aborting between
+//     modules;
+//   - panic isolation: a panic escaping a stage (or fired by the
+//     fault-injection seam) is boxed into an *xsdferrors.PanicError, so
+//     one poisoned document becomes a typed per-document error instead of
+//     a crashed process;
+//   - fault injection: faultinject.StageStart fires before each stage,
+//     giving chaos schedules a deterministic per-stage seam;
+//   - timing: every stage is measured on the monotonic clock, and the
+//     runner returns one Timing per attempted stage.
+//
+// Stages hold no per-document state of their own — everything mutable
+// lives in the state value the caller threads through Run — so one Runner
+// is built per framework and shared by every document, sequentially or
+// across batch workers.
+package pipeline
+
+import (
+	"context"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/xsdferrors"
+)
+
+// Stage is one named unit of pipeline work over the shared state S. Run
+// returns the number of items the stage worked over (nodes guarded,
+// targets selected, ...) — the per-stage count surfaced next to its
+// timing — and an error that stops the pipeline.
+type Stage[S any] struct {
+	Name string
+	Run  func(ctx context.Context, state S) (items int, err error)
+}
+
+// Timing reports one attempted stage of a run. Failed marks the stage the
+// run stopped at: either its Run returned an error (Duration and Items
+// are real) or the cancellation check refused to start it (both zero).
+type Timing struct {
+	Stage    string
+	Items    int
+	Duration time.Duration
+	Failed   bool
+}
+
+// Config tunes a Runner. The zero value checks the context strictly and
+// times stages on time.Now.
+type Config struct {
+	// TolerateCtxErr, when non-nil, reports whether a non-nil context
+	// error should not abort the pipeline between stages. The framework
+	// uses it for the degradation-ladder deadline exception: with the
+	// ladder on, an expired deadline is ridden out at the last rung
+	// instead of aborting.
+	TolerateCtxErr func(error) bool
+	// Clock is the time source for stage timing (default time.Now, whose
+	// readings carry the monotonic clock). It is deliberately not
+	// faultinject.Now: injected clock skew should age deadline budgets,
+	// not corrupt the instrumentation.
+	Clock func() time.Time
+}
+
+// Runner executes a declared stage list. Build once with New and share
+// freely: Run keeps all per-call state on the stack and in the caller's
+// state value.
+type Runner[S any] struct {
+	cfg    Config
+	stages []Stage[S]
+}
+
+// New builds a Runner over the declared stages, in execution order.
+func New[S any](cfg Config, stages ...Stage[S]) *Runner[S] {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Runner[S]{cfg: cfg, stages: stages}
+}
+
+// Names lists the declared stage names in execution order.
+func (r *Runner[S]) Names() []string {
+	names := make([]string, len(r.stages))
+	for i, st := range r.stages {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// Run executes the stages in order over state, applying the middleware
+// around each one. It returns one Timing per attempted stage (a prefix of
+// the declared list) and the first error. On error the last Timing entry
+// is the stage that failed; the remaining stages never run. A stage panic
+// surfaces as a *xsdferrors.PanicError return, not a panic.
+func (r *Runner[S]) Run(ctx context.Context, state S) ([]Timing, error) {
+	timings := make([]Timing, 0, len(r.stages))
+	for _, st := range r.stages {
+		if cerr := ctx.Err(); cerr != nil && !(r.cfg.TolerateCtxErr != nil && r.cfg.TolerateCtxErr(cerr)) {
+			timings = append(timings, Timing{Stage: st.Name, Failed: true})
+			return timings, xsdferrors.Canceled(cerr)
+		}
+		items, dur, err := r.runStage(ctx, st, state)
+		timings = append(timings, Timing{Stage: st.Name, Items: items, Duration: dur, Failed: err != nil})
+		if err != nil {
+			return timings, err
+		}
+	}
+	return timings, nil
+}
+
+// runStage executes one stage under the panic-recovery, fault-injection,
+// and timing middleware.
+func (r *Runner[S]) runStage(ctx context.Context, st Stage[S], state S) (items int, dur time.Duration, err error) {
+	start := r.cfg.Clock()
+	defer func() {
+		dur = r.cfg.Clock().Sub(start)
+		if v := recover(); v != nil {
+			err = &xsdferrors.PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	faultinject.StageStart(st.Name)
+	items, err = st.Run(ctx, state)
+	return items, dur, err
+}

@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/xsdferrors"
+)
+
+// state is the shared run state of the test pipelines: an execution trace.
+type state struct{ trace []string }
+
+func traced(name string, items int, err error) Stage[*state] {
+	return Stage[*state]{Name: name, Run: func(_ context.Context, s *state) (int, error) {
+		s.trace = append(s.trace, name)
+		return items, err
+	}}
+}
+
+func TestStagesRunInDeclaredOrder(t *testing.T) {
+	r := New(Config{}, traced("a", 1, nil), traced("b", 2, nil), traced("c", 3, nil))
+	s := &state{}
+	timings, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(s.trace); got != "[a b c]" {
+		t.Errorf("trace = %s", got)
+	}
+	if len(timings) != 3 {
+		t.Fatalf("timings = %d, want 3", len(timings))
+	}
+	for i, want := range []Timing{{Stage: "a", Items: 1}, {Stage: "b", Items: 2}, {Stage: "c", Items: 3}} {
+		if timings[i].Stage != want.Stage || timings[i].Items != want.Items || timings[i].Failed {
+			t.Errorf("timings[%d] = %+v, want stage %s items %d ok", i, timings[i], want.Stage, want.Items)
+		}
+	}
+	if got := fmt.Sprint(r.Names()); got != "[a b c]" {
+		t.Errorf("Names = %s", got)
+	}
+}
+
+func TestErrorStopsPipeline(t *testing.T) {
+	boom := errors.New("boom")
+	r := New(Config{}, traced("a", 1, nil), traced("b", 2, boom), traced("c", 3, nil))
+	s := &state{}
+	timings, err := r.Run(context.Background(), s)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := fmt.Sprint(s.trace); got != "[a b]" {
+		t.Errorf("trace = %s (stage c must not run)", got)
+	}
+	if len(timings) != 2 || !timings[1].Failed || timings[0].Failed {
+		t.Errorf("timings = %+v, want failure marked on b only", timings)
+	}
+}
+
+func TestStageTimingUsesClock(t *testing.T) {
+	// A deterministic clock advancing 5ms per reading: each stage is
+	// bracketed by two readings, so each Timing must report exactly 5ms.
+	now := time.Unix(0, 0)
+	r := New(Config{Clock: func() time.Time {
+		now = now.Add(5 * time.Millisecond)
+		return now
+	}}, traced("a", 0, nil), traced("b", 0, nil))
+	timings, err := r.Run(context.Background(), &state{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range timings {
+		if tm.Duration != 5*time.Millisecond {
+			t.Errorf("stage %s duration = %v, want 5ms", tm.Stage, tm.Duration)
+		}
+	}
+}
+
+func TestCancellationCheckedBeforeEachStage(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(Config{},
+		traced("a", 0, nil),
+		Stage[*state]{Name: "b", Run: func(_ context.Context, s *state) (int, error) {
+			s.trace = append(s.trace, "b")
+			cancel() // dies mid-run; c must never start
+			return 0, nil
+		}},
+		traced("c", 0, nil))
+	s := &state{}
+	timings, err := r.Run(ctx, s)
+	if !errors.Is(err, xsdferrors.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if got := fmt.Sprint(s.trace); got != "[a b]" {
+		t.Errorf("trace = %s", got)
+	}
+	// The refused stage is recorded as failed with zero items/duration.
+	last := timings[len(timings)-1]
+	if last.Stage != "c" || !last.Failed || last.Items != 0 || last.Duration != 0 {
+		t.Errorf("refused-stage timing = %+v", last)
+	}
+}
+
+func TestTolerateCtxErrRidesOutDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := New(Config{TolerateCtxErr: func(err error) bool {
+		return errors.Is(err, context.DeadlineExceeded)
+	}}, traced("a", 0, nil), traced("b", 0, nil))
+	s := &state{}
+	if _, err := r.Run(ctx, s); err != nil {
+		t.Fatalf("tolerated deadline must not abort, got %v", err)
+	}
+	if got := fmt.Sprint(s.trace); got != "[a b]" {
+		t.Errorf("trace = %s", got)
+	}
+	// The same predicate must still abort on explicit cancellation.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := r.Run(cctx, &state{}); !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("explicit cancellation must abort, got %v", err)
+	}
+}
+
+func TestPanicBoxedIntoPanicError(t *testing.T) {
+	r := New(Config{},
+		traced("a", 0, nil),
+		Stage[*state]{Name: "b", Run: func(context.Context, *state) (int, error) { panic("kaboom") }},
+		traced("c", 0, nil))
+	s := &state{}
+	timings, err := r.Run(context.Background(), s)
+	var pe *xsdferrors.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Doc != -1 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = doc %d value %v stack %d bytes", pe.Doc, pe.Value, len(pe.Stack))
+	}
+	if got := fmt.Sprint(s.trace); got != "[a]" {
+		t.Errorf("trace = %s (c must not run after the panic)", got)
+	}
+	if last := timings[len(timings)-1]; last.Stage != "b" || !last.Failed {
+		t.Errorf("panicking stage timing = %+v", last)
+	}
+}
+
+func TestFaultSeamFiresPerStage(t *testing.T) {
+	restore := faultinject.Install(faultinject.New(faultinject.Config{Seed: 1, StagePanicRate: 1}))
+	defer restore()
+	r := New(Config{}, traced("a", 0, nil))
+	_, err := r.Run(context.Background(), &state{})
+	var pe *xsdferrors.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want boxed injected panic", err, err)
+	}
+	ip, ok := pe.Value.(faultinject.InjectedPanic)
+	if !ok {
+		t.Fatalf("panic value %T, want InjectedPanic", pe.Value)
+	}
+	if ip.Point != faultinject.PointStage || ip.Stage != "a" {
+		t.Errorf("injected panic = %+v, want PointStage at stage a", ip)
+	}
+}

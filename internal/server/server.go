@@ -271,6 +271,18 @@ type GateReport struct {
 	AvgWaitMS int64  `json:"avg_wait_ms"`
 }
 
+// StageReport is the statusz view of one pipeline stage's cumulative
+// counters. Durations are fractional microseconds so sub-microsecond
+// stages (the guard on a small document) still report non-zero time.
+type StageReport struct {
+	Stage   string  `json:"stage"`
+	Calls   uint64  `json:"calls"`
+	Errors  uint64  `json:"errors"`
+	Items   uint64  `json:"items"`
+	TotalUS float64 `json:"total_us"`
+	AvgUS   float64 `json:"avg_us"`
+}
+
 // StatusReport is the /statusz body.
 type StatusReport struct {
 	UptimeSeconds int64                    `json:"uptime_seconds"`
@@ -282,6 +294,10 @@ type StatusReport struct {
 	Gate          *GateReport              `json:"gate,omitempty"`
 	Cache         disambig.CacheStats      `json:"cache"`
 	Breakers      map[string]BreakerReport `json:"breakers"`
+	// Stages is the framework's cumulative per-stage pipeline accounting,
+	// in execution order — the serving-layer answer to "where does the
+	// time go".
+	Stages []StageReport `json:"stages"`
 }
 
 // handleStatusz: one JSON snapshot of everything an operator asks first.
@@ -310,6 +326,19 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 	for route, br := range s.breakers {
 		rep.Breakers[route] = br.report()
+	}
+	for _, st := range s.fw.StageStats() {
+		sr := StageReport{
+			Stage:   st.Stage,
+			Calls:   st.Calls,
+			Errors:  st.Errors,
+			Items:   st.Items,
+			TotalUS: float64(st.Total.Nanoseconds()) / 1e3,
+		}
+		if st.Calls > 0 {
+			sr.AvgUS = sr.TotalUS / float64(st.Calls)
+		}
+		rep.Stages = append(rep.Stages, sr)
 	}
 	s.writeJSON(w, http.StatusOK, rep)
 }

@@ -84,6 +84,21 @@ func TestDisambiguateHappyPath(t *testing.T) {
 	if res.Degradation != nil {
 		t.Errorf("unexpected degradation report: %+v", res.Degradation)
 	}
+	if len(res.Stages) == 0 {
+		t.Fatal("response carries no per-stage instrumentation")
+	}
+	var disambigMicros int64 = -1
+	for _, st := range res.Stages {
+		if st.Failed {
+			t.Errorf("stage %s marked failed on a 200 response", st.Stage)
+		}
+		if st.Stage == "disambiguate" {
+			disambigMicros = st.Micros
+		}
+	}
+	if disambigMicros <= 0 {
+		t.Errorf("disambiguate stage duration = %dus, want > 0", disambigMicros)
+	}
 }
 
 // TestDisambiguateClientErrors: malformed JSON, empty documents, and
@@ -322,6 +337,14 @@ func TestHealthAndStatus(t *testing.T) {
 	}
 	if rep.Concurrency <= 0 {
 		t.Errorf("concurrency = %d, want derived from EffectiveWorkers", rep.Concurrency)
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("statusz carries no per-stage pipeline counters")
+	}
+	for _, st := range rep.Stages {
+		if st.Calls == 0 || st.TotalUS <= 0 {
+			t.Errorf("stage %s stats empty after a served request: %+v", st.Stage, st)
+		}
 	}
 }
 

@@ -56,6 +56,15 @@ type DegradationReport struct {
 	Cause string `json:"cause,omitempty"`
 }
 
+// StageTiming is one pipeline stage's record within a run: name, item
+// count, and duration in microseconds.
+type StageTiming struct {
+	Stage  string `json:"stage"`
+	Items  int    `json:"items"`
+	Micros int64  `json:"micros"`
+	Failed bool   `json:"failed,omitempty"`
+}
+
 // Result is the JSON body of a successful disambiguation.
 type Result struct {
 	Targets   int     `json:"targets"`
@@ -67,6 +76,9 @@ type Result struct {
 	LinksDangling int                `json:"links_dangling,omitempty"`
 	Assignments   []Assignment       `json:"assignments"`
 	Degradation   *DegradationReport `json:"degradation,omitempty"`
+	// Stages is the per-stage instrumentation of this run, in execution
+	// order.
+	Stages []StageTiming `json:"stages,omitempty"`
 }
 
 // BatchItem is one document's outcome inside a BatchResponse: an HTTP
@@ -103,6 +115,14 @@ func resultFromRun(res *xsdf.Result, runErr error) *Result {
 		Quality:       res.Degraded.String(),
 		LinksResolved: res.LinksResolved,
 		LinksDangling: res.LinksDangling,
+	}
+	for _, st := range res.Stages {
+		out.Stages = append(out.Stages, StageTiming{
+			Stage:  st.Stage,
+			Items:  st.Items,
+			Micros: st.Duration.Microseconds(),
+			Failed: st.Failed,
+		})
 	}
 	for _, n := range res.Tree.Nodes() {
 		if n.Sense == "" {

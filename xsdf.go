@@ -136,6 +136,28 @@ type AdmissionOptions = core.AdmissionOptions
 // admission/rejection/wait counters (see Framework.GateStats).
 type GateStats = core.GateStats
 
+// StageTiming is one pipeline stage's record within a single run: the
+// stage name, the number of items it worked over (nodes guarded, targets
+// disambiguated, labels harmonized, ...), its monotonic duration, and
+// whether the run stopped at it (see Result.Stages).
+type StageTiming = core.StageTiming
+
+// StageStats is one pipeline stage's cumulative accounting across a
+// framework's lifetime: calls, errors, items, and total duration (see
+// Framework.StageStats).
+type StageStats = core.StageStats
+
+// The pipeline stage names, in execution order, as they appear in
+// StageTiming.Stage and StageStats.Stage.
+const (
+	StageGuard        = core.StageGuard
+	StageAdmission    = core.StageAdmission
+	StagePreprocess   = core.StagePreprocess
+	StageSelect       = core.StageSelect
+	StageDisambiguate = core.StageDisambiguate
+	StageHarmonize    = core.StageHarmonize
+)
+
 // Options exposes every user parameter of the framework (Motivation 4).
 // Zero values select the documented defaults.
 type Options struct {
@@ -261,6 +283,11 @@ type Result struct {
 	// FollowLinks is off or the document was parsed by the caller.
 	LinksResolved int
 	LinksDangling int
+	// Stages is the per-stage instrumentation of this run: one entry per
+	// attempted pipeline stage, in execution order, with each stage's item
+	// count and monotonic duration — the per-document answer to "where did
+	// the time go". On a degraded abort it covers the stages that ran.
+	Stages []StageTiming
 }
 
 // New builds a Framework from the options.
@@ -327,7 +354,10 @@ func New(o Options) (*Framework, error) {
 		OneSensePerDiscourse: o.OneSensePerDiscourse,
 		MaxDepth:             enabledLimit(o.MaxDepth, xmltree.DefaultMaxDepth),
 		MaxNodes:             enabledLimit(o.MaxNodes, xmltree.DefaultMaxNodes),
-		Admission:            o.Admission,
+		// core forwards MaxTokenBytes to xmltree.ParseOptions, which shares
+		// the public convention (0 = default, negative = disabled) directly.
+		MaxTokenBytes: o.MaxTokenBytes,
+		Admission:     o.Admission,
 	})
 	if err != nil {
 		return nil, err
@@ -491,6 +521,7 @@ func fromCore(r *core.Result) *Result {
 		Degraded:     r.Degraded,
 		NodesAtLevel: r.NodesAtLevel,
 		Unscored:     r.Unscored,
+		Stages:       r.Stages,
 	}
 }
 
@@ -557,6 +588,13 @@ type CacheStats = disambig.CacheStats
 // the serving layer derives Retry-After hints for shed requests from
 // AvgWait. ok is false when Options.Admission is disabled.
 func (f *Framework) GateStats() (stats GateStats, ok bool) { return f.inner.GateStats() }
+
+// StageStats reports the cumulative per-stage pipeline counters — calls,
+// errors, items, total duration — one entry per declared stage in
+// execution order, accumulated across every document the framework has
+// processed. The serving layer surfaces them in /statusz; cmd/xsdf prints
+// them under -stages.
+func (f *Framework) StageStats() []StageStats { return f.inner.StageStats() }
 
 // CacheStats reports the shared cache's hit/miss counters — an
 // observability hook for serving deployments (cache effectiveness is the

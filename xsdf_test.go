@@ -277,3 +277,44 @@ func TestBadInput(t *testing.T) {
 		t.Error("expected parse error")
 	}
 }
+
+// TestPublicStageInstrumentation: a run reports every pipeline stage in
+// declared order with non-zero durations, and the framework accumulates
+// the matching lifetime counters.
+func TestPublicStageInstrumentation(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		xsdf.StageGuard, xsdf.StageAdmission, xsdf.StagePreprocess,
+		xsdf.StageSelect, xsdf.StageDisambiguate, xsdf.StageHarmonize,
+	}
+	if len(res.Stages) != len(names) {
+		t.Fatalf("Stages = %+v, want %d entries", res.Stages, len(names))
+	}
+	for i, st := range res.Stages {
+		if st.Stage != names[i] {
+			t.Errorf("Stages[%d] = %q, want %q", i, st.Stage, names[i])
+		}
+		if st.Duration <= 0 {
+			t.Errorf("stage %s duration = %v, want > 0", st.Stage, st.Duration)
+		}
+		if st.Failed {
+			t.Errorf("stage %s marked failed on a clean run", st.Stage)
+		}
+	}
+	stats := fw.StageStats()
+	if len(stats) != len(names) {
+		t.Fatalf("StageStats = %+v, want %d entries", stats, len(names))
+	}
+	for i, st := range stats {
+		if st.Stage != names[i] || st.Calls != 1 || st.Errors != 0 || st.Total <= 0 {
+			t.Errorf("StageStats[%d] = %+v, want stage %s with 1 clean timed call", i, st, names[i])
+		}
+	}
+}
