@@ -1,0 +1,37 @@
+# Repro build/test/bench entry points. Everything here is plain go
+# tooling; the Makefile only records the invocations so results are
+# reproducible across sessions.
+
+GO ?= go
+
+.PHONY: build test race bench-snapshot load-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-snapshot re-records the committed performance baselines:
+#   BENCH_pipeline.json — the batch pipeline benchmark (satellite of the
+#   streaming PR; diff it across PRs to catch regressions).
+bench-snapshot:
+	$(GO) build -o /tmp/xsdf-benchjson ./cmd/xsdf-benchjson
+	$(GO) test -run '^$$' -bench BenchmarkPipelineBatch -benchmem . | /tmp/xsdf-benchjson > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
+
+# load-smoke is the CI-sized load check: build the daemon and the
+# harness, serve on a local port, drive a short low-rate open-loop phase
+# plus a streaming phase, and fail on any lost/untyped response.
+load-smoke:
+	$(GO) build -o /tmp/xsdfd ./cmd/xsdfd
+	$(GO) build -o /tmp/xsdf-loadgen ./cmd/xsdf-loadgen
+	/tmp/xsdfd -addr 127.0.0.1:18080 & echo $$! > /tmp/xsdfd.pid; \
+	sleep 1; \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0; \
+	status=$$?; \
+	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
+	exit $$status

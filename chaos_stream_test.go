@@ -1,0 +1,145 @@
+package xsdf_test
+
+// Streaming chaos suite: drives POST /v1/stream through seeded
+// mid-stream-disconnect schedules (the PointStream wire faults — cuts and
+// stalled writes) and asserts the resume protocol's exactly-once
+// invariant: after the client's automatic resumes, the callback has seen
+// every document's cursor exactly once, in order, and the stream reached
+// its done-line. Run with -race; a failure reproduces from the seed in
+// the subtest name.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// streamChaosSchedules is the number of seeded disconnect schedules.
+const streamChaosSchedules = 50
+
+func TestStreamChaosSchedules(t *testing.T) {
+	n := int64(streamChaosSchedules)
+	if testing.Short() {
+		n = 8
+	}
+
+	// One framework and server for the whole suite: the faults under test
+	// live on the wire (PointStream), not in the pipeline, and a shared
+	// warm cache keeps 50 schedules fast. The breaker is disabled — a
+	// high-rate cut schedule may never complete a stream attempt, and this
+	// suite asserts resume accounting, not fail-fast behavior.
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Framework: fw,
+		Breaker:   server.BreakerOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	docs := streamChaosDocs(t, 6)
+
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runStreamChaosSchedule(t, ts.URL, docs, seed)
+		})
+	}
+}
+
+// streamChaosDocs serializes a slice of the shared corpus back to raw XML.
+func streamChaosDocs(t *testing.T, n int) []string {
+	t.Helper()
+	trees := freshCorpusTrees()
+	if len(trees) > n {
+		trees = trees[:n]
+	}
+	docs := make([]string, len(trees))
+	for i, tree := range trees {
+		var buf bytes.Buffer
+		if err := tree.WriteXML(&buf, false); err != nil {
+			t.Fatalf("doc %d: serialize: %v", i, err)
+		}
+		docs[i] = buf.String()
+	}
+	return docs
+}
+
+// runStreamChaosSchedule derives one seed's wire-fault mix, streams the
+// documents through it, and checks the exactly-once account.
+func runStreamChaosSchedule(t *testing.T, baseURL string, docs []string, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	restore := faultinject.Install(faultinject.New(faultinject.Config{
+		Seed: seed,
+		// Up to ~27% of emitted lines cut the connection; a further slice
+		// stalls the write briefly (a congested wire, not a dead one).
+		StreamCutRate:   0.02 + 0.25*rng.Float64(),
+		StreamStallRate: 0.10 * rng.Float64(),
+		StreamStall:     time.Millisecond,
+	}))
+	defer restore()
+
+	c, err := client.New(client.Options{
+		BaseURL: baseURL,
+		// Aggressive resume policy: the suite's worst seeds cut over a
+		// quarter of all lines, and the point is to survive them, not to
+		// give up politely.
+		MaxRetries:  50,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		JitterSeed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[int64]int)
+	last := int64(0)
+	stats, err := c.Stream(t.Context(), docs, client.StreamOptions{},
+		func(line server.StreamLine) error {
+			seen[line.Cursor]++
+			if line.Cursor != last+1 {
+				t.Errorf("cursor %d arrived after %d: out of order", line.Cursor, last)
+			}
+			last = line.Cursor
+			if line.Status != http.StatusOK || line.Result == nil {
+				t.Errorf("cursor %d: %+v, want a 200 result (no pipeline faults installed)", line.Cursor, line)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream never completed: %v (stats %+v)", err, stats)
+	}
+
+	// The exactly-once account: every document delivered once, none twice,
+	// none lost, and the totals agree.
+	for cursor := int64(1); cursor <= int64(len(docs)); cursor++ {
+		switch seen[cursor] {
+		case 1:
+		case 0:
+			t.Errorf("cursor %d lost", cursor)
+		default:
+			t.Errorf("cursor %d delivered %d times", cursor, seen[cursor])
+		}
+	}
+	if len(seen) != len(docs) {
+		t.Errorf("%d distinct cursors, want %d", len(seen), len(docs))
+	}
+	if stats.Delivered != int64(len(docs)) {
+		t.Errorf("stats.Delivered = %d, want %d", stats.Delivered, len(docs))
+	}
+	t.Logf("delivered %d docs over %d attempts (%d resumes)", stats.Delivered, stats.Attempts, stats.Resumes)
+}

@@ -1,0 +1,117 @@
+// Command xsdf-benchjson converts `go test -bench` text output (stdin)
+// into a stable JSON snapshot (stdout), so benchmark results can be
+// committed and diffed across PRs:
+//
+//	go test -run - -bench BenchmarkPipelineBatch -benchmem . | xsdf-benchjson > BENCH_pipeline.json
+//
+// Only result lines are kept; the surrounding chatter (goos/goarch, PASS,
+// timing) is folded into the metadata header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the committed JSON schema.
+type Snapshot struct {
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+func main() {
+	var snap Snapshot
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "xsdf-benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "xsdf-benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "xsdf-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  12345 ns/op  ...`
+// line; unparsable lines are skipped rather than fatal, so interleaved
+// test log output cannot break the snapshot.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !hasUnit(fields, "ns/op") {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+// hasUnit reports whether any field equals the unit token.
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,384 @@
+// Command xsdf-loadgen is the open-loop load harness for xsdfd: it fires
+// requests at a constant arrival rate — arrivals do NOT wait for earlier
+// responses, so the server cannot hide overload by slowing its clients
+// down — and reports what came back: latency percentiles, throughput, the
+// degraded-rate (the ladder absorbing pressure), and the shed-rate (the
+// admission gate and breaker refusing what would not fit).
+//
+//	xsdf-loadgen -url http://localhost:8080 -rate 200 -duration 30s
+//	xsdf-loadgen -url http://localhost:8080 -factor 2 -duration 30s   # 2x measured saturation
+//	xsdf-loadgen -url http://localhost:8080 -rate 50 -stream -out BENCH_stream.json
+//
+// With -rate 0 the harness first calibrates: a short closed-loop phase
+// measures the server's saturation throughput, and the open-loop phase
+// then runs at -factor times it — the sustained-overload experiment.
+//
+// Every response must be accounted for: a 200 (full or degraded), a shed
+// 429 carrying Retry-After and the overloaded kind, a breaker fast-fail
+// (503 circuit-open), or another typed error from the xsdferrors
+// taxonomy. Transport failures, undecodable bodies, and unknown kinds
+// count as lost — and lost documents fail the run (-max-lost, default 0),
+// as does a p99 above -check-p99-ms when set.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// typedKinds is the closed set of error kinds a healthy deployment may
+// answer with; anything else is an accounting failure.
+var typedKinds = map[string]bool{
+	"degraded": true, "overloaded": true, "panic": true, "limit": true,
+	"malformed-input": true, "unknown-option": true, "canceled": true,
+	"internal": true, "circuit-open": true, "injected": true,
+}
+
+// LatencyReport is the percentile summary of one phase's response times.
+type LatencyReport struct {
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// UnaryReport is the open-loop phase's account.
+type UnaryReport struct {
+	Sent          int64            `json:"sent"`
+	OKFull        int64            `json:"ok_full"`
+	OKDegraded    int64            `json:"ok_degraded"`
+	Shed          int64            `json:"shed"`
+	BreakerReject int64            `json:"breaker_rejected"`
+	TypedErrors   map[string]int64 `json:"typed_errors,omitempty"`
+	Lost          int64            `json:"lost"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	DegradedRate  float64          `json:"degraded_rate"`
+	ShedRate      float64          `json:"shed_rate"`
+	Latency       LatencyReport    `json:"latency"`
+}
+
+// StreamReport is the streaming phase's account.
+type StreamReport struct {
+	Documents  int     `json:"documents"`
+	Delivered  int64   `json:"delivered"`
+	Degraded   int64   `json:"degraded"`
+	TypedLines int64   `json:"typed_error_lines"`
+	Lost       int64   `json:"lost"`
+	Resumes    int     `json:"resumes"`
+	Attempts   int     `json:"attempts"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Report is the BENCH_stream.json schema.
+type Report struct {
+	URL           string        `json:"url"`
+	Seed          int64         `json:"seed"`
+	BudgetMS      int64         `json:"budget_ms"`
+	DurationS     float64       `json:"duration_s"`
+	RateRPS       float64       `json:"rate_rps"`
+	SaturationRPS float64       `json:"saturation_rps,omitempty"`
+	Factor        float64       `json:"factor,omitempty"`
+	Unary         UnaryReport   `json:"unary"`
+	Stream        *StreamReport `json:"stream,omitempty"`
+	Violations    []string      `json:"violations,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xsdf-loadgen: ")
+	var (
+		url        = flag.String("url", "http://localhost:8080", "base URL of the xsdfd daemon under load")
+		rate       = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = calibrate saturation, run at -factor times it)")
+		factor     = flag.Float64("factor", 2, "overload factor applied to the calibrated saturation rate")
+		calDur     = flag.Duration("calibrate-duration", 5*time.Second, "closed-loop calibration phase length")
+		duration   = flag.Duration("duration", 30*time.Second, "open-loop phase length")
+		budgetMS   = flag.Int64("budget-ms", 250, "per-request budget forwarded to the server")
+		seed       = flag.Int64("seed", 42, "workload mix seed (corpus generation and document order)")
+		out        = flag.String("out", "", "write the JSON report here as well as stdout")
+		doStream   = flag.Bool("stream", false, "also run a resumable streaming phase over /v1/stream")
+		checkP99MS = flag.Float64("check-p99-ms", 0, "fail the run when the unary p99 exceeds this (0 = no check)")
+		maxLost    = flag.Int64("max-lost", 0, "fail the run when more than this many responses are lost/untyped")
+	)
+	flag.Parse()
+
+	docs := workload(*seed)
+	log.Printf("workload: %d documents from the seeded corpus mix", len(docs))
+
+	hc := &http.Client{
+		Timeout: time.Duration(*budgetMS)*time.Millisecond*4 + 5*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+
+	rep := Report{URL: *url, Seed: *seed, BudgetMS: *budgetMS, DurationS: duration.Seconds()}
+	if *rate <= 0 {
+		rep.SaturationRPS = calibrate(hc, *url, docs, *budgetMS, *calDur)
+		rep.Factor = *factor
+		*rate = rep.SaturationRPS * *factor
+		if *rate <= 0 {
+			log.Fatalf("calibration measured no throughput; is %s serving?", *url)
+		}
+		log.Printf("calibrated saturation %.1f req/s; open-loop at %.1fx = %.1f req/s",
+			rep.SaturationRPS, *factor, *rate)
+	}
+	rep.RateRPS = *rate
+
+	rep.Unary = openLoop(hc, *url, docs, *budgetMS, *rate, *duration, *seed)
+	if *doStream {
+		sr := streamPhase(*url, docs, *budgetMS, *seed)
+		rep.Stream = &sr
+	}
+
+	// The pass/fail gate: untyped or lost responses are protocol failures,
+	// and an unbounded p99 means overload leaked past the shedding layers.
+	if rep.Unary.Lost > *maxLost {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("lost %d unary responses (max %d): untyped or undelivered under load", rep.Unary.Lost, *maxLost))
+	}
+	if *checkP99MS > 0 && rep.Unary.Latency.P99MS > *checkP99MS {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("unary p99 %.1fms exceeds bound %.1fms", rep.Unary.Latency.P99MS, *checkP99MS))
+	}
+	if rep.Stream != nil && rep.Stream.Lost > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("stream lost %d documents (want exactly-once delivery)", rep.Stream.Lost))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *out, err)
+		}
+		log.Printf("report written to %s", *out)
+	}
+	if len(rep.Violations) > 0 {
+		log.Fatalf("FAIL: %d violation(s): %v", len(rep.Violations), rep.Violations)
+	}
+	log.Printf("PASS: p99 %.1fms, %.1f req/s served, %.0f%% degraded, %.0f%% shed",
+		rep.Unary.Latency.P99MS, rep.Unary.ThroughputRPS,
+		100*rep.Unary.DegradedRate, 100*rep.Unary.ShedRate)
+}
+
+// workload serializes the seeded corpus (60 documents over 10 DTDs) into
+// the raw XML mix every phase draws from.
+func workload(seed int64) []string {
+	gen := corpus.Generate(seed)
+	docs := make([]string, len(gen))
+	for i, d := range gen {
+		var buf bytes.Buffer
+		if err := d.Tree.WriteXML(&buf, false); err != nil {
+			log.Fatalf("serializing corpus doc %d: %v", i, err)
+		}
+		docs[i] = buf.String()
+	}
+	return docs
+}
+
+// calibrate measures saturation throughput with a small closed loop: a
+// few workers re-request as fast as the server answers, so completions
+// per second approximate the service capacity.
+func calibrate(hc *http.Client, url string, docs []string, budgetMS int64, dur time.Duration) float64 {
+	const workers = 4
+	log.Printf("calibrating: %d closed-loop workers for %v", workers, dur)
+	deadline := time.Now().Add(dur)
+	var completed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				status, _, _, err := postOne(hc, url, docs[i%len(docs)], budgetMS)
+				if err == nil && status == http.StatusOK {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(completed) / time.Since(start).Seconds()
+}
+
+// openLoop fires requests at the constant arrival rate for the duration
+// and accounts for every response.
+func openLoop(hc *http.Client, url string, docs []string, budgetMS int64, rate float64, dur time.Duration, seed int64) UnaryReport {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	log.Printf("open loop: %.1f req/s for %v (one arrival every %v)", rate, dur, interval)
+
+	rep := UnaryReport{TypedErrors: map[string]int64{}}
+	var mu sync.Mutex
+	var latencies []float64
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(seed))
+
+	fire := func(doc string) {
+		defer wg.Done()
+		start := time.Now()
+		status, kind, retryAfter, err := postOne(hc, url, doc, budgetMS)
+		elapsed := float64(time.Since(start).Microseconds()) / 1e3
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			rep.Lost++ // transport failure or undecodable body
+			return
+		}
+		latencies = append(latencies, elapsed)
+		switch {
+		case status == http.StatusOK && kind == "full":
+			rep.OKFull++
+		case status == http.StatusOK:
+			rep.OKDegraded++
+		case status == http.StatusTooManyRequests && kind == "overloaded" && retryAfter:
+			rep.Shed++
+		case status == http.StatusServiceUnavailable && kind == "circuit-open":
+			rep.BreakerReject++
+		case typedKinds[kind]:
+			rep.TypedErrors[kind]++
+		default:
+			rep.Lost++ // untyped failure: protocol violation under load
+		}
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		rep.Sent++
+		wg.Add(1)
+		go fire(docs[rng.Intn(len(docs))])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(latencies)
+	rep.Latency = percentiles(latencies)
+	served := rep.OKFull + rep.OKDegraded
+	rep.ThroughputRPS = float64(served) / elapsed
+	if served > 0 {
+		rep.DegradedRate = float64(rep.OKDegraded) / float64(served)
+	}
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed+rep.BreakerReject) / float64(rep.Sent)
+	}
+	return rep
+}
+
+// postOne sends one unary request and classifies the answer. kind is
+// "full" or the quality rung for 200s, the taxonomy kind otherwise;
+// retryAfter reports whether the response carried the header.
+func postOne(hc *http.Client, url, doc string, budgetMS int64) (status int, kind string, retryAfter bool, err error) {
+	payload, err := json.Marshal(server.DisambiguateRequest{Document: doc, BudgetMS: budgetMS})
+	if err != nil {
+		return 0, "", false, err
+	}
+	resp, err := hc.Post(url+"/v1/disambiguate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, "", false, err
+	}
+	defer resp.Body.Close()
+	retryAfter = resp.Header.Get("Retry-After") != ""
+	if resp.StatusCode == http.StatusOK {
+		var res server.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return resp.StatusCode, "", retryAfter, err
+		}
+		if res.Quality == "" {
+			res.Quality = "full"
+		}
+		return resp.StatusCode, res.Quality, retryAfter, nil
+	}
+	var eb server.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		return resp.StatusCode, "", retryAfter, err
+	}
+	return resp.StatusCode, eb.Kind, retryAfter, nil
+}
+
+// streamPhase runs the whole workload through one resumable stream and
+// accounts for every line.
+func streamPhase(url string, docs []string, budgetMS int64, seed int64) StreamReport {
+	log.Printf("stream phase: %d documents through /v1/stream", len(docs))
+	c, err := client.New(client.Options{
+		BaseURL:    url,
+		MaxRetries: 10,
+		JitterSeed: seed,
+	})
+	if err != nil {
+		log.Fatalf("stream client: %v", err)
+	}
+	rep := StreamReport{Documents: len(docs)}
+	start := time.Now()
+	stats, err := c.Stream(context.Background(), docs,
+		client.StreamOptions{Budget: time.Duration(budgetMS) * time.Millisecond},
+		func(line server.StreamLine) error {
+			switch {
+			case line.Status == http.StatusOK && line.Result != nil:
+				if line.Result.Quality != "full" {
+					rep.Degraded++
+				}
+			case typedKinds[line.Kind]:
+				rep.TypedLines++
+			default:
+				rep.Lost++
+			}
+			return nil
+		})
+	rep.DurationMS = float64(time.Since(start).Microseconds()) / 1e3
+	rep.Delivered = stats.Delivered
+	rep.Resumes = stats.Resumes
+	rep.Attempts = stats.Attempts
+	if err != nil {
+		log.Printf("stream phase error: %v", err)
+		rep.Lost += int64(len(docs)) - stats.Delivered
+	}
+	return rep
+}
+
+// percentiles summarizes a sorted latency slice.
+func percentiles(sorted []float64) LatencyReport {
+	if len(sorted) == 0 {
+		return LatencyReport{}
+	}
+	at := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyReport{
+		P50MS: at(0.50),
+		P95MS: at(0.95),
+		P99MS: at(0.99),
+		MaxMS: sorted[len(sorted)-1],
+	}
+}

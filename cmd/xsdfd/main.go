@@ -9,6 +9,9 @@
 //
 //	POST /v1/disambiguate   {"document": "<a>...</a>", "budget_ms": 100}
 //	POST /v1/batch          {"documents": ["...", "..."]}
+//	POST /v1/stream         NDJSON in (header line + one document per
+//	                        line), NDJSON out (one cursor-stamped result
+//	                        line per document, resumable via resume_from)
 //	GET  /healthz  /readyz  /statusz
 //
 // The daemon is built to stay up: per-request deadlines (client budgets
@@ -53,9 +56,12 @@ func main() {
 
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "cap on any client-supplied request budget")
 		defTimeout  = flag.Duration("default-timeout", 10*time.Second, "request budget when the client sends none")
-		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes (per line on /v1/stream)")
 		concurrency = flag.Int("concurrency", 0, "max concurrent pipeline requests (0 = one per core)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+
+		streamWindow  = flag.Int("stream-window", 4, "max in-flight documents per /v1/stream request")
+		streamTimeout = flag.Duration("stream-write-timeout", 10*time.Second, "per-line write deadline before a slow stream consumer is shed")
 	)
 	flag.Parse()
 
@@ -86,12 +92,14 @@ func main() {
 		log.Fatalf("building framework: %v", err)
 	}
 	srv, err := server.New(server.Config{
-		Framework:      fw,
-		MaxBodyBytes:   *maxBody,
-		MaxTimeout:     *maxTimeout,
-		DefaultTimeout: *defTimeout,
-		Concurrency:    *concurrency,
-		Logf:           log.Printf,
+		Framework:          fw,
+		MaxBodyBytes:       *maxBody,
+		MaxTimeout:         *maxTimeout,
+		DefaultTimeout:     *defTimeout,
+		Concurrency:        *concurrency,
+		StreamWindow:       *streamWindow,
+		StreamWriteTimeout: *streamTimeout,
+		Logf:               log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("building server: %v", err)

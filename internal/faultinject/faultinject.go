@@ -90,6 +90,10 @@ const (
 	// poisoned stage boundary, boxed by the stage middleware into a
 	// *PanicError — or delays the stage.
 	PointStage
+	// PointStream fires before each NDJSON result line the streaming
+	// endpoint emits; a hit cuts the connection mid-stream (the client must
+	// resume from its cursor) or stalls the write (a slow wire).
+	PointStream
 
 	numPoints
 )
@@ -111,6 +115,8 @@ func (p Point) String() string {
 		return "server"
 	case PointStage:
 		return "stage"
+	case PointStream:
+		return "stream"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
@@ -156,6 +162,13 @@ type Config struct {
 	StagePanicRate float64
 	StageDelayRate float64
 	StageDelay     time.Duration
+	// StreamCutRate cuts the connection at PointStream instead of emitting
+	// the next NDJSON line (a mid-stream disconnect the client must resume
+	// across); StreamStallRate/StreamStall stall the line write (a slow
+	// wire between the emitter and the client).
+	StreamCutRate   float64
+	StreamStallRate float64
+	StreamStall     time.Duration
 }
 
 // Injector fires the faults of one Config. Each point draws from its own
@@ -319,6 +332,26 @@ func StageStart(stage string) {
 	if u < inj.cfg.StagePanicRate+inj.cfg.StageDelayRate && inj.cfg.StageDelay > 0 {
 		time.Sleep(inj.cfg.StageDelay)
 	}
+}
+
+// StreamEmit fires PointStream before one NDJSON result line is written.
+// It may sleep (a stalled wire) and reports cut=true when the schedule
+// wants the connection severed instead of the line delivered — the
+// streaming handler aborts the connection without writing, so the client
+// sees a mid-stream disconnect and must resume from its last cursor.
+func StreamEmit() (cut bool) {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	u, _ := inj.draw(PointStream)
+	if u < inj.cfg.StreamCutRate {
+		return true
+	}
+	if u < inj.cfg.StreamCutRate+inj.cfg.StreamStallRate && inj.cfg.StreamStall > 0 {
+		time.Sleep(inj.cfg.StreamStall)
+	}
+	return false
 }
 
 // Now is the pipeline's budget clock: time.Now plus any scheduled skew.

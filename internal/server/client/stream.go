@@ -1,0 +1,205 @@
+// Streaming consumer of POST /v1/stream: documents go up as NDJSON, one
+// result line per document comes back as each completes, and the client
+// survives the wire — a stream cut mid-flight (transport error, or an EOF
+// without the server's done-line) is resumed automatically by
+// reconnecting with resume_from set to the last cursor received, so the
+// server skips delivered documents and the caller's callback sees every
+// document exactly once. Reconnects ride the same capped seeded-jitter
+// backoff and Retry-After handling as the unary retry policy.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+	"repro/xsdferrors"
+)
+
+// StreamOptions tunes one Stream call.
+type StreamOptions struct {
+	// Budget is the per-document budget forwarded as the stream header's
+	// budget_ms (zero keeps the server default).
+	Budget time.Duration
+	// Window asks the server for a smaller in-flight window (zero keeps
+	// the server default).
+	Window int
+	// MaxLineBytes bounds one response line (default 4 MiB).
+	MaxLineBytes int
+}
+
+// StreamStats reports how a Stream call went on the wire.
+type StreamStats struct {
+	// Delivered is the number of per-document lines the callback received
+	// (exactly one per document on a clean finish).
+	Delivered int64
+	// Resumes is how many times the stream was re-established after a cut.
+	Resumes int
+	// Attempts is the total number of HTTP requests made.
+	Attempts int
+}
+
+// ErrStreamAborted wraps a callback error: the callback asked the client
+// to stop, so the stream was abandoned, not resumed.
+var ErrStreamAborted = fmt.Errorf("client: stream aborted by callback")
+
+// Stream sends documents through POST /v1/stream and invokes fn once per
+// per-document line, in document order. Lines carry the same typed
+// taxonomy as the unary endpoints — a degraded document arrives as a
+// status-200 line with its quality report, a failed one as a typed error
+// line; neither ends the stream. fn returning an error aborts the stream
+// without resuming. Disconnects are resumed transparently: fn never sees
+// a document twice, because the client reconnects with resume_from set to
+// the last cursor it handed fn. Consecutive reconnect attempts that make
+// no progress are bounded by MaxRetries; any delivered line resets the
+// allowance.
+func (c *Client) Stream(ctx context.Context, documents []string, opts StreamOptions, fn func(server.StreamLine) error) (StreamStats, error) {
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = 4 << 20
+	}
+	var stats StreamStats
+	resumeFrom := int64(0)
+	idle := 0 // consecutive attempts with no delivered line
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, xsdferrors.Canceled(err)
+		}
+		stats.Attempts++
+		progressed, done, retryAfter, err := c.streamOnce(ctx, documents, &resumeFrom, &stats.Delivered, opts, fn)
+		if done {
+			return stats, nil
+		}
+		if err != nil && isFinalStreamError(err) {
+			return stats, err
+		}
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+		}
+		if idle > c.opts.MaxRetries {
+			return stats, fmt.Errorf("client: stream stalled after %d attempts without progress: %w", idle, err)
+		}
+		stats.Resumes++
+		select {
+		case <-time.After(c.backoff(idle, retryAfter)):
+		case <-ctx.Done():
+			return stats, fmt.Errorf("client: %w (resuming stream: %v)", xsdferrors.Canceled(ctx.Err()), err)
+		}
+	}
+}
+
+// isFinalStreamError reports whether err ends the stream instead of
+// triggering a resume: callback aborts and non-retryable API answers
+// (client errors, final statuses) are final; transport cuts and retryable
+// statuses are not.
+func isFinalStreamError(err error) bool {
+	if errors.Is(err, ErrStreamAborted) {
+		return true
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return !apiErr.Retryable()
+	}
+	return false
+}
+
+// streamOnce performs one stream attempt. It advances resumeFrom and
+// delivered as lines arrive, so a cut mid-attempt keeps its progress.
+func (c *Client) streamOnce(ctx context.Context, documents []string, resumeFrom, delivered *int64, opts StreamOptions, fn func(server.StreamLine) error) (progressed, done bool, retryAfter time.Duration, err error) {
+	body, err := encodeStreamRequest(documents, *resumeFrom, opts)
+	if err != nil {
+		return false, false, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+"/v1/stream", bytes.NewReader(body))
+	if err != nil {
+		return false, false, 0, err
+	}
+	req.Header.Set("Content-Type", server.NDJSONContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, false, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb server.ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			eb = server.ErrorBody{Error: resp.Status, Kind: "internal"}
+		}
+		return false, false, parseRetryAfter(resp.Header.Get("Retry-After")),
+			&APIError{Status: resp.StatusCode, Kind: eb.Kind, Msg: eb.Error}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), opts.MaxLineBytes)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line server.StreamLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			// A torn line: the stream was cut mid-write. Resume from the
+			// last complete cursor.
+			return progressed, false, 0, fmt.Errorf("client: torn stream line: %w", err)
+		}
+		if line.Cursor == 0 {
+			// Terminal line.
+			if line.Done {
+				return progressed, true, 0, nil
+			}
+			// Draining server or a typed body-read failure: resume.
+			return progressed, false, 0, &APIError{
+				Status: http.StatusServiceUnavailable, Kind: line.Kind, Msg: line.Error,
+			}
+		}
+		if line.Cursor <= *resumeFrom {
+			continue // duplicate delivery guard: never hand fn an old cursor
+		}
+		if line.Cursor != *resumeFrom+1 {
+			return progressed, false, 0, fmt.Errorf(
+				"client: stream cursor jumped %d -> %d (lost line)", *resumeFrom, line.Cursor)
+		}
+		*resumeFrom = line.Cursor
+		*delivered++
+		progressed = true
+		if err := fn(line); err != nil {
+			return progressed, false, 0, fmt.Errorf("%w: %v", ErrStreamAborted, err)
+		}
+	}
+	// EOF (or a read error) without a done-line: the stream was cut.
+	err = sc.Err()
+	if err == nil {
+		err = fmt.Errorf("client: stream ended without a done line (cursor %d)", *resumeFrom)
+	}
+	return progressed, false, 0, err
+}
+
+// encodeStreamRequest renders the NDJSON request body: header line, then
+// one line per document. The full sequence is re-sent on resume — the
+// server skips delivered documents by cursor, which keeps cursor numbering
+// identical across reconnects.
+func encodeStreamRequest(documents []string, resumeFrom int64, opts StreamOptions) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	hdr := server.StreamHeader{
+		BudgetMS:   opts.Budget.Milliseconds(),
+		ResumeFrom: resumeFrom,
+		Window:     opts.Window,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return nil, err
+	}
+	for _, doc := range documents {
+		if err := enc.Encode(server.StreamDoc{Document: doc}); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,231 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cutStreamHandler scripts a resumable stream server: the first attempt
+// delivers lines up to cutAfter and then severs the connection without a
+// done-line; later attempts honor resume_from and finish cleanly.
+type cutStreamHandler struct {
+	mu       sync.Mutex
+	total    int64
+	cutAfter int64 // first attempt is cut after this cursor (0 = never)
+	headers  []server.StreamHeader
+}
+
+func (h *cutStreamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var hdr server.StreamHeader
+	sc := bufio.NewScanner(r.Body)
+	if !sc.Scan() {
+		http.Error(w, "no header", http.StatusBadRequest)
+		return
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.mu.Lock()
+	attempt := len(h.headers)
+	h.headers = append(h.headers, hdr)
+	h.mu.Unlock()
+
+	w.Header().Set("Content-Type", server.NDJSONContentType)
+	enc := json.NewEncoder(w)
+	fl := w.(http.Flusher)
+	var delivered int64
+	for cursor := hdr.ResumeFrom + 1; cursor <= h.total; cursor++ {
+		enc.Encode(server.StreamLine{
+			Cursor: cursor, Status: http.StatusOK,
+			Result: &server.Result{Targets: 1, Assigned: 1, Quality: "full"},
+		})
+		fl.Flush()
+		delivered++
+		if attempt == 0 && h.cutAfter > 0 && cursor == h.cutAfter {
+			// Sever without a done-line: the wire-cut the client must survive.
+			panic(http.ErrAbortHandler)
+		}
+	}
+	enc.Encode(server.StreamLine{Done: true, Delivered: delivered})
+	fl.Flush()
+}
+
+func newStreamClient(t *testing.T, h http.Handler) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(Options{
+		BaseURL:     ts.URL,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStreamResumesAfterCut: a stream cut mid-flight resumes from the
+// last delivered cursor — the second attempt advertises resume_from, and
+// the callback sees every cursor exactly once, in order.
+func TestStreamResumesAfterCut(t *testing.T) {
+	h := &cutStreamHandler{total: 5, cutAfter: 2}
+	c := newStreamClient(t, h)
+
+	var got []int64
+	stats, err := c.Stream(context.Background(), []string{"a", "b", "c", "d", "e"},
+		StreamOptions{}, func(line server.StreamLine) error {
+			got = append(got, line.Cursor)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Stream = %v", err)
+	}
+	want := []int64{1, 2, 3, 4, 5}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cursors seen %v, want %v exactly once each", got, want)
+	}
+	if stats.Delivered != 5 || stats.Resumes != 1 || stats.Attempts != 2 {
+		t.Errorf("stats = %+v, want 5 delivered over 2 attempts with 1 resume", stats)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.headers) != 2 || h.headers[0].ResumeFrom != 0 || h.headers[1].ResumeFrom != 2 {
+		t.Errorf("headers %+v, want resume_from 0 then 2", h.headers)
+	}
+}
+
+// TestStreamCleanFirstAttempt: no cut, one attempt, no resumes.
+func TestStreamCleanFirstAttempt(t *testing.T) {
+	h := &cutStreamHandler{total: 3}
+	c := newStreamClient(t, h)
+	var n int
+	stats, err := c.Stream(context.Background(), []string{"a", "b", "c"},
+		StreamOptions{}, func(server.StreamLine) error { n++; return nil })
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v callbacks=%d, want clean 3-line stream", err, n)
+	}
+	if stats.Attempts != 1 || stats.Resumes != 0 {
+		t.Errorf("stats = %+v, want a single attempt", stats)
+	}
+}
+
+// TestStreamNonRetryableIsFinal: a 400 answer ends the stream immediately
+// instead of hammering the server with resumes.
+func TestStreamNonRetryableIsFinal(t *testing.T) {
+	var attempts atomic.Int64
+	c := newStreamClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorBody{Error: "bad header", Kind: "malformed-input"})
+	}))
+	_, err := c.Stream(context.Background(), []string{"a"}, StreamOptions{},
+		func(server.StreamLine) error { return nil })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the 400 APIError", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("%d attempts, want 1 (client errors are final)", n)
+	}
+}
+
+// TestStreamCallbackAbort: fn returning an error abandons the stream
+// without resuming.
+func TestStreamCallbackAbort(t *testing.T) {
+	h := &cutStreamHandler{total: 5}
+	c := newStreamClient(t, h)
+	sentinel := errors.New("stop here")
+	var seen int
+	_, err := c.Stream(context.Background(), []string{"a", "b", "c", "d", "e"},
+		StreamOptions{}, func(server.StreamLine) error {
+			seen++
+			if seen == 2 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, ErrStreamAborted) || !strings.Contains(err.Error(), "stop here") {
+		t.Fatalf("err = %v, want ErrStreamAborted carrying the callback error", err)
+	}
+	if seen != 2 {
+		t.Errorf("callback ran %d times, want 2 (no resume after abort)", seen)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.headers) != 1 {
+		t.Errorf("%d attempts, want 1 (aborted streams are not resumed)", len(h.headers))
+	}
+}
+
+// TestStreamStallsOutWithoutProgress: a server that always cuts before
+// the first line exhausts the no-progress allowance instead of looping
+// forever.
+func TestStreamStallsOutWithoutProgress(t *testing.T) {
+	var attempts atomic.Int64
+	c := newStreamClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	_, err := c.Stream(context.Background(), []string{"a"}, StreamOptions{},
+		func(server.StreamLine) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want a stall error", err)
+	}
+	if n := attempts.Load(); n < 2 {
+		t.Errorf("%d attempts, want retries before stalling out", n)
+	}
+}
+
+// TestStreamDrainingResumes: a "draining" terminal line is retryable —
+// the client backs off and resumes, and the resumed attempt completes.
+func TestStreamDrainingResumes(t *testing.T) {
+	var mu sync.Mutex
+	attempt := 0
+	c := newStreamClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempt++
+		first := attempt == 1
+		mu.Unlock()
+		var hdr server.StreamHeader
+		sc := bufio.NewScanner(r.Body)
+		sc.Scan()
+		json.Unmarshal(sc.Bytes(), &hdr)
+		w.Header().Set("Content-Type", server.NDJSONContentType)
+		enc := json.NewEncoder(w)
+		if first {
+			enc.Encode(server.StreamLine{Cursor: 1, Status: http.StatusOK,
+				Result: &server.Result{Targets: 1, Assigned: 1, Quality: "full"}})
+			enc.Encode(server.StreamLine{Kind: "draining", Error: "server draining", Delivered: 1})
+			return
+		}
+		for cursor := hdr.ResumeFrom + 1; cursor <= 2; cursor++ {
+			enc.Encode(server.StreamLine{Cursor: cursor, Status: http.StatusOK,
+				Result: &server.Result{Targets: 1, Assigned: 1, Quality: "full"}})
+		}
+		enc.Encode(server.StreamLine{Done: true, Delivered: 2 - hdr.ResumeFrom})
+	}))
+
+	var got []int64
+	stats, err := c.Stream(context.Background(), []string{"a", "b"}, StreamOptions{},
+		func(line server.StreamLine) error { got = append(got, line.Cursor); return nil })
+	if err != nil {
+		t.Fatalf("Stream = %v", err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]int64{1, 2}) || stats.Resumes != 1 {
+		t.Errorf("cursors %v stats %+v, want 1,2 with one resume off the draining line", got, stats)
+	}
+}

@@ -74,6 +74,20 @@ type Config struct {
 	// worker pool in the stack.
 	Concurrency int
 
+	// StreamWindow bounds how many documents one /v1/stream request keeps
+	// in flight at once (default 4): the reader stops consuming the
+	// request body while the window is full, so memory stays bounded no
+	// matter how large the streamed batch is. A client may request a
+	// smaller window per stream; never a larger one.
+	StreamWindow int
+
+	// StreamWriteTimeout is the per-line write deadline of /v1/stream
+	// responses (default 10s). A client that stops consuming mid-stream
+	// blocks the emitter until the deadline fires and is then shed — the
+	// stream's handler slot and worker goroutines are freed instead of
+	// being pinned by a slow reader.
+	StreamWriteTimeout time.Duration
+
 	// Breaker configures the per-route circuit breakers.
 	Breaker BreakerOptions
 
@@ -94,11 +108,13 @@ type Server struct {
 	handler http.Handler
 	httpSrv *http.Server
 
-	sem      chan struct{} // handler-concurrency slots
-	draining atomic.Bool
-	inFlight atomic.Int64
-	served   atomic.Uint64
-	start    time.Time
+	sem       chan struct{} // handler-concurrency slots
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed when draining begins
+	inFlight  atomic.Int64
+	served    atomic.Uint64
+	start     time.Time
 
 	statusMu     sync.Mutex
 	statusCounts map[int]uint64
@@ -121,6 +137,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.DefaultTimeout = cfg.MaxTimeout
 	}
 	cfg.Concurrency = core.EffectiveWorkers(cfg.Concurrency)
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 4
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = 10 * time.Second
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = faultinject.Now
 	}
@@ -132,11 +154,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:          cfg,
 		fw:           cfg.Framework,
 		sem:          make(chan struct{}, cfg.Concurrency),
+		drainCh:      make(chan struct{}),
 		start:        time.Now(),
 		statusCounts: make(map[int]uint64),
 		breakers: map[string]*breaker{
 			"disambiguate": newBreaker(cfg.Breaker, cfg.Clock),
 			"batch":        newBreaker(cfg.Breaker, cfg.Clock),
+			"stream":       newBreaker(cfg.Breaker, cfg.Clock),
 		},
 	}
 
@@ -146,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.Handle("POST /v1/disambiguate", s.guarded("disambiguate", s.serveDisambiguate))
 	mux.Handle("POST /v1/batch", s.guarded("batch", s.serveBatch))
+	mux.Handle("POST /v1/stream", s.guarded("stream", s.serveStream))
 	s.handler = s.withAccounting(s.withRecovery(mux))
 
 	s.httpSrv = &http.Server{
@@ -174,9 +199,15 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Drain marks the server not-ready: /readyz answers 503 so load balancers
 // stop routing here, while open connections and in-flight requests keep
-// being served. Shutdown calls it implicitly; calling it earlier gives
-// orchestrators a pre-stop window.
-func (s *Server) Drain() { s.draining.Store(true) }
+// being served. In-flight streams observe the drain and wrap up — they
+// finish emitting the lines of their in-flight window, send a "draining"
+// terminal line, and end, so a resumable client reconnects elsewhere
+// instead of being cut mid-line. Shutdown calls Drain implicitly; calling
+// it earlier gives orchestrators a pre-stop window.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Shutdown gracefully stops the server: it drains (readyz flips to 503),
 // closes the listeners so new connections are refused, and waits for
@@ -212,6 +243,13 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					// A deliberate connection abort (the streaming
+					// endpoint's injected mid-stream disconnect): let
+					// net/http sever the connection instead of dressing it
+					// up as a 500.
+					panic(v)
+				}
 				pe := &xsdferrors.PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
 				s.cfg.Logf("server: panic serving %s: %v", r.URL.Path, v)
 				// Best effort: if the handler already wrote, the connection
@@ -579,6 +617,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	}
 	return r.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so the
+// streaming endpoint's per-line flushes and write deadlines reach the real
+// connection through the middleware wrappers.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // Status is the recorded code (200 when the handler wrote a body without
 // an explicit WriteHeader; 200 also when it wrote nothing at all, which

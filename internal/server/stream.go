@@ -1,0 +1,303 @@
+// POST /v1/stream: the sustained-load streaming batch endpoint. The
+// request body is NDJSON — one StreamHeader line, then one StreamDoc line
+// per document — and the response is NDJSON too: one StreamLine per
+// document, emitted in request order as each document completes, so a
+// corpus far larger than memory flows through a bounded window instead of
+// being buffered whole (the batch endpoint's shape inverted for scale).
+//
+// The design center is backpressure in both directions:
+//
+//   - Upstream: documents are pulled from the request body incrementally
+//     and at most StreamWindow are in flight at once; when the window is
+//     full the reader stops consuming the body, so TCP flow control
+//     propagates the server's pace back to the producer.
+//   - Downstream: every response line is written under StreamWriteTimeout.
+//     A client that stops consuming blocks the emitter until the deadline
+//     fires, and the stream is then shed — the handler slot, the window,
+//     and every worker goroutine are released — rather than letting a slow
+//     reader pin pipeline capacity.
+//
+// Each document inherits its own budget from the header's budget_ms (the
+// per-line budget), runs through the full guarded pipeline (admission
+// gate, degradation ladder, resource guards), and maps onto its line
+// through the same xsdferrors.HTTPStatus taxonomy as /v1/disambiguate —
+// degraded results flow inline as status-200 lines carrying the quality
+// report.
+//
+// Streams are resumable: line N carries cursor N (its 1-based position in
+// the request sequence), and a client reconnecting with resume_from=N
+// re-sends the identical sequence and receives lines N+1.. — delivered
+// documents are skipped, not reprocessed. A clean stream ends with a
+// done-line; a missing done-line tells the client the stream was cut.
+// During graceful drain the in-flight window finishes emitting, a
+// "draining" terminal line is sent instead of done, and the client resumes
+// against another replica.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/xsdferrors"
+)
+
+// NDJSONContentType is the media type of /v1/stream requests and
+// responses.
+const NDJSONContentType = "application/x-ndjson"
+
+// streamJob is one document moving through the stream window: the reader
+// creates it in cursor order, a worker fills line and closes done, and the
+// emitter writes lines in the same cursor order it received the jobs.
+type streamJob struct {
+	cursor int64
+	line   StreamLine
+	done   chan struct{}
+}
+
+// serveStream: POST /v1/stream.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	body := bufio.NewScanner(r.Body)
+	body.Buffer(make([]byte, 64<<10), s.streamLineLimit())
+
+	hdr, err := readStreamHeader(body, s.streamLineLimit())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	budget := s.cfg.DefaultTimeout
+	if hdr.BudgetMS > 0 {
+		budget = time.Duration(hdr.BudgetMS) * time.Millisecond
+		if budget > s.cfg.MaxTimeout {
+			budget = s.cfg.MaxTimeout
+		}
+	}
+	window := s.cfg.StreamWindow
+	if hdr.Window > 0 && hdr.Window < window {
+		window = hdr.Window
+	}
+
+	// The stream occupies one handler slot for its whole life; saturation
+	// past the per-line budget is shed as overload before any line flows.
+	slotCtx, slotCancel := context.WithTimeout(ctx, budget)
+	release, err := s.acquireSlot(slotCtx)
+	slotCancel()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	if err := faultinject.ServerFault(); err != nil {
+		s.writeErrorBody(w, http.StatusInternalServerError, err.Error(), "injected")
+		return
+	}
+
+	// From here the response is committed: a 200 NDJSON stream whose
+	// failures are typed lines, not status codes.
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	// Reader: pull documents from the body incrementally, skip the ones a
+	// resuming client already holds, and dispatch the rest into the
+	// bounded window. jobs' capacity plus the one job the emitter holds is
+	// the in-flight window; a full channel stops the reader — and through
+	// it, the request body — until the emitter delivers a line.
+	jobs := make(chan *streamJob, window-1)
+	var readErr error
+	var drained bool
+	go func() {
+		defer close(jobs)
+		cursor := int64(0)
+		for {
+			select {
+			case <-s.drainCh:
+				drained = true
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			if !body.Scan() {
+				readErr = body.Err()
+				return
+			}
+			raw := bytes.TrimSpace(body.Bytes())
+			if len(raw) == 0 {
+				continue // tolerate blank separator lines (cursor unchanged)
+			}
+			cursor++
+			if cursor <= hdr.ResumeFrom {
+				continue // already delivered before the reconnect
+			}
+			job := &streamJob{cursor: cursor, done: make(chan struct{})}
+			var doc StreamDoc
+			decodeErr := json.Unmarshal(raw, &doc)
+			if decodeErr != nil {
+				job.line = streamErrorLine(job.cursor, fmt.Errorf(
+					"%w: stream line %d: %v", xsdferrors.ErrMalformedInput, cursor, decodeErr))
+				close(job.done)
+			}
+			// Push before spawning: a full channel is the backpressure that
+			// stops body consumption while the window is busy.
+			select {
+			case jobs <- job:
+			case <-ctx.Done():
+				return
+			}
+			if decodeErr == nil {
+				go s.processStreamDoc(ctx, job, doc.Document, budget)
+			}
+		}
+	}()
+
+	// Emitter: deliver lines in cursor order, each under its own write
+	// deadline. A failed write sheds the stream — processing is canceled
+	// and the remaining jobs are drained without writing, so every worker
+	// goroutine ends before the handler returns.
+	var delivered int64
+	shed := false
+	for job := range jobs {
+		<-job.done
+		if shed {
+			continue
+		}
+		if faultinject.StreamEmit() {
+			// Injected mid-stream disconnect: sever the connection instead
+			// of delivering the line. Cancel first so the reader and
+			// workers unwind; ErrAbortHandler passes through the recovery
+			// middleware and makes net/http drop the connection.
+			cancel()
+			for j := range jobs {
+				<-j.done
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if err := s.writeStreamLine(rc, w, job.line); err != nil {
+			s.cfg.Logf("server: stream shed at cursor %d: %v", job.cursor, err)
+			shed = true
+			cancel()
+			continue
+		}
+		delivered++
+	}
+	if shed {
+		return
+	}
+
+	final := StreamLine{Delivered: delivered}
+	switch {
+	case drained:
+		final.Kind = "draining"
+		final.Error = "server draining; resume from the last cursor against another replica"
+	case readErr != nil:
+		err := readErr
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = &xsdferrors.LimitError{Limit: "stream-line-bytes", Max: s.streamLineLimit(), Actual: s.streamLineLimit() + 1}
+		}
+		final.Status = xsdferrors.HTTPStatus(err)
+		final.Error = fmt.Sprintf("server: reading stream body: %v", err)
+		final.Kind = xsdferrors.Kind(err)
+	default:
+		final.Done = true
+	}
+	if err := s.writeStreamLine(rc, w, final); err != nil {
+		s.cfg.Logf("server: stream terminal line: %v", err)
+	}
+}
+
+// processStreamDoc runs one document through the pipeline under its
+// per-line budget and fills the job's line.
+func (s *Server) processStreamDoc(ctx context.Context, job *streamJob, document string, budget time.Duration) {
+	defer close(job.done)
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &xsdferrors.PanicError{Doc: int(job.cursor), Value: v}
+			job.line = streamErrorLine(job.cursor, pe)
+		}
+	}()
+	if strings.TrimSpace(document) == "" {
+		job.line = streamErrorLine(job.cursor, fmt.Errorf("%w: empty document", xsdferrors.ErrMalformedInput))
+		return
+	}
+	dctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	res, runErr := s.fw.DisambiguateContext(dctx, strings.NewReader(document))
+	if res == nil {
+		job.line = streamErrorLine(job.cursor, runErr)
+		return
+	}
+	// Success — possibly degraded: the line is the inline counterpart of
+	// the unary 200 + quality header + degradation report.
+	job.line = StreamLine{Cursor: job.cursor, Status: http.StatusOK, Result: resultFromRun(res, runErr)}
+}
+
+// streamErrorLine maps one document's pipeline error onto its typed line.
+func streamErrorLine(cursor int64, err error) StreamLine {
+	if err == nil {
+		err = fmt.Errorf("server: document produced no result and no error")
+	}
+	return StreamLine{
+		Cursor: cursor,
+		Status: xsdferrors.HTTPStatus(err),
+		Error:  err.Error(),
+		Kind:   xsdferrors.Kind(err),
+	}
+}
+
+// writeStreamLine writes one NDJSON line and flushes it under the
+// configured write deadline, so a stalled client surfaces as a write
+// error instead of a blocked worker.
+func (s *Server) writeStreamLine(rc *http.ResponseController, w http.ResponseWriter, line StreamLine) error {
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if s.cfg.StreamWriteTimeout > 0 {
+		if err := rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	return rc.Flush()
+}
+
+// readStreamHeader decodes the mandatory first line of a stream request.
+func readStreamHeader(body *bufio.Scanner, limit int) (StreamHeader, error) {
+	var hdr StreamHeader
+	if !body.Scan() {
+		err := body.Err()
+		if errors.Is(err, bufio.ErrTooLong) {
+			return hdr, &xsdferrors.LimitError{Limit: "stream-line-bytes", Max: limit, Actual: limit + 1}
+		}
+		return hdr, fmt.Errorf("%w: empty stream body (want a header line)", xsdferrors.ErrMalformedInput)
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(body.Bytes()), &hdr); err != nil {
+		return hdr, fmt.Errorf("%w: stream header: %v", xsdferrors.ErrMalformedInput, err)
+	}
+	if hdr.ResumeFrom < 0 {
+		return hdr, fmt.Errorf("%w: negative resume_from %d", xsdferrors.ErrMalformedInput, hdr.ResumeFrom)
+	}
+	return hdr, nil
+}
+
+// streamLineLimit is the per-line byte cap of a stream request: the
+// streaming reinterpretation of MaxBodyBytes — the body as a whole is
+// unbounded (that is the point), each line is not.
+func (s *Server) streamLineLimit() int {
+	return int(s.cfg.MaxBodyBytes)
+}

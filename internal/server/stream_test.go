@@ -1,0 +1,523 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/faultinject"
+	"repro/internal/xmltree"
+)
+
+// streamBody renders a /v1/stream request body: header + documents.
+func streamBody(t *testing.T, hdr StreamHeader, docs ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := enc.Encode(StreamDoc{Document: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// postStream posts a stream request and decodes every response line.
+func postStream(t *testing.T, ts *httptest.Server, body []byte) (lines []StreamLine, status int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/stream", NDJSONContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("undecodable stream line %q: %v", sc.Bytes(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return lines, resp.StatusCode
+}
+
+// TestStreamHappyPath: N documents in, N cursor-ordered result lines out,
+// then a done-line accounting for every delivery.
+func TestStreamHappyPath(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 5
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = testDoc
+	}
+	lines, status := postStream(t, ts, streamBody(t, StreamHeader{}, docs...))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if len(lines) != n+1 {
+		t.Fatalf("%d lines, want %d results + done", len(lines), n)
+	}
+	for i, line := range lines[:n] {
+		if line.Cursor != int64(i+1) {
+			t.Errorf("line %d: cursor %d, want %d (monotonic order)", i, line.Cursor, i+1)
+		}
+		if line.Status != http.StatusOK || line.Result == nil || line.Result.Assigned == 0 {
+			t.Errorf("line %d: %+v, want a 200 result", i, line)
+		}
+		if line.Result != nil && line.Result.Quality != "full" {
+			t.Errorf("line %d: quality %q, want full", i, line.Result.Quality)
+		}
+	}
+	final := lines[n]
+	if !final.Done || final.Cursor != 0 || final.Delivered != n {
+		t.Errorf("terminal line %+v, want done with %d delivered", final, n)
+	}
+}
+
+// TestStreamResumeSkipsDelivered: reconnecting with resume_from=k replays
+// the identical sequence but receives only cursors k+1.. — skipped
+// documents are not reprocessed, and cursor numbering is stable.
+func TestStreamResumeSkipsDelivered(t *testing.T) {
+	var processed int64
+	var mu sync.Mutex
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeTree: func(*xmltree.Tree) {
+		mu.Lock()
+		processed++
+		mu.Unlock()
+	}})
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	docs := []string{testDoc, testDoc, testDoc, testDoc, testDoc, testDoc}
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{ResumeFrom: 4}, docs...))
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 2 results + done", len(lines))
+	}
+	if lines[0].Cursor != 5 || lines[1].Cursor != 6 {
+		t.Errorf("cursors %d,%d, want 5,6", lines[0].Cursor, lines[1].Cursor)
+	}
+	if !lines[2].Done || lines[2].Delivered != 2 {
+		t.Errorf("terminal %+v, want done with 2 delivered", lines[2])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if processed != 2 {
+		t.Errorf("%d documents processed, want 2 (resume must skip, not reprocess)", processed)
+	}
+}
+
+// TestStreamPerDocErrorsTyped: a malformed document mid-stream becomes a
+// typed error line; its neighbors still deliver results and the stream
+// runs to completion.
+func TestStreamPerDocErrorsTyped(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{},
+		testDoc, "<a><b></a>", testDoc, ""))
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 4 results + done", len(lines))
+	}
+	if lines[0].Status != http.StatusOK || lines[2].Status != http.StatusOK {
+		t.Errorf("healthy neighbors: %+v / %+v, want 200", lines[0], lines[2])
+	}
+	for _, i := range []int{1, 3} {
+		if lines[i].Status != http.StatusBadRequest || lines[i].Kind != "malformed-input" {
+			t.Errorf("line %d: %+v, want 400/malformed-input", i, lines[i])
+		}
+	}
+	if !lines[4].Done || lines[4].Delivered != 4 {
+		t.Errorf("terminal %+v, want done with 4 delivered (typed errors count)", lines[4])
+	}
+}
+
+// TestStreamDegradedInline: degraded documents flow as 200 lines carrying
+// the quality report — the inline counterpart of the unary degraded
+// response.
+func TestStreamDegradedInline(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{
+		Degrade: xsdf.DegradeOptions{Enabled: true, FirstSenseAfter: 1},
+	}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{}, testDoc))
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want result + done", len(lines))
+	}
+	res := lines[0].Result
+	if lines[0].Status != http.StatusOK || res == nil {
+		t.Fatalf("degraded line = %+v, want 200 with result", lines[0])
+	}
+	if res.Quality != "first-sense" || res.Degradation == nil || res.Degradation.Level != "first-sense" {
+		t.Errorf("quality report missing: quality %q degradation %+v", res.Quality, res.Degradation)
+	}
+}
+
+// TestStreamHeaderErrors: a missing or malformed header line is rejected
+// as a unary typed error before any line flows.
+func TestStreamHeaderErrors(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"empty":      "",
+		"not-json":   "hello\n",
+		"neg-resume": `{"resume_from":-2}` + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/stream", NDJSONContentType, strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			eb := decodeBodyInto[ErrorBody](t, resp)
+			if eb.Kind != "malformed-input" {
+				t.Errorf("kind = %q, want malformed-input", eb.Kind)
+			}
+		})
+	}
+}
+
+// pipeListener hands the HTTP server one pre-made in-memory connection.
+// net.Pipe is fully synchronous — a write blocks until the peer reads —
+// so it models a client whose receive window is exactly zero, the
+// worst-case slow consumer.
+type pipeListener struct {
+	conn net.Conn
+	once sync.Once
+	done chan struct{}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	var c net.Conn
+	l.once.Do(func() { c = l.conn })
+	if c != nil {
+		return c, nil
+	}
+	<-l.done
+	return nil, net.ErrClosed
+}
+func (l *pipeListener) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+func (l *pipeListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)} }
+
+// TestStreamSlowClientShed is the slow-client backpressure satellite: a
+// reader that stops consuming mid-stream must trip the per-line write
+// deadline, shed the stream, and free the handler slot and every worker
+// goroutine — no semaphore or goroutine leak under -race.
+func TestStreamSlowClientShed(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{
+		Concurrency:        2,
+		StreamWindow:       2,
+		StreamWriteTimeout: 150 * time.Millisecond,
+	})
+
+	before := runtime.NumGoroutine()
+
+	serverSide, clientSide := net.Pipe()
+	l := &pipeListener{conn: serverSide, done: make(chan struct{})}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	defer func() {
+		l.Close()
+		s.httpSrv.Close()
+		<-serveDone
+	}()
+
+	// Many documents: the emitter has lines to write long after the client
+	// stops reading.
+	docs := make([]string, 50)
+	for i := range docs {
+		docs[i] = testDoc
+	}
+	body := streamBody(t, StreamHeader{}, docs...)
+	req := fmt.Sprintf("POST /v1/stream HTTP/1.1\r\nHost: t\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		NDJSONContentType, len(body))
+
+	writeDone := make(chan error, 1)
+	go func() {
+		if _, err := io.WriteString(clientSide, req); err != nil {
+			writeDone <- err
+			return
+		}
+		_, err := clientSide.Write(body)
+		writeDone <- err
+	}()
+
+	// Consume the response headers and the first result line, then stop
+	// reading entirely — the zero-window client.
+	br := bufio.NewReader(clientSide)
+	sawLine := false
+	for !sawLine {
+		lineBytes, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading early response: %v", err)
+		}
+		if bytes.Contains(lineBytes, []byte(`"cursor":1`)) {
+			sawLine = true
+		}
+	}
+
+	// The server must shed the stream on its own: in-flight drops to zero
+	// and the handler slot frees without the client ever reading again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.InFlight() == 0 && len(s.sem) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream not shed: inflight=%d slots=%d", s.InFlight(), len(s.sem))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	clientSide.Close()
+	<-writeDone
+
+	// Goroutines must drain back to the baseline (plus the serve loop).
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d -> %d\n%s", before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStreamDrainFinishesWindow is the graceful-drain satellite: a drain
+// beginning mid-stream lets the in-flight window finish emitting complete
+// lines, ends the stream with a "draining" terminal line instead of
+// cutting it mid-line, and Shutdown returns nil within the deadline.
+func TestStreamDrainFinishesWindow(t *testing.T) {
+	firstNode := make(chan struct{}, 1)
+	hold := make(chan struct{})
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeTree: func(*xmltree.Tree) {
+		select {
+		case firstNode <- struct{}{}:
+			<-hold // hold only the first document mid-pipeline
+		default:
+		}
+	}})
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{StreamWindow: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+
+	docs := make([]string, 6)
+	for i := range docs {
+		docs[i] = testDoc
+	}
+	type streamReply struct {
+		lines []StreamLine
+		err   error
+	}
+	got := make(chan streamReply, 1)
+	go func() {
+		resp, err := http.Post("http://"+l.Addr().String()+"/v1/stream",
+			NDJSONContentType, bytes.NewReader(streamBody(t, StreamHeader{}, docs...)))
+		if err != nil {
+			got <- streamReply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var lines []StreamLine
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 8<<20)
+		for sc.Scan() {
+			var line StreamLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				got <- streamReply{err: fmt.Errorf("torn line %q: %v", sc.Bytes(), err)}
+				return
+			}
+			lines = append(lines, line)
+		}
+		got <- streamReply{lines: lines, err: sc.Err()}
+	}()
+
+	// Wait until document 1 is mid-pipeline, then drain while it is held.
+	select {
+	case <-firstNode:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never reached the pipeline")
+	}
+	s.Drain()
+	close(hold)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("stream cut mid-line by drain: %v", r.err)
+	}
+	if len(r.lines) == 0 {
+		t.Fatal("no lines received")
+	}
+	final := r.lines[len(r.lines)-1]
+	if final.Kind != "draining" || final.Done {
+		t.Fatalf("terminal line %+v, want kind=draining (resume elsewhere)", final)
+	}
+	results := r.lines[:len(r.lines)-1]
+	if len(results) == 0 || len(results) >= len(docs) {
+		t.Errorf("%d result lines, want the in-flight window only (0 < n < %d)", len(results), len(docs))
+	}
+	for i, line := range results {
+		if line.Cursor != int64(i+1) || line.Status != http.StatusOK || line.Result == nil {
+			t.Errorf("line %d: %+v, want complete 200 result with cursor %d", i, line, i+1)
+		}
+	}
+	if final.Delivered != int64(len(results)) {
+		t.Errorf("terminal Delivered = %d, want %d", final.Delivered, len(results))
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v, want nil (clean drain)", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestStreamBreakerIsolation is the breaker/stream interaction satellite:
+// a seeded ServerErrRate schedule opens the stream route's breaker
+// without poisoning /v1/disambiguate, and a half-open probe after the
+// cooldown recovers the stream route.
+func TestStreamBreakerIsolation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	restore := faultinject.Install(faultinject.New(faultinject.Config{Seed: 7, ServerErrRate: 1}))
+	s := newTestServer(t, xsdf.Options{}, Config{
+		Clock: clock,
+		Breaker: BreakerOptions{
+			Window: time.Second, Buckets: 2, MinSamples: 4,
+			FailureRatio: 0.5, Cooldown: time.Second,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Feed the stream breaker its failures: every request 500s at the
+	// injected server fault before any line flows.
+	streamReq := streamBody(t, StreamHeader{}, testDoc)
+	for i := 0; i < 4; i++ {
+		_, status := func() ([]StreamLine, int) {
+			resp, err := http.Post(ts.URL+"/v1/stream", NDJSONContentType, bytes.NewReader(streamReq))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			return nil, resp.StatusCode
+		}()
+		if status != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500 injected", i, status)
+		}
+	}
+
+	// The stream circuit is open: fail fast with 503 + Retry-After.
+	resp, err := http.Post(ts.URL+"/v1/stream", NDJSONContentType, bytes.NewReader(streamReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-circuit status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open-circuit answer without Retry-After")
+	}
+	if eb := decodeBodyInto[ErrorBody](t, resp); eb.Kind != "circuit-open" {
+		t.Errorf("kind = %q, want circuit-open", eb.Kind)
+	}
+
+	// /v1/disambiguate is NOT poisoned: its breaker is still closed, so the
+	// request is attempted (and fails on the injected fault as a 500, not a
+	// fail-fast 503).
+	resp = postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("disambiguate status = %d, want 500 (attempted, breaker closed)", resp.StatusCode)
+	}
+	if eb := decodeBodyInto[ErrorBody](t, resp); eb.Kind != "injected" {
+		t.Errorf("disambiguate kind = %q, want injected", eb.Kind)
+	}
+	if st := s.breakers["disambiguate"].report().State; st != "closed" {
+		t.Errorf("disambiguate breaker %q, want closed", st)
+	}
+	if st := s.breakers["stream"].report().State; st != "open" {
+		t.Errorf("stream breaker %q, want open", st)
+	}
+
+	// Heal the fault, age past the cooldown: the half-open probe succeeds
+	// and closes the stream circuit again.
+	restore()
+	advance(2 * time.Second)
+	lines, status := postStream(t, ts, streamReq)
+	if status != http.StatusOK || len(lines) != 2 || !lines[1].Done {
+		t.Fatalf("probe after cooldown: status %d lines %+v, want a clean stream", status, lines)
+	}
+	if st := s.breakers["stream"].report().State; st != "closed" {
+		t.Errorf("stream breaker after probe %q, want closed", st)
+	}
+}

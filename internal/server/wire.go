@@ -97,6 +97,54 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
+// StreamHeader is the first NDJSON line of a POST /v1/stream request
+// body. Every following line is one StreamDoc.
+type StreamHeader struct {
+	// BudgetMS is the per-document budget: each document's pipeline run
+	// gets its own deadline of BudgetMS milliseconds (clamped by the
+	// server's MaxTimeout, defaulted like the unary endpoints). The stream
+	// as a whole has no deadline — it is bounded per line, not in total.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// ResumeFrom resumes an interrupted stream: documents with cursor <=
+	// ResumeFrom were already delivered to this client and are skipped
+	// without reprocessing. The client re-sends the identical document
+	// sequence; cursors are 1-based positions in that sequence, so the
+	// cursor of line N is stable across reconnects.
+	ResumeFrom int64 `json:"resume_from,omitempty"`
+	// Window asks for a smaller in-flight document window than the
+	// server's configured maximum (0 keeps the server default).
+	Window int `json:"window,omitempty"`
+}
+
+// StreamDoc is one document line of a POST /v1/stream request body.
+type StreamDoc struct {
+	Document string `json:"document"`
+}
+
+// StreamLine is one NDJSON response line of POST /v1/stream. Exactly one
+// of three shapes: a per-document result (Cursor > 0, Status 200, Result
+// set), a per-document typed error (Cursor > 0, Status != 200, Error/Kind
+// set), or a terminal line (Cursor 0): Done=true after the final document
+// — its absence tells a client the stream was cut and must be resumed —
+// or Kind="draining" when the server is shutting down and the client
+// should resume against another replica.
+type StreamLine struct {
+	// Cursor is the document's 1-based position in the request sequence;
+	// it is strictly monotonic within a response, so the highest cursor
+	// received is the resume point. 0 marks a terminal line.
+	Cursor int64 `json:"cursor,omitempty"`
+	// Status is the HTTP status this document would have received from
+	// /v1/disambiguate — the xsdferrors.HTTPStatus taxonomy per line.
+	Status int     `json:"status,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	// Done marks the clean end of the stream; Delivered counts the result
+	// lines this response emitted (resumed streams count only their own).
+	Done      bool  `json:"done,omitempty"`
+	Delivered int64 `json:"delivered,omitempty"`
+}
+
 // ErrorBody is the JSON body of every error response.
 type ErrorBody struct {
 	Error string `json:"error"`
