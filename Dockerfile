@@ -1,0 +1,21 @@
+# Build xsdfd, the XSDF disambiguation daemon, into a small runtime
+# image. The build stage compiles a static binary (the mini-WordNet and
+# every other asset is embedded, so the binary is self-contained); the
+# runtime stage is a bare Alpine with a non-root user and a busybox-wget
+# healthcheck against /healthz.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/xsdfd ./cmd/xsdfd
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 xsdf
+COPY --from=build /out/xsdfd /usr/local/bin/xsdfd
+USER xsdf
+EXPOSE 8080
+HEALTHCHECK --interval=10s --timeout=2s --start-period=5s \
+  CMD wget -qO- http://127.0.0.1:8080/healthz || exit 1
+ENTRYPOINT ["xsdfd"]
+CMD ["-addr", ":8080", "-log-format", "json"]

@@ -31,7 +31,7 @@ load-smoke:
 	$(GO) build -o /tmp/xsdf-loadgen ./cmd/xsdf-loadgen
 	/tmp/xsdfd -addr 127.0.0.1:18080 & echo $$! > /tmp/xsdfd.pid; \
 	sleep 1; \
-	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0; \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0 -check-metrics; \
 	status=$$?; \
 	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
 	exit $$status

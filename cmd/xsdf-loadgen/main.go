@@ -18,7 +18,10 @@
 // (503 circuit-open), or another typed error from the xsdferrors
 // taxonomy. Transport failures, undecodable bodies, and unknown kinds
 // count as lost — and lost documents fail the run (-max-lost, default 0),
-// as does a p99 above -check-p99-ms when set.
+// as does a p99 above -check-p99-ms when set. With -check-metrics the
+// harness also scrapes GET /metricsz mid-run and validates the
+// exposition: parseable Prometheus text, histogram invariants intact,
+// and stage-latency counts actually moving under load.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/server/client"
 )
@@ -112,6 +116,7 @@ func main() {
 		doStream   = flag.Bool("stream", false, "also run a resumable streaming phase over /v1/stream")
 		checkP99MS = flag.Float64("check-p99-ms", 0, "fail the run when the unary p99 exceeds this (0 = no check)")
 		maxLost    = flag.Int64("max-lost", 0, "fail the run when more than this many responses are lost/untyped")
+		checkMx    = flag.Bool("check-metrics", false, "scrape /metricsz mid-run and fail on an invalid or idle exposition")
 	)
 	flag.Parse()
 
@@ -139,7 +144,21 @@ func main() {
 	}
 	rep.RateRPS = *rate
 
+	// The metrics scrape runs mid-load: half the open-loop duration in, so
+	// the exposition is read while counters are actively moving — the
+	// concurrency case a quiet scrape would never exercise.
+	metricsErr := make(chan []string, 1)
+	if *checkMx {
+		go func() {
+			time.Sleep(*duration / 2)
+			metricsErr <- checkMetrics(hc, *url)
+		}()
+	}
+
 	rep.Unary = openLoop(hc, *url, docs, *budgetMS, *rate, *duration, *seed)
+	if *checkMx {
+		rep.Violations = append(rep.Violations, <-metricsErr...)
+	}
 	if *doStream {
 		sr := streamPhase(*url, docs, *budgetMS, *seed)
 		rep.Stream = &sr
@@ -178,6 +197,47 @@ func main() {
 	log.Printf("PASS: p99 %.1fms, %.1f req/s served, %.0f%% degraded, %.0f%% shed",
 		rep.Unary.Latency.P99MS, rep.Unary.ThroughputRPS,
 		100*rep.Unary.DegradedRate, 100*rep.Unary.ShedRate)
+}
+
+// checkMetrics scrapes /metricsz and returns violations: an unreachable
+// or malformed exposition (the strict parser also enforces the histogram
+// invariants), or stage-latency histograms that saw no traffic even
+// though the open loop is firing.
+func checkMetrics(hc *http.Client, url string) (violations []string) {
+	resp, err := hc.Get(url + "/metricsz")
+	if err != nil {
+		return []string{fmt.Sprintf("metricsz scrape failed: %v", err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return []string{fmt.Sprintf("metricsz status %d, want 200", resp.StatusCode)}
+	}
+	fams, err := metrics.Parse(resp.Body)
+	if err != nil {
+		return []string{fmt.Sprintf("metricsz exposition invalid: %v", err)}
+	}
+	for _, name := range []string{
+		"xsdf_stage_duration_seconds", "xsdf_http_requests_total", "xsdf_http_responses_total",
+	} {
+		if _, ok := fams[name]; !ok {
+			violations = append(violations, fmt.Sprintf("metricsz family %s missing", name))
+		}
+	}
+	if fam, ok := fams["xsdf_stage_duration_seconds"]; ok {
+		var observed float64
+		for _, smp := range fam.Samples {
+			if len(smp.Name) > 6 && smp.Name[len(smp.Name)-6:] == "_count" {
+				observed += smp.Value
+			}
+		}
+		if observed == 0 {
+			violations = append(violations, "metricsz stage histograms idle mid-load (no stage observed any latency)")
+		}
+	}
+	if len(violations) == 0 {
+		log.Printf("metricsz mid-load scrape: %d families, exposition valid", len(fams))
+	}
+	return violations
 }
 
 // workload serializes the seeded corpus (60 documents over 10 DTDs) into

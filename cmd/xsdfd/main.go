@@ -21,13 +21,20 @@
 // drain — SIGTERM/SIGINT flips /readyz to 503, refuses new connections,
 // finishes every in-flight request, and exits 0; in-flight work that
 // outlives -drain forces exit 1.
+//
+// Logs are structured (log/slog): one line per request carrying the
+// trace ID (X-Request-Id), route, status, quality, and per-stage
+// timings. -log-format selects text (default, human-readable) or json
+// (one object per line, for log shippers); -log-level gates verbosity
+// (probe-endpoint lines log at debug). GET /metricsz exposes the
+// Prometheus metrics the same machinery aggregates.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,8 +46,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xsdfd: ")
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		radius    = flag.Int("d", 1, "sphere neighborhood radius (context size)")
@@ -62,8 +67,22 @@ func main() {
 
 		streamWindow  = flag.Int("stream-window", 4, "max in-flight documents per /v1/stream request")
 		streamTimeout = flag.Duration("stream-write-timeout", 10*time.Second, "per-line write deadline before a slow stream consumer is shed")
+
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		slog.Error("configuring logs", "error", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	opts := xsdf.Options{
 		Radius:           *radius,
@@ -81,7 +100,7 @@ func main() {
 	case "combined":
 		opts.Method = xsdf.Combined
 	default:
-		log.Fatalf("unknown method %q", *method)
+		fatal("unknown method", "method", *method)
 	}
 	if *maxDocs > 0 {
 		opts.Admission = xsdf.AdmissionOptions{MaxDocs: *maxDocs, MaxWait: *maxGateWait}
@@ -89,7 +108,7 @@ func main() {
 
 	fw, err := xsdf.New(opts)
 	if err != nil {
-		log.Fatalf("building framework: %v", err)
+		fatal("building framework", "error", err)
 	}
 	srv, err := server.New(server.Config{
 		Framework:          fw,
@@ -99,37 +118,36 @@ func main() {
 		Concurrency:        *concurrency,
 		StreamWindow:       *streamWindow,
 		StreamWriteTimeout: *streamTimeout,
-		Logf:               log.Printf,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatalf("building server: %v", err)
+		fatal("building server", "error", err)
 	}
 
 	// Serve in the background; the main goroutine owns the signal-driven
 	// drain so SIGTERM always reaches a goroutine that can act on it.
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()
-	log.Printf("serving on %s (method %s, radius %d, degrade %v)", *addr, *method, *radius, *degrade)
+	logger.Info("serving",
+		"addr", *addr, "method", *method, "radius", *radius, "degrade", *degrade)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
 	select {
 	case err := <-serveErr:
 		// The listener died without a shutdown request (port in use, ...).
-		log.Fatalf("serve: %v", err)
+		fatal("serve", "error", err)
 	case sig := <-sigs:
-		log.Printf("received %v, draining (deadline %v)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "deadline", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain deadline exceeded, connections abandoned: %v", err)
-		os.Exit(1)
+		fatal("drain deadline exceeded, connections abandoned", "error", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
-		os.Exit(1)
+		fatal("serve", "error", err)
 	}
 	// Final operational accounting: where this process spent its pipeline
 	// time, one line per stage (mirrors the /statusz stages section).
@@ -137,8 +155,27 @@ func main() {
 		if st.Calls == 0 {
 			continue
 		}
-		log.Printf("stage %-14s calls %-6d errors %-4d items %-8d total %v",
-			st.Stage, st.Calls, st.Errors, st.Items, st.Total.Round(time.Microsecond))
+		logger.Info("stage totals",
+			"stage", st.Stage, "calls", st.Calls, "errors", st.Errors,
+			"items", st.Items, "total", st.Total.Round(time.Microsecond).String())
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, errors.New("unknown -log-format " + format + " (want text or json)")
+	}
 }

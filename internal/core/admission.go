@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/xsdferrors"
 )
 
@@ -51,6 +52,12 @@ type gate struct {
 	rejected  uint64
 	waited    uint64 // admissions that did not get in on the first try
 	totalWait time.Duration
+
+	// waitHist is the distribution of those waits (in seconds), covering
+	// both eventual admissions and rejections — every document that
+	// blocked on the gate at all contributes its wait. Atomic internally;
+	// recorded outside mu.
+	waitHist *metrics.Histogram
 }
 
 // GateStats is a snapshot of the admission gate: current occupancy plus
@@ -70,8 +77,11 @@ type GateStats struct {
 	Rejected uint64
 	Waited   uint64
 	// AvgWait is the mean wait over the Waited admissions (zero when none
-	// has waited yet).
-	AvgWait time.Duration
+	// has waited yet); TotalWait is the sum those waits accumulated, so a
+	// serving layer can difference snapshots into a recent-window average
+	// without the precision loss of multiplying the mean back out.
+	AvgWait   time.Duration
+	TotalWait time.Duration
 }
 
 // stats snapshots the gate.
@@ -81,6 +91,7 @@ func (g *gate) stats() GateStats {
 	s := GateStats{
 		Docs: g.docs, Nodes: g.nodes,
 		Admitted: g.admitted, Rejected: g.rejected, Waited: g.waited,
+		TotalWait: g.totalWait,
 	}
 	if g.waited > 0 {
 		s.AvgWait = g.totalWait / time.Duration(g.waited)
@@ -98,12 +109,26 @@ func (f *Framework) GateStats() (GateStats, bool) {
 	return f.gate.stats(), true
 }
 
+// GateWaitLatencies snapshots the admission-wait histogram (seconds):
+// every wait a document spent blocked on the gate, whether it was
+// eventually admitted or shed. ok is false when admission is disabled.
+func (f *Framework) GateWaitLatencies() (metrics.HistogramSnapshot, bool) {
+	if f.gate == nil {
+		return metrics.HistogramSnapshot{}, false
+	}
+	return f.gate.waitHist.Snapshot(), true
+}
+
 // newGate returns the gate for o, or nil when o disables admission.
 func newGate(o AdmissionOptions) *gate {
 	if !o.enabled() {
 		return nil
 	}
-	return &gate{maxDocs: o.MaxDocs, maxNodes: o.MaxNodes, turn: make(chan struct{})}
+	return &gate{
+		maxDocs: o.MaxDocs, maxNodes: o.MaxNodes,
+		turn:     make(chan struct{}),
+		waitHist: metrics.NewHistogram(nil),
+	}
 }
 
 // weight is the admission weight of a document of n nodes, capped at
@@ -176,7 +201,8 @@ func (g *gate) acquire(ctx context.Context, n int, maxWait time.Duration) (relea
 }
 
 // recordAdmit accounts a successful admission; elapsed only accrues into
-// the wait statistics when the document did not get in on the first try.
+// the wait statistics (counters and histogram) when the document did not
+// get in on the first try.
 func (g *gate) recordAdmit(firstTry bool, elapsed time.Duration) {
 	g.mu.Lock()
 	g.admitted++
@@ -185,13 +211,20 @@ func (g *gate) recordAdmit(firstTry bool, elapsed time.Duration) {
 		g.totalWait += elapsed
 	}
 	g.mu.Unlock()
+	if !firstTry {
+		g.waitHist.Observe(elapsed.Seconds())
+	}
 }
 
-// overloadErr snapshots the gate state into the typed overload error.
+// overloadErr snapshots the gate state into the typed overload error. The
+// rejected document's full (futile) wait still enters the histogram: the
+// shed tail is exactly what an operator sizing MaxWait needs to see.
 func (g *gate) overloadErr(start time.Time) *xsdferrors.OverloadError {
+	waited := time.Since(start)
+	g.waitHist.Observe(waited.Seconds())
 	g.mu.Lock()
 	g.rejected++
 	docs, nodes := g.docs, g.nodes
 	g.mu.Unlock()
-	return &xsdferrors.OverloadError{Docs: docs, Nodes: nodes, Waited: time.Since(start)}
+	return &xsdferrors.OverloadError{Docs: docs, Nodes: nodes, Waited: waited}
 }

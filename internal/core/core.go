@@ -16,6 +16,7 @@ import (
 	"repro/internal/ambiguity"
 	"repro/internal/disambig"
 	"repro/internal/lingproc"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/semnet"
 	"repro/internal/xmltree"
@@ -129,9 +130,11 @@ type Framework struct {
 	// pipe is the staged pipeline every document runs through; built once
 	// in New and shared (stages keep all per-document state in a run
 	// value). stageStats accumulates per-stage calls/errors/items/time
-	// across the framework's lifetime.
+	// across the framework's lifetime; stageHists holds the matching
+	// latency distributions, fed by the runner's OnStage hook.
 	pipe       *pipeline.Runner[*run]
 	stageStats [numStages]stageCounters
+	stageHists [numStages]*metrics.Histogram
 }
 
 // New returns a Framework over the given semantic network. net must be
@@ -151,6 +154,9 @@ func New(net *semnet.Network, opts Options) (*Framework, error) {
 		opts:  opts,
 		cache: disambig.NewCache(net, opts.Disambiguation.SimWeights),
 		gate:  newGate(opts.Admission),
+	}
+	for i := range f.stageHists {
+		f.stageHists[i] = metrics.NewHistogram(nil)
 	}
 	f.pipe = f.newPipeline()
 	return f, nil

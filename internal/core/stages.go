@@ -20,6 +20,7 @@ import (
 	"repro/internal/disambig"
 	"repro/internal/faultinject"
 	"repro/internal/lingproc"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/xmltree"
 )
@@ -73,6 +74,16 @@ type run struct {
 	res *Result
 }
 
+// stageIndex maps a stage name back to its position in the declared
+// order, for the histogram hook.
+var stageIndex = func() map[string]int {
+	m := make(map[string]int, numStages)
+	for i, name := range stageNames {
+		m[name] = i
+	}
+	return m
+}()
+
 // newPipeline declares the framework's stage list. Built once in New and
 // shared by every document the framework processes.
 func (f *Framework) newPipeline() *pipeline.Runner[*run] {
@@ -83,6 +94,14 @@ func (f *Framework) newPipeline() *pipeline.Runner[*run] {
 		// rung. Explicit cancellation still aborts.
 		TolerateCtxErr: func(err error) bool {
 			return degrade && errors.Is(err, context.DeadlineExceeded)
+		},
+		// Every executed stage feeds its per-stage latency histogram —
+		// the distribution behind the cumulative totals of StageStats,
+		// exported by the serving layer as xsdf_stage_duration_seconds.
+		OnStage: func(_ context.Context, stage string, _ int, d time.Duration, _ bool) {
+			if i, ok := stageIndex[stage]; ok {
+				f.stageHists[i].Observe(d.Seconds())
+			}
 		},
 	},
 		pipeline.Stage[*run]{Name: StageGuard, Run: stageGuard},
@@ -195,6 +214,26 @@ type StageStats struct {
 	Errors uint64
 	Items  uint64
 	Total  time.Duration
+}
+
+// StageLatency pairs a stage name with its latency distribution since
+// framework construction: the histogram counterpart of StageStats'
+// cumulative totals, in seconds, for Prometheus-style exposition.
+type StageLatency struct {
+	Stage   string
+	Latency metrics.HistogramSnapshot
+}
+
+// StageLatencies snapshots the per-stage latency histograms, one entry
+// per declared stage in execution order. Only stages that actually ran
+// are counted (stages refused by the cancellation check carry no
+// duration), so a stage's histogram count can trail its StageStats.Calls.
+func (f *Framework) StageLatencies() []StageLatency {
+	out := make([]StageLatency, numStages)
+	for i, name := range stageNames {
+		out[i] = StageLatency{Stage: name, Latency: f.stageHists[i].Snapshot()}
+	}
+	return out
 }
 
 // StageStats snapshots the cumulative per-stage counters, one entry per

@@ -1,0 +1,215 @@
+// Package metrics is the hand-rolled observability kernel of the serving
+// layer: lock-free instruments (Counter, Gauge, Histogram) plus a writer
+// for the Prometheus text exposition format (version 0.0.4), so xsdfd can
+// serve a scrapeable GET /metricsz without pulling a client library into
+// the module.
+//
+// The package deliberately implements only what the framework needs:
+//
+//   - fixed-bucket histograms recorded with atomics (one Observe is two
+//     atomic adds and one atomic increment — cheap enough to sit on every
+//     pipeline stage boundary);
+//   - an Expositor that renders families in a deterministic order with
+//     escaped labels, cumulative monotone histogram buckets, the mandatory
+//     +Inf bucket, and _sum/_count series, so any Prometheus-compatible
+//     scraper parses the output byte-for-byte predictably.
+//
+// Instruments hold no registry state; the owner of the data (the server)
+// snapshots its own sources and renders them per scrape. That matches the
+// framework's existing observability style — StageStats, CacheStats, and
+// GateStats are already snapshot APIs — and keeps the scrape path free of
+// global registries and double-registration failure modes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the histogram upper bounds (in seconds) used
+// for stage and request latencies: 100µs to 10s, roughly 2.5x apart. The
+// pipeline's stages span sub-microsecond guards to near-budget
+// disambiguation runs, so the low end matters as much as the tail.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a concurrency-safe fixed-bucket histogram. Observations
+// are recorded with atomics only; Snapshot is approximate under
+// concurrent writes (counts may be torn across buckets by at most the
+// in-flight observations), which is the standard trade for a scrape-path
+// instrument.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow at the end
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits accumulated via CAS
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must
+// be sorted ascending. The +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Find the first bound >= v; values past every bound land in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram, with
+// cumulative bucket counts (Prometheus semantics: Cumulative[i] counts
+// observations <= Bounds[i]; Count covers everything including +Inf).
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	Count      uint64
+	Sum        float64
+}
+
+// Snapshot renders the histogram's current state with cumulative counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.bounds)),
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// Label is one name="value" pair of a sample.
+type Label struct{ Name, Value string }
+
+// Expositor renders metric families in the Prometheus text format. Use
+// one per scrape; families must be opened with Family before samples are
+// written, and a family's samples must all be written before the next
+// Family call (the format requires families to be contiguous).
+type Expositor struct {
+	w   io.Writer
+	err error
+	cur string
+}
+
+// NewExpositor wraps w.
+func NewExpositor(w io.Writer) *Expositor { return &Expositor{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Expositor) Err() error { return e.err }
+
+// Family opens a new metric family: one # HELP and one # TYPE line. typ
+// is "counter", "gauge", or "histogram".
+func (e *Expositor) Family(name, help, typ string) {
+	e.cur = name
+	e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line of the current family. suffix is appended
+// to the family name ("" for plain counters/gauges, "_bucket" etc. for
+// histogram series).
+func (e *Expositor) Sample(suffix string, labels []Label, value float64) {
+	e.printf("%s%s%s %s\n", e.cur, suffix, renderLabels(labels), formatValue(value))
+}
+
+// Histogram writes a full histogram series set — every cumulative bucket,
+// the +Inf bucket, _sum, and _count — for the current family, with the
+// given base labels on every line.
+func (e *Expositor) Histogram(labels []Label, s HistogramSnapshot) {
+	for i, b := range s.Bounds {
+		e.Sample("_bucket", append(labels[:len(labels):len(labels)],
+			Label{"le", formatValue(b)}), float64(s.Cumulative[i]))
+	}
+	e.Sample("_bucket", append(labels[:len(labels):len(labels)],
+		Label{"le", "+Inf"}), float64(s.Count))
+	e.Sample("_sum", labels, s.Sum)
+	e.Sample("_count", labels, float64(s.Count))
+}
+
+func (e *Expositor) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// renderLabels renders {a="b",c="d"}, or nothing for an empty set.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

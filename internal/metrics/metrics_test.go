@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketing: observations land in the right le-buckets and
+// the snapshot is cumulative and monotone.
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=0.1 counts 0.05 and 0.1 (le is inclusive), le=1 adds 0.5 and 1.0,
+	// le=10 adds 5; 100 only reaches +Inf (the total count).
+	want := []uint64{2, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[le=%v] = %d, want %d", s.Bounds[i], s.Cumulative[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if got, want := s.Sum, 0.05+0.1+0.5+1.0+5+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("cumulative counts not monotone: %v", s.Cumulative)
+		}
+	}
+}
+
+// TestHistogramConcurrent: concurrent observers never lose a count
+// (exactness of the final snapshot once writers are quiescent).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i%1000) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count, workers*each)
+	}
+	if s.Cumulative[len(s.Cumulative)-1] > s.Count {
+		t.Fatalf("last bucket %d exceeds count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+}
+
+// TestExpositionRoundTrip: everything the Expositor writes parses back
+// through the strict parser, with values and labels intact.
+func TestExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(50)
+
+	var b strings.Builder
+	e := NewExpositor(&b)
+	e.Family("xsdf_requests_total", "Requests served.", "counter")
+	e.Sample("", []Label{{"code", "200"}}, 41)
+	e.Sample("", []Label{{"code", "429"}}, 1)
+	e.Family("xsdf_up", "Whether the server is up.", "gauge")
+	e.Sample("", nil, 1)
+	e.Family("xsdf_stage_duration_seconds", "Stage latency.", "histogram")
+	e.Histogram([]Label{{"stage", "select"}}, h.Snapshot())
+	e.Family("xsdf_weird_labels", `Help with "quotes" and a \ backslash`, "gauge")
+	e.Sample("", []Label{{"route", `a"b\c` + "\nd"}}, 2.5)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition failed to parse:\n%s\nerror: %v", b.String(), err)
+	}
+	if f := fams["xsdf_requests_total"]; f == nil || len(f.Samples) != 2 || f.Type != "counter" {
+		t.Fatalf("requests_total family wrong: %+v", f)
+	} else if f.Samples[0].Labels["code"] != "200" || f.Samples[0].Value != 41 {
+		t.Errorf("first sample wrong: %+v", f.Samples[0])
+	}
+	hf := fams["xsdf_stage_duration_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	// 3 finite buckets + +Inf + _sum + _count.
+	if len(hf.Samples) != 6 {
+		t.Fatalf("histogram series count = %d, want 6: %+v", len(hf.Samples), hf.Samples)
+	}
+	wl := fams["xsdf_weird_labels"]
+	if wl == nil || len(wl.Samples) != 1 {
+		t.Fatalf("weird-labels family wrong: %+v", wl)
+	}
+	if got := wl.Samples[0].Labels["route"]; got != `a"b\c`+"\nd" {
+		t.Errorf("escaped label round-trip = %q", got)
+	}
+}
+
+// TestExpositionHistogramInvariants: the parser rejects a histogram whose
+// buckets are not cumulative or whose +Inf bucket disagrees with _count —
+// the invariants the golden test relies on.
+func TestExpositionHistogramInvariants(t *testing.T) {
+	bad := []string{
+		// Non-monotone buckets.
+		"# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="1"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		// Missing +Inf.
+		"# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 1` + "\nh_sum 1\nh_count 1\n",
+		// +Inf != _count.
+		"# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\nh_sum 1\nh_count 5\n",
+	}
+	for i, text := range bad {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("case %d: invalid histogram accepted:\n%s", i, text)
+		}
+	}
+}
+
+// TestParseRejectsMalformed: stray samples and malformed lines fail.
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_family_yet 1\n",
+		"# HELP a x\n# TYPE a counter\nb 1\n",
+		"# HELP a x\n# TYPE a counter\na{unterminated=\"v 1\n",
+		"# HELP a x\n# TYPE a wat\na 1\n",
+		"# HELP a x\n# TYPE a counter\na notanumber\n",
+	}
+	for i, text := range bad {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("case %d: malformed exposition accepted:\n%s", i, text)
+		}
+	}
+}
+
+// TestFormatValue: the special values and shortest-round-trip floats.
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		1:           "1",
+		0.25:        "0.25",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

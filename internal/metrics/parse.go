@@ -1,0 +1,345 @@
+// A minimal parser/validator for the Prometheus text exposition format:
+// the consumer-side counterpart of the Expositor. It exists so the
+// format is verified by code we run — the exposition golden test, the
+// concurrent-scrape tests, and cmd/xsdf-loadgen's mid-run /metricsz
+// check all parse through here — rather than trusted by eyeball.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name (family name plus any _bucket/_sum/
+	// _count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its # HELP / # TYPE metadata and
+// every sample that belongs to it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// suffixes a histogram family's samples may carry.
+var histogramSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// Parse reads a full exposition and returns its families keyed by name.
+// It is strict about everything the Expositor promises: every sample line
+// must parse, every sample must belong to the most recently declared
+// family (suffixed per its type), and histogram families must carry a
+// +Inf bucket whose cumulative counts are monotone and consistent with
+// _count. A violation returns an error naming the offending line.
+func Parse(r io.Reader) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseMeta(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			f := families[name]
+			if f == nil {
+				f = &Family{Name: name}
+				families[name] = f
+			}
+			switch kind {
+			case "HELP":
+				f.Help = rest
+			case "TYPE":
+				f.Type = rest
+			}
+			cur = f
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample %q before any family declaration", lineNo, s.Name)
+		}
+		if !sampleBelongsTo(cur, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %q does not belong to family %q (type %s)",
+				lineNo, s.Name, cur.Name, cur.Type)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, fmt.Errorf("family %s: %v", f.Name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+// parseMeta parses a "# HELP name text" / "# TYPE name type" line.
+func parseMeta(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment line %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	name = fields[2]
+	if !validName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if kind == "TYPE" {
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("unknown metric type %q", rest)
+		}
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses one "name{labels} value" line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip the escaped character
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `a="b",c="d"` into dst.
+func parseLabels(body string, dst map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return fmt.Errorf("malformed label pair near %q", body)
+		}
+		name := body[:eq]
+		if !validName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		val := strings.Builder{}
+		i := eq + 2
+		closed := false
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		dst[name] = val.String()
+		body = body[i+1:]
+		if len(body) > 0 {
+			if body[0] != ',' {
+				return fmt.Errorf("expected ',' between labels near %q", body)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+// parseValue parses a sample value, accepting the spelled-out specials.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// sampleBelongsTo reports whether a sample name is legal inside a family.
+func sampleBelongsTo(f *Family, sample string) bool {
+	if sample == f.Name {
+		return f.Type != "histogram" // a histogram has only suffixed series
+	}
+	if f.Type == "histogram" {
+		for _, suf := range histogramSuffixes {
+			if sample == f.Name+suf {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validateHistogram checks every (label-partitioned) series of a
+// histogram family: buckets must be cumulative and monotone, the +Inf
+// bucket mandatory and equal to _count.
+func validateHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample
+		count   *Sample
+		hasInf  bool
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		k := key(s.Labels)
+		sr := byKey[k]
+		if sr == nil {
+			sr = &series{}
+			byKey[k] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			if le == "+Inf" {
+				sr.hasInf = true
+			}
+			sr.buckets = append(sr.buckets, s)
+		case f.Name + "_count":
+			sr.count = &f.Samples[i]
+		}
+	}
+	for k, sr := range byKey {
+		if !sr.hasInf {
+			return fmt.Errorf("series {%s}: missing +Inf bucket", k)
+		}
+		if sr.count == nil {
+			return fmt.Errorf("series {%s}: missing _count", k)
+		}
+		prevLE := math.Inf(-1)
+		prevCum := float64(-1)
+		for _, b := range sr.buckets {
+			le, err := parseValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("series {%s}: bad le %q", k, b.Labels["le"])
+			}
+			if le <= prevLE {
+				return fmt.Errorf("series {%s}: le bounds not ascending at %q", k, b.Labels["le"])
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("series {%s}: bucket counts not monotone at le=%q (%v < %v)",
+					k, b.Labels["le"], b.Value, prevCum)
+			}
+			prevLE, prevCum = le, b.Value
+		}
+		if last := sr.buckets[len(sr.buckets)-1]; last.Value != sr.count.Value {
+			return fmt.Errorf("series {%s}: +Inf bucket %v != _count %v", k, last.Value, sr.count.Value)
+		}
+	}
+	return nil
+}
+
+// validName checks the metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -65,6 +65,15 @@ type Config struct {
 	// faultinject.Now: injected clock skew should age deadline budgets,
 	// not corrupt the instrumentation.
 	Clock func() time.Time
+	// OnStage, when non-nil, observes every stage that actually ran: it
+	// fires after the stage returns, with the measured duration, the item
+	// count, and whether the stage failed (error or boxed panic). Stages
+	// refused by the pre-stage cancellation check are not observed — they
+	// did no work and carry no duration. The hook receives the run's
+	// context so an observer can attach the measurement to a request
+	// trace; it must be concurrency-safe (one Runner is shared across
+	// batch workers) and cheap (it sits on every stage boundary).
+	OnStage func(ctx context.Context, stage string, items int, d time.Duration, failed bool)
 }
 
 // Runner executes a declared stage list. Build once with New and share
@@ -106,6 +115,9 @@ func (r *Runner[S]) Run(ctx context.Context, state S) ([]Timing, error) {
 		}
 		items, dur, err := r.runStage(ctx, st, state)
 		timings = append(timings, Timing{Stage: st.Name, Items: items, Duration: dur, Failed: err != nil})
+		if r.cfg.OnStage != nil {
+			r.cfg.OnStage(ctx, st.Name, items, dur, err != nil)
+		}
 		if err != nil {
 			return timings, err
 		}

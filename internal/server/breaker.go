@@ -83,9 +83,10 @@ func (s breakerState) String() string {
 // bucket holds one window slice's outcome counts.
 type bucket struct{ ok, fail uint64 }
 
-// breaker is one route's circuit breaker. All time flows through the
-// injected clock, so tests (and the faultinject clock-skew schedule) can
-// advance it deterministically without sleeping.
+// breaker is one route's circuit breaker, built on the shared ringWindow
+// rolling-window machinery. All time flows through the injected clock, so
+// tests (and the faultinject clock-skew schedule) can advance it
+// deterministically without sleeping.
 type breaker struct {
 	opts  BreakerOptions
 	clock func() time.Time
@@ -94,46 +95,21 @@ type breaker struct {
 	state    breakerState
 	openedAt time.Time
 	probes   int // in-flight half-open probes
-	buckets  []bucket
-	cur      int       // index of the current bucket
-	curStart time.Time // start of the current bucket's slice
+	win      *ringWindow[bucket]
 }
 
 func newBreaker(opts BreakerOptions, clock func() time.Time) *breaker {
 	opts = opts.withDefaults()
-	b := &breaker{opts: opts, clock: clock, buckets: make([]bucket, opts.Buckets)}
-	b.curStart = clock()
-	return b
-}
-
-// bucketSpan is one bucket's time slice.
-func (b *breaker) bucketSpan() time.Duration {
-	return b.opts.Window / time.Duration(b.opts.Buckets)
-}
-
-// advance rotates the ring forward to now, zeroing buckets that fell out
-// of the window. Caller holds mu.
-func (b *breaker) advance(now time.Time) {
-	span := b.bucketSpan()
-	steps := 0
-	for now.Sub(b.curStart) >= span && steps < len(b.buckets) {
-		b.cur = (b.cur + 1) % len(b.buckets)
-		b.buckets[b.cur] = bucket{}
-		b.curStart = b.curStart.Add(span)
-		steps++
-	}
-	if steps == len(b.buckets) {
-		// The whole window elapsed; re-anchor instead of looping further.
-		b.curStart = now
-	}
+	return &breaker{opts: opts, clock: clock,
+		win: newRingWindow[bucket](opts.Window, opts.Buckets, clock())}
 }
 
 // totals sums the window. Caller holds mu.
 func (b *breaker) totals() (ok, fail uint64) {
-	for _, bk := range b.buckets {
+	b.win.fold(func(bk *bucket) {
 		ok += bk.ok
 		fail += bk.fail
-	}
+	})
 	return ok, fail
 }
 
@@ -148,7 +124,7 @@ func (b *breaker) allow() (done func(failure bool), retryAfter time.Duration, ad
 	now := b.clock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.advance(now)
+	b.win.advance(now)
 
 	switch b.state {
 	case breakerOpen:
@@ -175,14 +151,14 @@ func (b *breaker) closedDone(failure bool) {
 	now := b.clock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.advance(now)
+	b.win.advance(now)
 	if b.state != breakerClosed {
 		return // a concurrent outcome already tripped the circuit
 	}
 	if failure {
-		b.buckets[b.cur].fail++
+		b.win.current().fail++
 	} else {
-		b.buckets[b.cur].ok++
+		b.win.current().ok++
 	}
 	ok, fail := b.totals()
 	total := ok + fail
@@ -207,11 +183,7 @@ func (b *breaker) probeDone(failure bool) {
 	}
 	b.state = breakerClosed
 	b.probes = 0
-	for i := range b.buckets {
-		b.buckets[i] = bucket{}
-	}
-	b.curStart = now
-	b.cur = 0
+	b.win.reset(now)
 }
 
 // trip opens the circuit. Caller holds mu.
@@ -236,7 +208,7 @@ func (b *breaker) report() BreakerReport {
 	now := b.clock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.advance(now)
+	b.win.advance(now)
 	ok, fail := b.totals()
 	return BreakerReport{State: b.state.String(), OK: ok, Failures: fail}
 }

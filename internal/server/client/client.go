@@ -258,15 +258,25 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	return jittered
 }
 
-// parseRetryAfter reads the integral-seconds Retry-After form the server
-// emits; anything else yields zero (fall back to the backoff schedule).
+// parseRetryAfter reads both Retry-After forms RFC 9110 §10.2.3 allows:
+// delta-seconds (what xsdfd emits) and an HTTP-date (what proxies and
+// other origins in front of the daemon emit — the client is not only
+// ever pointed at xsdfd). An unparseable value or a date already in the
+// past yields zero: fall back to the backoff schedule rather than guess.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

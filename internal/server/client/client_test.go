@@ -265,3 +265,31 @@ func TestBackoffDeterministicAndCapped(t *testing.T) {
 		t.Fatalf("Retry-After above cap: %v, want MaxBackoff", got)
 	}
 }
+
+// Regression: parseRetryAfter must accept both RFC 9110 Retry-After
+// forms. It originally parsed only delta-seconds, so an HTTP-date from a
+// proxy in front of xsdfd silently became "no hint" and the client
+// hammered straight through the ask on its own backoff schedule.
+func TestParseRetryAfterForms(t *testing.T) {
+	if got := parseRetryAfter("7"); got != 7*time.Second {
+		t.Fatalf("delta-seconds: got %v, want 7s", got)
+	}
+	for _, v := range []string{"", "-3", "soon", "7.5"} {
+		if got := parseRetryAfter(v); got != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %v, want 0", v, got)
+		}
+	}
+
+	// HTTP-date ~2s in the future: the result is time.Until, so accept
+	// anything in (1s, 2s] to absorb clock reads between format and parse.
+	future := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= time.Second || got > 2*time.Second {
+		t.Fatalf("future HTTP-date: got %v, want ~2s", got)
+	}
+
+	// A date in the past asks for no wait at all — zero, not negative.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Fatalf("past HTTP-date: got %v, want 0", got)
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitBucket is one time slice of recent admission-gate waits: how many
+// admitted documents finished a wait in the slice and how much wait they
+// accumulated.
+type waitBucket struct {
+	waited uint64
+	total  time.Duration
+}
+
+// gateWaitWindow turns the admission gate's cumulative wait counters into
+// a recent-window view, on the same ringWindow machinery as the circuit
+// breaker. The gate itself only exposes lifetime totals; the window
+// differences successive GateStats snapshots into per-slice deltas, so
+// the Retry-After hint for shed load reflects how long documents are
+// waiting NOW — after hours of light traffic, a lifetime average is
+// dominated by history and sizes the hint near zero exactly when a
+// sudden overload needs it large (and vice versa after an overload
+// passes).
+type gateWaitWindow struct {
+	clock func() time.Time
+
+	mu         sync.Mutex
+	win        *ringWindow[waitBucket]
+	lastWaited uint64
+	lastTotal  time.Duration
+}
+
+// gateWaitWindowSpan is the observation window of the Retry-After hint:
+// long enough to smooth scheduler noise, short enough that a traffic
+// shift re-sizes hints within seconds.
+const (
+	gateWaitWindowSpan    = 10 * time.Second
+	gateWaitWindowBuckets = 10
+)
+
+func newGateWaitWindow(clock func() time.Time) *gateWaitWindow {
+	return &gateWaitWindow{
+		clock: clock,
+		win:   newRingWindow[waitBucket](gateWaitWindowSpan, gateWaitWindowBuckets, clock()),
+	}
+}
+
+// observe folds the delta between gs and the previous snapshot into the
+// current bucket. Call it with fresh GateStats whenever a request
+// finishes; the gate's counters are monotone, so deltas are exact no
+// matter how many requests ran between two observations.
+func (g *gateWaitWindow) observe(gs core.GateStats) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.win.advance(g.clock())
+	if gs.Waited > g.lastWaited {
+		cur := g.win.current()
+		cur.waited += gs.Waited - g.lastWaited
+		cur.total += gs.TotalWait - g.lastTotal
+	}
+	g.lastWaited = gs.Waited
+	g.lastTotal = gs.TotalWait
+}
+
+// recentAvg reports the mean admission wait over the window. ok is false
+// when no document waited recently — the caller falls back to its
+// default hint instead of resurrecting stale history.
+func (g *gateWaitWindow) recentAvg() (avg time.Duration, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.win.advance(g.clock())
+	var sum waitBucket
+	g.win.fold(func(b *waitBucket) {
+		sum.waited += b.waited
+		sum.total += b.total
+	})
+	if sum.waited == 0 {
+		return 0, false
+	}
+	return sum.total / time.Duration(sum.waited), true
+}

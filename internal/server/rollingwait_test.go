@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	xsdf "repro"
+	"repro/internal/core"
+)
+
+// gateSnap builds a GateStats snapshot carrying only the wait counters
+// the window differences.
+func gateSnap(waited uint64, total time.Duration) core.GateStats {
+	return core.GateStats{Waited: waited, TotalWait: total}
+}
+
+// TestGateWaitWindowRecent: the window averages only recent waits, so a
+// load shift re-sizes the answer within the window span instead of being
+// diluted by lifetime history.
+func TestGateWaitWindowRecent(t *testing.T) {
+	clk := newFakeClock()
+	g := newGateWaitWindow(clk.Now)
+
+	// Ten early waits of 2ms each.
+	g.observe(gateSnap(10, 20*time.Millisecond))
+	if avg, ok := g.recentAvg(); !ok || avg != 2*time.Millisecond {
+		t.Fatalf("early window: avg=%v ok=%v, want 2ms true", avg, ok)
+	}
+
+	// Load spikes: five more waits totaling 500ms land 3s later. Only the
+	// window's contents count, and both generations are still inside it.
+	clk.Advance(3 * time.Second)
+	g.observe(gateSnap(15, 520*time.Millisecond))
+	avg, ok := g.recentAvg()
+	if !ok {
+		t.Fatal("recentAvg not ok after observations")
+	}
+	want := 520 * time.Millisecond / 15
+	if avg != want {
+		t.Fatalf("mixed window: avg=%v, want %v", avg, want)
+	}
+
+	// 8s later (t=11s) the early waits' bucket (t=0) has rotated out of
+	// the 10s window while the spike's bucket (t=3s) remains.
+	clk.Advance(8 * time.Second)
+	g.observe(gateSnap(15, 520*time.Millisecond)) // no new waits, just a fresh snapshot
+	avg, ok = g.recentAvg()
+	if !ok {
+		t.Fatal("recentAvg not ok while spike still in window")
+	}
+	if want := 100 * time.Millisecond; avg != want {
+		t.Fatalf("post-rotation: avg=%v, want %v (spike only)", avg, want)
+	}
+
+	// Past the whole window, history is gone: ok=false, so the hint falls
+	// back to its default instead of resurrecting a stale average — the
+	// original bug in the other direction.
+	clk.Advance(gateWaitWindowSpan + time.Second)
+	if avg, ok := g.recentAvg(); ok {
+		t.Fatalf("expired window: avg=%v ok=true, want ok=false", avg)
+	}
+}
+
+// TestRetryAfterHintUsesRecentWindow: the server's Retry-After hint is
+// sized from the recent-window average (2x, capped), and falls back to
+// one second when nothing waited recently — not to the lifetime average,
+// which after hours of light traffic would size a sudden overload's hint
+// near zero.
+func TestRetryAfterHintUsesRecentWindow(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestServer(t, xsdf.Options{
+		Admission: xsdf.AdmissionOptions{MaxDocs: 4, MaxWait: 50 * time.Millisecond},
+	}, Config{Clock: clk.Now})
+
+	// Seed the window directly with known waits: 4 documents, 100ms each.
+	s.gateWaits.observe(gateSnap(4, 400*time.Millisecond))
+	if got, want := s.retryAfterHint(), 200*time.Millisecond; got != want {
+		t.Fatalf("hint = %v, want %v (2x recent avg)", got, want)
+	}
+
+	// Once the window rotates past those waits, the hint must not keep
+	// echoing them: default one second.
+	clk.Advance(gateWaitWindowSpan + time.Second)
+	if got := s.retryAfterHint(); got != time.Second {
+		t.Fatalf("hint after window expiry = %v, want 1s fallback", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -91,14 +92,34 @@ type Config struct {
 	// Breaker configures the per-route circuit breakers.
 	Breaker BreakerOptions
 
-	// Clock is the time source for the circuit breakers (default
-	// faultinject.Now, so seeded clock-skew schedules can age cooldowns
-	// deterministically in tests).
+	// Clock is the time source for the circuit breakers and the
+	// Retry-After hint window (default faultinject.Now, so seeded
+	// clock-skew schedules can age cooldowns deterministically in tests).
 	Clock func() time.Time
 
-	// Logf receives operational log lines (default: drop them).
-	Logf func(format string, args ...any)
+	// Logger receives the server's structured logs: one request-completion
+	// line per served request (trace ID, route, status, quality, per-stage
+	// timings) plus operational warnings (panic recoveries, shed streams,
+	// response-write failures). Nil selects slog.Default(), so panics are
+	// never silently dropped by an embedder that forgot to wire logging;
+	// pass NopLogger() to opt out explicitly.
+	Logger *slog.Logger
 }
+
+// NopLogger returns a logger that discards everything — the explicit
+// opt-out for embedders that truly want no operational logs. (The nil
+// Config.Logger default is slog.Default(), not silence: a dropped panic
+// log has historically been the difference between a bug report and a
+// mystery.)
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler discards every record.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
 
 // Server is the HTTP serving layer. Construct with New, mount with
 // Handler or run with Serve/ListenAndServe, stop with Shutdown.
@@ -119,6 +140,25 @@ type Server struct {
 	statusMu     sync.Mutex
 	statusCounts map[int]uint64
 
+	// qualityCounts tallies served documents per degradation-ladder rung
+	// ("full", "concept-only", "first-sense"), across the unary, batch,
+	// and stream endpoints — the serving-layer view of how much quality
+	// the ladder is currently trading for availability.
+	qualityMu     sync.Mutex
+	qualityCounts map[string]uint64
+
+	// Stream lifecycle counters for /metricsz: documents delivered as
+	// NDJSON lines, streams shed on a write timeout, and streams that
+	// resumed a prior cursor sequence.
+	streamDelivered atomic.Uint64
+	streamShed      atomic.Uint64
+	streamResumes   atomic.Uint64
+
+	// gateWaits is the recent-window view of admission-gate waits that
+	// sizes Retry-After hints for shed load.
+	gateWaits *gateWaitWindow
+
+	logger   *slog.Logger
 	breakers map[string]*breaker
 }
 
@@ -146,17 +186,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = faultinject.Now
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 
 	s := &Server{
-		cfg:          cfg,
-		fw:           cfg.Framework,
-		sem:          make(chan struct{}, cfg.Concurrency),
-		drainCh:      make(chan struct{}),
-		start:        time.Now(),
-		statusCounts: make(map[int]uint64),
+		cfg:           cfg,
+		fw:            cfg.Framework,
+		sem:           make(chan struct{}, cfg.Concurrency),
+		drainCh:       make(chan struct{}),
+		start:         time.Now(),
+		statusCounts:  make(map[int]uint64),
+		qualityCounts: make(map[string]uint64),
+		gateWaits:     newGateWaitWindow(cfg.Clock),
+		logger:        cfg.Logger,
 		breakers: map[string]*breaker{
 			"disambiguate": newBreaker(cfg.Breaker, cfg.Clock),
 			"batch":        newBreaker(cfg.Breaker, cfg.Clock),
@@ -168,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	mux.Handle("POST /v1/disambiguate", s.guarded("disambiguate", s.serveDisambiguate))
 	mux.Handle("POST /v1/batch", s.guarded("batch", s.serveBatch))
 	mux.Handle("POST /v1/stream", s.guarded("stream", s.serveStream))
@@ -222,16 +266,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // InFlight reports how many requests are currently being served.
 func (s *Server) InFlight() int64 { return s.inFlight.Load() }
 
-// withAccounting tracks in-flight and served counts and the response
-// status distribution.
+// withAccounting is the outermost middleware: it assigns the request its
+// trace ID (accepting a client-supplied X-Request-Id, generating one
+// otherwise), tracks in-flight/served counts and the status
+// distribution, folds fresh gate statistics into the Retry-After hint
+// window, and emits the one structured log line that reconstructs the
+// request — trace ID, route, status, quality, duration, and the
+// pipeline's per-stage timings.
 func (s *Server) withAccounting(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
+
+		info := &requestInfo{id: sanitizeRequestID(r.Header.Get(RequestIDHeader))}
+		if info.id == "" {
+			info.id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, info.id)
+		r = r.WithContext(withRequestInfo(r.Context(), info))
+
 		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
 		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
 		s.served.Add(1)
 		s.countStatus(rec.Status())
+		if gs, ok := s.fw.GateStats(); ok {
+			s.gateWaits.observe(gs)
+		}
+
+		// Probe endpoints log at Debug (scrapes every few seconds are
+		// noise at Info); API requests log at Info.
+		level := slog.LevelInfo
+		if r.Method == http.MethodGet {
+			level = slog.LevelDebug
+		}
+		info.mu.Lock()
+		stages, quality := info.stages, info.quality
+		info.mu.Unlock()
+		attrs := []any{
+			slog.String("request_id", info.id),
+			slog.String("method", r.Method),
+			slog.String("route", r.URL.Path),
+			slog.Int("status", rec.Status()),
+			slog.Float64("duration_ms", float64(elapsed.Microseconds())/1e3),
+		}
+		if quality != "" {
+			attrs = append(attrs, slog.String("quality", quality))
+		}
+		if len(stages) > 0 {
+			attrs = append(attrs, slog.String("stages", stageLine(stages)))
+		}
+		s.logger.Log(r.Context(), level, "request", attrs...)
 	})
 }
 
@@ -251,7 +338,11 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 					panic(v)
 				}
 				pe := &xsdferrors.PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
-				s.cfg.Logf("server: panic serving %s: %v", r.URL.Path, v)
+				s.logger.Error("panic recovered",
+					slog.String("request_id", RequestIDFromContext(r.Context())),
+					slog.String("route", r.URL.Path),
+					slog.Any("panic", v),
+					slog.String("stack", string(pe.Stack)))
 				// Best effort: if the handler already wrote, the connection
 				// carries a truncated response and this header set is a no-op.
 				s.writeErrorBody(w, xsdferrors.HTTPStatus(pe), pe.Error(), xsdferrors.Kind(pe))
@@ -415,6 +506,8 @@ func (s *Server) serveDisambiguate(w http.ResponseWriter, r *http.Request) {
 	// Success — possibly degraded (runErr matching ErrDegraded rides
 	// alongside a usable partial result and still answers 200).
 	out := resultFromRun(res, runErr)
+	noteResult(ctx, res.Stages, out.Quality)
+	s.countQuality(out.Quality)
 	w.Header().Set(QualityHeader, out.Quality)
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -479,7 +572,9 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = errorItem(docErr)
 			continue
 		}
-		items[i] = BatchItem{Status: http.StatusOK, Result: resultFromRun(res, docErr)}
+		item := BatchItem{Status: http.StatusOK, Result: resultFromRun(res, docErr)}
+		s.countQuality(item.Result.Quality)
+		items[i] = item
 	}
 	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
@@ -553,12 +648,19 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 }
 
 // retryAfterHint sizes the Retry-After answer for shed load from the
-// admission gate's observed waits: when admitted documents have been
-// waiting w on average, telling the client to come back after ~2w gives
-// capacity a realistic chance to free; without data, hint one second.
+// admission gate's recently observed waits: when documents admitted in
+// the last few seconds waited w on average, telling the client to come
+// back after ~2w gives capacity a realistic chance to free. The window
+// matters: a lifetime average is dominated by history, so after hours of
+// light traffic a sudden overload would hint near zero exactly when the
+// hint should be large (and keep hinting large long after an overload
+// has passed). Without recent waits, hint one second.
 func (s *Server) retryAfterHint() time.Duration {
-	if gs, ok := s.fw.GateStats(); ok && gs.AvgWait > 0 {
-		hint := 2 * gs.AvgWait
+	if gs, ok := s.fw.GateStats(); ok {
+		s.gateWaits.observe(gs)
+	}
+	if avg, ok := s.gateWaits.recentAvg(); ok && avg > 0 {
+		hint := 2 * avg
 		if hint > 30*time.Second {
 			hint = 30 * time.Second
 		}
@@ -587,7 +689,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.cfg.Logf("server: writing response: %v", err)
+		s.logger.Warn("writing response failed", slog.Any("error", err))
 	}
 }
 
@@ -596,6 +698,16 @@ func (s *Server) countStatus(code int) {
 	s.statusMu.Lock()
 	s.statusCounts[code]++
 	s.statusMu.Unlock()
+}
+
+// countQuality records one served document's degradation-ladder rung.
+func (s *Server) countQuality(quality string) {
+	if quality == "" {
+		return
+	}
+	s.qualityMu.Lock()
+	s.qualityCounts[quality]++
+	s.qualityMu.Unlock()
 }
 
 // statusRecorder captures the status code a handler wrote.

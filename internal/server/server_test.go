@@ -28,6 +28,9 @@ func newTestServer(t *testing.T, opts xsdf.Options, cfg Config) *Server {
 		t.Fatal(err)
 	}
 	cfg.Framework = fw
+	if cfg.Logger == nil {
+		cfg.Logger = NopLogger() // keep test output readable; TestRequestTracing wires a real one
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -85,6 +86,9 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	window := s.cfg.StreamWindow
 	if hdr.Window > 0 && hdr.Window < window {
 		window = hdr.Window
+	}
+	if hdr.ResumeFrom > 0 {
+		s.streamResumes.Add(1)
 	}
 
 	// The stream occupies one handler slot for its whole life; saturation
@@ -185,12 +189,20 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 			panic(http.ErrAbortHandler)
 		}
 		if err := s.writeStreamLine(rc, w, job.line); err != nil {
-			s.cfg.Logf("server: stream shed at cursor %d: %v", job.cursor, err)
+			s.logger.Warn("stream shed",
+				slog.String("request_id", RequestIDFromContext(ctx)),
+				slog.Int64("cursor", job.cursor),
+				slog.Any("error", err))
+			s.streamShed.Add(1)
 			shed = true
 			cancel()
 			continue
 		}
 		delivered++
+		s.streamDelivered.Add(1)
+		if job.line.Status == http.StatusOK && job.line.Result != nil {
+			s.countQuality(job.line.Result.Quality)
+		}
 	}
 	if shed {
 		return
@@ -213,8 +225,15 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		final.Done = true
 	}
 	if err := s.writeStreamLine(rc, w, final); err != nil {
-		s.cfg.Logf("server: stream terminal line: %v", err)
+		s.logger.Warn("stream terminal line failed",
+			slog.String("request_id", RequestIDFromContext(ctx)),
+			slog.Any("error", err))
 	}
+	s.logger.Debug("stream complete",
+		slog.String("request_id", RequestIDFromContext(ctx)),
+		slog.Int64("delivered", delivered),
+		slog.Bool("drained", drained),
+		slog.Int64("resume_from", hdr.ResumeFrom))
 }
 
 // processStreamDoc runs one document through the pipeline under its

@@ -1,0 +1,124 @@
+// Request tracing: every request gets a trace ID (the client's
+// X-Request-Id when it sends one, a generated one otherwise) that is
+// echoed on the response, threaded through the request context into the
+// pipeline and the batch/stream workers, and stamped on every slog line
+// the request produces — so one grep over the logs reconstructs a single
+// document's path through the system, stage timings included.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	xsdf "repro"
+)
+
+// RequestIDHeader is the trace-ID header: accepted from the client on
+// requests (so a caller's correlation ID survives end to end) and always
+// present on responses.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestInfoKey ctxKey = iota
+
+// requestInfo is the per-request trace state the middleware threads
+// through the context: the trace ID, plus the fields the handler fills
+// in as the pipeline answers (stage timings, quality) so the completion
+// log line can report them. Mutex-guarded: stream handlers write from
+// worker goroutines.
+type requestInfo struct {
+	id string
+
+	mu      sync.Mutex
+	stages  []xsdf.StageTiming
+	quality string
+}
+
+// withRequestInfo installs info into ctx.
+func withRequestInfo(ctx context.Context, info *requestInfo) context.Context {
+	return context.WithValue(ctx, requestInfoKey, info)
+}
+
+// infoFromContext returns the request's trace state, or nil outside a
+// traced request (direct Handler() tests, package-internal calls).
+func infoFromContext(ctx context.Context) *requestInfo {
+	info, _ := ctx.Value(requestInfoKey).(*requestInfo)
+	return info
+}
+
+// RequestIDFromContext returns the trace ID threaded through a request's
+// context, or "" outside a traced request. Pipeline-side observers (the
+// Runner's OnStage hook receives the request context) can use it to
+// attach measurements to a trace.
+func RequestIDFromContext(ctx context.Context) string {
+	if info := infoFromContext(ctx); info != nil {
+		return info.id
+	}
+	return ""
+}
+
+// noteResult records a pipeline answer's stage timings and quality rung
+// on the request's trace, for the completion log line.
+func noteResult(ctx context.Context, stages []xsdf.StageTiming, quality string) {
+	info := infoFromContext(ctx)
+	if info == nil {
+		return
+	}
+	info.mu.Lock()
+	info.stages = stages
+	info.quality = quality
+	info.mu.Unlock()
+}
+
+// stageLine renders per-stage timings as one compact log field:
+// "guard=0.012ms select=0.154ms disambiguate=3.201ms ...". Milliseconds
+// with three decimals keep sub-microsecond guards visible next to
+// near-budget disambiguation runs.
+func stageLine(stages []xsdf.StageTiming) string {
+	if len(stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", st.Stage, float64(st.Duration.Microseconds())/1e3)
+		if st.Failed {
+			b.WriteString("(failed)")
+		}
+	}
+	return b.String()
+}
+
+// newRequestID generates a 16-hex-char trace ID. Falls back to a
+// constant-prefixed zero ID if the system randomness source fails, which
+// keeps requests serving (a duplicate trace ID is an inconvenience, a
+// 500 on /healthz is an outage).
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID bounds a client-supplied trace ID: printable, no
+// newlines (log-injection guard), at most 128 bytes. An unusable ID is
+// replaced rather than rejected.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return ""
+		}
+	}
+	return id
+}

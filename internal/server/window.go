@@ -1,0 +1,66 @@
+package server
+
+import "time"
+
+// ringWindow is the rolling-window machinery shared by the circuit
+// breaker and the Retry-After hint: a fixed ring of time-sliced buckets
+// advanced by an injected clock, so "what happened recently" questions
+// are answered from the last Window of wall time instead of from
+// lifetime averages that go stale. B is the per-slice accumulator; a
+// slice that falls out of the window is zeroed.
+//
+// The ring is not self-synchronizing — each owner guards it with its own
+// mutex, exactly as the breaker always has.
+type ringWindow[B any] struct {
+	span     time.Duration // one bucket's time slice
+	buckets  []B
+	cur      int       // index of the current bucket
+	curStart time.Time // start of the current bucket's slice
+}
+
+// newRingWindow builds a ring covering window across n buckets, anchored
+// at now.
+func newRingWindow[B any](window time.Duration, n int, now time.Time) *ringWindow[B] {
+	return &ringWindow[B]{
+		span:     window / time.Duration(n),
+		buckets:  make([]B, n),
+		curStart: now,
+	}
+}
+
+// advance rotates the ring forward to now, zeroing buckets that fell out
+// of the window.
+func (r *ringWindow[B]) advance(now time.Time) {
+	var zero B
+	steps := 0
+	for now.Sub(r.curStart) >= r.span && steps < len(r.buckets) {
+		r.cur = (r.cur + 1) % len(r.buckets)
+		r.buckets[r.cur] = zero
+		r.curStart = r.curStart.Add(r.span)
+		steps++
+	}
+	if steps == len(r.buckets) {
+		// The whole window elapsed; re-anchor instead of looping further.
+		r.curStart = now
+	}
+}
+
+// current returns the bucket accumulating now's slice.
+func (r *ringWindow[B]) current() *B { return &r.buckets[r.cur] }
+
+// fold visits every bucket in the window.
+func (r *ringWindow[B]) fold(f func(*B)) {
+	for i := range r.buckets {
+		f(&r.buckets[i])
+	}
+}
+
+// reset zeroes the whole window and re-anchors it at now.
+func (r *ringWindow[B]) reset(now time.Time) {
+	var zero B
+	for i := range r.buckets {
+		r.buckets[i] = zero
+	}
+	r.cur = 0
+	r.curStart = now
+}

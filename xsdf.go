@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disambig"
 	"repro/internal/lingproc"
+	"repro/internal/metrics"
 	"repro/internal/semnet"
 	"repro/internal/simmeasure"
 	"repro/internal/sphere"
@@ -595,6 +596,27 @@ func (f *Framework) GateStats() (stats GateStats, ok bool) { return f.inner.Gate
 // processed. The serving layer surfaces them in /statusz; cmd/xsdf prints
 // them under -stages.
 func (f *Framework) StageStats() []StageStats { return f.inner.StageStats() }
+
+// StageLatency pairs a stage name with its latency distribution: the
+// histogram behind StageStats' cumulative totals, in seconds (see
+// Framework.StageLatencies).
+type StageLatency = core.StageLatency
+
+// HistogramSnapshot is a point-in-time histogram view with cumulative
+// bucket counts, as exported on GET /metricsz.
+type HistogramSnapshot = metrics.HistogramSnapshot
+
+// StageLatencies reports the per-stage latency histograms, one entry per
+// declared stage in execution order — the distributions the serving
+// layer exports as xsdf_stage_duration_seconds on GET /metricsz.
+func (f *Framework) StageLatencies() []StageLatency { return f.inner.StageLatencies() }
+
+// GateWaitLatencies reports the admission gate's wait-time histogram
+// (seconds): every wait a document spent blocked on the gate, admitted or
+// shed. ok is false when Options.Admission is disabled.
+func (f *Framework) GateWaitLatencies() (hist HistogramSnapshot, ok bool) {
+	return f.inner.GateWaitLatencies()
+}
 
 // CacheStats reports the shared cache's hit/miss counters — an
 // observability hook for serving deployments (cache effectiveness is the
