@@ -25,13 +25,15 @@ bench-snapshot:
 
 # load-smoke is the CI-sized load check: build the daemon and the
 # harness, serve on a local port, drive a short low-rate open-loop phase
-# plus a streaming phase, and fail on any lost/untyped response.
+# plus a streaming phase (whole-document, then subtree mode), and fail
+# on any lost/untyped response.
 load-smoke:
 	$(GO) build -o /tmp/xsdfd ./cmd/xsdfd
 	$(GO) build -o /tmp/xsdf-loadgen ./cmd/xsdf-loadgen
 	/tmp/xsdfd -addr 127.0.0.1:18080 & echo $$! > /tmp/xsdfd.pid; \
 	sleep 1; \
-	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0 -check-metrics; \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0 -check-metrics && \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 5s -subtree -max-lost 0; \
 	status=$$?; \
 	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
 	exit $$status

@@ -11,9 +11,11 @@ package xsdf_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -58,6 +60,136 @@ func TestStreamChaosSchedules(t *testing.T) {
 			runStreamChaosSchedule(t, ts.URL, docs, seed)
 		})
 	}
+}
+
+// TestStreamChaosSchedulesSubtree is the incremental-mode counterpart:
+// seeded mid-document cuts (PointSubtree) and wire cuts (PointStream)
+// sever subtree-mode streams between subtrees, and the resume protocol
+// must still deliver every subtree line of every document exactly once,
+// in global cursor order, with clean worker shutdown under -race.
+func TestStreamChaosSchedulesSubtree(t *testing.T) {
+	n := int64(streamChaosSchedules)
+	if testing.Short() {
+		n = 8
+	}
+
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Framework: fw,
+		Breaker:   server.BreakerOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	docs := streamChaosDocs(t, 4)
+	// The ground truth the chaos schedules must reproduce: scanning each
+	// document locally (no faults installed) tells us exactly how many
+	// subtree lines a clean stream emits.
+	wantLines := int64(0)
+	for i, doc := range docs {
+		count, err := countSubtrees(fw, doc)
+		if err != nil {
+			t.Fatalf("doc %d does not scan cleanly: %v", i, err)
+		}
+		wantLines += count
+	}
+	if wantLines <= int64(len(docs)) {
+		t.Fatalf("corpus docs yield only %d subtrees — not a meaningful unroll", wantLines)
+	}
+
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSubtreeChaosSchedule(t, ts.URL, docs, wantLines, seed)
+		})
+	}
+}
+
+// countSubtrees scans one document with the framework's scanner and
+// returns how many subtrees a clean scan emits.
+func countSubtrees(fw *xsdf.Framework, doc string) (int64, error) {
+	sc := fw.SubtreeScanner(strings.NewReader(doc), xsdf.SubtreeOptions{})
+	count := int64(0)
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count++
+	}
+}
+
+// runSubtreeChaosSchedule derives one seed's cut/stall mix across both
+// fault points and checks the exactly-once subtree account.
+func runSubtreeChaosSchedule(t *testing.T, baseURL string, docs []string, wantLines, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	restore := faultinject.Install(faultinject.New(faultinject.Config{
+		Seed: seed,
+		// Mid-document cuts between subtrees, plus a slice of ordinary wire
+		// cuts and stalls, so resumes land both inside and between documents.
+		SubtreeCutRate:   0.02 + 0.20*rng.Float64(),
+		SubtreeStallRate: 0.10 * rng.Float64(),
+		SubtreeStall:     time.Millisecond,
+		StreamCutRate:    0.10 * rng.Float64(),
+	}))
+	defer restore()
+
+	c, err := client.New(client.Options{
+		BaseURL:     baseURL,
+		MaxRetries:  50,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		JitterSeed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[int64]int)
+	last := int64(0)
+	stats, err := c.Stream(t.Context(), docs, client.StreamOptions{Subtree: true},
+		func(line server.StreamLine) error {
+			seen[line.Cursor]++
+			if line.Cursor != last+1 {
+				t.Errorf("cursor %d arrived after %d: out of order", line.Cursor, last)
+			}
+			last = line.Cursor
+			if line.Status != http.StatusOK || line.Result == nil {
+				t.Errorf("cursor %d: %+v, want a 200 result (no pipeline faults installed)", line.Cursor, line)
+			}
+			if line.Doc < 1 || line.Doc > int64(len(docs)) || line.Subtree < 1 {
+				t.Errorf("cursor %d: locator doc %d subtree %d out of range", line.Cursor, line.Doc, line.Subtree)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream never completed: %v (stats %+v)", err, stats)
+	}
+
+	for cursor := int64(1); cursor <= wantLines; cursor++ {
+		switch seen[cursor] {
+		case 1:
+		case 0:
+			t.Errorf("cursor %d lost", cursor)
+		default:
+			t.Errorf("cursor %d delivered %d times", cursor, seen[cursor])
+		}
+	}
+	if len(seen) != int(wantLines) {
+		t.Errorf("%d distinct cursors, want %d", len(seen), wantLines)
+	}
+	if stats.Delivered != wantLines {
+		t.Errorf("stats.Delivered = %d, want %d", stats.Delivered, wantLines)
+	}
+	t.Logf("delivered %d subtree lines over %d attempts (%d resumes)", stats.Delivered, stats.Attempts, stats.Resumes)
 }
 
 // streamChaosDocs serializes a slice of the shared corpus back to raw XML.

@@ -8,6 +8,7 @@
 //	xsdf-loadgen -url http://localhost:8080 -rate 200 -duration 30s
 //	xsdf-loadgen -url http://localhost:8080 -factor 2 -duration 30s   # 2x measured saturation
 //	xsdf-loadgen -url http://localhost:8080 -rate 50 -stream -out BENCH_stream.json
+//	xsdf-loadgen -url http://localhost:8080 -rate 50 -subtree          # subtree-mode stream phase
 //
 // With -rate 0 the harness first calibrates: a short closed-loop phase
 // measures the server's saturation throughput, and the open-loop phase
@@ -30,14 +31,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/corpus"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -75,16 +79,20 @@ type UnaryReport struct {
 	Latency       LatencyReport    `json:"latency"`
 }
 
-// StreamReport is the streaming phase's account.
+// StreamReport is the streaming phase's account. In subtree mode one
+// line arrives per subtree rather than per document, and ExpectedLines
+// is the locally-scanned ground truth Delivered must match.
 type StreamReport struct {
-	Documents  int     `json:"documents"`
-	Delivered  int64   `json:"delivered"`
-	Degraded   int64   `json:"degraded"`
-	TypedLines int64   `json:"typed_error_lines"`
-	Lost       int64   `json:"lost"`
-	Resumes    int     `json:"resumes"`
-	Attempts   int     `json:"attempts"`
-	DurationMS float64 `json:"duration_ms"`
+	Documents     int     `json:"documents"`
+	SubtreeMode   bool    `json:"subtree_mode,omitempty"`
+	ExpectedLines int64   `json:"expected_lines,omitempty"`
+	Delivered     int64   `json:"delivered"`
+	Degraded      int64   `json:"degraded"`
+	TypedLines    int64   `json:"typed_error_lines"`
+	Lost          int64   `json:"lost"`
+	Resumes       int     `json:"resumes"`
+	Attempts      int     `json:"attempts"`
+	DurationMS    float64 `json:"duration_ms"`
 }
 
 // Report is the BENCH_stream.json schema.
@@ -114,6 +122,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload mix seed (corpus generation and document order)")
 		out        = flag.String("out", "", "write the JSON report here as well as stdout")
 		doStream   = flag.Bool("stream", false, "also run a resumable streaming phase over /v1/stream")
+		doSubtree  = flag.Bool("subtree", false, "run the streaming phase in subtree mode (one NDJSON line per subtree)")
 		checkP99MS = flag.Float64("check-p99-ms", 0, "fail the run when the unary p99 exceeds this (0 = no check)")
 		maxLost    = flag.Int64("max-lost", 0, "fail the run when more than this many responses are lost/untyped")
 		checkMx    = flag.Bool("check-metrics", false, "scrape /metricsz mid-run and fail on an invalid or idle exposition")
@@ -159,8 +168,8 @@ func main() {
 	if *checkMx {
 		rep.Violations = append(rep.Violations, <-metricsErr...)
 	}
-	if *doStream {
-		sr := streamPhase(*url, docs, *budgetMS, *seed)
+	if *doStream || *doSubtree {
+		sr := streamPhase(*url, docs, *budgetMS, *seed, *doSubtree)
 		rep.Stream = &sr
 	}
 
@@ -387,9 +396,16 @@ func postOne(hc *http.Client, url, doc string, budgetMS int64) (status int, kind
 }
 
 // streamPhase runs the whole workload through one resumable stream and
-// accounts for every line.
-func streamPhase(url string, docs []string, budgetMS int64, seed int64) StreamReport {
-	log.Printf("stream phase: %d documents through /v1/stream", len(docs))
+// accounts for every line. In subtree mode each document unrolls into
+// one line per subtree; the expected line count is established by
+// scanning the workload locally, so delivery is checked against ground
+// truth rather than trusting the server's own accounting.
+func streamPhase(url string, docs []string, budgetMS int64, seed int64, subtree bool) StreamReport {
+	mode := "document"
+	if subtree {
+		mode = "subtree"
+	}
+	log.Printf("stream phase: %d documents through /v1/stream (%s mode)", len(docs), mode)
 	c, err := client.New(client.Options{
 		BaseURL:    url,
 		MaxRetries: 10,
@@ -398,10 +414,17 @@ func streamPhase(url string, docs []string, budgetMS int64, seed int64) StreamRe
 	if err != nil {
 		log.Fatalf("stream client: %v", err)
 	}
-	rep := StreamReport{Documents: len(docs)}
+	rep := StreamReport{Documents: len(docs), SubtreeMode: subtree}
+	rep.ExpectedLines = int64(len(docs))
+	if subtree {
+		rep.ExpectedLines = countSubtrees(docs)
+	}
 	start := time.Now()
 	stats, err := c.Stream(context.Background(), docs,
-		client.StreamOptions{Budget: time.Duration(budgetMS) * time.Millisecond},
+		client.StreamOptions{
+			Budget:  time.Duration(budgetMS) * time.Millisecond,
+			Subtree: subtree,
+		},
 		func(line server.StreamLine) error {
 			switch {
 			case line.Status == http.StatusOK && line.Result != nil:
@@ -421,9 +444,34 @@ func streamPhase(url string, docs []string, budgetMS int64, seed int64) StreamRe
 	rep.Attempts = stats.Attempts
 	if err != nil {
 		log.Printf("stream phase error: %v", err)
-		rep.Lost += int64(len(docs)) - stats.Delivered
+	}
+	if short := rep.ExpectedLines - stats.Delivered; short > 0 {
+		rep.Lost += short
 	}
 	return rep
+}
+
+// countSubtrees scans the workload locally with the same scanner the
+// server uses, establishing how many subtree lines a clean stream emits.
+func countSubtrees(docs []string) int64 {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		log.Fatalf("local scan framework: %v", err)
+	}
+	total := int64(0)
+	for i, doc := range docs {
+		sc := fw.SubtreeScanner(strings.NewReader(doc), xsdf.SubtreeOptions{})
+		for {
+			if _, err := sc.Next(); err != nil {
+				if err != io.EOF {
+					log.Fatalf("workload doc %d does not scan cleanly: %v", i, err)
+				}
+				break
+			}
+			total++
+		}
+	}
+	return total
 }
 
 // percentiles summarizes a sorted latency slice.

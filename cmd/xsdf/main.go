@@ -8,6 +8,7 @@
 //	xsdf -d 2 -method combined -threshold 0.05 doc.xml
 //	xsdf -timeout 50ms -degrade doc.xml   # degrade instead of failing
 //	xsdf -stages doc.xml              # per-stage timings on stderr
+//	xsdf -subtree huge.xml            # bounded memory: one subtree at a time
 //	cat doc.xml | xsdf -              # read stdin
 //
 // Exit codes distinguish the failure modes for scripting:
@@ -28,6 +29,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"repro"
 )
@@ -49,6 +51,80 @@ func fail(code int, format string, args ...any) {
 	os.Exit(code)
 }
 
+// runSubtrees is the incremental mode: the document is parsed and
+// disambiguated one subtree at a time, each subtree's output written as
+// soon as it completes, so memory stays bounded by the largest subtree
+// no matter how large the document. A subtree that trips a guard or
+// fails in the pipeline is reported on stderr and skipped; the scan
+// continues behind it and the failure is reflected in the exit code.
+func runSubtrees(ctx context.Context, fw *xsdf.Framework, in io.Reader, so xsdf.SubtreeOptions, asJSON, report, stages bool) int {
+	worst := exitOK
+	sum, err := fw.DisambiguateSubtrees(ctx, in, so, func(r xsdf.SubtreeResult) error {
+		at := "/" + strings.Join(r.Path, "/")
+		if r.Err != nil {
+			log.Printf("subtree %d (%s): %v", r.Index, at, r.Err)
+			if worst == exitOK || worst == exitDegraded {
+				worst = exitInput
+			}
+			return nil
+		}
+		res := r.Result
+		if res.Degraded != xsdf.DegradeNone && worst == exitOK {
+			worst = exitDegraded
+		}
+		switch {
+		case asJSON:
+			// One JSON document per subtree, newline-delimited: the
+			// incremental counterpart of -json, consumable line by line.
+			if err := res.Tree.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		case report:
+			fmt.Printf("# subtree %d at %s: %d targets, %d assigned\n", r.Index, at, res.Targets, res.Assigned)
+			for _, n := range res.Tree.Nodes() {
+				if n.Sense == "" {
+					continue
+				}
+				gloss := ""
+				if c := fw.Network().Concept(xsdf.ConceptID(n.Sense)); c != nil {
+					gloss = c.Gloss
+				}
+				fmt.Printf("%-16s %-20s %.3f  %s\n", n.Label, n.Sense, n.SenseScore, gloss)
+			}
+		default:
+			if err := res.Tree.WriteXML(os.Stdout, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, xsdf.ErrOverloaded):
+			log.Printf("rejected by admission gate: %v", err)
+			return exitOverload
+		case errors.Is(err, xsdf.ErrCanceled):
+			log.Printf("deadline exceeded: %v", err)
+			return exitTimeout
+		case errors.Is(err, xsdf.ErrLimitExceeded):
+			log.Printf("input rejected by resource guard: %v", err)
+			return exitInput
+		case errors.Is(err, xsdf.ErrMalformedInput):
+			log.Printf("%v (the %d subtrees before the fault were processed)", err, sum.Subtrees)
+			return exitInput
+		default:
+			log.Printf("%v", err)
+			return exitErr
+		}
+	}
+	if stages {
+		log.Printf("%d subtrees (%d failed), %d targets, %d assigned, quality %s",
+			sum.Subtrees, sum.Failed, sum.Targets, sum.Assigned, sum.Degraded)
+	}
+	return worst
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xsdf: ")
@@ -66,6 +142,11 @@ func main() {
 		maxDepth  = flag.Int("max-depth", 0, "element nesting limit (0 = default, -1 = unlimited)")
 		maxNodes  = flag.Int("max-nodes", 0, "tree node-count limit (0 = default, -1 = unlimited)")
 		stages    = flag.Bool("stages", false, "print per-stage pipeline timings to stderr")
+
+		subtree         = flag.Bool("subtree", false, "incremental mode: disambiguate one subtree at a time in bounded memory")
+		subtreeDepth    = flag.Int("subtree-depth", 0, "element depth whose subtrees are the incremental units (0 = 1)")
+		maxSubtreeBytes = flag.Int64("max-subtree-bytes", 0, "per-subtree encoded-size limit in -subtree mode (0 = default, -1 = unlimited)")
+		maxSubtrees     = flag.Int("max-subtrees", 0, "per-document subtree budget in -subtree mode (0 = default, -1 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -113,6 +194,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *subtree {
+		os.Exit(runSubtrees(ctx, fw, in, xsdf.SubtreeOptions{
+			SplitDepth:      *subtreeDepth,
+			MaxSubtreeBytes: *maxSubtreeBytes,
+			MaxSubtrees:     *maxSubtrees,
+		}, *asJSON, *report, *stages))
+	}
+
 	res, err := fw.DisambiguateContext(ctx, in)
 	if err != nil {
 		switch {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -257,14 +258,31 @@ func TestBatchPerDocumentTimeout(t *testing.T) {
 	}
 	trees := corpusTrees(t, 3)
 	slow := trees[1]
+	// A hook-held barrier instead of wall-clock sleeps: the slow
+	// document's first node parks until its per-document deadline has
+	// provably expired, so the timeout trips deterministically no matter
+	// how loaded the machine is, while the generous budget keeps the fast
+	// neighbors far from their own deadlines.
+	const docTimeout = 300 * time.Millisecond
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
 	restore := SetTestHooks(TestHooks{BeforeNode: func(n *xmltree.Node) {
 		if root(n) == slow.Root {
-			time.Sleep(5 * time.Millisecond)
+			once.Do(func() { close(held) })
+			<-release
 		}
 	}})
 	defer restore()
+	go func() {
+		<-held
+		// The slow document's deadline started at most docTimeout before
+		// the hold; by now + docTimeout + margin it has certainly passed.
+		time.Sleep(docTimeout + 100*time.Millisecond)
+		close(release)
+	}()
 
-	results, err := fw.ProcessTreesContext(context.Background(), trees, 2, 40*time.Millisecond)
+	results, err := fw.ProcessTreesContext(context.Background(), trees, 2, docTimeout)
 	if !errors.Is(err, xsdferrors.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want deadline-flavored ErrCanceled, got %v", err)
 	}

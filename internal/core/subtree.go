@@ -1,0 +1,108 @@
+// Incremental subtree processing: the core-side driver of the
+// SAX-style mode. Each completed subtree from an xmltree.SubtreeScanner
+// runs through the framework's one shared staged pipeline (guard →
+// admission → preprocess → select → disambiguate → harmonize) as its own
+// run value, so per-subtree scratch stays per-run while the shared
+// similarity/vector caches, the admission gate, and the per-stage
+// instrumentation compose exactly as they do for whole documents. Live
+// memory is one subtree plus the shared caches — never the document.
+package core
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"repro/internal/xmltree"
+	"repro/xsdferrors"
+)
+
+// SubtreeResult is one subtree's outcome within an incremental run.
+type SubtreeResult struct {
+	// Index is the subtree's 0-based ordinal within the document
+	// (stable across guard-tripped neighbors).
+	Index int
+	// Path holds the envelope tag names above the subtree root,
+	// document root first. Empty when the subtree never materialized.
+	Path []string
+	// Bytes is the subtree's encoded input size (0 on a guard trip).
+	Bytes int64
+	// Result is the pipeline outcome; nil when the subtree tripped a
+	// scanner guard or the pipeline failed it. A degraded subtree keeps
+	// its partial Result alongside an ErrDegraded-matching Err.
+	Result *Result
+	// Err is the subtree's typed error (scanner guard trip or pipeline
+	// failure), nil on full success.
+	Err error
+}
+
+// SubtreeSummary aggregates an incremental run.
+type SubtreeSummary struct {
+	// Subtrees counts the subtrees handed to the pipeline; Failed the
+	// subtrees that produced no Result (scanner guard trips plus
+	// pipeline failures).
+	Subtrees int
+	Failed   int
+	// Targets and Assigned accumulate the per-subtree pipeline counts.
+	Targets  int
+	Assigned int
+	// Degraded is the worst degradation level any subtree was scored at.
+	Degraded xsdferrors.DegradationLevel
+}
+
+// ProcessSubtrees drives sc to completion, running the full staged
+// pipeline on each completed subtree and invoking fn (when non-nil) once
+// per attempted subtree, in document order. Per-subtree failures — a
+// recoverable scanner guard trip, or a pipeline error on one subtree —
+// are reported through fn and do not stop the scan; a fatal scanner
+// error (malformed input, a document-level budget) stops it and is
+// returned after the already-emitted subtrees were handed out, partial
+// results intact. fn returning an error stops the run with that error.
+//
+// Cancellation follows ProcessTreeContext's contract per subtree; the
+// scan loop itself stops between subtrees when ctx dies (an expired
+// deadline is ridden out when the degradation ladder is on, matching the
+// whole-document entry points).
+func (f *Framework) ProcessSubtrees(ctx context.Context, sc *xmltree.SubtreeScanner, fn func(SubtreeResult) error) (SubtreeSummary, error) {
+	degrade := f.opts.Disambiguation.Degrade.Enabled
+	var sum SubtreeSummary
+	for {
+		if cerr := ctx.Err(); cerr != nil && !(degrade && errors.Is(cerr, context.DeadlineExceeded)) {
+			return sum, xsdferrors.Canceled(cerr)
+		}
+		st, err := sc.Next()
+		if err != nil {
+			if err == io.EOF {
+				return sum, nil
+			}
+			var se *xmltree.SubtreeError
+			if errors.As(err, &se) && !se.Fatal {
+				sum.Failed++
+				if fn != nil {
+					if cberr := fn(SubtreeResult{Index: se.Subtree, Err: err}); cberr != nil {
+						return sum, cberr
+					}
+				}
+				continue
+			}
+			return sum, err
+		}
+		res, perr := f.ProcessTreeContext(ctx, st.Tree)
+		sum.Subtrees++
+		if res != nil {
+			sum.Targets += res.Targets
+			sum.Assigned += res.Assigned
+			if res.Degraded > sum.Degraded {
+				sum.Degraded = res.Degraded
+			}
+		} else {
+			sum.Failed++
+		}
+		if fn != nil {
+			out := SubtreeResult{Index: st.Index, Path: st.Path, Bytes: st.Bytes(), Result: res, Err: perr}
+			if cberr := fn(out); cberr != nil {
+				return sum, cberr
+			}
+		}
+	}
+}

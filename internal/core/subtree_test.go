@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/lingproc"
+	"repro/internal/wordnet"
+	"repro/internal/xmltree"
+	"repro/xsdferrors"
+)
+
+// scanner builds a framework-flavored SubtreeScanner for core tests.
+func subtreeScanner(doc string, po xmltree.ParseOptions, so xmltree.SubtreeOptions) *xmltree.SubtreeScanner {
+	so.ParseOptions = po
+	if so.Tokenize == nil {
+		so.Tokenize = lingproc.Tokenize
+	}
+	return xmltree.NewSubtreeScanner(strings.NewReader(doc), so)
+}
+
+func TestProcessSubtreesRunsPipelinePerSubtree(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<films><picture title="Rear Window"><star>Kelly</star></picture><picture>network</picture></films>`
+	sc := subtreeScanner(doc, xmltree.ParseOptions{IncludeContent: true}, xmltree.SubtreeOptions{})
+	var results []SubtreeResult
+	sum, err := fw.ProcessSubtrees(context.Background(), sc, func(r SubtreeResult) error {
+		results = append(results, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ProcessSubtrees: %v", err)
+	}
+	if sum.Subtrees != 2 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v, want 2 subtrees, 0 failed", sum)
+	}
+	if sum.Assigned == 0 || sum.Targets < sum.Assigned {
+		t.Fatalf("summary accounting off: %+v", sum)
+	}
+	if len(results) != 2 {
+		t.Fatalf("callback saw %d subtrees, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Err != nil || r.Result == nil {
+			t.Errorf("result %d = %+v, want clean result with Index %d", i, r, i)
+		}
+		if len(r.Path) != 1 || r.Path[0] != "films" {
+			t.Errorf("result %d Path = %v, want [films]", i, r.Path)
+		}
+		if r.Bytes <= 0 {
+			t.Errorf("result %d has no byte accounting", i)
+		}
+	}
+	// The per-stage instrumentation saw one run per subtree.
+	for _, st := range fw.StageStats() {
+		if st.Calls != 2 {
+			t.Errorf("stage %s recorded %d calls, want 2", st.Stage, st.Calls)
+		}
+	}
+}
+
+func TestProcessSubtreesGuardTripIsScoped(t *testing.T) {
+	opts := DefaultOptions()
+	fw, err := New(wordnet.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<r><s>star</s><s>a b c d e f g h</s><s>movie</s></r>`
+	sc := subtreeScanner(doc, xmltree.ParseOptions{IncludeContent: true, MaxNodes: 6}, xmltree.SubtreeOptions{})
+	var tripped, ok int
+	sum, err := fw.ProcessSubtrees(context.Background(), sc, func(r SubtreeResult) error {
+		if r.Err != nil {
+			if !errors.Is(r.Err, xsdferrors.ErrLimitExceeded) {
+				t.Errorf("trip error = %v, want ErrLimitExceeded", r.Err)
+			}
+			if r.Result != nil {
+				t.Errorf("tripped subtree carries a result")
+			}
+			tripped++
+			return nil
+		}
+		ok++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ProcessSubtrees: %v", err)
+	}
+	if ok != 2 || tripped != 1 {
+		t.Fatalf("ok=%d tripped=%d, want 2 and 1", ok, tripped)
+	}
+	if sum.Subtrees != 2 || sum.Failed != 1 {
+		t.Fatalf("summary = %+v, want Subtrees 2, Failed 1", sum)
+	}
+}
+
+func TestProcessSubtreesMalformedKeepsPartials(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<r><s>one</s><s>two</s><s><broken></r>`
+	sc := subtreeScanner(doc, xmltree.ParseOptions{IncludeContent: true}, xmltree.SubtreeOptions{})
+	var delivered int
+	sum, err := fw.ProcessSubtrees(context.Background(), sc, func(r SubtreeResult) error {
+		delivered++
+		return nil
+	})
+	if !errors.Is(err, xsdferrors.ErrMalformedInput) {
+		t.Fatalf("error = %v, want ErrMalformedInput", err)
+	}
+	var se *xmltree.SubtreeError
+	if !errors.As(err, &se) || !se.Fatal {
+		t.Fatalf("error = %v, want fatal SubtreeError", err)
+	}
+	if delivered != 2 || sum.Subtrees != 2 {
+		t.Fatalf("delivered=%d summary=%+v, want the 2 earlier subtrees intact", delivered, sum)
+	}
+}
+
+func TestProcessSubtreesCallbackStops(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := errors.New("enough")
+	doc := `<r><s>one</s><s>two</s><s>three</s></r>`
+	sc := subtreeScanner(doc, xmltree.ParseOptions{IncludeContent: true}, xmltree.SubtreeOptions{})
+	n := 0
+	_, err = fw.ProcessSubtrees(context.Background(), sc, func(r SubtreeResult) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("error = %v, want the callback's error", err)
+	}
+	if n != 2 {
+		t.Fatalf("callback ran %d times, want 2", n)
+	}
+}
+
+func TestProcessSubtreesCancellation(t *testing.T) {
+	fw, err := New(wordnet.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	doc := `<r><s>one</s><s>two</s><s>three</s></r>`
+	sc := subtreeScanner(doc, xmltree.ParseOptions{IncludeContent: true}, xmltree.SubtreeOptions{})
+	_, err = fw.ProcessSubtrees(ctx, sc, func(r SubtreeResult) error {
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, xsdferrors.ErrCanceled) {
+		t.Fatalf("error = %v, want ErrCanceled", err)
+	}
+}

@@ -94,6 +94,11 @@ const (
 	// endpoint emits; a hit cuts the connection mid-stream (the client must
 	// resume from its cursor) or stalls the write (a slow wire).
 	PointStream
+	// PointSubtree fires before each subtree an incremental scan pulls in
+	// subtree streaming mode; a hit cuts the connection mid-document (the
+	// client resumes from a mid-document cursor) or stalls the scan (a
+	// slow upstream source).
+	PointSubtree
 
 	numPoints
 )
@@ -117,6 +122,8 @@ func (p Point) String() string {
 		return "stage"
 	case PointStream:
 		return "stream"
+	case PointSubtree:
+		return "subtree"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
@@ -169,6 +176,14 @@ type Config struct {
 	StreamCutRate   float64
 	StreamStallRate float64
 	StreamStall     time.Duration
+	// SubtreeCutRate cuts the connection at PointSubtree, between two
+	// subtrees of one incrementally scanned document (a mid-document
+	// disconnect the client must resume across);
+	// SubtreeStallRate/SubtreeStall stall the scan (a slow upstream
+	// source feeding the incremental parser).
+	SubtreeCutRate   float64
+	SubtreeStallRate float64
+	SubtreeStall     time.Duration
 }
 
 // Injector fires the faults of one Config. Each point draws from its own
@@ -350,6 +365,27 @@ func StreamEmit() (cut bool) {
 	}
 	if u < inj.cfg.StreamCutRate+inj.cfg.StreamStallRate && inj.cfg.StreamStall > 0 {
 		time.Sleep(inj.cfg.StreamStall)
+	}
+	return false
+}
+
+// SubtreeNext fires PointSubtree before an incremental scan pulls its
+// next subtree in subtree streaming mode. It may sleep (a slow upstream
+// source) and reports cut=true when the schedule wants the connection
+// severed mid-document — the streaming handler aborts without emitting
+// the subtree, and the client resumes from its last cursor, landing in
+// the middle of the document's subtree sequence.
+func SubtreeNext() (cut bool) {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	u, _ := inj.draw(PointSubtree)
+	if u < inj.cfg.SubtreeCutRate {
+		return true
+	}
+	if u < inj.cfg.SubtreeCutRate+inj.cfg.SubtreeStallRate && inj.cfg.SubtreeStall > 0 {
+		time.Sleep(inj.cfg.SubtreeStall)
 	}
 	return false
 }

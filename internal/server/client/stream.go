@@ -32,6 +32,17 @@ type StreamOptions struct {
 	Window int
 	// MaxLineBytes bounds one response line (default 4 MiB).
 	MaxLineBytes int
+	// Subtree switches the stream to incremental subtree mode: the
+	// callback receives one line per completed subtree instead of one per
+	// document, each carrying its Doc/Subtree/SubtreePath locator. Resume
+	// semantics are unchanged — cursors stay global over emitted lines.
+	Subtree bool
+	// SubtreeDepth, MaxSubtreeBytes, and MaxSubtrees forward the
+	// subtree-mode knobs of the stream header (zero keeps server
+	// defaults; negatives are rejected by the server).
+	SubtreeDepth    int
+	MaxSubtreeBytes int64
+	MaxSubtrees     int
 }
 
 // StreamStats reports how a Stream call went on the wire.
@@ -189,9 +200,13 @@ func encodeStreamRequest(documents []string, resumeFrom int64, opts StreamOption
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	hdr := server.StreamHeader{
-		BudgetMS:   opts.Budget.Milliseconds(),
-		ResumeFrom: resumeFrom,
-		Window:     opts.Window,
+		BudgetMS:        opts.Budget.Milliseconds(),
+		ResumeFrom:      resumeFrom,
+		Window:          opts.Window,
+		Subtree:         opts.Subtree,
+		SubtreeDepth:    opts.SubtreeDepth,
+		MaxSubtreeBytes: opts.MaxSubtreeBytes,
+		MaxSubtrees:     opts.MaxSubtrees,
 	}
 	if err := enc.Encode(hdr); err != nil {
 		return nil, err

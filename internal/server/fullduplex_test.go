@@ -1,0 +1,86 @@
+package server_test
+
+// Regression test for the full-duplex streaming fix: a request body
+// larger than the reader's buffer, streamed while the server is already
+// emitting response lines. Without ResponseController.EnableFullDuplex,
+// net/http reacts to the first response write by discarding and closing
+// the unconsumed request body (the Issue 15527 deadlock guard), which
+// races with the stream's reader goroutine: body lines tear mid-JSON
+// and the stream ends in a spurious malformed-input line plus a body
+// read error. The whole 60-document corpus (~190 KiB, several times the
+// 64 KiB scanner buffer) must therefore flow through one attempt with
+// every line a 200 — in both document and subtree mode.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func TestStreamLargeBodyFullDuplex(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Framework: fw, Logger: server.NopLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gen := corpus.Generate(42)
+	var docs []string
+	total := 0
+	// Three passes over the corpus: enough body volume that the reader
+	// cannot have buffered it all by the time the first line flushes.
+	for pass := 0; pass < 3; pass++ {
+		for _, d := range gen {
+			var buf bytes.Buffer
+			if err := d.Tree.WriteXML(&buf, false); err != nil {
+				t.Fatal(err)
+			}
+			docs = append(docs, buf.String())
+			total += buf.Len()
+		}
+	}
+	if total < 128<<10 {
+		t.Fatalf("workload is %d bytes; the regression needs a body well past the 64 KiB scanner buffer", total)
+	}
+
+	// MaxRetries 0: the point is that the stream completes in ONE attempt.
+	// Before the fix this workload deterministically tore a body line and
+	// forced a resume.
+	c, err := client.New(client.Options{BaseURL: ts.URL, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]client.StreamOptions{
+		"document": {},
+		"subtree":  {Subtree: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			stats, err := c.Stream(t.Context(), docs, opts, func(line server.StreamLine) error {
+				if line.Status != http.StatusOK {
+					t.Errorf("cursor %d: status %d kind %s error %q, want 200", line.Cursor, line.Status, line.Kind, line.Error)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("stream failed: %v (stats %+v)", err, stats)
+			}
+			if stats.Resumes != 0 || stats.Attempts != 1 {
+				t.Errorf("stats %+v, want a single uninterrupted attempt", stats)
+			}
+			if stats.Delivered < int64(len(docs)) {
+				t.Errorf("delivered %d lines, want at least one per document (%d)", stats.Delivered, len(docs))
+			}
+		})
+	}
+}

@@ -165,6 +165,20 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	e.Family("xsdf_stream_window_limit", "Configured per-stream in-flight window.", "gauge")
 	e.Sample("", nil, float64(s.cfg.StreamWindow))
 
+	// Subtree mode (incremental parsing over /v1/stream).
+	e.Family("xsdf_stream_subtrees_emitted_total",
+		"Subtree result lines delivered by subtree-mode streams.", "counter")
+	e.Sample("", nil, float64(s.subtreeEmitted.Load()))
+	e.Family("xsdf_stream_subtrees_failed_total",
+		"Subtree lines delivered with a typed error.", "counter")
+	e.Sample("", nil, float64(s.subtreeFailed.Load()))
+	e.Family("xsdf_stream_subtrees_guard_tripped_total",
+		"Failed subtree lines whose error was a resource-guard limit.", "counter")
+	e.Sample("", nil, float64(s.subtreeGuardTripped.Load()))
+	e.Family("xsdf_stream_subtree_bytes",
+		"Encoded input size of subtrees scanned in subtree mode.", "histogram")
+	e.Histogram(nil, s.subtreeBytes.Snapshot())
+
 	if err := e.Err(); err != nil {
 		s.logger.Warn("writing metrics failed", "error", err)
 	}

@@ -77,6 +77,17 @@ func TestMetricszGolden(t *testing.T) {
 	}
 	resp.Body.Close()
 
+	// A subtree-mode stream: three subtrees, the middle one guard-tripped
+	// by a tight per-subtree byte budget (emitted=2, failed=1, tripped=1).
+	subtreeDoc := `<r><a>kelly</a><b>` + strings.Repeat("x", 120) + `</b><c>network</c></r>`
+	subtreeStream := `{"subtree":true,"max_subtree_bytes":40}` + "\n" +
+		fmt.Sprintf(`{"document":%q}`, subtreeDoc) + "\n"
+	resp, err = http.Post(ts.URL+"/v1/stream", NDJSONContentType, strings.NewReader(subtreeStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
 	fams := scrapeMetrics(t, ts)
 
 	// Stage latency histograms carry the traffic: the guard stage ran for
@@ -129,12 +140,35 @@ func TestMetricszGolden(t *testing.T) {
 		}
 	}
 
-	// Stream lifecycle: one delivered line (second doc), one resume.
-	if got := counterValue(t, fams, "xsdf_stream_documents_delivered_total"); got != 1 {
-		t.Errorf("xsdf_stream_documents_delivered_total = %v, want 1", got)
+	// Stream lifecycle: one delivered document line (the resumed stream's
+	// second doc) plus three subtree lines, and one resume.
+	if got := counterValue(t, fams, "xsdf_stream_documents_delivered_total"); got != 4 {
+		t.Errorf("xsdf_stream_documents_delivered_total = %v, want 4", got)
 	}
 	if got := counterValue(t, fams, "xsdf_stream_resumes_total"); got != 1 {
 		t.Errorf("xsdf_stream_resumes_total = %v, want 1", got)
+	}
+
+	// Subtree mode: two subtrees delivered results, one tripped the
+	// per-subtree byte budget, and only scanned (emitted) subtrees feed
+	// the size histogram.
+	if got := counterValue(t, fams, "xsdf_stream_subtrees_emitted_total"); got != 2 {
+		t.Errorf("xsdf_stream_subtrees_emitted_total = %v, want 2", got)
+	}
+	if got := counterValue(t, fams, "xsdf_stream_subtrees_failed_total"); got != 1 {
+		t.Errorf("xsdf_stream_subtrees_failed_total = %v, want 1", got)
+	}
+	if got := counterValue(t, fams, "xsdf_stream_subtrees_guard_tripped_total"); got != 1 {
+		t.Errorf("xsdf_stream_subtrees_guard_tripped_total = %v, want 1", got)
+	}
+	sb, ok := fams["xsdf_stream_subtree_bytes"]
+	if !ok {
+		t.Fatal("xsdf_stream_subtree_bytes missing")
+	}
+	for _, smp := range sb.Samples {
+		if strings.HasSuffix(smp.Name, "_count") && smp.Value != 2 {
+			t.Errorf("xsdf_stream_subtree_bytes count = %v, want 2", smp.Value)
+		}
 	}
 }
 

@@ -41,8 +41,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/disambig"
 	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/xsdferrors"
 )
+
+// subtreeByteBuckets are the xsdf_stream_subtree_bytes histogram bounds:
+// powers of four from 256 B to 16 MiB, spanning tiny leaf subtrees up to
+// the default MaxSubtreeBytes budget.
+var subtreeByteBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
 
 // Config configures a Server. Framework is required; every other zero
 // field selects the documented default.
@@ -154,6 +162,14 @@ type Server struct {
 	streamShed      atomic.Uint64
 	streamResumes   atomic.Uint64
 
+	// Subtree-mode lifecycle: subtree result lines delivered, subtree
+	// lines that carried a typed error, the guard-tripped slice of those
+	// failures, and the encoded-size distribution of scanned subtrees.
+	subtreeEmitted      atomic.Uint64
+	subtreeFailed       atomic.Uint64
+	subtreeGuardTripped atomic.Uint64
+	subtreeBytes        *metrics.Histogram
+
 	// gateWaits is the recent-window view of admission-gate waits that
 	// sizes Retry-After hints for shed load.
 	gateWaits *gateWaitWindow
@@ -198,6 +214,7 @@ func New(cfg Config) (*Server, error) {
 		start:         time.Now(),
 		statusCounts:  make(map[int]uint64),
 		qualityCounts: make(map[string]uint64),
+		subtreeBytes:  metrics.NewHistogram(subtreeByteBuckets),
 		gateWaits:     newGateWaitWindow(cfg.Clock),
 		logger:        cfg.Logger,
 		breakers: map[string]*breaker{

@@ -41,11 +41,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	xsdf "repro"
 	"repro/internal/faultinject"
 	"repro/xsdferrors"
 )
@@ -108,61 +110,42 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// From here the response is committed: a 200 NDJSON stream whose
-	// failures are typed lines, not status codes.
+	// failures are typed lines, not status codes. Full-duplex mode is
+	// required, not a nicety: without it, net/http reacts to the first
+	// response write by discarding and closing the still-unconsumed
+	// request body (the Issue 15527 deadlock guard), which races with the
+	// reader goroutine and tears body lines once the request outgrows the
+	// scanner's buffer.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		s.writeError(w, fmt.Errorf("server: enabling full-duplex streaming: %w", err))
+		return
+	}
 	w.Header().Set("Content-Type", NDJSONContentType)
 	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
 
-	// Reader: pull documents from the body incrementally, skip the ones a
+	// Reader: pull documents from the body incrementally, skip the lines a
 	// resuming client already holds, and dispatch the rest into the
 	// bounded window. jobs' capacity plus the one job the emitter holds is
 	// the in-flight window; a full channel stops the reader — and through
-	// it, the request body — until the emitter delivers a line.
-	jobs := make(chan *streamJob, window-1)
-	var readErr error
-	var drained bool
+	// it, the request body — until the emitter delivers a line. In subtree
+	// mode each document is additionally unrolled into one job per
+	// completed subtree, through the same window.
+	rd := &streamReader{
+		s:      s,
+		ctx:    ctx,
+		body:   body,
+		hdr:    hdr,
+		budget: budget,
+		jobs:   make(chan *streamJob, window-1),
+	}
+	jobs := rd.jobs
 	go func() {
 		defer close(jobs)
-		cursor := int64(0)
-		for {
-			select {
-			case <-s.drainCh:
-				drained = true
-				return
-			case <-ctx.Done():
-				return
-			default:
-			}
-			if !body.Scan() {
-				readErr = body.Err()
-				return
-			}
-			raw := bytes.TrimSpace(body.Bytes())
-			if len(raw) == 0 {
-				continue // tolerate blank separator lines (cursor unchanged)
-			}
-			cursor++
-			if cursor <= hdr.ResumeFrom {
-				continue // already delivered before the reconnect
-			}
-			job := &streamJob{cursor: cursor, done: make(chan struct{})}
-			var doc StreamDoc
-			decodeErr := json.Unmarshal(raw, &doc)
-			if decodeErr != nil {
-				job.line = streamErrorLine(job.cursor, fmt.Errorf(
-					"%w: stream line %d: %v", xsdferrors.ErrMalformedInput, cursor, decodeErr))
-				close(job.done)
-			}
-			// Push before spawning: a full channel is the backpressure that
-			// stops body consumption while the window is busy.
-			select {
-			case jobs <- job:
-			case <-ctx.Done():
-				return
-			}
-			if decodeErr == nil {
-				go s.processStreamDoc(ctx, job, doc.Document, budget)
-			}
+		if hdr.Subtree {
+			rd.runSubtrees()
+		} else {
+			rd.runDocs()
 		}
 	}()
 
@@ -200,6 +183,16 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		}
 		delivered++
 		s.streamDelivered.Add(1)
+		if job.line.Subtree > 0 {
+			if job.line.Status == http.StatusOK {
+				s.subtreeEmitted.Add(1)
+			} else {
+				s.subtreeFailed.Add(1)
+				if job.line.Kind == "limit" {
+					s.subtreeGuardTripped.Add(1)
+				}
+			}
+		}
 		if job.line.Status == http.StatusOK && job.line.Result != nil {
 			s.countQuality(job.line.Result.Quality)
 		}
@@ -207,14 +200,21 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	if shed {
 		return
 	}
+	if rd.aborted {
+		// Injected mid-document disconnect (PointSubtree): every pushed
+		// job has been delivered, now sever the connection without a
+		// terminal line so the client resumes from its last cursor.
+		cancel()
+		panic(http.ErrAbortHandler)
+	}
 
 	final := StreamLine{Delivered: delivered}
 	switch {
-	case drained:
+	case rd.drained:
 		final.Kind = "draining"
 		final.Error = "server draining; resume from the last cursor against another replica"
-	case readErr != nil:
-		err := readErr
+	case rd.readErr != nil:
+		err := rd.readErr
 		if errors.Is(err, bufio.ErrTooLong) {
 			err = &xsdferrors.LimitError{Limit: "stream-line-bytes", Max: s.streamLineLimit(), Actual: s.streamLineLimit() + 1}
 		}
@@ -232,8 +232,201 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	s.logger.Debug("stream complete",
 		slog.String("request_id", RequestIDFromContext(ctx)),
 		slog.Int64("delivered", delivered),
-		slog.Bool("drained", drained),
+		slog.Bool("drained", rd.drained),
+		slog.Bool("subtree", hdr.Subtree),
 		slog.Int64("resume_from", hdr.ResumeFrom))
+}
+
+// streamReader pulls the request body's document lines and turns them
+// into streamJobs on the bounded window. The outcome flags are written
+// by the reader goroutine and read by the emitter only after the jobs
+// channel closes, which orders the accesses.
+type streamReader struct {
+	s      *Server
+	ctx    context.Context
+	body   *bufio.Scanner
+	hdr    StreamHeader
+	budget time.Duration
+	jobs   chan *streamJob
+
+	cursor int64
+	// readErr is the body-read failure that ended the stream, drained
+	// marks a graceful-drain stop, aborted an injected mid-document cut
+	// (subtree mode) the emitter must turn into a connection abort.
+	readErr error
+	drained bool
+	aborted bool
+}
+
+// interrupted polls the drain and cancellation signals between lines.
+func (rd *streamReader) interrupted() bool {
+	select {
+	case <-rd.s.drainCh:
+		rd.drained = true
+		return true
+	case <-rd.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// push enqueues one job, blocking while the window is full — the
+// backpressure that stops body consumption. It reports false when the
+// stream died while waiting.
+func (rd *streamReader) push(job *streamJob) bool {
+	select {
+	case rd.jobs <- job:
+		return true
+	case <-rd.ctx.Done():
+		return false
+	}
+}
+
+// pushError enqueues a pre-completed typed error line at the current
+// cursor, unless a resuming client already holds it.
+func (rd *streamReader) pushError(err error, locate func(*StreamLine)) bool {
+	if rd.cursor <= rd.hdr.ResumeFrom {
+		return true
+	}
+	job := &streamJob{cursor: rd.cursor, done: make(chan struct{})}
+	job.line = streamErrorLine(rd.cursor, err)
+	if locate != nil {
+		locate(&job.line)
+	}
+	close(job.done)
+	return rd.push(job)
+}
+
+// runDocs is whole-document mode: one job per body line.
+func (rd *streamReader) runDocs() {
+	for {
+		if rd.interrupted() {
+			return
+		}
+		if !rd.body.Scan() {
+			rd.readErr = rd.body.Err()
+			return
+		}
+		raw := bytes.TrimSpace(rd.body.Bytes())
+		if len(raw) == 0 {
+			continue // tolerate blank separator lines (cursor unchanged)
+		}
+		rd.cursor++
+		if rd.cursor <= rd.hdr.ResumeFrom {
+			continue // already delivered before the reconnect
+		}
+		var doc StreamDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			if !rd.pushError(fmt.Errorf(
+				"%w: stream line %d: %v", xsdferrors.ErrMalformedInput, rd.cursor, err), nil) {
+				return
+			}
+			continue
+		}
+		job := &streamJob{cursor: rd.cursor, done: make(chan struct{})}
+		// Push before spawning: a full channel is the backpressure that
+		// stops body consumption while the window is busy.
+		if !rd.push(job) {
+			return
+		}
+		go rd.s.processStreamDoc(rd.ctx, job, doc.Document, rd.budget)
+	}
+}
+
+// runSubtrees is incremental mode: each document line is parsed subtree
+// by subtree and every completed subtree becomes its own job, so one
+// document larger than memory flows through the same bounded window.
+// Cursors stay global across documents; a resuming client's skipped
+// subtrees are re-scanned (cheap) but never re-disambiguated.
+func (rd *streamReader) runSubtrees() {
+	docNo := int64(0)
+	for {
+		if rd.interrupted() {
+			return
+		}
+		if !rd.body.Scan() {
+			rd.readErr = rd.body.Err()
+			return
+		}
+		raw := bytes.TrimSpace(rd.body.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		docNo++
+		var doc StreamDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			rd.cursor++
+			if !rd.pushError(fmt.Errorf(
+				"%w: stream line %d: %v", xsdferrors.ErrMalformedInput, docNo, err),
+				func(line *StreamLine) { line.Doc = docNo }) {
+				return
+			}
+			continue
+		}
+		if !rd.scanSubtrees(docNo, doc.Document) {
+			return
+		}
+	}
+}
+
+// scanSubtrees unrolls one document into per-subtree jobs. A recoverable
+// guard trip becomes a typed error line and the scan continues behind
+// it; a fatal scan error (malformed input, a document budget) ends this
+// document with an error line and moves on to the next — one broken
+// document never takes down the stream. It reports false when the
+// stream itself died.
+func (rd *streamReader) scanSubtrees(docNo int64, document string) bool {
+	sc := rd.s.fw.SubtreeScanner(strings.NewReader(document), xsdf.SubtreeOptions{
+		SplitDepth:      rd.hdr.SubtreeDepth,
+		MaxSubtreeBytes: rd.hdr.MaxSubtreeBytes,
+		MaxSubtrees:     rd.hdr.MaxSubtrees,
+	})
+	for {
+		if rd.interrupted() {
+			return false
+		}
+		st, err := sc.Next()
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			var se *xsdf.SubtreeError
+			recoverable := errors.As(err, &se) && !se.Fatal
+			rd.cursor++
+			locate := func(line *StreamLine) {
+				line.Doc = docNo
+				if se != nil {
+					line.Subtree = se.Subtree + 1
+				}
+			}
+			if !rd.pushError(err, locate) {
+				return false
+			}
+			if !recoverable {
+				return true // next document
+			}
+			continue
+		}
+		rd.cursor++
+		if rd.cursor <= rd.hdr.ResumeFrom {
+			continue // already delivered; re-scanned, not re-processed
+		}
+		if faultinject.SubtreeNext() {
+			// Injected mid-document cut: stop reading; the emitter
+			// delivers what was already pushed, then severs the
+			// connection. Fired only for fresh subtrees, so a resuming
+			// stream is not re-exposed for work it already delivered.
+			rd.aborted = true
+			return false
+		}
+		rd.s.subtreeBytes.Observe(float64(st.Bytes()))
+		job := &streamJob{cursor: rd.cursor, done: make(chan struct{})}
+		if !rd.push(job) {
+			return false
+		}
+		go rd.s.processStreamSubtree(rd.ctx, job, st, docNo, rd.budget)
+	}
 }
 
 // processStreamDoc runs one document through the pipeline under its
@@ -260,6 +453,35 @@ func (s *Server) processStreamDoc(ctx context.Context, job *streamJob, document 
 	// Success — possibly degraded: the line is the inline counterpart of
 	// the unary 200 + quality header + degradation report.
 	job.line = StreamLine{Cursor: job.cursor, Status: http.StatusOK, Result: resultFromRun(res, runErr)}
+}
+
+// processStreamSubtree runs one completed subtree through the pipeline
+// under the per-line budget and fills the job's line with the subtree's
+// locator (document ordinal, 1-based subtree ordinal, envelope path).
+func (s *Server) processStreamSubtree(ctx context.Context, job *streamJob, st *xsdf.Subtree, docNo int64, budget time.Duration) {
+	defer close(job.done)
+	locate := func(line *StreamLine) {
+		line.Doc = docNo
+		line.Subtree = st.Index + 1
+		line.SubtreePath = strings.Join(st.Path, "/")
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &xsdferrors.PanicError{Doc: int(job.cursor), Value: v}
+			job.line = streamErrorLine(job.cursor, pe)
+			locate(&job.line)
+		}
+	}()
+	dctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	res, runErr := s.fw.DisambiguateTreeContext(dctx, st.Tree)
+	if res == nil {
+		job.line = streamErrorLine(job.cursor, runErr)
+		locate(&job.line)
+		return
+	}
+	job.line = StreamLine{Cursor: job.cursor, Status: http.StatusOK, Result: resultFromRun(res, runErr)}
+	locate(&job.line)
 }
 
 // streamErrorLine maps one document's pipeline error onto its typed line.
@@ -310,6 +532,12 @@ func readStreamHeader(body *bufio.Scanner, limit int) (StreamHeader, error) {
 	}
 	if hdr.ResumeFrom < 0 {
 		return hdr, fmt.Errorf("%w: negative resume_from %d", xsdferrors.ErrMalformedInput, hdr.ResumeFrom)
+	}
+	// Subtree-mode budgets stay server-governed: clients may tighten them,
+	// never disable them, so negatives are rejected rather than passed
+	// through to the scanner's "disabled" convention.
+	if hdr.SubtreeDepth < 0 || hdr.MaxSubtreeBytes < 0 || hdr.MaxSubtrees < 0 {
+		return hdr, fmt.Errorf("%w: negative subtree option", xsdferrors.ErrMalformedInput)
 	}
 	return hdr, nil
 }

@@ -191,9 +191,10 @@ func TestStreamHeaderErrors(t *testing.T) {
 	defer ts.Close()
 
 	for name, body := range map[string]string{
-		"empty":      "",
-		"not-json":   "hello\n",
-		"neg-resume": `{"resume_from":-2}` + "\n",
+		"empty":       "",
+		"not-json":    "hello\n",
+		"neg-resume":  `{"resume_from":-2}` + "\n",
+		"neg-subtree": `{"subtree":true,"max_subtrees":-1}` + "\n",
 	} {
 		t.Run(name, func(t *testing.T) {
 			resp, err := http.Post(ts.URL+"/v1/stream", NDJSONContentType, strings.NewReader(body))
@@ -209,6 +210,129 @@ func TestStreamHeaderErrors(t *testing.T) {
 				t.Errorf("kind = %q, want malformed-input", eb.Kind)
 			}
 		})
+	}
+}
+
+// TestStreamSubtreeMode: subtree mode unrolls each document into one
+// cursor-stamped line per depth-1 subtree, each carrying its
+// Doc/Subtree/SubtreePath locator, with cursors global across documents.
+func TestStreamSubtreeMode(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lines, status := postStream(t, ts, streamBody(t, StreamHeader{Subtree: true}, testDoc, testDoc))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if len(lines) != 7 {
+		t.Fatalf("%d lines, want 6 subtree results + done", len(lines))
+	}
+	for i, line := range lines[:6] {
+		if line.Cursor != int64(i+1) {
+			t.Errorf("line %d: cursor %d, want %d", i, line.Cursor, i+1)
+		}
+		if line.Status != http.StatusOK || line.Result == nil {
+			t.Errorf("line %d: %+v, want a 200 result", i, line)
+		}
+		wantDoc, wantSub := int64(i/3+1), i%3+1
+		if line.Doc != wantDoc || line.Subtree != wantSub || line.SubtreePath != "movie" {
+			t.Errorf("line %d locator: doc %d subtree %d path %q, want %d/%d/movie",
+				i, line.Doc, line.Subtree, line.SubtreePath, wantDoc, wantSub)
+		}
+	}
+	if !lines[6].Done || lines[6].Delivered != 6 {
+		t.Errorf("terminal %+v, want done with 6 delivered", lines[6])
+	}
+}
+
+// TestStreamSubtreeResume: resuming mid-document re-scans the skipped
+// subtrees but never re-disambiguates them, and cursor numbering stays
+// identical across reconnects.
+func TestStreamSubtreeResume(t *testing.T) {
+	var processed int64
+	var mu sync.Mutex
+	restore := faultinject.SetHooks(faultinject.Hooks{BeforeTree: func(*xmltree.Tree) {
+		mu.Lock()
+		processed++
+		mu.Unlock()
+	}})
+	defer restore()
+
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{Subtree: true, ResumeFrom: 4}, testDoc, testDoc))
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 2 subtree results + done", len(lines))
+	}
+	if lines[0].Cursor != 5 || lines[1].Cursor != 6 {
+		t.Errorf("cursors %d,%d, want 5,6", lines[0].Cursor, lines[1].Cursor)
+	}
+	if lines[0].Doc != 2 || lines[0].Subtree != 2 || lines[1].Subtree != 3 {
+		t.Errorf("locators %+v / %+v, want doc 2 subtrees 2,3", lines[0], lines[1])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if processed != 2 {
+		t.Errorf("%d subtrees processed, want 2 (resume must re-scan, not re-disambiguate)", processed)
+	}
+}
+
+// TestStreamSubtreeGuardTripScoped: a subtree that blows the per-subtree
+// byte budget becomes one typed 413 line; its siblings before and after
+// still deliver results and the document completes.
+func TestStreamSubtreeGuardTripScoped(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := `<r><a>kelly</a><b>` + strings.Repeat("x", 200) + `</b><c>network</c></r>`
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{Subtree: true, MaxSubtreeBytes: 40}, doc))
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 3 subtree lines + done", len(lines))
+	}
+	if lines[0].Status != http.StatusOK || lines[2].Status != http.StatusOK {
+		t.Errorf("healthy siblings: %+v / %+v, want 200", lines[0], lines[2])
+	}
+	if lines[1].Status != http.StatusRequestEntityTooLarge || lines[1].Kind != "limit" {
+		t.Errorf("tripped subtree line %+v, want 413/limit", lines[1])
+	}
+	if lines[1].Doc != 1 || lines[1].Subtree != 2 {
+		t.Errorf("tripped locator doc %d subtree %d, want 1/2", lines[1].Doc, lines[1].Subtree)
+	}
+	if !lines[3].Done || lines[3].Delivered != 3 {
+		t.Errorf("terminal %+v, want done with 3 delivered", lines[3])
+	}
+}
+
+// TestStreamSubtreeMalformedDocScoped: a document that turns malformed
+// mid-scan keeps its already-completed subtrees, ends with one typed 400
+// line, and never takes its neighbor documents down with it.
+func TestStreamSubtreeMalformedDocScoped(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lines, _ := postStream(t, ts, streamBody(t, StreamHeader{Subtree: true},
+		`<r><s>kelly</s><broken`, testDoc))
+	if len(lines) != 6 {
+		t.Fatalf("%d lines, want 5 lines + done", len(lines))
+	}
+	if lines[0].Status != http.StatusOK || lines[0].Doc != 1 || lines[0].Subtree != 1 {
+		t.Errorf("partial subtree before the fault: %+v, want a 200 doc-1 line", lines[0])
+	}
+	if lines[1].Status != http.StatusBadRequest || lines[1].Kind != "malformed-input" || lines[1].Doc != 1 {
+		t.Errorf("fatal line %+v, want 400/malformed-input on doc 1", lines[1])
+	}
+	for i := 2; i < 5; i++ {
+		if lines[i].Status != http.StatusOK || lines[i].Doc != 2 {
+			t.Errorf("neighbor line %d: %+v, want a 200 doc-2 line", i, lines[i])
+		}
+	}
+	if !lines[5].Done || lines[5].Delivered != 5 {
+		t.Errorf("terminal %+v, want done with 5 delivered", lines[5])
 	}
 }
 

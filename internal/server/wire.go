@@ -114,6 +114,21 @@ type StreamHeader struct {
 	// Window asks for a smaller in-flight document window than the
 	// server's configured maximum (0 keeps the server default).
 	Window int `json:"window,omitempty"`
+	// Subtree switches the stream to incremental subtree mode: each
+	// document is parsed subtree by subtree and one StreamLine is emitted
+	// per completed subtree instead of per document, so a single document
+	// larger than memory streams through the same bounded window. Cursors
+	// remain global 1-based positions in the emitted-line sequence, so
+	// resume_from works unchanged (a resuming client may land mid-document;
+	// skipped subtrees are re-scanned but not re-disambiguated).
+	Subtree bool `json:"subtree,omitempty"`
+	// SubtreeDepth is the split depth of subtree mode (0 selects the
+	// default: the children of each document root).
+	SubtreeDepth int `json:"subtree_depth,omitempty"`
+	// MaxSubtreeBytes and MaxSubtrees are the subtree-mode document
+	// budgets; 0 selects the server-side defaults.
+	MaxSubtreeBytes int64 `json:"max_subtree_bytes,omitempty"`
+	MaxSubtrees     int   `json:"max_subtrees,omitempty"`
 }
 
 // StreamDoc is one document line of a POST /v1/stream request body.
@@ -143,6 +158,13 @@ type StreamLine struct {
 	// lines this response emitted (resumed streams count only their own).
 	Done      bool  `json:"done,omitempty"`
 	Delivered int64 `json:"delivered,omitempty"`
+	// Subtree-mode locators: Doc is the 1-based ordinal of the document
+	// this line belongs to, Subtree the 1-based ordinal of the subtree
+	// within that document, and SubtreePath the slash-joined envelope tag
+	// names above the subtree root. All omitted in whole-document mode.
+	Doc         int64  `json:"doc,omitempty"`
+	Subtree     int    `json:"subtree,omitempty"`
+	SubtreePath string `json:"subtree_path,omitempty"`
 }
 
 // ErrorBody is the JSON body of every error response.

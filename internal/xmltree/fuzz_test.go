@@ -3,6 +3,7 @@ package xmltree
 import (
 	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -68,6 +69,72 @@ func FuzzParseLimits(f *testing.F) {
 		// level) / 10 (token under attribute).
 		if tr.MaxDepth() > 10 {
 			t.Fatalf("accepted tree exceeds depth limit: depth %d", tr.MaxDepth())
+		}
+	})
+}
+
+// FuzzSubtreeScanner drives the incremental scanner over arbitrary
+// input with tight guards: every Next outcome must be a within-limits
+// subtree, a typed recoverable trip, a typed fatal error (sticky), or a
+// clean EOF — never a panic and never a stall. Inputs the whole-document
+// parser accepts must also scan to a clean EOF, with no more nodes
+// across the emitted subtrees than the whole tree holds.
+func FuzzSubtreeScanner(f *testing.F) {
+	f.Add(`<a/>`)
+	f.Add(`<r><s>one</s><s>two</s></r>`)
+	f.Add(`<r><s>` + strings.Repeat("tok ", 40) + `</s><s>ok</s></r>`)
+	f.Add(nested(20))
+	f.Add(`<r><s><broken></s></r>`)
+	f.Add(`<r>` + strings.Repeat(`<s a="v">t</s>`, 12) + `</r>`)
+	opts := ParseOptions{IncludeContent: true, MaxDepth: 8, MaxNodes: 32, MaxTokenBytes: 24}
+	f.Fuzz(func(t *testing.T, doc string) {
+		whole, wholeErr := ParseString(doc, opts)
+		sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+			ParseOptions:    opts,
+			MaxSubtreeBytes: -1,
+			MaxSubtrees:     -1,
+		})
+		totalNodes := 0
+		for i := 0; ; i++ {
+			if i > len(doc)+16 {
+				t.Fatalf("scanner failed to terminate after %d calls", i)
+			}
+			st, err := sc.Next()
+			if err == nil {
+				if st.Tree.Len() > 32 {
+					t.Fatalf("emitted subtree exceeds node limit: %d nodes", st.Tree.Len())
+				}
+				if st.Tree.MaxDepth() > 9 {
+					t.Fatalf("emitted subtree exceeds depth limit: %d", st.Tree.MaxDepth())
+				}
+				if st.Bytes() <= 0 {
+					t.Fatalf("emitted subtree has non-positive size %d", st.Bytes())
+				}
+				totalNodes += st.Tree.Len()
+				continue
+			}
+			if err == io.EOF {
+				if wholeErr == nil && totalNodes > whole.Len() {
+					t.Fatalf("subtrees hold %d nodes, whole tree only %d", totalNodes, whole.Len())
+				}
+				return
+			}
+			var se *SubtreeError
+			if !errors.As(err, &se) {
+				t.Fatalf("untyped scanner error: %v", err)
+			}
+			if !errors.Is(err, xsdferrors.ErrLimitExceeded) && !errors.Is(err, xsdferrors.ErrMalformedInput) {
+				t.Fatalf("scanner error outside the taxonomy: %v", err)
+			}
+			if se.Fatal {
+				if wholeErr == nil {
+					t.Fatalf("whole-document parse accepted but scanner failed: %v", err)
+				}
+				if _, again := sc.Next(); !errors.Is(again, err) {
+					t.Fatalf("fatal error not sticky: first %v then %v", err, again)
+				}
+				return
+			}
 		}
 	})
 }

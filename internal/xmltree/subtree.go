@@ -1,0 +1,419 @@
+// Incremental SAX-style parsing: a pull-based scanner that walks the
+// decoder's token stream and materializes one completed subtree at a
+// time, so a document far larger than memory can be disambiguated
+// subtree-by-subtree with live heap proportional to one subtree.
+//
+// The document is split at a configurable element depth (default 1: the
+// children of the document root). Elements, attributes, and text above
+// the split depth — the "envelope" — are consumed for well-formedness
+// checking and path accounting but never materialized, which is the
+// mode's one semantic divergence from whole-document parsing: a node
+// whose sphere context would have crossed the subtree boundary loses the
+// envelope side of that context (see the golden equivalence test).
+//
+// Guard semantics are scoped by where a violation happens:
+//
+//   - Inside a subtree, MaxDepth/MaxNodes/MaxTokenBytes (counted per
+//     subtree) and MaxSubtreeBytes violations fail that subtree only:
+//     Next returns a recoverable *SubtreeError, the scanner skips to the
+//     subtree's end tag, and the following Next continues with the next
+//     subtree.
+//   - In the envelope, and for the document-level MaxSubtrees budget and
+//     any well-formedness failure, the violation is fatal: Next returns a
+//     *SubtreeError with Fatal set and every later call returns the same
+//     error. Subtrees already emitted remain valid partial results.
+//
+// Both shapes carry the subtree ordinal and the input byte offset, so a
+// caller knows exactly where the cut happened.
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/xsdferrors"
+)
+
+// Default budgets of the incremental mode, applied when the
+// corresponding SubtreeOptions field is zero.
+const (
+	// DefaultSplitDepth emits the children of the document root.
+	DefaultSplitDepth = 1
+	// DefaultMaxSubtreeBytes bounds the encoded size of one subtree.
+	DefaultMaxSubtreeBytes = 16 << 20 // 16 MiB
+	// DefaultMaxSubtrees bounds how many subtrees one document may emit.
+	DefaultMaxSubtrees = 1_000_000
+)
+
+// SubtreeOptions configures a SubtreeScanner. The embedded ParseOptions
+// guards (MaxDepth, MaxNodes, MaxTokenBytes) are enforced per subtree,
+// with depth counted from the subtree root.
+type SubtreeOptions struct {
+	ParseOptions
+
+	// SplitDepth is the element depth whose elements become subtree
+	// roots: 1 (the default) splits at the children of the document
+	// root, 2 at the grandchildren, and so on. Values below 1 select the
+	// default.
+	SplitDepth int
+	// MaxSubtreeBytes bounds the encoded input size of a single subtree
+	// (bytes consumed between its start tag and the end of its end tag).
+	// Zero selects DefaultMaxSubtreeBytes; negative disables the guard.
+	MaxSubtreeBytes int64
+	// MaxSubtrees bounds the number of subtrees the scanner will attempt
+	// for one document. Zero selects DefaultMaxSubtrees; negative
+	// disables the guard. Exceeding it is fatal: the budget bounds total
+	// work, not one subtree.
+	MaxSubtrees int
+}
+
+func (o SubtreeOptions) splitDepth() int {
+	if o.SplitDepth < 1 {
+		return DefaultSplitDepth
+	}
+	return o.SplitDepth
+}
+
+func (o SubtreeOptions) maxSubtreeBytes() int64 {
+	switch {
+	case o.MaxSubtreeBytes == 0:
+		return DefaultMaxSubtreeBytes
+	case o.MaxSubtreeBytes < 0:
+		return int64(^uint64(0) >> 1)
+	default:
+		return o.MaxSubtreeBytes
+	}
+}
+
+func (o SubtreeOptions) maxSubtrees() int { return resolveLimit(o.MaxSubtrees, DefaultMaxSubtrees) }
+
+// Subtree is one completed subtree emitted by a SubtreeScanner.
+type Subtree struct {
+	// Tree is the materialized subtree, indexed with the subtree root at
+	// depth 0 — ready for the pipeline like any parsed document.
+	Tree *Tree
+	// Index is the subtree's 0-based ordinal within the document,
+	// counting every attempted subtree (emitted and guard-tripped), so
+	// it is stable across partial failures.
+	Index int
+	// Path holds the raw tag names of the envelope ancestors, document
+	// root first — where in the document the subtree root hangs.
+	Path []string
+	// StartOffset and EndOffset delimit the subtree's encoded bytes in
+	// the input stream.
+	StartOffset, EndOffset int64
+}
+
+// Bytes is the encoded input size of the subtree.
+func (s *Subtree) Bytes() int64 { return s.EndOffset - s.StartOffset }
+
+// SubtreeError reports where incremental parsing stopped. It wraps the
+// underlying typed error (an *xsdferrors.LimitError or an error matching
+// xsdferrors.ErrMalformedInput), so errors.Is/As dispatch keeps working
+// through it.
+type SubtreeError struct {
+	// Subtree is the 0-based ordinal of the subtree being parsed when
+	// the error hit (equal to the count of previously attempted
+	// subtrees when the error is document-level).
+	Subtree int
+	// Offset is the input byte offset where the violation was detected.
+	Offset int64
+	// Fatal marks document-level failures (malformedness, envelope
+	// violations, the MaxSubtrees budget): no further subtree can
+	// follow, and every later Next returns the same error. Recoverable
+	// errors (per-subtree guard trips) fail one subtree; the next Next
+	// continues behind it.
+	Fatal bool
+	// Err is the underlying typed error.
+	Err error
+}
+
+func (e *SubtreeError) Error() string {
+	return fmt.Sprintf("xmltree: subtree %d (input offset %d): %v", e.Subtree, e.Offset, e.Err)
+}
+
+func (e *SubtreeError) Unwrap() error { return e.Err }
+
+// SubtreeScanner incrementally parses one XML document, emitting one
+// completed subtree per Next call. Use NewSubtreeScanner; the scanner is
+// single-goroutine (pull-based), holds no more than one subtree of
+// nodes, and never re-reads input.
+type SubtreeScanner struct {
+	dec      *xml.Decoder
+	tokenize func(string) []string
+	include  bool
+
+	splitDepth         int
+	maxDepth, maxNodes int
+	maxValue           int
+	maxSubtreeBytes    int64
+	maxSubtrees        int
+
+	path       []string // envelope element names currently open
+	open       int      // count of open envelope elements (== len(path))
+	rootSeen   bool
+	rootClosed bool
+
+	index   int // subtrees attempted (emitted + guard-tripped)
+	emitted int
+	failed  int
+
+	skip int   // >0: recovering — open elements of a tripped subtree left to close
+	err  error // sticky terminal state (a fatal *SubtreeError, or io.EOF)
+}
+
+// NewSubtreeScanner reads one XML document from r in incremental subtree
+// mode.
+func NewSubtreeScanner(r io.Reader, opts SubtreeOptions) *SubtreeScanner {
+	tokenize := opts.Tokenize
+	if tokenize == nil {
+		tokenize = strings.Fields
+	}
+	return &SubtreeScanner{
+		dec:             xml.NewDecoder(r),
+		tokenize:        tokenize,
+		include:         opts.IncludeContent,
+		splitDepth:      opts.splitDepth(),
+		maxDepth:        opts.maxDepth(),
+		maxNodes:        opts.maxNodes(),
+		maxValue:        opts.maxTokenBytes(),
+		maxSubtreeBytes: opts.maxSubtreeBytes(),
+		maxSubtrees:     opts.maxSubtrees(),
+	}
+}
+
+// Emitted is the number of subtrees successfully returned so far.
+func (s *SubtreeScanner) Emitted() int { return s.emitted }
+
+// Failed is the number of subtrees skipped on a recoverable guard trip.
+func (s *SubtreeScanner) Failed() int { return s.failed }
+
+// InputOffset is the byte offset the decoder has consumed up to.
+func (s *SubtreeScanner) InputOffset() int64 { return s.dec.InputOffset() }
+
+// fatal records a document-level error; every later Next repeats it.
+func (s *SubtreeScanner) fatal(err error) error {
+	se := &SubtreeError{Subtree: s.index, Offset: s.dec.InputOffset(), Fatal: true, Err: err}
+	s.err = se
+	return se
+}
+
+// trip records a per-subtree guard violation: the current subtree (with
+// stillOpen elements consumed but unclosed) is abandoned, and the next
+// Next call skips to its end tag before continuing.
+func (s *SubtreeScanner) trip(idx, stillOpen int, err error) error {
+	s.failed++
+	s.skip = stillOpen
+	return &SubtreeError{Subtree: idx, Offset: s.dec.InputOffset(), Err: err}
+}
+
+// Next returns the next completed subtree. It returns io.EOF after the
+// document ends cleanly; a recoverable *SubtreeError when one subtree
+// tripped a guard (call Next again to continue past it); and a fatal
+// *SubtreeError on malformed input or a document-level budget violation
+// (every later call returns the same error).
+func (s *SubtreeScanner) Next() (*Subtree, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.skip > 0 {
+		if err := s.skipTripped(); err != nil {
+			return nil, s.fatal(err)
+		}
+	}
+	for {
+		off := s.dec.InputOffset()
+		tok, err := s.dec.Token()
+		if err == io.EOF {
+			switch {
+			case !s.rootSeen:
+				return nil, s.fatal(malformed("empty document"))
+			case s.open != 0:
+				return nil, s.fatal(malformed("%d unclosed elements", s.open))
+			}
+			s.err = io.EOF
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, s.fatal(fmt.Errorf("xmltree: parse: %w: %w", xsdferrors.ErrMalformedInput, err))
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			if s.open == 0 {
+				if s.rootClosed {
+					return nil, s.fatal(malformed("multiple root elements"))
+				}
+				s.rootSeen = true
+			}
+			if s.open < s.splitDepth {
+				// Envelope element: guard its attribute values (they are
+				// decoded into memory either way), record the path, and
+				// descend without materializing anything.
+				for _, a := range tk.Attr {
+					if len(a.Value) > s.maxValue {
+						return nil, s.fatal(&xsdferrors.LimitError{
+							Limit: "token-bytes", Max: s.maxValue, Actual: len(a.Value)})
+					}
+				}
+				s.path = append(s.path, tk.Name.Local)
+				s.open++
+				continue
+			}
+			if s.index >= s.maxSubtrees {
+				return nil, s.fatal(&xsdferrors.LimitError{
+					Limit: "subtrees", Max: s.maxSubtrees, Actual: s.index + 1})
+			}
+			return s.buildSubtree(tk, off)
+		case xml.EndElement:
+			if s.open == 0 {
+				return nil, s.fatal(malformed("unbalanced end element %q", tk.Name.Local))
+			}
+			s.open--
+			s.path = s.path[:len(s.path)-1]
+			if s.open == 0 {
+				s.rootClosed = true
+			}
+		case xml.CharData:
+			// Envelope text is never materialized, but an oversized chunk
+			// was already decoded whole — reject the document like Parse
+			// would.
+			if len(tk) > s.maxValue {
+				return nil, s.fatal(&xsdferrors.LimitError{
+					Limit: "token-bytes", Max: s.maxValue, Actual: len(tk)})
+			}
+		}
+	}
+}
+
+// buildSubtree materializes one subtree whose start tag (already
+// consumed) began at startOff, enforcing the per-subtree guards.
+func (s *SubtreeScanner) buildSubtree(start xml.StartElement, startOff int64) (*Subtree, error) {
+	idx := s.index
+	s.index++
+
+	nodes := 0
+	addNode := func() error {
+		nodes++
+		if nodes > s.maxNodes {
+			return &xsdferrors.LimitError{Limit: "nodes", Max: s.maxNodes, Actual: nodes}
+		}
+		return nil
+	}
+
+	// startElement maps one start tag (the root, or a descendant) onto
+	// its node with sorted, tokenized attributes — the same construction
+	// as Parse, with depth counted from the subtree root.
+	startElement := func(tk xml.StartElement, depth int) (*Node, error) {
+		if depth > s.maxDepth {
+			return nil, &xsdferrors.LimitError{Limit: "depth", Max: s.maxDepth, Actual: depth}
+		}
+		if err := addNode(); err != nil {
+			return nil, err
+		}
+		n := &Node{Raw: tk.Name.Local, Label: tk.Name.Local, Kind: Element}
+		attrs := append([]xml.Attr(nil), tk.Attr...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name.Local < attrs[j].Name.Local })
+		for _, a := range attrs {
+			if len(a.Value) > s.maxValue {
+				return nil, &xsdferrors.LimitError{Limit: "token-bytes", Max: s.maxValue, Actual: len(a.Value)}
+			}
+			if err := addNode(); err != nil {
+				return nil, err
+			}
+			an := &Node{Raw: a.Name.Local, Label: a.Name.Local, Kind: Attribute}
+			n.AddChild(an)
+			if s.include {
+				for _, w := range s.tokenize(a.Value) {
+					if err := addNode(); err != nil {
+						return nil, err
+					}
+					an.AddChild(&Node{Raw: w, Label: w, Kind: Token})
+				}
+			}
+		}
+		return n, nil
+	}
+
+	root, err := startElement(start, 1)
+	if err != nil {
+		return nil, s.trip(idx, 1, err)
+	}
+	stack := []*Node{root}
+
+	for {
+		if consumed := s.dec.InputOffset() - startOff; consumed > s.maxSubtreeBytes {
+			return nil, s.trip(idx, len(stack), &xsdferrors.LimitError{
+				Limit: "subtree-bytes", Max: int(s.maxSubtreeBytes), Actual: int(consumed)})
+		}
+		tok, err := s.dec.Token()
+		if err == io.EOF {
+			return nil, s.fatal(malformed("%d unclosed elements", s.open+len(stack)))
+		}
+		if err != nil {
+			return nil, s.fatal(fmt.Errorf("xmltree: parse: %w: %w", xsdferrors.ErrMalformedInput, err))
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			n, err := startElement(tk, len(stack)+1)
+			if err != nil {
+				return nil, s.trip(idx, len(stack)+1, err)
+			}
+			stack[len(stack)-1].AddChild(n)
+			stack = append(stack, n)
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				continue
+			}
+			s.emitted++
+			return &Subtree{
+				Tree:        New(root),
+				Index:       idx,
+				Path:        append([]string(nil), s.path...),
+				StartOffset: startOff,
+				EndOffset:   s.dec.InputOffset(),
+			}, nil
+		case xml.CharData:
+			if len(tk) > s.maxValue {
+				return nil, s.trip(idx, len(stack), &xsdferrors.LimitError{
+					Limit: "token-bytes", Max: s.maxValue, Actual: len(tk)})
+			}
+			if !s.include {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			for _, w := range s.tokenize(string(tk)) {
+				if err := addNode(); err != nil {
+					return nil, s.trip(idx, len(stack), err)
+				}
+				parent.AddChild(&Node{Raw: w, Label: w, Kind: Token})
+			}
+		}
+	}
+}
+
+// skipTripped discards the rest of a guard-tripped subtree: tokens are
+// read and dropped until its open elements close. Well-formedness is
+// still checked (a malformed tail is fatal), but the tripped subtree's
+// content is not re-guarded — it already failed.
+func (s *SubtreeScanner) skipTripped() error {
+	for s.skip > 0 {
+		tok, err := s.dec.Token()
+		if err == io.EOF {
+			return malformed("%d unclosed elements", s.open+s.skip)
+		}
+		if err != nil {
+			return fmt.Errorf("xmltree: parse: %w: %w", xsdferrors.ErrMalformedInput, err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			s.skip++
+		case xml.EndElement:
+			s.skip--
+		}
+	}
+	return nil
+}

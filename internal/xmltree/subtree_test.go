@@ -1,0 +1,349 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/xsdferrors"
+)
+
+// scanAll drives a scanner to its terminal state, collecting emitted
+// subtrees and per-subtree (recoverable) errors.
+func scanAll(t *testing.T, sc *SubtreeScanner) (subs []*Subtree, trips []*SubtreeError, terminal error) {
+	t.Helper()
+	for {
+		st, err := sc.Next()
+		if err == nil {
+			subs = append(subs, st)
+			continue
+		}
+		var se *SubtreeError
+		if errors.As(err, &se) && !se.Fatal {
+			trips = append(trips, se)
+			continue
+		}
+		return subs, trips, err
+	}
+}
+
+func TestSubtreeScannerBasic(t *testing.T) {
+	doc := `<library name="main">
+		<shelf id="a"><book>semantic tree</book></shelf>
+		<shelf id="b"><book>network</book><book>movie</book></shelf>
+		<empty/>
+	</library>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(trips) != 0 {
+		t.Fatalf("unexpected trips: %v", trips)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("emitted %d subtrees, want 3", len(subs))
+	}
+	if sc.Emitted() != 3 || sc.Failed() != 0 {
+		t.Fatalf("Emitted=%d Failed=%d, want 3, 0", sc.Emitted(), sc.Failed())
+	}
+	for i, st := range subs {
+		if st.Index != i {
+			t.Errorf("subtree %d has Index %d", i, st.Index)
+		}
+		if len(st.Path) != 1 || st.Path[0] != "library" {
+			t.Errorf("subtree %d Path = %v, want [library]", i, st.Path)
+		}
+		if st.Bytes() <= 0 || st.StartOffset >= st.EndOffset {
+			t.Errorf("subtree %d offsets [%d, %d)", i, st.StartOffset, st.EndOffset)
+		}
+	}
+	if got := subs[0].Tree.Root.Label; got != "shelf" {
+		t.Errorf("first subtree root = %q, want shelf", got)
+	}
+	// Subtree trees are indexed from their own root.
+	if d := subs[1].Tree.Root.Depth; d != 0 {
+		t.Errorf("subtree root depth = %d, want 0", d)
+	}
+	// shelf + id attr + token "b" + 2 books + 2 tokens ("network", "movie").
+	if n := subs[1].Tree.Len(); n != 7 {
+		t.Errorf("second subtree has %d nodes, want 7", n)
+	}
+	if got := subs[2].Tree.Root.Label; got != "empty" {
+		t.Errorf("third subtree root = %q, want empty", got)
+	}
+}
+
+// The subtree node construction must match Parse exactly: parsing a
+// subtree's source region standalone yields the identical tree shape.
+func TestSubtreeScannerMatchesParse(t *testing.T) {
+	inner := `<shelf genre="crime fiction" id="x"><book year="1954">rear window</book>text tail</shelf>`
+	doc := "<lib>" + inner + "</lib>"
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+	})
+	st, err := sc.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	want, err := ParseString(inner, ParseOptions{IncludeContent: true})
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if got, w := st.Tree.Dump(), want.Dump(); got != w {
+		t.Errorf("subtree tree differs from standalone parse:\ngot:\n%s\nwant:\n%s", got, w)
+	}
+	if got, w := st.Tree.Len(), want.Len(); got != w {
+		t.Errorf("Len = %d, want %d", got, w)
+	}
+}
+
+func TestSubtreeScannerSplitDepth(t *testing.T) {
+	doc := `<a><b><c>one</c><c>two</c></b><b><c>three</c></b></a>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+		SplitDepth:   2,
+	})
+	subs, _, err := scanAll(t, sc)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("emitted %d subtrees, want 3", len(subs))
+	}
+	for i, st := range subs {
+		if st.Tree.Root.Label != "c" {
+			t.Errorf("subtree %d root = %q, want c", i, st.Tree.Root.Label)
+		}
+		if len(st.Path) != 2 || st.Path[0] != "a" || st.Path[1] != "b" {
+			t.Errorf("subtree %d Path = %v, want [a b]", i, st.Path)
+		}
+	}
+}
+
+// A split depth below the document's element depth emits nothing: the
+// whole document is envelope, and the scan ends cleanly.
+func TestSubtreeScannerSplitDeeperThanDocument(t *testing.T) {
+	sc := NewSubtreeScanner(strings.NewReader(`<a><b/></a>`), SubtreeOptions{SplitDepth: 5})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF || len(subs) != 0 || len(trips) != 0 {
+		t.Fatalf("got subs=%d trips=%d err=%v, want clean empty scan", len(subs), len(trips), err)
+	}
+}
+
+func TestSubtreeScannerGuardTripRecovers(t *testing.T) {
+	// Middle subtree exceeds MaxNodes (6 tokens + element = 7 > 5);
+	// neighbors stay intact.
+	doc := `<r><s>ok one</s><s>a b c d e f</s><s>ok two</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true, MaxNodes: 5},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(subs) != 2 || len(trips) != 1 {
+		t.Fatalf("subs=%d trips=%d, want 2 subtrees and 1 trip", len(subs), len(trips))
+	}
+	se := trips[0]
+	if se.Subtree != 1 || se.Fatal {
+		t.Errorf("trip = %+v, want recoverable at subtree 1", se)
+	}
+	var le *xsdferrors.LimitError
+	if !errors.As(se, &le) || le.Limit != "nodes" {
+		t.Errorf("trip error = %v, want nodes LimitError", se)
+	}
+	if !errors.Is(se, xsdferrors.ErrLimitExceeded) {
+		t.Errorf("trip does not match ErrLimitExceeded: %v", se)
+	}
+	if subs[0].Index != 0 || subs[1].Index != 2 {
+		t.Errorf("surviving indexes = %d, %d, want 0, 2", subs[0].Index, subs[1].Index)
+	}
+	if sc.Emitted() != 2 || sc.Failed() != 1 {
+		t.Errorf("Emitted=%d Failed=%d, want 2, 1", sc.Emitted(), sc.Failed())
+	}
+}
+
+func TestSubtreeScannerDepthPerSubtree(t *testing.T) {
+	// Nesting depth is counted from the subtree root: depth 3 within the
+	// subtree trips MaxDepth 2 even though the envelope adds one more
+	// level of document depth.
+	doc := `<r><s><x><y>deep</y></x></s><s>flat</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true, MaxDepth: 2},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(subs) != 1 || len(trips) != 1 {
+		t.Fatalf("subs=%d trips=%d, want 1 and 1", len(subs), len(trips))
+	}
+	var le *xsdferrors.LimitError
+	if !errors.As(trips[0], &le) || le.Limit != "depth" || le.Actual != 3 {
+		t.Errorf("trip = %v, want depth LimitError with Actual 3", trips[0])
+	}
+	if subs[0].Tree.Root.Label != "s" || subs[0].Index != 1 {
+		t.Errorf("survivor = %q index %d, want s index 1", subs[0].Tree.Root.Label, subs[0].Index)
+	}
+}
+
+func TestSubtreeScannerMaxSubtreeBytes(t *testing.T) {
+	big := strings.Repeat("<x>word</x>", 64)
+	doc := `<r><s>small</s><s>` + big + `</s><s>small too</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions:    ParseOptions{IncludeContent: true},
+		MaxSubtreeBytes: 128,
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(subs) != 2 || len(trips) != 1 {
+		t.Fatalf("subs=%d trips=%d, want 2 and 1", len(subs), len(trips))
+	}
+	var le *xsdferrors.LimitError
+	if !errors.As(trips[0], &le) || le.Limit != "subtree-bytes" {
+		t.Errorf("trip = %v, want subtree-bytes LimitError", trips[0])
+	}
+	if trips[0].Offset <= 0 {
+		t.Errorf("trip carries no offset: %+v", trips[0])
+	}
+}
+
+func TestSubtreeScannerMaxSubtreesFatal(t *testing.T) {
+	doc := `<r><s>a</s><s>b</s><s>c</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+		MaxSubtrees:  2,
+	})
+	subs, trips, err := scanAll(t, sc)
+	if len(subs) != 2 || len(trips) != 0 {
+		t.Fatalf("subs=%d trips=%d, want 2 and 0", len(subs), len(trips))
+	}
+	var se *SubtreeError
+	if !errors.As(err, &se) || !se.Fatal {
+		t.Fatalf("terminal error = %v, want fatal SubtreeError", err)
+	}
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) || le.Limit != "subtrees" {
+		t.Fatalf("terminal error = %v, want subtrees LimitError", err)
+	}
+	// Sticky: the same error repeats.
+	if _, err2 := sc.Next(); !errors.Is(err2, xsdferrors.ErrLimitExceeded) {
+		t.Errorf("repeated Next = %v, want the sticky limit error", err2)
+	}
+}
+
+func TestSubtreeScannerMalformedMidDocument(t *testing.T) {
+	// Two good subtrees, then a tag mismatch: partial results with exact
+	// accounting, then a fatal malformed error.
+	doc := `<r><s>one</s><s>two</s><s><broken></s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if len(subs) != 2 || len(trips) != 0 {
+		t.Fatalf("subs=%d trips=%d before the malformed tail, want 2 and 0", len(subs), len(trips))
+	}
+	var se *SubtreeError
+	if !errors.As(err, &se) || !se.Fatal {
+		t.Fatalf("terminal error = %v, want fatal SubtreeError", err)
+	}
+	if !errors.Is(err, xsdferrors.ErrMalformedInput) {
+		t.Fatalf("terminal error = %v, want ErrMalformedInput", err)
+	}
+	if se.Subtree != 3 {
+		t.Errorf("failure attributed to subtree %d, want 3", se.Subtree)
+	}
+	if se.Offset <= 0 {
+		t.Errorf("fatal error carries no offset: %+v", se)
+	}
+}
+
+func TestSubtreeScannerWellFormedness(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"empty", "   "},
+		{"multiple-roots", "<a/><b/>"},
+		{"unclosed-root", "<a><b/>"},
+		{"unclosed-subtree", "<a><b>"},
+		{"bad-tag", "<a><b></c></a>"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := NewSubtreeScanner(strings.NewReader(tc.doc), SubtreeOptions{})
+			_, _, err := scanAll(t, sc)
+			if !errors.Is(err, xsdferrors.ErrMalformedInput) {
+				t.Fatalf("terminal error = %v, want ErrMalformedInput", err)
+			}
+			var se *SubtreeError
+			if !errors.As(err, &se) || !se.Fatal {
+				t.Fatalf("terminal error = %v, want fatal SubtreeError", err)
+			}
+		})
+	}
+}
+
+func TestSubtreeScannerEnvelopeTokenBytesFatal(t *testing.T) {
+	doc := `<r>` + strings.Repeat("x", 64) + `<s>fine</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true, MaxTokenBytes: 16},
+	})
+	_, _, err := scanAll(t, sc)
+	var se *SubtreeError
+	if !errors.As(err, &se) || !se.Fatal {
+		t.Fatalf("terminal error = %v, want fatal SubtreeError", err)
+	}
+	var le *xsdferrors.LimitError
+	if !errors.As(err, &le) || le.Limit != "token-bytes" {
+		t.Fatalf("terminal error = %v, want token-bytes LimitError", err)
+	}
+}
+
+func TestSubtreeScannerTokenBytesInsideSubtreeRecovers(t *testing.T) {
+	doc := `<r><s>` + strings.Repeat("x", 64) + `</s><s>ok</s></r>`
+	sc := NewSubtreeScanner(strings.NewReader(doc), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true, MaxTokenBytes: 16},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF || len(subs) != 1 || len(trips) != 1 {
+		t.Fatalf("subs=%d trips=%d err=%v, want 1 subtree, 1 trip, EOF", len(subs), len(trips), err)
+	}
+}
+
+// A document accepted by whole-document Parse under the default guards
+// is accepted subtree-by-subtree too, and in the same order.
+func TestSubtreeScannerOrderAndCount(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<corpus>")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, `<doc n="%d">payload %d</doc>`, i, i)
+	}
+	sb.WriteString("</corpus>")
+	sc := NewSubtreeScanner(strings.NewReader(sb.String()), SubtreeOptions{
+		ParseOptions: ParseOptions{IncludeContent: true},
+	})
+	subs, trips, err := scanAll(t, sc)
+	if err != io.EOF || len(trips) != 0 {
+		t.Fatalf("err=%v trips=%d, want clean EOF", err, len(trips))
+	}
+	if len(subs) != 40 {
+		t.Fatalf("emitted %d, want 40", len(subs))
+	}
+	for i, st := range subs {
+		if st.Index != i {
+			t.Fatalf("subtree %d carries Index %d", i, st.Index)
+		}
+		prev := int64(0)
+		if i > 0 {
+			prev = subs[i-1].EndOffset
+		}
+		if st.StartOffset < prev {
+			t.Fatalf("subtree %d overlaps its predecessor: start %d < prev end %d", i, st.StartOffset, prev)
+		}
+	}
+}

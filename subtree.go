@@ -1,0 +1,118 @@
+// Incremental subtree disambiguation: the public face of the SAX-style
+// bounded-memory mode. A document of any size streams through a
+// SubtreeScanner; each completed subtree runs the full pipeline and is
+// handed to the caller, so live memory is proportional to one subtree
+// (plus the framework's shared caches), never to the document.
+package xsdf
+
+import (
+	"context"
+	"io"
+	"runtime/debug"
+
+	"repro/internal/core"
+	"repro/internal/lingproc"
+	"repro/internal/xmltree"
+)
+
+// recoveredPanic boxes a panic escaping the incremental driver, matching
+// the panic isolation of the whole-document entry points.
+func recoveredPanic(v any) error {
+	return &PanicError{Doc: -1, Value: v, Stack: debug.Stack()}
+}
+
+// SubtreeOptions tunes incremental subtree disambiguation. The
+// framework's MaxDepth/MaxNodes/MaxTokenBytes guards apply per subtree,
+// with depth counted from the subtree root.
+type SubtreeOptions struct {
+	// SplitDepth is the element depth whose elements become subtree
+	// roots: 1 (the default) splits at the children of the document
+	// root.
+	SplitDepth int
+	// MaxSubtreeBytes bounds one subtree's encoded input size (0 selects
+	// xmltree.DefaultMaxSubtreeBytes, negative disables). An oversized
+	// subtree fails alone — the scan continues behind it.
+	MaxSubtreeBytes int64
+	// MaxSubtrees bounds how many subtrees one document may attempt (0
+	// selects xmltree.DefaultMaxSubtrees, negative disables). Exceeding
+	// it ends the document with a *LimitError.
+	MaxSubtrees int
+}
+
+type (
+	// Subtree is one completed subtree emitted by a SubtreeScanner, with
+	// its document path and input byte range.
+	Subtree = xmltree.Subtree
+	// SubtreeScanner is the pull-based incremental parser; build one
+	// with Framework.SubtreeScanner.
+	SubtreeScanner = xmltree.SubtreeScanner
+	// SubtreeError locates an incremental-parse failure: the subtree
+	// ordinal, the input byte offset, whether the failure is fatal for
+	// the document, and the wrapped typed error.
+	SubtreeError = xmltree.SubtreeError
+	// SubtreeSummary aggregates an incremental run: subtree, failure,
+	// target, and assignment counts plus the worst degradation level.
+	SubtreeSummary = core.SubtreeSummary
+)
+
+// SubtreeResult is one subtree's outcome within a DisambiguateSubtrees
+// run: the subtree's identity (ordinal, envelope path, encoded size) and
+// either its pipeline Result or its typed error. A degraded subtree
+// carries both.
+type SubtreeResult struct {
+	Index  int
+	Path   []string
+	Bytes  int64
+	Result *Result
+	Err    error
+}
+
+// SubtreeScanner returns an incremental parser over r configured with
+// the framework's content mode, tokenizer, and resource guards —
+// the parsing half of DisambiguateSubtrees, for callers that schedule
+// pipeline runs themselves (the streaming server dispatches each
+// subtree into its in-flight window).
+func (f *Framework) SubtreeScanner(r io.Reader, o SubtreeOptions) *SubtreeScanner {
+	return xmltree.NewSubtreeScanner(r, xmltree.SubtreeOptions{
+		ParseOptions: xmltree.ParseOptions{
+			IncludeContent: f.inner.Options().IncludeContent,
+			Tokenize:       lingproc.Tokenize,
+			MaxDepth:       f.limits.depth,
+			MaxNodes:       f.limits.nodes,
+			MaxTokenBytes:  f.limits.tokenBytes,
+		},
+		SplitDepth:      o.SplitDepth,
+		MaxSubtreeBytes: o.MaxSubtreeBytes,
+		MaxSubtrees:     o.MaxSubtrees,
+	})
+}
+
+// DisambiguateSubtrees incrementally parses the document from r and runs
+// the full pipeline on each completed subtree, invoking fn (when
+// non-nil) once per attempted subtree in document order. Failures are
+// scoped: a subtree that trips a guard or fails in the pipeline is
+// reported through its SubtreeResult.Err and the scan continues;
+// malformed input or a document-level budget violation stops the scan
+// and returns the fatal error, with every earlier subtree already
+// delivered. fn returning an error stops the run with that error.
+//
+// Memory stays bounded by one subtree regardless of document size —
+// the entry point for documents too large for Disambiguate.
+func (f *Framework) DisambiguateSubtrees(ctx context.Context, r io.Reader, o SubtreeOptions, fn func(SubtreeResult) error) (sum SubtreeSummary, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = recoveredPanic(v)
+		}
+	}()
+	sc := f.SubtreeScanner(r, o)
+	return f.inner.ProcessSubtrees(ctx, sc, func(cr core.SubtreeResult) error {
+		if fn == nil {
+			return nil
+		}
+		out := SubtreeResult{Index: cr.Index, Path: cr.Path, Bytes: cr.Bytes, Err: cr.Err}
+		if cr.Result != nil {
+			out.Result = fromCore(cr.Result)
+		}
+		return fn(out)
+	})
+}

@@ -1,0 +1,119 @@
+package xsdf_test
+
+// Golden equivalence of the incremental mode: disambiguating a document
+// subtree-by-subtree must reproduce whole-document mode bit-exactly for
+// every node whose context sphere lies inside its subtree. With the
+// default configuration (radius 1, fixed threshold, no cross-node
+// harmonization) that is every node except the subtree roots themselves:
+// a subtree root's radius-1 sphere holds the document root in whole-
+// document mode and loses it in subtree mode — the one documented
+// divergence of incremental parsing (the document root and its
+// attributes are likewise simply unprocessed in subtree mode).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/xmltree"
+)
+
+// nodeLine renders one node's assignment bit-exactly (%.17g round-trips
+// any float64), the same fingerprint shape as the core golden suite.
+func nodeLine(n *xmltree.Node) string {
+	return fmt.Sprintf("%s\x00%s\x00%.17g", n.Label, n.Sense, n.SenseScore)
+}
+
+// fingerprintUnder appends the DFS pre-order assignment lines of n's
+// descendants (n itself excluded).
+func fingerprintUnder(b *strings.Builder, n *xmltree.Node) {
+	for _, c := range n.Children {
+		b.WriteString(nodeLine(c))
+		b.WriteByte('\n')
+		fingerprintUnder(b, c)
+	}
+}
+
+func TestSubtreeGoldenEquivalence(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := corpus.Generate(7)
+	if testing.Short() && len(docs) > 8 {
+		docs = docs[:8]
+	}
+
+	identicalDocs, divergentRoots, totalSubtrees := 0, 0, 0
+	for _, d := range docs {
+		var buf bytes.Buffer
+		if err := d.Tree.WriteXML(&buf, false); err != nil {
+			t.Fatalf("%s: serialize: %v", d.Name, err)
+		}
+		raw := buf.String()
+
+		whole, err := fw.DisambiguateString(raw)
+		if err != nil {
+			t.Fatalf("%s: whole-document mode: %v", d.Name, err)
+		}
+		var subs []*xsdf.Result
+		_, err = fw.DisambiguateSubtrees(context.Background(), strings.NewReader(raw),
+			xsdf.SubtreeOptions{}, func(r xsdf.SubtreeResult) error {
+				if r.Err != nil || r.Result == nil {
+					return fmt.Errorf("subtree %d failed: %w", r.Index, r.Err)
+				}
+				subs = append(subs, r.Result)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("%s: subtree mode: %v", d.Name, err)
+		}
+
+		var wholeKids []*xmltree.Node
+		for _, c := range whole.Tree.Node(0).Children {
+			if c.Kind == xmltree.Element {
+				wholeKids = append(wholeKids, c)
+			}
+		}
+		if len(wholeKids) != len(subs) {
+			t.Fatalf("%s: whole tree has %d depth-1 elements, subtree mode emitted %d",
+				d.Name, len(wholeKids), len(subs))
+		}
+
+		docIdentical := true
+		for i, sub := range subs {
+			totalSubtrees++
+			wk, sr := wholeKids[i], sub.Tree.Node(0)
+			var wb, sb strings.Builder
+			fingerprintUnder(&wb, wk)
+			fingerprintUnder(&sb, sr)
+			if wb.String() != sb.String() {
+				t.Errorf("%s subtree %d: interior assignments diverge between modes\nwhole:\n%s\nsubtree:\n%s",
+					d.Name, i, wb.String(), sb.String())
+			}
+			if nodeLine(wk) != nodeLine(sr) {
+				// The documented subtree-root divergence: the radius-1
+				// sphere lost the document root.
+				divergentRoots++
+				docIdentical = false
+			}
+		}
+		if docIdentical {
+			identicalDocs++
+		}
+	}
+
+	t.Logf("%d/%d documents bit-identical end to end; %d/%d subtree roots diverged (documented radius-1 boundary effect)",
+		identicalDocs, len(docs), divergentRoots, totalSubtrees)
+	// Sanity floor over the full corpus: some documents must reproduce
+	// whole-document mode bit-exactly end to end (in -short mode the
+	// 8-document slice happens to hold none, so only the per-subtree
+	// interior check applies there).
+	if identicalDocs == 0 && !testing.Short() {
+		t.Errorf("no document reproduced whole-document mode bit-exactly — divergence is broader than the subtree-root boundary")
+	}
+}
