@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-snapshot load-smoke
+.PHONY: build test race bench-snapshot load-smoke reload-smoke
 
 build:
 	$(GO) build ./...
@@ -35,5 +35,27 @@ load-smoke:
 	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 10s -stream -max-lost 0 -check-metrics && \
 	/tmp/xsdf-loadgen -url http://127.0.0.1:18080 -rate 20 -duration 5s -subtree -max-lost 0; \
 	status=$$?; \
+	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
+	exit $$status
+
+# reload-smoke is the zero-downtime hot-swap check: serve a packed
+# lexicon, drive the harness at 2x the load-smoke rate, land one good
+# swap and one corrupt-candidate rollback mid-run, and assert zero lost
+# documents, balanced swap/rollback counters, and no 5xx responses.
+reload-smoke:
+	$(GO) build -o /tmp/xsdfd ./cmd/xsdfd
+	$(GO) build -o /tmp/xsdf-lexicon ./cmd/xsdf-lexicon
+	$(GO) build -o /tmp/xsdf-loadgen ./cmd/xsdf-loadgen
+	/tmp/xsdf-lexicon -export /tmp/reload-smoke.semnet -version local-1
+	head -c $$(($$(stat -c %s /tmp/reload-smoke.semnet) / 2)) /tmp/reload-smoke.semnet > /tmp/reload-smoke-corrupt.semnet
+	/tmp/xsdfd -addr 127.0.0.1:18081 -lexicon /tmp/reload-smoke.semnet & echo $$! > /tmp/xsdfd.pid; \
+	sleep 1; \
+	( sleep 3; curl -fsS -X POST http://127.0.0.1:18081/adminz/reload \
+	    -H 'Content-Type: application/json' -d '{"path":"/tmp/reload-smoke.semnet"}'; \
+	  sleep 3; curl -s -X POST http://127.0.0.1:18081/adminz/reload \
+	    -H 'Content-Type: application/json' -d '{"path":"/tmp/reload-smoke-corrupt.semnet"}' ) & \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18081 -rate 40 -duration 12s -stream -max-lost 0; \
+	status=$$?; \
+	curl -fsS http://127.0.0.1:18081/metricsz | grep -E '^xsdf_lexicon_(swaps|rollbacks)_total' || status=1; \
 	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
 	exit $$status

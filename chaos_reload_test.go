@@ -1,0 +1,417 @@
+package xsdf_test
+
+// Reload chaos suite: fires lexicon hot-swaps — good candidates, corrupt
+// files, checksum mismatches, and injected stage faults — against live
+// unary, batch, and stream traffic, across seeded schedules (run with
+// -race; a failure reproduces from the seed in the subtest name). The
+// invariants are the hot-swap contract end to end:
+//
+//   - zero client-visible failures: every /v1/* document answers 200 no
+//     matter how many swaps or rollbacks land mid-run;
+//   - per-run epoch consistency: every result is stamped with one
+//     (epoch, version) the swap schedule actually produced, and every
+//     assigned sense belongs to exactly that snapshot's network;
+//   - rollback is the default: every failed reload answers 422 with the
+//     old lexicon still serving;
+//   - the books balance: /statusz and /metricsz swap/rollback counters
+//     equal the observed outcomes, and no retired snapshot is left
+//     pinned once traffic drains.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/semnet"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// reloadChaosSchedules is the number of seeded reload schedules.
+const reloadChaosSchedules = 50
+
+// reloadChaosLemmas is the shared vocabulary of the versioned test
+// lexicons: identical lemmas across versions, so any network can score
+// any document, while concept IDs carry the version tag as a suffix —
+// a cross-snapshot leak is visible in the assigned sense strings.
+const reloadChaosLemmas = 16
+
+func reloadChaosNet(t testing.TB, tag string) *xsdf.Network {
+	t.Helper()
+	b := semnet.NewBuilder()
+	root := semnet.ConceptID("entity." + tag)
+	b.AddConcept(root, "the shared root concept of every word here", 1000, "entity")
+	for i := 0; i < reloadChaosLemmas; i++ {
+		lemma := fmt.Sprintf("word%c", rune('a'+i))
+		one := semnet.ConceptID(fmt.Sprintf("%s.one.%s", lemma, tag))
+		two := semnet.ConceptID(fmt.Sprintf("%s.two.%s", lemma, tag))
+		b.AddConcept(one, fmt.Sprintf("the dominant sense of %s in running text", lemma), float64(60+i), lemma)
+		b.AddConcept(two, fmt.Sprintf("a rare alternative reading of %s", lemma), float64(5+i), lemma)
+		b.AddEdge(one, semnet.Hypernym, root)
+		b.AddEdge(two, semnet.Hypernym, root)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func reloadChaosDoc(seed int) string {
+	var b strings.Builder
+	b.WriteString("<doc>")
+	for i := 0; i < 6; i++ {
+		lemma := fmt.Sprintf("word%c", rune('a'+(seed+i*3)%reloadChaosLemmas))
+		fmt.Fprintf(&b, "<%s>%s</%s>", lemma, lemma, lemma)
+	}
+	b.WriteString("</doc>")
+	return b.String()
+}
+
+// reloadEpochIdentity is what the swap schedule recorded for one epoch.
+type reloadEpochIdentity struct{ tag, version string }
+
+// collectedResult is one served document's stamp and senses, validated
+// after all traffic and swaps have drained (so recording races between
+// a swap's response and a result stamped with its epoch cannot matter).
+type collectedResult struct {
+	origin  string
+	epoch   uint64
+	version string
+	senses  []string
+}
+
+func collectWireResult(origin string, res *server.Result) collectedResult {
+	c := collectedResult{origin: origin, epoch: res.LexiconEpoch, version: res.LexiconVersion}
+	for _, a := range res.Assignments {
+		c.senses = append(c.senses, a.Sense)
+	}
+	return c
+}
+
+func TestReloadChaosSchedules(t *testing.T) {
+	n := int64(reloadChaosSchedules)
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runReloadChaosSchedule(t, seed)
+		})
+	}
+}
+
+func runReloadChaosSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	netA, netB := reloadChaosNet(t, "v1"), reloadChaosNet(t, "v2")
+
+	dir := t.TempDir()
+	fileA := filepath.Join(dir, "v1.semnet")
+	fileB := filepath.Join(dir, "v2.semnet")
+	infoA, err := xsdf.WriteNetworkFile(fileA, netA, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := xsdf.WriteNetworkFile(fileB, netB, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.semnet")
+	data, err := os.ReadFile(fileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corrupt, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fw, err := xsdf.New(xsdf.Options{Network: netA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Framework: fw,
+		Breaker:   server.BreakerOptions{Disabled: true},
+		Logger:    server.NopLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A slice of reloads also dies to injected stage faults, so rollback
+	// paths past the load stage (validate, canary) get coverage too.
+	restore := faultinject.Install(faultinject.New(faultinject.Config{
+		Seed:                  seed,
+		ReloadLoadErrRate:     0.10 * rng.Float64(),
+		ReloadValidateErrRate: 0.10 * rng.Float64(),
+		ReloadCanaryErrRate:   0.10 * rng.Float64(),
+	}))
+	defer restore()
+
+	epochs := map[uint64]reloadEpochIdentity{1: {tag: "v1", version: fw.LexiconInfo().Version}}
+	var wantSwaps, wantRollbacks uint64
+
+	// The swap schedule: a seeded mix of good swaps (alternating
+	// versions), corrupt candidates, and checksum mismatches, fired while
+	// the traffic goroutines below are mid-stream and mid-batch. Reload
+	// outcomes are recorded here and reconciled with the counters and the
+	// collected results after everything drains.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := "v2"
+		for i := 0; i < 10; i++ {
+			req := server.ReloadRequest{}
+			expectOK := true
+			switch draw := rng.Float64(); {
+			case draw < 0.2:
+				req.Path = corrupt
+				expectOK = false
+			case draw < 0.35:
+				req.Path, req.ExpectedChecksum = fileA, strings.Repeat("00", 32)
+				expectOK = false
+			default:
+				if next == "v2" {
+					req.Path, req.ExpectedChecksum = fileB, infoB.Checksum
+				} else {
+					req.Path, req.ExpectedChecksum = fileA, infoA.Checksum
+				}
+			}
+			status, body := postReload(t, ts.URL, req)
+			switch status {
+			case http.StatusOK:
+				if !expectOK {
+					t.Errorf("reload %d of %s succeeded, expected a rollback", i, req.Path)
+				}
+				var rr server.ReloadResponse
+				if err := json.Unmarshal(body, &rr); err != nil {
+					t.Errorf("reload %d response: %v", i, err)
+					return
+				}
+				tag := "v1"
+				if rr.Lexicon.Version == "v2" {
+					tag = "v2"
+				}
+				epochs[rr.Lexicon.Epoch] = reloadEpochIdentity{tag: tag, version: rr.Lexicon.Version}
+				wantSwaps++
+				if next == rr.Lexicon.Version {
+					next = map[string]string{"v1": "v2", "v2": "v1"}[next]
+				}
+			case http.StatusUnprocessableEntity:
+				// Rollback: fine for corrupt/mismatch schedules and for good
+				// candidates killed by an injected stage fault.
+				wantRollbacks++
+			default:
+				t.Errorf("reload %d: unexpected status %d: %s", i, status, body)
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var collected []collectedResult
+	record := func(c collectedResult) {
+		mu.Lock()
+		collected = append(collected, c)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	// Unary and batch traffic loop until the swap schedule finishes.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					res, ok := postUnary(t, ts.URL, reloadChaosDoc(w+i))
+					if !ok {
+						return
+					}
+					record(collectWireResult("unary", res))
+				} else {
+					items, ok := postBatch(t, ts.URL, []string{
+						reloadChaosDoc(i), reloadChaosDoc(i + 1), reloadChaosDoc(i + 2),
+					})
+					if !ok {
+						return
+					}
+					for _, item := range items {
+						if item.Status != http.StatusOK || item.Result == nil {
+							t.Errorf("batch item failed: %+v", item)
+							return
+						}
+						record(collectWireResult("batch", item.Result))
+					}
+				}
+			}
+		}(w)
+	}
+	// One NDJSON stream rides across the whole swap schedule.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		docs := make([]string, 24)
+		for i := range docs {
+			docs[i] = reloadChaosDoc(i)
+		}
+		c, err := client.New(client.Options{BaseURL: ts.URL, MaxRetries: 3, BaseBackoff: time.Millisecond})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = c.Stream(t.Context(), docs, client.StreamOptions{}, func(line server.StreamLine) error {
+			if line.Status != http.StatusOK || line.Result == nil {
+				t.Errorf("stream line failed: %+v", line)
+				return nil
+			}
+			record(collectWireResult("stream", line.Result))
+			return nil
+		})
+		if err != nil {
+			t.Errorf("stream: %v", err)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// Every collected result must carry a scheduled (epoch, version) and
+	// only that snapshot's senses.
+	if len(collected) == 0 {
+		t.Fatal("no traffic was served")
+	}
+	for _, c := range collected {
+		id, ok := epochs[c.epoch]
+		if !ok {
+			t.Errorf("%s result stamped unknown epoch %d", c.origin, c.epoch)
+			continue
+		}
+		if c.version != id.version {
+			t.Errorf("%s result at epoch %d stamped version %q, swap recorded %q", c.origin, c.epoch, c.version, id.version)
+		}
+		for _, sense := range c.senses {
+			if !strings.HasSuffix(sense, "."+id.tag) {
+				t.Errorf("%s result at epoch %d (%s) carries sense %q from another snapshot", c.origin, c.epoch, id.tag, sense)
+			}
+		}
+	}
+
+	// The books must balance: framework stats, /statusz, and /metricsz
+	// all agree with the observed reload outcomes, and nothing retired is
+	// still pinned now that traffic has drained.
+	st := fw.LexiconStats()
+	if st.Swaps != wantSwaps || st.Rollbacks != wantRollbacks {
+		t.Errorf("stats swaps=%d rollbacks=%d, observed %d/%d", st.Swaps, st.Rollbacks, wantSwaps, wantRollbacks)
+	}
+	if st.RetiredAwaitingDrain != 0 {
+		t.Errorf("%d retired snapshots still awaiting drain", st.RetiredAwaitingDrain)
+	}
+	metrics := getBody(t, ts.URL+"/metricsz")
+	for _, want := range []string{
+		fmt.Sprintf("xsdf_lexicon_swaps_total %d", wantSwaps),
+		fmt.Sprintf("xsdf_lexicon_rollbacks_total %d", wantRollbacks),
+		"xsdf_lexicon_retired_awaiting_drain 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+	t.Logf("served %d results across %d swaps and %d rollbacks", len(collected), wantSwaps, wantRollbacks)
+}
+
+func postReload(t *testing.T, baseURL string, req server.ReloadRequest) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/adminz/reload", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func postUnary(t *testing.T, baseURL, doc string) (*server.Result, bool) {
+	t.Helper()
+	payload, err := json.Marshal(server.DisambiguateRequest{Document: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/disambiguate", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Error(err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("unary status %d", resp.StatusCode)
+		return nil, false
+	}
+	var res server.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Error(err)
+		return nil, false
+	}
+	return &res, true
+}
+
+func postBatch(t *testing.T, baseURL string, docs []string) ([]server.BatchItem, bool) {
+	t.Helper()
+	payload, err := json.Marshal(server.BatchRequest{Documents: docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/batch", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Error(err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("batch status %d", resp.StatusCode)
+		return nil, false
+	}
+	var br server.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Error(err)
+		return nil, false
+	}
+	return br.Results, true
+}

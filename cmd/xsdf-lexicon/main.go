@@ -3,8 +3,14 @@
 //	xsdf-lexicon -stats                     # size, polysemy, relation counts
 //	xsdf-lexicon -senses star               # list senses of a word
 //	xsdf-lexicon -path actor.n.01,rock.n.01 # taxonomic path between concepts
-//	xsdf-lexicon -export lexicon.semnet     # write the interchange format
+//	xsdf-lexicon -export lexicon.semnet     # write the checksummed interchange format
+//	xsdf-lexicon -export f -version oewn-24 # label the snapshot for hot-swap dashboards
+//	xsdf-lexicon -verify lexicon.semnet     # checksum + structural validation
 //	xsdf-lexicon -load my.semnet -senses x  # inspect a custom network
+//
+// -export writes crash-safely (temp file + fsync + atomic rename) with a
+// checksum footer, so a file that exists is always complete, and -verify
+// (or a daemon reload) rejects any truncation or corruption in transit.
 package main
 
 import (
@@ -26,10 +32,25 @@ func main() {
 		stats    = flag.Bool("stats", false, "print network statistics")
 		senses   = flag.String("senses", "", "list the senses of a word or expression")
 		path     = flag.String("path", "", "comma-separated concept pair: print the taxonomic path")
-		export   = flag.String("export", "", "write the network in the text interchange format")
+		export   = flag.String("export", "", "write the network in the checksummed interchange format (crash-safe)")
+		version  = flag.String("version", "", "version label to record in -export's checksum footer (default: checksum-derived)")
+		verify   = flag.String("verify", "", "verify a lexicon file: checksum footer + structural validation")
 		loadPath = flag.String("load", "", "operate on a network file instead of the embedded lexicon")
 	)
 	flag.Parse()
+
+	if *verify != "" {
+		info, err := semnet.VerifyFile(*verify)
+		if err != nil {
+			log.Fatalf("%s: %v", *verify, err)
+		}
+		fmt.Printf("file:      %s\n", *verify)
+		fmt.Printf("version:   %s\n", info.Version)
+		fmt.Printf("checksum:  %s\n", info.Checksum)
+		fmt.Printf("concepts:  %d\n", info.Concepts)
+		fmt.Println("ok")
+		return
+	}
 
 	net := wordnet.Default()
 	if *loadPath != "" {
@@ -63,17 +84,12 @@ func main() {
 	}
 	if *export != "" {
 		ran = true
-		f, err := os.Create(*export)
+		info, err := semnet.WriteFile(*export, net, *version)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := net.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d concepts to %s\n", net.Len(), *export)
+		fmt.Printf("wrote %d concepts to %s (version %s, sha256 %s)\n",
+			info.Concepts, *export, info.Version, info.Checksum)
 	}
 	if !ran {
 		printStats(net)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+)
+
+// TestPackVerifyLoadRoundTrip is the -export → -verify → -load contract:
+// an exported file verifies clean, loads back to an equivalent network
+// through both the strict checksummed reader and the lenient -load path,
+// and a corrupted copy is rejected by -verify's machinery.
+func TestPackVerifyLoadRoundTrip(t *testing.T) {
+	orig := wordnet.Default()
+	path := filepath.Join(t.TempDir(), "lexicon.semnet")
+
+	info, err := semnet.WriteFile(path, orig, "roundtrip-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != "roundtrip-1" || info.Concepts != orig.Len() {
+		t.Errorf("export info %+v", info)
+	}
+
+	vinfo, err := semnet.VerifyFile(path)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if vinfo != info {
+		t.Errorf("verify info %+v, export recorded %+v", vinfo, info)
+	}
+
+	// The strict reader and the lenient -load path agree on the content.
+	strict, rinfo, err := semnet.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Checksum != info.Checksum {
+		t.Errorf("read checksum %q, wrote %q", rinfo.Checksum, info.Checksum)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, err := semnet.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("-load path rejects a footered export: %v", err)
+	}
+	for _, net := range []*semnet.Network{strict, lenient} {
+		if net.Len() != orig.Len() {
+			t.Fatalf("round-trip lost concepts: %d != %d", net.Len(), orig.Len())
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("round-tripped network invalid: %v", err)
+		}
+	}
+
+	// A corrupted copy must fail -verify.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.semnet")
+	if err := os.WriteFile(bad, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semnet.VerifyFile(bad); err == nil {
+		t.Error("verify accepted a truncated file")
+	} else if !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("truncation error %v is not typed as malformed input", err)
+	}
+}

@@ -12,6 +12,9 @@
 //	POST /v1/stream         NDJSON in (header line + one document per
 //	                        line), NDJSON out (one cursor-stamped result
 //	                        line per document, resumable via resume_from)
+//	POST /adminz/reload     {"path": "...", "expected_checksum": "..."} —
+//	                        zero-downtime lexicon hot-swap (SIGHUP re-swaps
+//	                        the -lexicon file the same way)
 //	GET  /healthz  /readyz  /statusz
 //
 // The daemon is built to stay up: per-request deadlines (client budgets
@@ -68,6 +71,8 @@ func main() {
 		streamWindow  = flag.Int("stream-window", 4, "max in-flight documents per /v1/stream request")
 		streamTimeout = flag.Duration("stream-write-timeout", 10*time.Second, "per-line write deadline before a slow stream consumer is shed")
 
+		lexicon = flag.String("lexicon", "", "checksummed lexicon codec file to serve (empty = embedded mini-WordNet); SIGHUP hot-swaps it in place")
+
 		logFormat = flag.String("log-format", "text", "log output format: text | json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
@@ -106,6 +111,17 @@ func main() {
 		opts.Admission = xsdf.AdmissionOptions{MaxDocs: *maxDocs, MaxWait: *maxGateWait}
 	}
 
+	if *lexicon != "" {
+		net, finfo, err := xsdf.ReadNetworkFile(*lexicon)
+		if err != nil {
+			fatal("loading lexicon", "path", *lexicon, "error", err)
+		}
+		opts.Network = net
+		logger.Info("lexicon loaded",
+			"path", *lexicon, "version", finfo.Version,
+			"checksum", finfo.Checksum, "concepts", finfo.Concepts)
+	}
+
 	fw, err := xsdf.New(opts)
 	if err != nil {
 		fatal("building framework", "error", err)
@@ -130,6 +146,29 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()
 	logger.Info("serving",
 		"addr", *addr, "method", *method, "radius", *radius, "degrade", *degrade)
+
+	// SIGHUP hot-swaps the lexicon from -lexicon in place: the staged
+	// reload (load → validate → canary → atomic swap) runs off the request
+	// path, in-flight runs finish on their pinned snapshot, and any failure
+	// rolls back to the serving lexicon — a bad file can never take the
+	// daemon down or degrade live traffic.
+	if *lexicon != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				info, err := fw.Reload(context.Background(), *lexicon, xsdf.ReloadOptions{})
+				if err != nil {
+					logger.Warn("SIGHUP reload failed, old lexicon still serving",
+						"path", *lexicon, "error", err, "serving_epoch", info.Epoch)
+					continue
+				}
+				logger.Info("SIGHUP lexicon swapped",
+					"path", *lexicon, "epoch", info.Epoch, "version", info.Version,
+					"checksum", info.Checksum, "load_ms", info.LoadTime.Milliseconds())
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)

@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ambiguity"
 	"repro/internal/disambig"
@@ -112,27 +115,45 @@ type Result struct {
 	// stages that ran (harmonization is skipped); nil only when the run
 	// failed before the disambiguation stage could build a Result.
 	Stages []StageTiming
+	// LexiconEpoch and LexiconVersion identify the lexicon snapshot every
+	// sense in this result was scored against — one snapshot per run,
+	// pinned at admission, so the pair is internally consistent even when
+	// a hot-swap landed mid-run.
+	LexiconEpoch   uint64
+	LexiconVersion string
 }
 
-// Framework is a reusable XSDF instance bound to one semantic network. It
-// owns the shared similarity/vector cache (disambig.Cache): every
-// document processed through the framework — sequentially, across batch
-// workers, or across intra-document node workers — memoizes into the same
-// concurrency-safe store, so corpora with repeated vocabulary pay for
-// each pairwise similarity and each semantic-network sphere walk once per
-// framework, not once per document.
+// Framework is a reusable XSDF instance serving one semantic network at
+// a time. The network and every cache keyed by its concept IDs live in a
+// versioned snapshot behind an atomic pointer (snapshot.go): every
+// document pins the snapshot it starts with and scores exclusively
+// against it, so corpora with repeated vocabulary share warm memos, and
+// a lexicon hot-swap (Reload) can never mix two versions inside a run.
 type Framework struct {
-	net   *semnet.Network
-	opts  Options
-	cache *disambig.Cache
-	gate  *gate // nil when Options.Admission is the zero value
+	snap atomic.Pointer[snapshot]
+	opts Options
+	gate *gate // nil when Options.Admission is the zero value
+
+	// Hot-swap state: reloads serialize on reloadMu (the data path never
+	// touches it); epoch numbers the swap generations; the counters,
+	// gauge, and histogram feed /statusz and /metricsz.
+	reloadMu        sync.Mutex
+	epoch           atomic.Uint64
+	swaps           atomic.Uint64
+	rollbacks       atomic.Uint64
+	canaryFails     atomic.Uint64
+	retiredAwaiting atomic.Int64
+	reloadHist      *metrics.Histogram
 
 	// pipe is the staged pipeline every document runs through; built once
 	// in New and shared (stages keep all per-document state in a run
-	// value). stageStats accumulates per-stage calls/errors/items/time
-	// across the framework's lifetime; stageHists holds the matching
-	// latency distributions, fed by the runner's OnStage hook.
+	// value). canaryPipe is the same stage list without the stats hook,
+	// so reload canaries don't pollute serving-latency histograms.
+	// stageStats accumulates per-stage calls/errors/items/time across the
+	// framework's lifetime; stageHists holds the matching latency
+	// distributions, fed by the runner's OnStage hook.
 	pipe       *pipeline.Runner[*run]
+	canaryPipe *pipeline.Runner[*run]
 	stageStats [numStages]stageCounters
 	stageHists [numStages]*metrics.Histogram
 }
@@ -150,35 +171,48 @@ func New(net *semnet.Network, opts Options) (*Framework, error) {
 		return nil, err
 	}
 	f := &Framework{
-		net:   net,
-		opts:  opts,
-		cache: disambig.NewCache(net, opts.Disambiguation.SimWeights),
-		gate:  newGate(opts.Admission),
+		opts:       opts,
+		gate:       newGate(opts.Admission),
+		reloadHist: metrics.NewHistogram(nil),
 	}
 	for i := range f.stageHists {
 		f.stageHists[i] = metrics.NewHistogram(nil)
 	}
-	f.pipe = f.newPipeline()
+	f.pipe = f.newPipeline(true)
+	f.canaryPipe = f.newPipeline(false)
+	checksum := net.Checksum()
+	f.snap.Store(f.newSnapshot(net, LexiconInfo{
+		Epoch:    f.epoch.Add(1),
+		Version:  semnet.VersionLabel(checksum),
+		Checksum: checksum,
+		Source:   "construction",
+		Concepts: net.Len(),
+		LoadedAt: time.Now(),
+	}))
 	return f, nil
 }
 
-// Network returns the reference semantic network.
-func (f *Framework) Network() *semnet.Network { return f.net }
+// Network returns the semantic network of the currently serving
+// snapshot. Callers that correlate several reads (a concept lookup after
+// a sense listing, say) should re-read per use, not cache the pointer
+// across requests: a Reload may retire it at any time.
+func (f *Framework) Network() *semnet.Network { return f.snap.Load().net }
 
 // Options returns the active configuration.
 func (f *Framework) Options() Options { return f.opts }
 
 // NewDisambiguator returns a disambiguator configured like the pipeline's
-// and backed by the framework's shared cache — the entry point for
+// and backed by the current snapshot's shared cache — the entry point for
 // callers (xsdf.Candidates, diagnostics) that score nodes outside a full
 // pipeline run but should still reuse the warm memos.
 func (f *Framework) NewDisambiguator() *disambig.Disambiguator {
-	return disambig.NewShared(f.cache, f.opts.Disambiguation)
+	return disambig.NewShared(f.snap.Load().cache, f.opts.Disambiguation)
 }
 
-// CacheStats reports the shared cache's hit/miss counters, for
-// observability and effectiveness tests.
-func (f *Framework) CacheStats() disambig.CacheStats { return f.cache.Stats() }
+// CacheStats reports the current snapshot's cache hit/miss counters, for
+// observability and effectiveness tests. Counters restart from zero when
+// a reload swaps the snapshot (caches are snapshot-resident by design).
+func (f *Framework) CacheStats() disambig.CacheStats { return f.snap.Load().cache.Stats() }
 
 // ProcessReader parses an XML document from r and runs the full pipeline.
 func (f *Framework) ProcessReader(r io.Reader) (*Result, error) {
@@ -222,11 +256,19 @@ func (f *Framework) ProcessTreeContext(ctx context.Context, t *xmltree.Tree) (*R
 	// Every module body lives in a named pipeline.Stage (stages.go); this
 	// function only dispatches the run, threads the timings, and maps the
 	// stop condition onto the historical result/error contract.
-	r := &run{fw: f, tree: t, hooks: currentHooks()}
+	//
+	// The run pins the current lexicon snapshot here — before any stage —
+	// and every stage reads the network and caches through the pin, so
+	// the whole run (batch worker, stream line, and subtree runs all
+	// funnel through this function) scores against exactly one lexicon
+	// version even when a Reload swaps mid-flight. The deferred unpin is
+	// what lets a retired snapshot finally drain.
+	r := &run{fw: f, tree: t, snap: f.pin(), hooks: currentHooks()}
 	defer func() {
 		if r.release != nil {
 			r.release()
 		}
+		r.snap.unpin()
 	}()
 	timings, err := f.pipe.Run(ctx, r)
 	f.recordStages(timings)

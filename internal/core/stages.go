@@ -56,6 +56,17 @@ type run struct {
 	fw   *Framework
 	tree *xmltree.Tree
 
+	// snap is the lexicon snapshot this run pinned at admission. Stages
+	// read the network and caches exclusively through it, never through
+	// the framework's current pointer: a hot-swap mid-run must not mix
+	// two lexicon versions inside one document.
+	snap *snapshot
+
+	// canary marks a reload-canary probe run: it scores against a
+	// candidate snapshot that is not serving yet, and skips the
+	// admission gate so a reload can never shed or starve real traffic.
+	canary bool
+
 	// hooks is the fault-injection callback seam, snapshotted once at
 	// run start so a concurrent SetTestHooks cannot tear a run.
 	hooks faultinject.Hooks
@@ -85,25 +96,30 @@ var stageIndex = func() map[string]int {
 }()
 
 // newPipeline declares the framework's stage list. Built once in New and
-// shared by every document the framework processes.
-func (f *Framework) newPipeline() *pipeline.Runner[*run] {
+// shared by every document the framework processes; a second instance
+// without the stats hook serves reload canaries (instrument=false), so
+// probe runs never leak into serving-latency histograms.
+func (f *Framework) newPipeline(instrument bool) *pipeline.Runner[*run] {
 	degrade := f.opts.Disambiguation.Degrade.Enabled
-	return pipeline.New(pipeline.Config{
+	cfg := pipeline.Config{
 		// With the ladder on, an expired deadline is not a reason to
 		// abort between stages: disambiguation rides it out at the last
 		// rung. Explicit cancellation still aborts.
 		TolerateCtxErr: func(err error) bool {
 			return degrade && errors.Is(err, context.DeadlineExceeded)
 		},
+	}
+	if instrument {
 		// Every executed stage feeds its per-stage latency histogram —
 		// the distribution behind the cumulative totals of StageStats,
 		// exported by the serving layer as xsdf_stage_duration_seconds.
-		OnStage: func(_ context.Context, stage string, _ int, d time.Duration, _ bool) {
+		cfg.OnStage = func(_ context.Context, stage string, _ int, d time.Duration, _ bool) {
 			if i, ok := stageIndex[stage]; ok {
 				f.stageHists[i].Observe(d.Seconds())
 			}
-		},
-	},
+		}
+	}
+	return pipeline.New(cfg,
 		pipeline.Stage[*run]{Name: StageGuard, Run: stageGuard},
 		pipeline.Stage[*run]{Name: StageAdmission, Run: stageAdmission},
 		pipeline.Stage[*run]{Name: StagePreprocess, Run: stagePreprocess},
@@ -121,10 +137,12 @@ func stageGuard(_ context.Context, r *run) (int, error) {
 
 // stageAdmission takes the admission gate's capacity for this document
 // (weighted by node count), parking the release function in the run
-// state. A no-op when admission control is disabled.
+// state. A no-op when admission control is disabled, and for reload
+// canaries: probe runs must neither consume capacity real traffic is
+// waiting on nor be shed by it.
 func stageAdmission(ctx context.Context, r *run) (int, error) {
 	g := r.fw.gate
-	if g == nil {
+	if g == nil || r.canary {
 		return 0, nil
 	}
 	release, err := g.acquire(ctx, r.tree.Len(), r.fw.opts.Admission.MaxWait)
@@ -143,7 +161,7 @@ func stagePreprocess(_ context.Context, r *run) (int, error) {
 		r.hooks.BeforeTree(r.tree)
 	}
 	faultinject.TreeStart()
-	lingproc.ProcessTree(r.tree, r.fw.net)
+	lingproc.ProcessTree(r.tree, r.snap.net)
 	return r.tree.Len(), nil
 }
 
@@ -152,9 +170,9 @@ func stageSelect(_ context.Context, r *run) (int, error) {
 	f := r.fw
 	r.threshold = f.opts.Threshold
 	if f.opts.AutoThreshold {
-		r.threshold = ambiguity.AutoThreshold(r.tree, f.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
+		r.threshold = ambiguity.AutoThreshold(r.tree, r.snap.net, f.opts.Ambiguity, f.opts.AutoThresholdK)
 	}
-	r.targets = ambiguity.Select(r.tree, f.net, f.opts.Ambiguity, r.threshold)
+	r.targets = ambiguity.Select(r.tree, r.snap.net, f.opts.Ambiguity, r.threshold)
 	return len(r.targets), nil
 }
 
@@ -170,16 +188,18 @@ func stageDisambiguate(ctx context.Context, r *run) (int, error) {
 	if r.hooks.BeforeNode != nil {
 		disOpts.NodeHook = r.hooks.BeforeNode
 	}
-	dis := disambig.NewShared(f.cache, disOpts)
+	dis := disambig.NewShared(r.snap.cache, disOpts)
 	rep, err := dis.ApplyReport(ctx, r.targets)
 	r.res = &Result{
-		Tree:         r.tree,
-		Targets:      len(r.targets),
-		Assigned:     rep.Assigned,
-		Threshold:    r.threshold,
-		Degraded:     rep.Level,
-		NodesAtLevel: rep.NodesAtLevel,
-		Unscored:     rep.Unscored,
+		Tree:           r.tree,
+		Targets:        len(r.targets),
+		Assigned:       rep.Assigned,
+		Threshold:      r.threshold,
+		Degraded:       rep.Level,
+		NodesAtLevel:   rep.NodesAtLevel,
+		Unscored:       rep.Unscored,
+		LexiconEpoch:   r.snap.info.Epoch,
+		LexiconVersion: r.snap.info.Version,
 	}
 	return len(r.targets), err
 }

@@ -99,6 +99,11 @@ const (
 	// client resumes from a mid-document cursor) or stalls the scan (a
 	// slow upstream source).
 	PointSubtree
+	// PointReload fires at each stage of a staged lexicon reload (load,
+	// validate, canary); a hit fails that stage — the reload pipeline
+	// must roll back to the serving snapshot — or stalls the load (a slow
+	// disk or oversized lexicon holding the reload, never the data path).
+	PointReload
 
 	numPoints
 )
@@ -124,6 +129,8 @@ func (p Point) String() string {
 		return "stream"
 	case PointSubtree:
 		return "subtree"
+	case PointReload:
+		return "reload"
 	default:
 		return fmt.Sprintf("Point(%d)", uint8(p))
 	}
@@ -184,6 +191,16 @@ type Config struct {
 	SubtreeCutRate   float64
 	SubtreeStallRate float64
 	SubtreeStall     time.Duration
+	// ReloadLoadErrRate / ReloadValidateErrRate / ReloadCanaryErrRate fail
+	// the matching stage of a staged lexicon reload at PointReload (the
+	// reload rolls back; serving traffic must never notice);
+	// ReloadSlowRate/ReloadSlow stall the load stage, modeling a slow disk
+	// or an OEWN-sized lexicon parse holding the swap back.
+	ReloadLoadErrRate     float64
+	ReloadValidateErrRate float64
+	ReloadCanaryErrRate   float64
+	ReloadSlowRate        float64
+	ReloadSlow            time.Duration
 }
 
 // Injector fires the faults of one Config. Each point draws from its own
@@ -388,6 +405,41 @@ func SubtreeNext() (cut bool) {
 		time.Sleep(inj.cfg.SubtreeStall)
 	}
 	return false
+}
+
+// ErrInjectedReloadFault is what ReloadStage returns on a hit, so the
+// reload pipeline (and its chaos tests) can tell injected reload
+// failures from genuine candidate-lexicon problems.
+var ErrInjectedReloadFault = fmt.Errorf("faultinject: injected reload fault")
+
+// ReloadStage fires PointReload once per stage of a staged lexicon
+// reload ("load", "validate", "canary"). A hit at the named stage
+// returns an error wrapping ErrInjectedReloadFault — the reload must
+// abort the stage and roll back — and the load stage may additionally
+// stall (slow disk), exercising the requirement that a long reload never
+// blocks serving traffic.
+func ReloadStage(stage string) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	u, _ := inj.draw(PointReload)
+	var rate float64
+	switch stage {
+	case "load":
+		rate = inj.cfg.ReloadLoadErrRate
+	case "validate":
+		rate = inj.cfg.ReloadValidateErrRate
+	case "canary":
+		rate = inj.cfg.ReloadCanaryErrRate
+	}
+	if u < rate {
+		return fmt.Errorf("%w at %s stage", ErrInjectedReloadFault, stage)
+	}
+	if stage == "load" && u < rate+inj.cfg.ReloadSlowRate && inj.cfg.ReloadSlow > 0 {
+		time.Sleep(inj.cfg.ReloadSlow)
+	}
+	return nil
 }
 
 // Now is the pipeline's budget clock: time.Now plus any scheduled skew.

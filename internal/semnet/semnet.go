@@ -125,6 +125,11 @@ type Network struct {
 	expGloss map[ConceptID][]string               // own + direct-neighbor gloss tokens
 
 	lcsMemo lcsCache // concurrency-safe LCS memo (taxonomy walks dominate Sim cost)
+
+	// checksum memoizes Checksum() — the SHA-256 of the canonical Save
+	// bytes, the in-memory identity the hot-swap layer reports.
+	checksumOnce sync.Once
+	checksum     string
 }
 
 // lcsCache memoizes LCS results under sharded locks so one immutable

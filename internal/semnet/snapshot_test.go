@@ -1,0 +1,185 @@
+package semnet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/xsdferrors"
+)
+
+func writeTestFile(t *testing.T, version string) (string, *Network, FileInfo) {
+	t.Helper()
+	n := buildFigure2(t)
+	path := filepath.Join(t.TempDir(), "lexicon.semnet")
+	info, err := WriteFile(path, n, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, n, info
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	path, orig, info := writeTestFile(t, "v1.2")
+	if info.Version != "v1.2" {
+		t.Errorf("version = %q", info.Version)
+	}
+	if info.Concepts != orig.Len() {
+		t.Errorf("concepts = %d, want %d", info.Concepts, orig.Len())
+	}
+	if len(info.Checksum) != 64 {
+		t.Errorf("checksum %q not a sha256 hex digest", info.Checksum)
+	}
+	loaded, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Errorf("ReadFile info %+v, WriteFile info %+v", got, info)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Errorf("Len %d vs %d", loaded.Len(), orig.Len())
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Errorf("loaded network invalid: %v", err)
+	}
+	// The file checksum is the hash of the writer's canonical Save bytes,
+	// so re-packing the same network reproduces the identity bit-for-bit.
+	if orig.Checksum() != info.Checksum {
+		t.Errorf("Network.Checksum %s != file checksum %s", orig.Checksum(), info.Checksum)
+	}
+	// The footer is a comment: the lenient Load still accepts the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Errorf("plain Load rejected a footered file: %v", err)
+	}
+}
+
+func TestWriteFileDefaultVersion(t *testing.T) {
+	_, _, info := writeTestFile(t, "")
+	if !strings.HasPrefix(info.Version, "sha-") || len(info.Version) != len("sha-")+12 {
+		t.Errorf("default version = %q, want sha-<12 hex>", info.Version)
+	}
+	if !strings.HasPrefix(info.Checksum, info.Version[len("sha-"):]) {
+		t.Errorf("version %q not derived from checksum %q", info.Version, info.Checksum)
+	}
+}
+
+func TestWriteFileSanitizesVersion(t *testing.T) {
+	_, _, info := writeTestFile(t, "oewn 2025\trc1")
+	if info.Version != "oewn-2025-rc1" {
+		t.Errorf("version = %q, want whitespace folded to dashes", info.Version)
+	}
+}
+
+// corrupt applies f to the file bytes and writes them back.
+func corrupt(t *testing.T, path string, f func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		// The regression fixture of the crash-safe write satellite: a
+		// writer that died mid-copy leaves a prefix that still parses.
+		{"truncated half", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"truncated footer", func(d []byte) []byte {
+			i := bytes.LastIndex(d[:len(d)-1], []byte("\n"))
+			return d[:i+1]
+		}},
+		{"trailing garbage line", func(d []byte) []byte { return append(d, []byte("r\tbogus\thypernym\tbogus\n")...) }},
+		{"trailing garbage bytes", func(d []byte) []byte { return append(d, []byte("xx")...) }},
+		{"flipped content byte", func(d []byte) []byte {
+			out := bytes.Clone(d)
+			out[len(out)/3] ^= 0x20
+			return out
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+		{"footer only concept-count lie", func(d []byte) []byte {
+			return bytes.Replace(d, []byte("concepts="), []byte("concepts=9"), 1)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path, _, _ := writeTestFile(t, "v1")
+			corrupt(t, path, c.mut)
+			_, _, err := ReadFile(path)
+			if err == nil {
+				t.Fatal("ReadFile accepted a corrupted file")
+			}
+			if !errors.Is(err, xsdferrors.ErrMalformedInput) {
+				t.Errorf("error %v does not match ErrMalformedInput", err)
+			}
+		})
+	}
+}
+
+func TestReadFileRejectsUnfooteredFile(t *testing.T) {
+	n := buildFigure2(t)
+	path := filepath.Join(t.TempDir(), "plain.semnet")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := ReadFile(path); !errors.Is(err, xsdferrors.ErrMalformedInput) {
+		t.Errorf("ReadFile on plain Save output: %v, want ErrMalformedInput", err)
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	path, _, info := writeTestFile(t, "v7")
+	got, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Errorf("VerifyFile info %+v, want %+v", got, info)
+	}
+	corrupt(t, path, func(d []byte) []byte { return d[:len(d)-8] })
+	if _, err := VerifyFile(path); !errors.Is(err, xsdferrors.ErrMalformedInput) {
+		t.Errorf("VerifyFile on truncated file: %v", err)
+	}
+}
+
+func TestWriteFileLeavesNoTempOnSuccess(t *testing.T) {
+	path, _, _ := writeTestFile(t, "v1")
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestChecksumMemoizedAndStable(t *testing.T) {
+	n := buildFigure2(t)
+	c1, c2 := n.Checksum(), n.Checksum()
+	if c1 != c2 || len(c1) != 64 {
+		t.Fatalf("checksums %q / %q", c1, c2)
+	}
+	if m := buildFigure2(t); m.Checksum() != c1 {
+		t.Error("identical builds hash differently")
+	}
+}

@@ -102,6 +102,34 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		e.Sample("", []metrics.Label{{Name: "stage", Value: st.Stage}}, float64(st.Items))
 	}
 
+	// Lexicon hot-swap subsystem. The epoch gauge carries the version and
+	// checksum as labels so a dashboard shows identity alongside the
+	// number; counters track the swap/rollback/canary history and the
+	// drain gauge exposes retired snapshots still pinned by in-flight runs.
+	ls := s.fw.LexiconStats()
+	e.Family("xsdf_lexicon_epoch",
+		"Serving lexicon snapshot epoch (labels carry version and checksum).", "gauge")
+	e.Sample("", []metrics.Label{
+		{Name: "version", Value: ls.Info.Version},
+		{Name: "checksum", Value: ls.Info.Checksum},
+	}, float64(ls.Info.Epoch))
+	e.Family("xsdf_lexicon_concepts", "Concept count of the serving lexicon.", "gauge")
+	e.Sample("", nil, float64(ls.Info.Concepts))
+	e.Family("xsdf_lexicon_swaps_total", "Successful lexicon hot-swaps.", "counter")
+	e.Sample("", nil, float64(ls.Swaps))
+	e.Family("xsdf_lexicon_rollbacks_total",
+		"Failed reloads rolled back to the serving lexicon.", "counter")
+	e.Sample("", nil, float64(ls.Rollbacks))
+	e.Family("xsdf_lexicon_canary_failures_total",
+		"Reload candidates rejected by the canary stage.", "counter")
+	e.Sample("", nil, float64(ls.CanaryFailures))
+	e.Family("xsdf_lexicon_retired_awaiting_drain",
+		"Retired lexicon snapshots still pinned by in-flight runs.", "gauge")
+	e.Sample("", nil, float64(ls.RetiredAwaitingDrain))
+	e.Family("xsdf_lexicon_reload_duration_seconds",
+		"Staged reload pipeline latency, success or rollback.", "histogram")
+	e.Histogram(nil, ls.ReloadLatency)
+
 	// Disambiguation caches.
 	cs := s.fw.CacheStats()
 	e.Family("xsdf_cache_hits_total", "Disambiguation cache hits.", "counter")

@@ -1,0 +1,115 @@
+// POST /adminz/reload: the operator's zero-downtime lexicon hot-swap
+// endpoint. The staged pipeline (load → validate → canary → atomic swap)
+// runs entirely off the request path — traffic on /v1/* keeps being
+// served by the old snapshot until the swap lands, and keeps being
+// served by it indefinitely when any stage fails: rollback is the
+// default, not a recovery action. The endpoint is deliberately outside
+// the per-route circuit breakers and the handler-concurrency semaphore:
+// a saturated or tripped data plane is exactly when an operator needs
+// the control plane to answer.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	xsdf "repro"
+	"repro/xsdferrors"
+)
+
+// ReloadRequest is the body of POST /adminz/reload.
+type ReloadRequest struct {
+	// Path is the checksummed lexicon codec file to load, resolved on the
+	// server's filesystem.
+	Path string `json:"path"`
+	// ExpectedChecksum, when non-empty, must match the file's footer
+	// checksum or the reload fails at the load stage — the guard against
+	// swapping in a file that changed between upload and reload.
+	ExpectedChecksum string `json:"expected_checksum,omitempty"`
+	// MinCanaryAssign overrides the canary acceptance threshold (the
+	// minimum fraction of probe targets that must receive a sense);
+	// 0 keeps the default.
+	MinCanaryAssign float64 `json:"min_canary_assign,omitempty"`
+}
+
+// LexiconReport is the wire view of one lexicon snapshot's identity,
+// shared by the reload response and /statusz.
+type LexiconReport struct {
+	Epoch      uint64 `json:"epoch"`
+	Version    string `json:"version"`
+	Checksum   string `json:"checksum"`
+	Source     string `json:"source"`
+	Concepts   int    `json:"concepts"`
+	LoadedAt   string `json:"loaded_at"`
+	LoadTimeMS int64  `json:"load_time_ms"`
+}
+
+// ReloadResponse is the body of a successful POST /adminz/reload.
+type ReloadResponse struct {
+	Lexicon LexiconReport `json:"lexicon"`
+}
+
+// LexiconStatusReport is the /statusz view of the lexicon subsystem:
+// the serving snapshot's identity plus the cumulative swap counters.
+type LexiconStatusReport struct {
+	LexiconReport
+	Swaps                uint64 `json:"swaps"`
+	Rollbacks            uint64 `json:"rollbacks"`
+	CanaryFailures       uint64 `json:"canary_failures"`
+	RetiredAwaitingDrain int64  `json:"retired_awaiting_drain"`
+}
+
+func lexiconStatusReport(st xsdf.LexiconStats) LexiconStatusReport {
+	return LexiconStatusReport{
+		LexiconReport:        lexiconReport(st.Info),
+		Swaps:                st.Swaps,
+		Rollbacks:            st.Rollbacks,
+		CanaryFailures:       st.CanaryFailures,
+		RetiredAwaitingDrain: st.RetiredAwaitingDrain,
+	}
+}
+
+func lexiconReport(info xsdf.LexiconInfo) LexiconReport {
+	return LexiconReport{
+		Epoch:      info.Epoch,
+		Version:    info.Version,
+		Checksum:   info.Checksum,
+		Source:     info.Source,
+		Concepts:   info.Concepts,
+		LoadedAt:   info.LoadedAt.UTC().Format(time.RFC3339),
+		LoadTimeMS: info.LoadTime.Milliseconds(),
+	}
+}
+
+// serveReload: POST /adminz/reload.
+func (s *Server) serveReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Path) == "" {
+		s.writeErrorBody(w, http.StatusBadRequest,
+			"server: reload request needs a path", xsdferrors.Kind(xsdferrors.ErrMalformedInput))
+		return
+	}
+	info, err := s.fw.Reload(r.Context(), req.Path, xsdf.ReloadOptions{
+		ExpectedChecksum: req.ExpectedChecksum,
+		MinCanaryAssign:  req.MinCanaryAssign,
+	})
+	if err != nil {
+		// The old snapshot is still serving; say so alongside the typed
+		// stage failure so the operator knows nothing regressed.
+		s.logger.Warn("lexicon reload failed",
+			"path", req.Path, "error", err, "serving_epoch", info.Epoch)
+		s.writeErrorBody(w, xsdferrors.HTTPStatus(err),
+			fmt.Sprintf("%v (epoch %d still serving)", err, info.Epoch),
+			xsdferrors.Kind(err))
+		return
+	}
+	s.logger.Info("lexicon swapped",
+		"path", req.Path, "epoch", info.Epoch, "version", info.Version,
+		"checksum", info.Checksum, "load_ms", info.LoadTime.Milliseconds())
+	s.writeJSON(w, http.StatusOK, ReloadResponse{Lexicon: lexiconReport(info)})
+}

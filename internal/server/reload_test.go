@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	xsdf "repro"
+)
+
+// packLexicon writes the embedded lexicon to a checksummed codec file.
+func packLexicon(t *testing.T, version string) (string, xsdf.NetworkFileInfo) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lexicon.semnet")
+	info, err := xsdf.WriteNetworkFile(path, xsdf.DefaultNetwork(), version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, info
+}
+
+func TestAdminReloadSuccess(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path, finfo := packLexicon(t, "release-2")
+	resp := postJSON(t, ts, "/adminz/reload", ReloadRequest{Path: path, ExpectedChecksum: finfo.Checksum})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	rr := decodeBodyInto[ReloadResponse](t, resp)
+	if rr.Lexicon.Epoch != 2 || rr.Lexicon.Version != "release-2" || rr.Lexicon.Checksum != finfo.Checksum {
+		t.Errorf("reload response %+v", rr.Lexicon)
+	}
+
+	// Traffic after the swap is stamped with the new snapshot identity.
+	resp = postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disambiguate status %d", resp.StatusCode)
+	}
+	res := decodeBodyInto[Result](t, resp)
+	if res.LexiconEpoch != 2 || res.LexiconVersion != "release-2" {
+		t.Errorf("result stamped %d/%q", res.LexiconEpoch, res.LexiconVersion)
+	}
+
+	// /statusz carries the lexicon section.
+	st := getStatusz(t, ts)
+	if st.Lexicon.Epoch != 2 || st.Lexicon.Swaps != 1 || st.Lexicon.Rollbacks != 0 {
+		t.Errorf("statusz lexicon %+v", st.Lexicon)
+	}
+}
+
+func TestAdminReloadRollback(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Corrupt candidate: truncate a valid file mid-body.
+	path, _ := packLexicon(t, "broken")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts, "/adminz/reload", ReloadRequest{Path: path})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt reload status %d, want 422", resp.StatusCode)
+	}
+	eb := decodeBodyInto[ErrorBody](t, resp)
+	if eb.Kind != "reload-failed" {
+		t.Errorf("error kind %q", eb.Kind)
+	}
+	if !strings.Contains(eb.Error, "still serving") {
+		t.Errorf("error body %q does not reassure the operator", eb.Error)
+	}
+
+	// The old lexicon keeps serving and the rollback is counted.
+	resp = postJSON(t, ts, "/v1/disambiguate", DisambiguateRequest{Document: testDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rollback disambiguate status %d", resp.StatusCode)
+	}
+	res := decodeBodyInto[Result](t, resp)
+	if res.LexiconEpoch != 1 {
+		t.Errorf("post-rollback result stamped epoch %d, want 1", res.LexiconEpoch)
+	}
+	st := getStatusz(t, ts)
+	if st.Lexicon.Rollbacks != 1 || st.Lexicon.Swaps != 0 {
+		t.Errorf("statusz lexicon %+v", st.Lexicon)
+	}
+}
+
+func TestAdminReloadBadRequest(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/adminz/reload", ReloadRequest{Path: "   "})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty path status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestMetricszLexiconFamilies(t *testing.T) {
+	s := newTestServer(t, xsdf.Options{}, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path, _ := packLexicon(t, "m1")
+	resp := postJSON(t, ts, "/adminz/reload", ReloadRequest{Path: path})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// One failed reload so the rollback counter is non-zero too.
+	resp = postJSON(t, ts, "/adminz/reload", ReloadRequest{Path: path, ExpectedChecksum: strings.Repeat("00", 32)})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("mismatch reload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	body := getMetricsz(t, ts)
+	for _, want := range []string{
+		`xsdf_lexicon_epoch{version="m1"`,
+		"xsdf_lexicon_swaps_total 1",
+		"xsdf_lexicon_rollbacks_total 1",
+		"xsdf_lexicon_canary_failures_total 0",
+		"xsdf_lexicon_retired_awaiting_drain 0",
+		"xsdf_lexicon_reload_duration_seconds_count 2",
+		fmt.Sprintf("xsdf_lexicon_concepts %d", xsdf.DefaultNetwork().Len()),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+}
+
+func getStatusz(t *testing.T, ts *httptest.Server) StatusReport {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeBodyInto[StatusReport](t, resp)
+}
+
+func getMetricsz(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

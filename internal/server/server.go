@@ -232,6 +232,9 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("POST /v1/disambiguate", s.guarded("disambiguate", s.serveDisambiguate))
 	mux.Handle("POST /v1/batch", s.guarded("batch", s.serveBatch))
 	mux.Handle("POST /v1/stream", s.guarded("stream", s.serveStream))
+	// Control plane: no breaker, no concurrency slot — an operator must be
+	// able to swap the lexicon while the data plane is saturated.
+	mux.HandleFunc("POST /adminz/reload", s.serveReload)
 	s.handler = s.withAccounting(s.withRecovery(mux))
 
 	s.httpSrv = &http.Server{
@@ -440,6 +443,9 @@ type StatusReport struct {
 	Gate          *GateReport              `json:"gate,omitempty"`
 	Cache         disambig.CacheStats      `json:"cache"`
 	Breakers      map[string]BreakerReport `json:"breakers"`
+	// Lexicon identifies the currently serving lexicon snapshot, with the
+	// cumulative hot-swap counters alongside it.
+	Lexicon LexiconStatusReport `json:"lexicon"`
 	// Stages is the framework's cumulative per-stage pipeline accounting,
 	// in execution order — the serving-layer answer to "where does the
 	// time go".
@@ -457,6 +463,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		StatusCounts:  map[string]uint64{},
 		Cache:         s.fw.CacheStats(),
 		Breakers:      map[string]BreakerReport{},
+		Lexicon:       lexiconStatusReport(s.fw.LexiconStats()),
 	}
 	s.statusMu.Lock()
 	for code, n := range s.statusCounts {

@@ -79,6 +79,11 @@ type Result struct {
 	// Stages is the per-stage instrumentation of this run, in execution
 	// order.
 	Stages []StageTiming `json:"stages,omitempty"`
+	// LexiconEpoch and LexiconVersion identify the lexicon snapshot this
+	// document was scored against — under hot-swaps, equal epochs mean
+	// comparable senses.
+	LexiconEpoch   uint64 `json:"lexicon_epoch,omitempty"`
+	LexiconVersion string `json:"lexicon_version,omitempty"`
 }
 
 // BatchItem is one document's outcome inside a BatchResponse: an HTTP
@@ -179,12 +184,14 @@ type ErrorBody struct {
 // error) into the wire form.
 func resultFromRun(res *xsdf.Result, runErr error) *Result {
 	out := &Result{
-		Targets:       res.Targets,
-		Assigned:      res.Assigned,
-		Threshold:     res.Threshold,
-		Quality:       res.Degraded.String(),
-		LinksResolved: res.LinksResolved,
-		LinksDangling: res.LinksDangling,
+		Targets:        res.Targets,
+		Assigned:       res.Assigned,
+		Threshold:      res.Threshold,
+		Quality:        res.Degraded.String(),
+		LinksResolved:  res.LinksResolved,
+		LinksDangling:  res.LinksDangling,
+		LexiconEpoch:   res.LexiconEpoch,
+		LexiconVersion: res.LexiconVersion,
 	}
 	for _, st := range res.Stages {
 		out.Stages = append(out.Stages, StageTiming{

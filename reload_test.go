@@ -1,0 +1,66 @@
+package xsdf_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicReload exercises the lexicon hot-swap surface end to end
+// through the public API: crash-safe pack, checksummed load, staged
+// reload, result stamping, and typed rollback on a corrupt candidate.
+func TestPublicReload(t *testing.T) {
+	fw, err := xsdf.New(xsdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.LexiconInfo().Epoch; got != 1 {
+		t.Fatalf("construction epoch = %d", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "lexicon.semnet")
+	finfo, err := xsdf.WriteNetworkFile(path, xsdf.DefaultNetwork(), "release-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rinfo, err := xsdf.ReadNetworkFile(path); err != nil {
+		t.Fatal(err)
+	} else if rinfo != finfo {
+		t.Errorf("read-back info %+v, wrote %+v", rinfo, finfo)
+	}
+
+	info, err := fw.Reload(context.Background(), path, xsdf.ReloadOptions{ExpectedChecksum: finfo.Checksum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 || info.Version != "release-2" || info.Checksum != finfo.Checksum {
+		t.Errorf("swapped info %+v", info)
+	}
+	res, err := fw.DisambiguateString(figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LexiconEpoch != 2 || res.LexiconVersion != "release-2" {
+		t.Errorf("result stamped %d/%q", res.LexiconEpoch, res.LexiconVersion)
+	}
+
+	// A failed reload is typed and leaves the serving snapshot untouched.
+	_, err = fw.Reload(context.Background(), filepath.Join(t.TempDir(), "missing.semnet"), xsdf.ReloadOptions{})
+	if !errors.Is(err, xsdf.ErrReloadFailed) {
+		t.Fatalf("missing-file reload: %v", err)
+	}
+	var re *xsdf.ReloadError
+	if !errors.As(err, &re) || re.Stage != "load" {
+		t.Errorf("error %v is not a load-stage *ReloadError", err)
+	}
+	st := fw.LexiconStats()
+	if st.Swaps != 1 || st.Rollbacks != 1 {
+		t.Errorf("swaps=%d rollbacks=%d, want 1/1", st.Swaps, st.Rollbacks)
+	}
+	if got := fw.LexiconInfo(); got != info {
+		t.Errorf("rollback changed the serving snapshot: %+v", got)
+	}
+}

@@ -57,6 +57,10 @@ var (
 	// ErrDegraded matches runs cut short mid-degradation-ladder: the
 	// returned *DegradedError rides alongside a partial Result.
 	ErrDegraded = xsdferrors.ErrDegraded
+	// ErrReloadFailed matches lexicon hot-swap failures (Framework.Reload):
+	// the concrete error is a *ReloadError naming the stage that refused the
+	// candidate. The serving snapshot is untouched on any such failure.
+	ErrReloadFailed = xsdferrors.ErrReloadFailed
 )
 
 type (
@@ -73,6 +77,9 @@ type (
 	// and the targets never scored. It matches both ErrDegraded and
 	// ErrCanceled.
 	DegradedError = xsdferrors.DegradedError
+	// ReloadError reports which stage of a staged lexicon reload (load,
+	// validate, canary, swap) rejected the candidate, and why.
+	ReloadError = xsdferrors.ReloadError
 )
 
 // DegradationLevel identifies a rung of the graceful-degradation ladder.
@@ -289,6 +296,13 @@ type Result struct {
 	// count and monotonic duration — the per-document answer to "where did
 	// the time go". On a degraded abort it covers the stages that ran.
 	Stages []StageTiming
+	// LexiconEpoch and LexiconVersion identify the lexicon snapshot this
+	// run was scored against, pinned at admission: every sense of one
+	// Result comes from exactly this snapshot even if a hot-swap
+	// (Framework.Reload) landed mid-run. Epochs are monotone per framework;
+	// the version is the label the swap carried (see LexiconInfo).
+	LexiconEpoch   uint64
+	LexiconVersion string
 }
 
 // New builds a Framework from the options.
@@ -381,8 +395,79 @@ func enabledLimit(v, def int) int {
 	}
 }
 
-// Network returns the reference semantic network in use.
+// Network returns the reference semantic network of the currently
+// serving lexicon snapshot. Re-read it per use rather than caching the
+// pointer across requests: a Reload may swap it at any time, and a
+// cached pointer would silently keep answering from the retired lexicon.
 func (f *Framework) Network() *Network { return f.inner.Network() }
+
+// ReloadOptions tunes a staged lexicon reload (see Framework.Reload).
+type ReloadOptions = core.ReloadOptions
+
+// LexiconInfo identifies one lexicon snapshot: its monotone epoch,
+// version label, content checksum, source, concept count, and load
+// timing (see Framework.LexiconInfo).
+type LexiconInfo = core.LexiconInfo
+
+// LexiconStats couples the serving snapshot's identity with the
+// framework's cumulative swap/rollback/canary counters and the reload
+// latency histogram (see Framework.LexiconStats).
+type LexiconStats = core.LexiconStats
+
+// Reload hot-swaps the reference lexicon from a checksummed codec file
+// (see WriteNetworkFile), with zero downtime: the candidate is loaded,
+// structurally validated, and canaried against probe documents off the
+// request path while the old snapshot keeps serving; only a candidate
+// that passes every stage is swapped in atomically. In-flight runs
+// finish on the snapshot they pinned at admission — no run ever mixes
+// two lexicon versions — and the retired snapshot is freed when its
+// last pinned run drains. On any failure the old lexicon keeps serving
+// untouched and the error matches ErrReloadFailed (concretely a
+// *ReloadError naming the failed stage). Reloads serialize: concurrent
+// calls queue behind one another.
+func (f *Framework) Reload(ctx context.Context, path string, opts ReloadOptions) (LexiconInfo, error) {
+	return f.inner.Reload(ctx, path, opts)
+}
+
+// ReloadNetwork is Reload for an in-memory candidate network: same
+// staged validation, canary, atomic swap, and rollback-by-default
+// semantics, without the codec load. version labels the snapshot (a
+// checksum-derived label when empty); source is a human-readable origin
+// for observability ("inline" when empty).
+func (f *Framework) ReloadNetwork(ctx context.Context, net *Network, version, source string, opts ReloadOptions) (LexiconInfo, error) {
+	return f.inner.ReloadNetwork(ctx, net, version, source, opts)
+}
+
+// LexiconInfo identifies the currently serving lexicon snapshot.
+func (f *Framework) LexiconInfo() LexiconInfo { return f.inner.LexiconInfo() }
+
+// LexiconStats reports the serving snapshot's identity plus the
+// cumulative reload counters: swaps completed, rollbacks (failed
+// reloads), canary failures, retired snapshots still awaiting drain,
+// and the reload-duration histogram.
+func (f *Framework) LexiconStats() LexiconStats { return f.inner.LexiconStats() }
+
+// WriteNetworkFile writes a semantic network to path in the versioned,
+// checksummed codec format Reload consumes, crash-safely (temp file +
+// fsync + atomic rename): a crashed or interrupted write never leaves a
+// half-written lexicon at path. version labels the snapshot; empty
+// derives a checksum-based label. The returned FileInfo carries the
+// content checksum to pass as ReloadOptions.ExpectedChecksum.
+func WriteNetworkFile(path string, net *Network, version string) (NetworkFileInfo, error) {
+	return semnet.WriteFile(path, net, version)
+}
+
+// ReadNetworkFile loads a semantic network from a checksummed codec
+// file, verifying the footer checksum: truncated, corrupted, or
+// trailing-garbage files are rejected with an error matching
+// ErrMalformedInput.
+func ReadNetworkFile(path string) (*Network, NetworkFileInfo, error) {
+	return semnet.ReadFile(path)
+}
+
+// NetworkFileInfo is the identity a checksummed lexicon file declares:
+// content checksum, version label, and concept count.
+type NetworkFileInfo = semnet.FileInfo
 
 // Disambiguate parses an XML document from r and runs the full pipeline:
 // linguistic pre-processing, (optional) hyperlink resolution,
@@ -515,14 +600,16 @@ func (f *Framework) DisambiguateBatchContext(ctx context.Context, trees []*Tree,
 
 func fromCore(r *core.Result) *Result {
 	return &Result{
-		Tree:         r.Tree,
-		Targets:      r.Targets,
-		Assigned:     r.Assigned,
-		Threshold:    r.Threshold,
-		Degraded:     r.Degraded,
-		NodesAtLevel: r.NodesAtLevel,
-		Unscored:     r.Unscored,
-		Stages:       r.Stages,
+		Tree:           r.Tree,
+		Targets:        r.Targets,
+		Assigned:       r.Assigned,
+		Threshold:      r.Threshold,
+		Degraded:       r.Degraded,
+		NodesAtLevel:   r.NodesAtLevel,
+		Unscored:       r.Unscored,
+		Stages:         r.Stages,
+		LexiconEpoch:   r.LexiconEpoch,
+		LexiconVersion: r.LexiconVersion,
 	}
 }
 
@@ -558,10 +645,14 @@ func (f *Framework) Candidates(n *Node) []Candidate {
 	if senses == nil {
 		return nil
 	}
+	// Read glosses through the disambiguator's own cache, not through a
+	// second Framework.Network() load: a concurrent Reload between the two
+	// reads would pair one snapshot's scores with another's glosses.
+	net := dis.Cache().Network()
 	out := make([]Candidate, len(senses))
 	for i, s := range senses {
 		c := Candidate{Sense: s.ID(), Score: s.Score}
-		if concept := f.inner.Network().Concept(s.Concepts[0]); concept != nil {
+		if concept := net.Concept(s.Concepts[0]); concept != nil {
 			c.Gloss = concept.Gloss
 		}
 		out[i] = c

@@ -61,6 +61,12 @@ var (
 	// this sentinel accompany a non-nil, partially annotated result.
 	// Concrete occurrences are *DegradedError values.
 	ErrDegraded = errors.New("xsdf: degraded result")
+
+	// ErrReloadFailed reports that a staged lexicon reload (load →
+	// validate → canary → swap) failed at some stage and was rolled back:
+	// the framework keeps serving its previous snapshot untouched.
+	// Concrete occurrences are *ReloadError values naming the stage.
+	ErrReloadFailed = errors.New("xsdf: lexicon reload failed")
 )
 
 // DegradationLevel is one rung of the graceful-degradation ladder. Levels
@@ -155,6 +161,35 @@ func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
 
 // Unwrap exposes the cause to errors.Is/As.
 func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// ReloadError reports a failed lexicon reload: which stage of the staged
+// swap pipeline rejected the candidate, where the candidate came from,
+// and why. The swap never happened — the previous snapshot keeps serving
+// — so a ReloadError is an operator signal, never a data-path failure.
+// It matches ErrReloadFailed under errors.Is and unwraps to its cause, so
+// stage-specific dispatch (errors.Is(err, ErrMalformedInput) for codec
+// corruption, say) keeps working.
+type ReloadError struct {
+	// Stage names the reload stage that failed: "load", "validate",
+	// "canary", or "swap".
+	Stage string
+	// Source identifies the candidate lexicon (a file path, or a label
+	// like "inline" for in-memory candidates).
+	Source string
+	// Cause is the underlying failure.
+	Cause error
+}
+
+func (e *ReloadError) Error() string {
+	return fmt.Sprintf("xsdf: lexicon reload from %s failed at %s stage: %v", e.Source, e.Stage, e.Cause)
+}
+
+// Is matches ErrReloadFailed, making errors.Is(err, ErrReloadFailed) true
+// for any *ReloadError.
+func (e *ReloadError) Is(target error) bool { return target == ErrReloadFailed }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ReloadError) Unwrap() error { return e.Cause }
 
 // Canceled wraps a context error (context.Canceled or
 // context.DeadlineExceeded) so the result matches both ErrCanceled and the

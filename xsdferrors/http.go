@@ -13,6 +13,7 @@ import (
 //	ErrDegraded            → 200 (a usable result exists; quality is
 //	                              reported out of band, e.g. a header)
 //	ErrOverloaded          → 429 (shed load; retry later)
+//	ErrReloadFailed        → 422 (candidate lexicon rejected; old one serves)
 //	*PanicError            → 500 (isolated pipeline fault)
 //	ErrLimitExceeded       → 413 (input larger than a resource guard)
 //	ErrMalformedInput      → 400
@@ -22,7 +23,11 @@ import (
 //
 // ErrDegraded is checked before ErrCanceled on purpose: a *DegradedError
 // unwraps to its (typically canceled) cause, and the degraded result must
-// win — the caller holds usable output, not a timeout.
+// win — the caller holds usable output, not a timeout. ErrReloadFailed is
+// checked before ErrMalformedInput for the same reason: a *ReloadError
+// unwraps to its cause (codec corruption is ErrMalformedInput), but the
+// entity that failed is the operator-supplied lexicon, not the request
+// body, so 400 would blame the wrong bytes.
 func HTTPStatus(err error) int {
 	var pe *PanicError
 	switch {
@@ -32,6 +37,8 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrReloadFailed):
+		return http.StatusUnprocessableEntity
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError
 	case errors.Is(err, ErrLimitExceeded):
@@ -60,6 +67,8 @@ func Kind(err error) string {
 		return "degraded"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, ErrReloadFailed):
+		return "reload-failed"
 	case errors.As(err, &pe):
 		return "panic"
 	case errors.Is(err, ErrLimitExceeded):
