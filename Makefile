@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-snapshot load-smoke reload-smoke
+.PHONY: build test race bench-snapshot bench-check load-smoke reload-smoke
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,40 @@ race:
 	$(GO) test -race ./...
 
 # bench-snapshot re-records the committed performance baselines:
-#   BENCH_pipeline.json — the batch pipeline benchmark (satellite of the
-#   streaming PR; diff it across PRs to catch regressions).
+#   BENCH_pipeline.json — the batch pipeline benchmark (gated by
+#   bench-check; diff it across PRs to catch regressions).
+#   BENCH_stream.json — the open-loop overload run (fixed 1000 req/s for
+#   30s plus a streaming pass) against a freshly served daemon. The rate
+#   is pinned rather than calibrated: since the integer-ID scoring core,
+#   2x calibrated saturation exceeds what a single-host loopback HTTP
+#   stack itself can carry, and the harness would report connection-level
+#   losses the serving layer never saw. 1000 req/s sits above pipeline
+#   saturation (sustained overload, the degradation ladder engages) but
+#   within the wire's lossless envelope.
 bench-snapshot:
 	$(GO) build -o /tmp/xsdf-benchjson ./cmd/xsdf-benchjson
-	$(GO) test -run '^$$' -bench BenchmarkPipelineBatch -benchmem . | /tmp/xsdf-benchjson > BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench BenchmarkPipelineBatch -benchmem -count 3 . | /tmp/xsdf-benchjson > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
+	$(GO) build -o /tmp/xsdfd ./cmd/xsdfd
+	$(GO) build -o /tmp/xsdf-loadgen ./cmd/xsdf-loadgen
+	/tmp/xsdfd -addr 127.0.0.1:18082 & echo $$! > /tmp/xsdfd.pid; \
+	sleep 1; \
+	/tmp/xsdf-loadgen -url http://127.0.0.1:18082 -rate 1000 -duration 30s \
+	    -stream -max-lost 0 -out BENCH_stream.json > /dev/null; \
+	status=$$?; \
+	kill $$(cat /tmp/xsdfd.pid) 2>/dev/null; \
+	test $$status = 0 && echo "wrote BENCH_stream.json"; \
+	exit $$status
+
+# bench-check re-runs the gated pipeline benchmark and fails when
+# BenchmarkPipelineBatch/shared-cache regresses more than 15% in ns/op
+# (or allocs/op) against the committed BENCH_pipeline.json. CI runs this
+# on every PR; refresh the baseline with bench-snapshot when a change
+# legitimately moves the number.
+bench-check:
+	$(GO) build -o /tmp/xsdf-benchjson ./cmd/xsdf-benchjson
+	$(GO) test -run '^$$' -bench BenchmarkPipelineBatch -benchmem -count 3 . | \
+	    /tmp/xsdf-benchjson -check BENCH_pipeline.json -bench BenchmarkPipelineBatch/shared-cache -max-regress 0.15
 
 # load-smoke is the CI-sized load check: build the daemon and the
 # harness, serve on a local port, drive a short low-rate open-loop phase

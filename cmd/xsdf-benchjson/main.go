@@ -6,12 +6,24 @@
 //
 // Only result lines are kept; the surrounding chatter (goos/goarch, PASS,
 // timing) is folded into the metadata header.
+//
+// With -check it becomes a regression gate instead: the fresh run on
+// stdin is compared against a committed baseline snapshot, and the
+// process exits non-zero when the gated benchmark's ns/op regressed by
+// more than -max-regress (allocs/op is held to the same bound — an
+// allocation regression is a latency regression waiting for a slower
+// allocator):
+//
+//	go test -run - -bench BenchmarkPipelineBatch -benchmem . | \
+//	    xsdf-benchjson -check BENCH_pipeline.json -bench BenchmarkPipelineBatch/shared-cache
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,8 +48,39 @@ type Snapshot struct {
 }
 
 func main() {
+	var (
+		check      = flag.String("check", "", "baseline snapshot to compare against; exits 1 on regression")
+		benchName  = flag.String("bench", "BenchmarkPipelineBatch/shared-cache", "benchmark gated by -check")
+		maxRegress = flag.Float64("max-regress", 0.15, "allowed fractional ns/op (and allocs/op) regression for -check")
+	)
+	flag.Parse()
+
+	snap, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsdf-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check != "" {
+		if err := checkRegression(snap, *check, *benchName, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "xsdf-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "xsdf-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput folds a `go test -bench` text stream into a Snapshot.
+func parseBenchOutput(r io.Reader) (Snapshot, error) {
 	var snap Snapshot
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -51,25 +94,125 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBenchLine(line); ok {
-				snap.Results = append(snap.Results, r)
+			if res, ok := parseBenchLine(line); ok {
+				snap.Results = append(snap.Results, res)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "xsdf-benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
+		return snap, fmt.Errorf("reading stdin: %v", err)
 	}
 	if len(snap.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "xsdf-benchjson: no benchmark result lines on stdin")
-		os.Exit(1)
+		return snap, fmt.Errorf("no benchmark result lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintf(os.Stderr, "xsdf-benchjson: %v\n", err)
-		os.Exit(1)
+	snap.Results = mergeRepeats(snap.Results)
+	return snap, nil
+}
+
+// mergeRepeats folds `go test -count N` repetitions of one benchmark into
+// a single entry holding the fastest run — the standard noise-robust
+// statistic for regression gating (the minimum is the run least disturbed
+// by scheduler and cache interference). Iterations are summed so the
+// entry still records the total measurement effort.
+func mergeRepeats(results []BenchResult) []BenchResult {
+	merged := results[:0]
+	byName := make(map[string]int, len(results))
+	for _, r := range results {
+		i, seen := byName[r.Name]
+		if !seen {
+			byName[r.Name] = len(merged)
+			merged = append(merged, r)
+			continue
+		}
+		best := &merged[i]
+		best.Iterations += r.Iterations
+		if r.NsPerOp < best.NsPerOp {
+			best.NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < best.BytesPerOp {
+			best.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < best.AllocsPerOp {
+			best.AllocsPerOp = r.AllocsPerOp
+		}
 	}
+	return merged
+}
+
+// checkRegression gates one benchmark of the fresh run against the
+// committed baseline. The comparison is by ratio, so it tolerates the
+// baseline and the run coming from different GOMAXPROCS suffixes (names
+// are matched with the -N procs suffix stripped) but NOT from different
+// hardware classes — re-record the baseline when the bench host changes.
+func checkRegression(snap Snapshot, baselinePath, benchName string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %v", baselinePath, err)
+	}
+	want, ok := findResult(base.Results, benchName)
+	if !ok {
+		return fmt.Errorf("baseline %s has no result for %s", baselinePath, benchName)
+	}
+	got, ok := findResult(snap.Results, benchName)
+	if !ok {
+		return fmt.Errorf("fresh run has no result for %s (did the benchmark rot?)", benchName)
+	}
+
+	nsRatio := got.NsPerOp / want.NsPerOp
+	fmt.Printf("%s\n  ns/op     %14.0f -> %14.0f  (%+.1f%%)\n",
+		benchName, want.NsPerOp, got.NsPerOp, (nsRatio-1)*100)
+	var allocRatio float64
+	if want.AllocsPerOp > 0 {
+		allocRatio = float64(got.AllocsPerOp) / float64(want.AllocsPerOp)
+		fmt.Printf("  allocs/op %14d -> %14d  (%+.1f%%)\n",
+			want.AllocsPerOp, got.AllocsPerOp, (allocRatio-1)*100)
+	}
+
+	limit := 1 + maxRegress
+	if nsRatio > limit {
+		return fmt.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (%.1f%% > %.0f%% allowed)",
+			benchName, got.NsPerOp, want.NsPerOp, (nsRatio-1)*100, maxRegress*100)
+	}
+	if want.AllocsPerOp > 0 && allocRatio > limit {
+		return fmt.Errorf("%s alloc-regressed: %d allocs/op vs baseline %d (%.1f%% > %.0f%% allowed)",
+			benchName, got.AllocsPerOp, want.AllocsPerOp, (allocRatio-1)*100, maxRegress*100)
+	}
+	fmt.Printf("  within %.0f%% of baseline: ok\n", maxRegress*100)
+	return nil
+}
+
+// findResult looks a benchmark up by name with the GOMAXPROCS suffix
+// stripped from both sides, so `shared-cache` recorded at -procs=1 (no
+// suffix) matches a fresh `shared-cache-4` line and vice versa.
+func findResult(results []BenchResult, name string) (BenchResult, bool) {
+	want := trimProcs(name)
+	for _, r := range results {
+		if trimProcs(r.Name) == want {
+			return r, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// trimProcs removes a trailing -N GOMAXPROCS suffix, if present.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if suffix := name[i+1:]; suffix != "" {
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				return name
+			}
+		}
+		return name[:i]
+	}
+	return name
 }
 
 // parseBenchLine parses one `BenchmarkName-N  iters  12345 ns/op  ...`

@@ -45,7 +45,8 @@ func main() {
 			shown++
 			fmt.Printf("=== %s in %s (gold %s, depth %d)\n", n.Label, doc.Name, n.Gold, n.Depth)
 			members := sphere.Sphere(n, *radius)
-			vec := sphere.ContextVector(n, *radius)
+			voc := sphere.NewDict(net)
+			vec := sphere.ContextVector(n, *radius, voc)
 			fmt.Printf("sphere (d=%d): ", *radius)
 			for _, m := range members {
 				if m.Node != n {
@@ -96,7 +97,7 @@ func main() {
 							continue
 						}
 						avg := sum / float64(cnt)
-						w := vec[m.Node.Label]
+						w := vec.At(voc, m.Node.Label)
 						total += avg * w
 						if avg*w > 0.004 && bestS != sp {
 							details += fmt.Sprintf("    %-14s via %-16s sim=%.3f w=%.3f (edge=%.2f node=%.2f gloss=%.2f)\n",

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/semnet"
+	"repro/internal/wordnet"
+)
+
+// taggedClone rebuilds net with every ConceptID suffixed by tag: the same
+// structure (lemmas, glosses, frequencies, edges, hence depths and ICs)
+// under a disjoint id universe, so any dense id crossing between the two
+// epochs is detectable as a failed or mis-resolved lookup.
+func taggedClone(t *testing.T, net *semnet.Network, tag string) *semnet.Network {
+	t.Helper()
+	b := semnet.NewBuilder()
+	for _, id := range net.Concepts() {
+		c := net.Concept(id)
+		b.AddConcept(id+semnet.ConceptID(tag), c.Gloss, c.Freq, c.Lemmas...)
+	}
+	for _, id := range net.Concepts() {
+		for _, e := range net.Edges(id) {
+			// Edges() lists both directions; AddEdge installs the
+			// inverse itself, so emit each pair once (canonical order).
+			if string(id) < string(e.To) {
+				b.AddEdge(id+semnet.ConceptID(tag), e.Rel, e.To+semnet.ConceptID(tag))
+			}
+		}
+	}
+	clone, err := b.Build()
+	if err != nil {
+		t.Fatalf("taggedClone: %v", err)
+	}
+	return clone
+}
+
+// TestReloadFreshConceptIndexPerEpoch pins the epoch-isolation contract of
+// the dense concept index: a hot swap publishes a network whose index
+// resolves only its own ids. Old-epoch ConceptIDs must miss in the new
+// index, new ids must miss in the old, and the retired network's index
+// stays intact for runs still pinned to it.
+func TestReloadFreshConceptIndexPerEpoch(t *testing.T) {
+	old := wordnet.Default()
+	fw := newTestFramework(t)
+
+	oldDense := make(map[semnet.ConceptID]semnet.DenseID, old.Len())
+	for _, id := range old.Concepts() {
+		d, ok := old.Dense(id)
+		if !ok {
+			t.Fatalf("construction epoch: Dense(%q) missing", id)
+		}
+		oldDense[id] = d
+	}
+
+	clone := taggedClone(t, old, "#v2")
+	info, err := fw.ReloadNetwork(context.Background(), clone, "v2-tagged", "taggedClone", ReloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 {
+		t.Fatalf("swap epoch = %d, want 2", info.Epoch)
+	}
+
+	cur := fw.Network()
+	if cur != clone {
+		t.Fatal("Network() does not read through the swapped snapshot")
+	}
+	if cur.Len() != old.Len() {
+		t.Fatalf("clone has %d concepts, original %d", cur.Len(), old.Len())
+	}
+	for _, id := range old.Concepts() {
+		if d, ok := cur.Dense(id); ok {
+			t.Fatalf("old-epoch id %q resolved to dense %d in the new epoch's index", id, d)
+		}
+		tagged := id + "#v2"
+		d, ok := cur.Dense(tagged)
+		if !ok {
+			t.Fatalf("new-epoch id %q missing from its own index", tagged)
+		}
+		if back, ok := cur.ConceptAt(d); !ok || back != tagged {
+			t.Fatalf("new epoch round-trip: ConceptAt(%d) = %q, %v, want %q", d, back, ok, tagged)
+		}
+		if _, ok := old.Dense(tagged); ok {
+			t.Fatalf("new-epoch id %q resolved in the retired epoch's index", tagged)
+		}
+		// The retired index is immutable: a run pinned to the old
+		// snapshot keeps resolving exactly what it resolved before.
+		if d, ok := old.Dense(id); !ok || d != oldDense[id] {
+			t.Fatalf("retired index moved: Dense(%q) = %d, %v, want %d", id, d, ok, oldDense[id])
+		}
+	}
+}

@@ -53,13 +53,22 @@ type LexiconInfo struct {
 }
 
 // snapshot owns one lexicon version end to end: the immutable network
-// (with its build-time ancestor lists, gloss tokens, and LCS memo) plus
-// the sharded similarity/vector caches keyed by its concept IDs. Caches
-// live here — never on the Framework — so a swapped-in network can never
-// be scored against memos of its predecessor.
+// (with its build-time ConceptIndex, ancestor lists, gloss tokens, and
+// LCS memo) plus the sharded similarity/vector caches and the memoizing
+// linguistic pre-processor keyed by its vocabulary. Caches live here —
+// never on the Framework — so a swapped-in network can never be scored
+// against memos of its predecessor.
+//
+// The dense concept index travels inside the network: semnet.Build
+// assigns every concept a stable int32 at build time, and all integer
+// keys in the caches below (similarity pairs, vector keys) are dense ids
+// of exactly this network. Pinning the snapshot therefore pins the index
+// and the epoch together — a run can never look up epoch-N dense ids in
+// epoch-M memos.
 type snapshot struct {
 	net   *semnet.Network
 	cache *disambig.Cache
+	proc  *lingproc.Processor
 	info  LexiconInfo
 	fw    *Framework
 
@@ -77,6 +86,7 @@ func (f *Framework) newSnapshot(net *semnet.Network, info LexiconInfo) *snapshot
 	s := &snapshot{
 		net:   net,
 		cache: disambig.NewCache(net, f.opts.Disambiguation.SimWeights),
+		proc:  lingproc.NewProcessor(net),
 		info:  info,
 		fw:    f,
 	}

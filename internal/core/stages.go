@@ -19,7 +19,6 @@ import (
 	"repro/internal/ambiguity"
 	"repro/internal/disambig"
 	"repro/internal/faultinject"
-	"repro/internal/lingproc"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/xmltree"
@@ -161,7 +160,7 @@ func stagePreprocess(_ context.Context, r *run) (int, error) {
 		r.hooks.BeforeTree(r.tree)
 	}
 	faultinject.TreeStart()
-	lingproc.ProcessTree(r.tree, r.snap.net)
+	r.snap.proc.ProcessTree(r.tree)
 	return r.tree.Len(), nil
 }
 

@@ -1,7 +1,6 @@
 package disambig
 
 import (
-	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +17,10 @@ import (
 // for each Sim(c1, c2) evaluation and each semantic-network sphere walk
 // once, not once per document.
 //
+// Keys are dense int32 concept ids (the network's ConceptIndex) packed
+// into integers, and shard selection is a two-multiply mix — a warm lookup
+// hashes no strings and allocates nothing.
+//
 // Invariants: the semantic network is immutable after Build, so every
 // cached value is a pure function of its key and never invalidates.
 // Cached sphere.Vector values are handed out shared — callers must treat
@@ -26,26 +29,32 @@ import (
 // duplicated computation when two workers miss the same key concurrently
 // is harmless because both compute the identical value.
 type Cache struct {
-	net  *semnet.Network
-	sim  *simmeasure.Measure
-	seed maphash.Seed
+	net *semnet.Network
+	sim *simmeasure.Measure
 
 	vecs  [vecShardCount]vecShard  // single-sense semantic-network vectors
 	pairs [vecShardCount]pairShard // compound-label combined vectors (Eq. 12)
+
+	// scratch pools the dense BFS/vector buffers used to fill vector-cache
+	// misses, so a miss costs one sphere walk plus one Clone, not a fresh
+	// set of network-sized arrays.
+	scratch sync.Pool // *sphere.ConceptScratch
 
 	vecHits, vecMisses atomic.Uint64
 }
 
 const vecShardCount = 32
 
+// vecKey identifies a single-sense vector: dense concept id + radius.
 type vecKey struct {
-	c semnet.ConceptID
-	d int
+	c semnet.DenseID
+	d int32
 }
 
+// pairKey identifies a combined vector: packed canonical dense pair + radius.
 type pairKey struct {
-	p, q semnet.ConceptID
-	d    int
+	pq uint64
+	d  int32
 }
 
 type vecShard struct {
@@ -62,10 +71,10 @@ type pairShard struct {
 // weights (normalized as by simmeasure.New).
 func NewCache(net *semnet.Network, w simmeasure.Weights) *Cache {
 	c := &Cache{
-		net:  net,
-		sim:  simmeasure.New(net, w),
-		seed: maphash.MakeSeed(),
+		net: net,
+		sim: simmeasure.New(net, w),
 	}
+	c.scratch.New = func() any { return new(sphere.ConceptScratch) }
 	for i := range c.vecs {
 		c.vecs[i].m = make(map[vecKey]sphere.Vector)
 	}
@@ -84,22 +93,24 @@ func (c *Cache) Measure() *simmeasure.Measure { return c.sim }
 // Sim returns the memoized combined similarity of the pair.
 func (c *Cache) Sim(a, b semnet.ConceptID) float64 { return c.sim.Sim(a, b) }
 
-func (c *Cache) hash(parts ...string) uint64 {
-	var h maphash.Hash
-	h.SetSeed(c.seed)
-	for _, p := range parts {
-		h.WriteString(p)
-		h.WriteByte(0)
-	}
-	return h.Sum64()
-}
+// SimDense is Sim over dense ids — the disambiguation inner loop's path.
+func (c *Cache) SimDense(a, b semnet.DenseID) float64 { return c.sim.SimDense(a, b) }
 
 // ConceptVector returns the memoized semantic-network context vector
-// V_d(s) of a sense (Definition 10). The returned vector is shared:
-// read-only.
+// V_d(s) of a sense (Definition 10); unknown ids yield the empty vector.
+// The returned vector is shared: read-only.
 func (c *Cache) ConceptVector(id semnet.ConceptID, d int) sphere.Vector {
-	key := vecKey{c: id, d: d}
-	sh := &c.vecs[c.hash(string(id))%vecShardCount]
+	dc, ok := c.net.Dense(id)
+	if !ok {
+		return sphere.Vector{}
+	}
+	return c.ConceptVectorDense(dc, d)
+}
+
+// ConceptVectorDense is ConceptVector keyed by dense id.
+func (c *Cache) ConceptVectorDense(id semnet.DenseID, d int) sphere.Vector {
+	key := vecKey{c: id, d: int32(d)}
+	sh := &c.vecs[semnet.MixPair(id, semnet.DenseID(d))%vecShardCount]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
@@ -108,7 +119,9 @@ func (c *Cache) ConceptVector(id semnet.ConceptID, d int) sphere.Vector {
 		return v
 	}
 	c.vecMisses.Add(1)
-	v = sphere.ConceptVector(c.net, id, d)
+	s := c.scratch.Get().(*sphere.ConceptScratch)
+	v = sphere.ConceptVectorInto(c.net, id, d, s).Clone()
+	c.scratch.Put(s)
 	sh.mu.Lock()
 	sh.m[key] = v
 	sh.mu.Unlock()
@@ -116,15 +129,27 @@ func (c *Cache) ConceptVector(id semnet.ConceptID, d int) sphere.Vector {
 }
 
 // PairVector returns the memoized combined concept vector V_d(s_p, s_q) of
-// a compound-label candidate pair (Eq. 12). The union underlying the
-// vector is symmetric in p and q, so the key is canonicalized to sorted
-// order. The returned vector is shared: read-only.
+// a compound-label candidate pair (Eq. 12); unknown ids yield the empty
+// vector. The returned vector is shared: read-only.
 func (c *Cache) PairVector(p, q semnet.ConceptID, d int) sphere.Vector {
+	dp, okp := c.net.Dense(p)
+	dq, okq := c.net.Dense(q)
+	if !okp || !okq {
+		return sphere.Vector{}
+	}
+	return c.PairVectorDense(dp, dq, d)
+}
+
+// PairVectorDense is PairVector keyed by the canonical dense pair. The
+// union underlying the vector is symmetric in p and q, so the pair is
+// canonicalized to dense-ascending order for both the key and the
+// computation — cached and bypass paths fold weights in one order.
+func (c *Cache) PairVectorDense(p, q semnet.DenseID, d int) sphere.Vector {
 	if q < p {
 		p, q = q, p
 	}
-	key := pairKey{p: p, q: q, d: d}
-	sh := &c.pairs[c.hash(string(p), string(q))%vecShardCount]
+	key := pairKey{pq: semnet.PairKey(p, q), d: int32(d)}
+	sh := &c.pairs[semnet.MixPair(p, q)%vecShardCount]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
@@ -133,7 +158,9 @@ func (c *Cache) PairVector(p, q semnet.ConceptID, d int) sphere.Vector {
 		return v
 	}
 	c.vecMisses.Add(1)
-	v = sphere.CombinedConceptVector(c.net, p, q, d)
+	s := c.scratch.Get().(*sphere.ConceptScratch)
+	v = sphere.CombinedConceptVectorInto(c.net, p, q, d, s).Clone()
+	c.scratch.Put(s)
 	sh.mu.Lock()
 	sh.m[key] = v
 	sh.mu.Unlock()

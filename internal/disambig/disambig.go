@@ -190,27 +190,46 @@ func (d *Disambiguator) Options() Options { return d.opts }
 // disambiguator.
 func (d *Disambiguator) Cache() *Cache { return d.cache }
 
-// contextNode is one pre-resolved member of the target's sphere context.
+// contextNode is one pre-resolved member of the target's sphere context:
+// its vector weight and the [senseStart, senseEnd) range of its per-token
+// sense lists within preparedContext.senseLists.
 type contextNode struct {
-	node   *xmltree.Node
-	weight float64 // w_{V_d(x)}(x_i.ℓ)
-	tokens []string
-	senses [][]semnet.ConceptID // senses per token
+	weight     float64 // w_{V_d(x)}(x_i.ℓ)
+	senseStart int32
+	senseEnd   int32
 }
 
 // preparedContext is the fully-resolved sphere context of one target node:
-// the Definition 6–7 context vector, the per-member sense lists, and the
-// sphere size. It is computed once per node and memoized (ctxMemo).
+// the Definition 6–7 context vector, the per-member sense lists (dense
+// ids, referencing the network's frozen per-lemma slices), and the sphere
+// size.
 type preparedContext struct {
-	vec  sphere.Vector
-	ctx  []contextNode
-	size int
+	vec        sphere.Vector
+	ctx        []contextNode
+	senseLists [][]semnet.DenseID
+	size       int
 }
 
+// ctxScratch bundles the reusable buffers of one context build: the sphere
+// BFS scratch, the vector fold scratch, the per-member dimension slice,
+// and the preparedContext whose slices are reused across nodes. nodeWith
+// draws one from ctxScratchPool per node, so the per-node steady state of
+// Apply allocates nothing for context construction.
+type ctxScratch struct {
+	sph        sphere.Scratch
+	vec        sphere.VecScratch
+	memberDims []int32
+	pc         preparedContext
+}
+
+var ctxScratchPool = sync.Pool{New: func() any { return new(ctxScratch) }}
+
 // prepareContext returns the memoized sphere context of a target node,
-// building it on first use. The center node is excluded from the scoring
-// context (its self-similarity is a constant offset for every candidate,
-// cf. Definition 8) but participates in the vector per the Figure 7
+// building it on first use — the path of the public per-candidate APIs
+// (ConceptScore, ContextScore, Candidates), which may revisit one node
+// many times. The center node is excluded from the scoring context (its
+// self-similarity is a constant offset for every candidate, cf.
+// Definition 8) but participates in the vector per the Figure 7
 // convention.
 func (d *Disambiguator) prepareContext(x *xmltree.Node) *preparedContext {
 	if d.bypassCache {
@@ -226,34 +245,56 @@ func (d *Disambiguator) prepareContext(x *xmltree.Node) *preparedContext {
 	return pc
 }
 
-// buildContext runs the sphere BFS once and derives both the membership
-// and the context vector from that single walk (the vector previously
-// re-ran the BFS).
+// buildContext builds an owned preparedContext (for memoization or cache
+// bypass): the build runs through a private scratch that is deliberately
+// not pooled, so the returned context's slices alias nothing reused.
 func (d *Disambiguator) buildContext(x *xmltree.Node) *preparedContext {
-	var members []sphere.Member
-	if d.opts.FollowLinks {
-		members = sphere.GraphSphere(x, d.opts.Radius)
-	} else {
-		members = sphere.Sphere(x, d.opts.Radius)
+	s := new(ctxScratch)
+	pc := *d.buildContextInto(x, s)
+	return &pc
+}
+
+// contextFor resolves the context for one nodeWith call: through the
+// reusable scratch on the hot path, through the memo for public API calls
+// (s == nil).
+func (d *Disambiguator) contextFor(x *xmltree.Node, s *ctxScratch) *preparedContext {
+	if s != nil {
+		return d.buildContextInto(x, s)
 	}
-	pc := &preparedContext{
-		vec:  sphere.VectorFromMembers(members, d.opts.Radius),
-		size: len(members),
+	return d.prepareContext(x)
+}
+
+// buildContextInto runs the sphere BFS once and derives the membership,
+// the context vector, and the per-member dense sense lists from that
+// single walk, reusing every buffer in s. The result aliases s.
+func (d *Disambiguator) buildContextInto(x *xmltree.Node, s *ctxScratch) *preparedContext {
+	members := sphere.SphereInto(x, d.opts.Radius, d.opts.FollowLinks, &s.sph)
+	if cap(s.memberDims) < len(members) {
+		s.memberDims = make([]int32, len(members))
 	}
-	for _, m := range members {
+	md := s.memberDims[:len(members)]
+	pc := &s.pc
+	pc.vec = sphere.VectorFromMembersInto(members, d.opts.Radius, d.net, &s.vec, md)
+	pc.size = len(members)
+	pc.ctx = pc.ctx[:0]
+	pc.senseLists = pc.senseLists[:0]
+	for i, m := range members {
 		if m.Node == x {
 			continue
 		}
-		cn := contextNode{node: m.Node, weight: pc.vec[m.Node.Label]}
-		toks := m.Node.Tokens
-		if len(toks) == 0 {
-			toks = []string{m.Node.Label}
+		var w float64
+		if md[i] >= 0 {
+			w = pc.vec.WeightOf(md[i])
 		}
-		cn.tokens = toks
-		for _, t := range toks {
-			cn.senses = append(cn.senses, d.senses(t))
+		start := int32(len(pc.senseLists))
+		if toks := m.Node.Tokens; len(toks) > 0 {
+			for _, t := range toks {
+				pc.senseLists = append(pc.senseLists, d.sensesDense(t))
+			}
+		} else {
+			pc.senseLists = append(pc.senseLists, d.sensesDense(m.Node.Label))
 		}
-		pc.ctx = append(pc.ctx, cn)
+		pc.ctx = append(pc.ctx, contextNode{weight: w, senseStart: start, senseEnd: int32(len(pc.senseLists))})
 	}
 	return pc
 }
@@ -268,34 +309,72 @@ func (d *Disambiguator) senses(tok string) []semnet.ConceptID {
 	return d.net.Senses(tok)
 }
 
-// pairSim routes concept-pair similarity through the shared cache, or
+// sensesDense is senses in dense ids; the returned slice is the network's
+// frozen frequency-ordered sense list (read-only).
+func (d *Disambiguator) sensesDense(tok string) []semnet.DenseID {
+	if faultinject.DropLookup() {
+		return nil
+	}
+	return d.net.SensesDense(tok)
+}
+
+// conceptID converts a dense id back to its ConceptID for result Senses.
+func (d *Disambiguator) conceptID(dc semnet.DenseID) semnet.ConceptID {
+	id, _ := d.net.ConceptAt(dc)
+	return id
+}
+
+// denseCandidate resolves public-API ConceptIDs into the dense candidate
+// buffer; ids outside the network become the -1 sentinel (they score 0
+// against every known concept, exactly as the string-keyed measures did).
+func (d *Disambiguator) denseCandidate(buf []semnet.DenseID, ids ...semnet.ConceptID) []semnet.DenseID {
+	buf = buf[:0]
+	for _, c := range ids {
+		dc, ok := d.net.Dense(c)
+		if !ok {
+			dc = -1
+		}
+		buf = append(buf, dc)
+	}
+	return buf
+}
+
+// pairSimDense routes concept-pair similarity through the shared cache, or
 // straight to the uncached computation in bypass mode. Cached reads pass
 // the cache-poison fault point, which chaos tests use to prove that a
-// corrupted score degrades answer quality, never answer shape.
-func (d *Disambiguator) pairSim(a, b semnet.ConceptID) float64 {
+// corrupted score degrades answer quality, never answer shape. The -1
+// sentinel (a public-API candidate outside the network) scores 0, the
+// exact value the component measures produce for unknown concepts.
+func (d *Disambiguator) pairSimDense(a, b semnet.DenseID) float64 {
 	if d.bypassCache {
-		return d.cache.Measure().SimDirect(a, b)
+		if a < 0 || b < 0 {
+			return 0
+		}
+		return d.cache.Measure().SimDirectDense(a, b)
 	}
 	if v, ok := faultinject.PoisonSim(); ok {
 		return v
 	}
-	return d.cache.Sim(a, b)
+	if a < 0 || b < 0 {
+		return 0
+	}
+	return d.cache.SimDense(a, b)
 }
 
 // simToContextNode returns max_j Sim(s, s_j^i) over the senses of context
 // node cn. A compound context label is processed like a compound target
 // (§3.5.1 note): the max over token-sense pairs of the average similarity,
 // which factorizes into the average of per-token maxima.
-func (d *Disambiguator) simToContextNode(s semnet.ConceptID, cn contextNode) float64 {
+func (d *Disambiguator) simToContextNode(s semnet.DenseID, pc *preparedContext, cn contextNode) float64 {
 	var sum float64
 	var counted int
-	for _, senses := range cn.senses {
+	for _, senses := range pc.senseLists[cn.senseStart:cn.senseEnd] {
 		if len(senses) == 0 {
 			continue
 		}
 		best := 0.0
 		for _, sj := range senses {
-			if v := d.pairSim(s, sj); v > best {
+			if v := d.pairSimDense(s, sj); v > best {
 				best = v
 			}
 		}
@@ -314,7 +393,8 @@ func (d *Disambiguator) simToContextNode(s semnet.ConceptID, cn contextNode) flo
 // memoized, so per-candidate calls cost one pass over the context, not one
 // sphere construction each.
 func (d *Disambiguator) ConceptScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
-	return d.conceptScoreCtx([]semnet.ConceptID{sp}, d.prepareContext(x))
+	var buf [2]semnet.DenseID
+	return d.conceptScoreCtx(d.denseCandidate(buf[:0], sp), d.prepareContext(x))
 }
 
 // ConceptScoreCompound computes Eq. 10 for a compound target label: the
@@ -322,10 +402,11 @@ func (d *Disambiguator) ConceptScore(sp semnet.ConceptID, x *xmltree.Node) float
 // per-context-node similarity is the average of the individual
 // similarities.
 func (d *Disambiguator) ConceptScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
-	return d.conceptScoreCtx([]semnet.ConceptID{sp, sq}, d.prepareContext(x))
+	var buf [2]semnet.DenseID
+	return d.conceptScoreCtx(d.denseCandidate(buf[:0], sp, sq), d.prepareContext(x))
 }
 
-func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, pc *preparedContext) float64 {
+func (d *Disambiguator) conceptScoreCtx(candidate []semnet.DenseID, pc *preparedContext) float64 {
 	if pc.size == 0 {
 		return 0
 	}
@@ -333,7 +414,7 @@ func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, pc *prepar
 	for _, cn := range pc.ctx {
 		var s float64
 		for _, c := range candidate {
-			s += d.simToContextNode(c, cn)
+			s += d.simToContextNode(c, pc, cn)
 		}
 		s /= float64(len(candidate))
 		total += s * cn.weight
@@ -341,63 +422,64 @@ func (d *Disambiguator) conceptScoreCtx(candidate []semnet.ConceptID, pc *prepar
 	return total / float64(pc.size)
 }
 
-// conceptVector returns the cached semantic-network context vector of a
-// sense.
-func (d *Disambiguator) conceptVector(c semnet.ConceptID) sphere.Vector {
-	if d.bypassCache {
-		return sphere.ConceptVector(d.net, c, d.opts.Radius)
+// conceptVectorD returns the cached semantic-network context vector of a
+// sense (empty for the -1 sentinel).
+func (d *Disambiguator) conceptVectorD(c semnet.DenseID) sphere.Vector {
+	if c < 0 {
+		return sphere.Vector{}
 	}
-	return d.cache.ConceptVector(c, d.opts.Radius)
+	if d.bypassCache {
+		var s sphere.ConceptScratch
+		return sphere.ConceptVectorInto(d.net, c, d.opts.Radius, &s)
+	}
+	return d.cache.ConceptVectorDense(c, d.opts.Radius)
 }
 
-// pairVector returns the cached combined concept vector of a compound
-// candidate pair.
-func (d *Disambiguator) pairVector(p, q semnet.ConceptID) sphere.Vector {
-	if d.bypassCache {
-		return sphere.CombinedConceptVector(d.net, p, q, d.opts.Radius)
+// pairVectorD returns the cached combined concept vector of a compound
+// candidate pair (empty when either id is the -1 sentinel). The pair is
+// canonicalized to dense-ascending order so bypass and cached builds fold
+// weights identically.
+func (d *Disambiguator) pairVectorD(p, q semnet.DenseID) sphere.Vector {
+	if p < 0 || q < 0 {
+		return sphere.Vector{}
 	}
-	return d.cache.PairVector(p, q, d.opts.Radius)
+	if d.bypassCache {
+		if q < p {
+			p, q = q, p
+		}
+		var s sphere.ConceptScratch
+		return sphere.CombinedConceptVectorInto(d.net, p, q, d.opts.Radius, &s)
+	}
+	return d.cache.PairVectorDense(p, q, d.opts.Radius)
 }
 
 // ContextScore computes Context_Score(s_p, S_d(x), SN) (Definition 10): the
 // vector similarity between the target's XML context vector and the
 // candidate sense's semantic-network context vector.
 func (d *Disambiguator) ContextScore(sp semnet.ConceptID, x *xmltree.Node) float64 {
-	return d.opts.vectorSim()(d.prepareContext(x).vec, d.conceptVector(sp))
+	var buf [2]semnet.DenseID
+	cand := d.denseCandidate(buf[:0], sp)
+	return d.opts.vectorSim()(d.prepareContext(x).vec, d.conceptVectorD(cand[0]))
 }
 
 // ContextScoreCompound computes Eq. 12: the candidate pair's combined
 // semantic-network sphere (union of the two sense spheres) against the
 // target's XML context vector.
 func (d *Disambiguator) ContextScoreCompound(sp, sq semnet.ConceptID, x *xmltree.Node) float64 {
-	return d.opts.vectorSim()(d.prepareContext(x).vec, d.pairVector(sp, sq))
+	var buf [2]semnet.DenseID
+	cand := d.denseCandidate(buf[:0], sp, sq)
+	return d.opts.vectorSim()(d.prepareContext(x).vec, d.pairVectorD(cand[0], cand[1]))
 }
 
-// score evaluates one candidate (1- or 2-sense) for target x under the
-// configured method, given the precomputed context.
-func (d *Disambiguator) score(candidate []semnet.ConceptID, x *xmltree.Node, pc *preparedContext) float64 {
-	return d.scoreAs(d.opts.Method, candidate, pc)
-}
-
-// scoreAs is score under an explicit method — the seam the degradation
-// ladder uses to force concept-only scoring (Definition 8) without
-// touching the configured options.
-func (d *Disambiguator) scoreAs(method Method, candidate []semnet.ConceptID, pc *preparedContext) float64 {
-	concept := func() float64 { return d.conceptScoreCtx(candidate, pc) }
-	context := func() float64 {
-		var cv sphere.Vector
-		if len(candidate) == 2 {
-			cv = d.pairVector(candidate[0], candidate[1])
-		} else {
-			cv = d.conceptVector(candidate[0])
-		}
-		return d.opts.vectorSim()(pc.vec, cv)
-	}
+// scoreAs evaluates one candidate (1- or 2-sense, dense) under an explicit
+// method — the seam the degradation ladder uses to force concept-only
+// scoring (Definition 8) without touching the configured options.
+func (d *Disambiguator) scoreAs(method Method, candidate []semnet.DenseID, pc *preparedContext) float64 {
 	switch method {
 	case ConceptBased:
-		return concept()
+		return d.conceptScoreCtx(candidate, pc)
 	case ContextBased:
-		return context()
+		return d.contextScoreCtx(candidate, pc)
 	default:
 		wc, wx := d.opts.ConceptWeight, d.opts.ContextWeight
 		if s := wc + wx; s > 0 {
@@ -405,8 +487,19 @@ func (d *Disambiguator) scoreAs(method Method, candidate []semnet.ConceptID, pc 
 		} else {
 			wc, wx = 0.5, 0.5
 		}
-		return wc*concept() + wx*context()
+		return wc*d.conceptScoreCtx(candidate, pc) + wx*d.contextScoreCtx(candidate, pc)
 	}
+}
+
+// contextScoreCtx is the context-based leg of scoreAs.
+func (d *Disambiguator) contextScoreCtx(candidate []semnet.DenseID, pc *preparedContext) float64 {
+	var cv sphere.Vector
+	if len(candidate) == 2 {
+		cv = d.pairVectorD(candidate[0], candidate[1])
+	} else {
+		cv = d.conceptVectorD(candidate[0])
+	}
+	return d.opts.vectorSim()(pc.vec, cv)
 }
 
 // Node disambiguates a single target node: it enumerates candidate senses
@@ -418,126 +511,155 @@ func (d *Disambiguator) Node(x *xmltree.Node) (Sense, bool) {
 }
 
 // nodeWith is Node under an explicit method, the per-node entry point of
-// the degradation ladder's upper rungs.
+// the degradation ladder's upper rungs. It scores through pooled scratch:
+// context construction and candidate scoring allocate nothing in the warm
+// steady state beyond the returned Sense.
 func (d *Disambiguator) nodeWith(x *xmltree.Node, method Method) (Sense, bool) {
-	tokens := x.Tokens
-	if len(tokens) == 0 {
-		tokens = []string{x.Label}
-	}
-	switch len(tokens) {
+	tok0 := x.Label
+	tok1 := ""
+	compound := false
+	switch len(x.Tokens) {
+	case 0:
 	case 1:
-		senses := d.senses(tokens[0])
+		tok0 = x.Tokens[0]
+	default:
+		tok0, tok1 = x.Tokens[0], x.Tokens[1]
+		compound = true
+	}
+	if !compound {
+		senses := d.sensesDense(tok0)
 		if len(senses) == 0 {
 			return Sense{}, false
 		}
 		if len(senses) == 1 {
 			// Assumption 4: monosemous labels are unambiguous.
-			return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
+			return Sense{Concepts: []semnet.ConceptID{d.conceptID(senses[0])}, Score: 1}, true
 		}
-		pc := d.prepareContext(x)
-		best := Sense{Score: -1}
-		for _, sp := range senses {
-			sc := d.scoreAs(method, []semnet.ConceptID{sp}, pc)
-			if sc > best.Score {
-				best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
-			}
-		}
-		return best, true
-	default:
-		sensesP := d.senses(tokens[0])
-		sensesQ := d.senses(tokens[1])
-		if len(sensesP) == 0 && len(sensesQ) == 0 {
-			return Sense{}, false
-		}
-		// If only one token is known, fall back to single-token candidates.
-		if len(sensesP) == 0 {
-			return d.singleTokenFallback(sensesQ, x, method)
-		}
-		if len(sensesQ) == 0 {
-			return d.singleTokenFallback(sensesP, x, method)
-		}
-		pc := d.prepareContext(x)
-		best := Sense{Score: -1}
-		for _, sp := range sensesP {
-			for _, sq := range sensesQ {
-				sc := d.scoreAs(method, []semnet.ConceptID{sp, sq}, pc)
-				if sc > best.Score {
-					best = Sense{Concepts: []semnet.ConceptID{sp, sq}, Score: sc}
-				}
-			}
-		}
-		return best, true
+		s := ctxScratchPool.Get().(*ctxScratch)
+		defer ctxScratchPool.Put(s)
+		pc := d.contextFor(x, s)
+		bestC, bestScore := d.bestSingle(senses, method, pc)
+		return Sense{Concepts: []semnet.ConceptID{d.conceptID(bestC)}, Score: bestScore}, true
 	}
+	sensesP := d.sensesDense(tok0)
+	sensesQ := d.sensesDense(tok1)
+	if len(sensesP) == 0 && len(sensesQ) == 0 {
+		return Sense{}, false
+	}
+	// If only one token is known, fall back to single-token candidates.
+	if len(sensesP) == 0 {
+		return d.singleTokenFallback(sensesQ, x, method)
+	}
+	if len(sensesQ) == 0 {
+		return d.singleTokenFallback(sensesP, x, method)
+	}
+	s := ctxScratchPool.Get().(*ctxScratch)
+	defer ctxScratchPool.Put(s)
+	pc := d.contextFor(x, s)
+	var cand [2]semnet.DenseID
+	bestScore := -1.0
+	var bestP, bestQ semnet.DenseID
+	for _, sp := range sensesP {
+		for _, sq := range sensesQ {
+			cand[0], cand[1] = sp, sq
+			if sc := d.scoreAs(method, cand[:2], pc); sc > bestScore {
+				bestScore, bestP, bestQ = sc, sp, sq
+			}
+		}
+	}
+	return Sense{Concepts: []semnet.ConceptID{d.conceptID(bestP), d.conceptID(bestQ)}, Score: bestScore}, true
 }
 
-func (d *Disambiguator) singleTokenFallback(senses []semnet.ConceptID, x *xmltree.Node, method Method) (Sense, bool) {
-	if len(senses) == 1 {
-		return Sense{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}, true
-	}
-	pc := d.prepareContext(x)
-	best := Sense{Score: -1}
+// bestSingle scores every single-sense candidate and returns the winner.
+func (d *Disambiguator) bestSingle(senses []semnet.DenseID, method Method, pc *preparedContext) (semnet.DenseID, float64) {
+	var cand [2]semnet.DenseID
+	bestScore := -1.0
+	best := senses[0]
 	for _, sp := range senses {
-		sc := d.scoreAs(method, []semnet.ConceptID{sp}, pc)
-		if sc > best.Score {
-			best = Sense{Concepts: []semnet.ConceptID{sp}, Score: sc}
+		cand[0] = sp
+		if sc := d.scoreAs(method, cand[:1], pc); sc > bestScore {
+			bestScore, best = sc, sp
 		}
 	}
-	return best, true
+	return best, bestScore
+}
+
+func (d *Disambiguator) singleTokenFallback(senses []semnet.DenseID, x *xmltree.Node, method Method) (Sense, bool) {
+	if len(senses) == 1 {
+		return Sense{Concepts: []semnet.ConceptID{d.conceptID(senses[0])}, Score: 1}, true
+	}
+	s := ctxScratchPool.Get().(*ctxScratch)
+	defer ctxScratchPool.Put(s)
+	pc := d.contextFor(x, s)
+	bestC, bestScore := d.bestSingle(senses, method, pc)
+	return Sense{Concepts: []semnet.ConceptID{d.conceptID(bestC)}, Score: bestScore}, true
 }
 
 // Candidates scores every candidate sense (or sense pair) of a target node
 // and returns them ordered best-first — the full ranking behind Node's
 // winner, for explanation UIs and confidence estimation. Nil when no token
-// of the label is known to the network.
+// of the label is known to the network. As a public per-candidate API it
+// goes through the memoized context.
 func (d *Disambiguator) Candidates(x *xmltree.Node) []Sense {
-	tokens := x.Tokens
-	if len(tokens) == 0 {
-		tokens = []string{x.Label}
+	tok0 := x.Label
+	tok1 := ""
+	compound := false
+	switch len(x.Tokens) {
+	case 0:
+	case 1:
+		tok0 = x.Tokens[0]
+	default:
+		tok0, tok1 = x.Tokens[0], x.Tokens[1]
+		compound = true
 	}
 	var out []Sense
-	switch len(tokens) {
-	case 1:
-		senses := d.senses(tokens[0])
+	var cand [2]semnet.DenseID
+	if !compound {
+		senses := d.sensesDense(tok0)
 		if len(senses) == 0 {
 			return nil
 		}
 		if len(senses) == 1 {
-			return []Sense{{Concepts: []semnet.ConceptID{senses[0]}, Score: 1}}
+			return []Sense{{Concepts: []semnet.ConceptID{d.conceptID(senses[0])}, Score: 1}}
 		}
 		pc := d.prepareContext(x)
 		for _, sp := range senses {
+			cand[0] = sp
 			out = append(out, Sense{
-				Concepts: []semnet.ConceptID{sp},
-				Score:    d.score([]semnet.ConceptID{sp}, x, pc),
+				Concepts: []semnet.ConceptID{d.conceptID(sp)},
+				Score:    d.scoreAs(d.opts.Method, cand[:1], pc),
 			})
 		}
-	default:
-		sensesP := d.senses(tokens[0])
-		sensesQ := d.senses(tokens[1])
+	} else {
+		sensesP := d.sensesDense(tok0)
+		sensesQ := d.sensesDense(tok1)
 		if len(sensesP) == 0 && len(sensesQ) == 0 {
 			return nil
 		}
-		if len(sensesP) == 0 || len(sensesQ) == 0 {
+		switch {
+		case len(sensesP) == 0 || len(sensesQ) == 0:
 			single := sensesP
 			if len(single) == 0 {
 				single = sensesQ
 			}
 			pc := d.prepareContext(x)
 			for _, sp := range single {
+				cand[0] = sp
 				out = append(out, Sense{
-					Concepts: []semnet.ConceptID{sp},
-					Score:    d.score([]semnet.ConceptID{sp}, x, pc),
+					Concepts: []semnet.ConceptID{d.conceptID(sp)},
+					Score:    d.scoreAs(d.opts.Method, cand[:1], pc),
 				})
 			}
-			break
-		}
-		pc := d.prepareContext(x)
-		for _, sp := range sensesP {
-			for _, sq := range sensesQ {
-				out = append(out, Sense{
-					Concepts: []semnet.ConceptID{sp, sq},
-					Score:    d.score([]semnet.ConceptID{sp, sq}, x, pc),
-				})
+		default:
+			pc := d.prepareContext(x)
+			for _, sp := range sensesP {
+				for _, sq := range sensesQ {
+					cand[0], cand[1] = sp, sq
+					out = append(out, Sense{
+						Concepts: []semnet.ConceptID{d.conceptID(sp), d.conceptID(sq)},
+						Score:    d.scoreAs(d.opts.Method, cand[:2], pc),
+					})
+				}
 			}
 		}
 	}

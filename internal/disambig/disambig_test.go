@@ -156,7 +156,7 @@ func TestContextScoreMatchesCosine(t *testing.T) {
 	net := wordnet.Default()
 	d := New(net, Options{Radius: 1, Method: ContextBased, SimWeights: simmeasure.EqualWeights()})
 	got := d.ContextScore("cast.n.01", cast)
-	want := sphere.Cosine(sphere.ContextVector(cast, 1), sphere.ConceptVector(net, "cast.n.01", 1))
+	want := sphere.Cosine(sphere.ContextVector(cast, 1, net), sphere.ConceptVector(net, "cast.n.01", 1))
 	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
 		t.Errorf("ContextScore = %.15f, want %.15f", got, want)
 	}

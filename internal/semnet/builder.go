@@ -2,6 +2,7 @@ package semnet
 
 import (
 	"fmt"
+	"math"
 	"repro/internal/lingproc"
 	"sort"
 	"strings"
@@ -74,9 +75,6 @@ func (b *Builder) Build() (*Network, error) {
 		order:    b.order,
 		edges:    make(map[ConceptID][]Edge, len(b.edges)),
 		byLemma:  make(map[string][]ConceptID),
-		depth:    make(map[ConceptID]int, len(b.concepts)),
-		cumFreq:  make(map[ConceptID]float64, len(b.concepts)),
-		glossTok: make(map[ConceptID][]string, len(b.concepts)),
 	}
 	// Validate and copy edges, deduplicating.
 	for from, es := range b.edges {
@@ -114,33 +112,113 @@ func (b *Builder) Build() (*Network, error) {
 			n.maxPolysemy = len(ids)
 		}
 	}
+	// Dense representation: assign every concept its int32 id (position in
+	// the immutable insertion order) and translate the edge set, then run
+	// every derived computation — depths, cumulative frequencies, gloss
+	// caches, ancestor lists, expanded glosses — directly on the dense
+	// arrays. The string-keyed API delegates through the index.
+	n.index = newConceptIndex(n.order)
+	N := len(n.order)
+	n.edgesD = make([][]DenseEdge, N)
+	for i, id := range n.order {
+		es := n.edges[id]
+		if len(es) == 0 {
+			continue
+		}
+		ds := make([]DenseEdge, len(es))
+		for j, e := range es {
+			ds[j] = DenseEdge{To: n.index.dense[e.To], Rel: e.Rel}
+		}
+		n.edgesD[i] = ds
+	}
+	n.buildLabelTable()
 	if err := n.computeDepths(); err != nil {
 		return nil, err
 	}
-	if err := n.computeCumFreq(); err != nil {
-		return nil, err
+	n.computeCumFreq()
+	n.icD = make([]float64, N)
+	for d := 0; d < N; d++ {
+		if cf := n.cumFreqD[d]; cf > 0 && n.totalFreq > 0 {
+			n.icD[d] = -math.Log(cf / n.totalFreq)
+		} else {
+			n.icD[d] = n.maxIC()
+		}
 	}
-	for _, id := range b.order {
-		n.glossTok[id] = tokenizeGloss(b.concepts[id].Gloss)
+	n.glossTokD = make([][]string, N)
+	for i, id := range n.order {
+		n.glossTokD[i] = tokenizeGloss(b.concepts[id].Gloss)
 	}
-	// Hot-path precomputations: ancestor lists/sets for LCS, expanded
-	// glosses for the overlap measure. Both are pure functions of the
-	// now-frozen edge set, so computing them once here removes the
-	// per-call taxonomy walks and gloss concatenations that dominate
-	// similarity scoring.
-	n.ancList = make(map[ConceptID][]ConceptID, len(b.order))
-	n.ancSet = make(map[ConceptID]map[ConceptID]struct{}, len(b.order))
-	for _, id := range b.order {
-		list := n.ancestorList(id)
-		n.ancList[id] = list
-		n.ancSet[id] = ancestorSetOf(list)
+	// Hot-path precomputations: ancestor lists (BFS visit order, plus a
+	// sorted copy for binary-search membership) for LCS, expanded glosses
+	// for the overlap measure. Both are pure functions of the now-frozen
+	// edge set, so computing them once here removes the per-call taxonomy
+	// walks and gloss concatenations that dominate similarity scoring.
+	n.ancListD = make([][]int32, N)
+	n.ancSortedD = make([][]int32, N)
+	for d := 0; d < N; d++ {
+		list := n.ancestorListDense(DenseID(d))
+		n.ancListD[d] = list
+		sorted := make([]int32, len(list))
+		copy(sorted, list)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		n.ancSortedD[d] = sorted
 	}
-	n.expGloss = make(map[ConceptID][]string, len(b.order))
-	for _, id := range b.order {
-		n.expGloss[id] = n.expandGloss(id)
+	n.expGlossD = make([][]string, N)
+	for d := 0; d < N; d++ {
+		n.expGlossD[d] = n.expandGlossDense(DenseID(d))
+	}
+	n.sensesD = make(map[string][]DenseID, len(n.byLemma))
+	for lemma, ids := range n.byLemma {
+		ds := make([]DenseID, len(ids))
+		for i, id := range ids {
+			ds[i] = n.index.dense[id]
+		}
+		n.sensesD[lemma] = ds
 	}
 	n.lcsMemo.init()
 	return n, nil
+}
+
+// buildLabelTable freezes the label universe: every distinct lemma, sorted
+// lexicographically so dense label order preserves string order, plus the
+// primary-label dimension of each concept.
+func (n *Network) buildLabelTable() {
+	n.labels = make([]string, 0, len(n.byLemma))
+	for l := range n.byLemma {
+		n.labels = append(n.labels, l)
+	}
+	sort.Strings(n.labels)
+	n.labelID = make(map[string]int32, len(n.labels))
+	for i, l := range n.labels {
+		n.labelID[l] = int32(i)
+	}
+	n.labelOfD = make([]int32, len(n.order))
+	for i, id := range n.order {
+		n.labelOfD[i] = n.labelID[n.concepts[id].Label()]
+	}
+}
+
+// ancestorListDense returns d and all its transitive hypernyms in BFS visit
+// order (dedup on first visit), matching the walk LCS historically did.
+func (n *Network) ancestorListDense(d DenseID) []int32 {
+	out := []int32{}
+	seen := make(map[int32]struct{})
+	queue := []int32{d}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, dup := seen[cur]; dup {
+			continue
+		}
+		seen[cur] = struct{}{}
+		out = append(out, cur)
+		for _, e := range n.edgesD[cur] {
+			if e.Rel == Hypernym {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
 }
 
 // MustBuild is Build that panics on error, for static embedded lexicons.
@@ -164,20 +242,23 @@ func (b *Builder) MustBuild() *Network {
 // without hypernyms) get depth 1, children one more than their shallowest
 // parent. Cycles in the hypernym relation are rejected.
 func (n *Network) computeDepths() error {
-	// Kahn-style BFS from the roots downward along Hyponym edges.
-	indeg := make(map[ConceptID]int, len(n.concepts)) // number of hypernyms
-	for _, id := range n.order {
-		for _, e := range n.edges[id] {
+	// Kahn-style BFS from the roots downward along Hyponym edges, entirely
+	// on the dense adjacency.
+	N := len(n.order)
+	n.depthD = make([]int32, N)
+	indeg := make([]int32, N) // number of hypernyms
+	for d := 0; d < N; d++ {
+		for _, e := range n.edgesD[d] {
 			if e.Rel == Hypernym {
-				indeg[id]++
+				indeg[d]++
 			}
 		}
 	}
-	var queue []ConceptID
-	for _, id := range n.order {
-		if indeg[id] == 0 {
-			n.depth[id] = 1
-			queue = append(queue, id)
+	var queue []int32
+	for d := 0; d < N; d++ {
+		if indeg[d] == 0 {
+			n.depthD[d] = 1
+			queue = append(queue, int32(d))
 		}
 	}
 	processed := 0
@@ -185,16 +266,16 @@ func (n *Network) computeDepths() error {
 		cur := queue[0]
 		queue = queue[1:]
 		processed++
-		if n.depth[cur] > n.maxDepth {
-			n.maxDepth = n.depth[cur]
+		if int(n.depthD[cur]) > n.maxDepth {
+			n.maxDepth = int(n.depthD[cur])
 		}
-		for _, e := range n.edges[cur] {
+		for _, e := range n.edgesD[cur] {
 			if e.Rel != Hyponym {
 				continue
 			}
 			child := e.To
-			if d, ok := n.depth[child]; !ok || n.depth[cur]+1 < d {
-				n.depth[child] = n.depth[cur] + 1
+			if d := n.depthD[child]; d == 0 || n.depthD[cur]+1 < d {
+				n.depthD[child] = n.depthD[cur] + 1
 			}
 			indeg[child]--
 			if indeg[child] == 0 {
@@ -202,9 +283,9 @@ func (n *Network) computeDepths() error {
 			}
 		}
 	}
-	if processed != len(n.concepts) {
+	if processed != N {
 		return fmt.Errorf("semnet: hypernym cycle detected (%d of %d concepts reachable from roots)",
-			processed, len(n.concepts))
+			processed, N)
 	}
 	return nil
 }
@@ -212,51 +293,50 @@ func (n *Network) computeDepths() error {
 // computeCumFreq propagates concept frequencies up the hypernym hierarchy:
 // cumFreq(c) = Freq(c) + sum of Freq over all hyponym descendants, so that
 // p(c) is monotone non-decreasing toward the roots as Resnik/Lin require.
-func (n *Network) computeCumFreq() error {
-	// Process concepts deepest-first so each child is finished before its
-	// parents accumulate it. A descendant reachable through multiple parents
-	// must still be counted once per distinct path-free semantics, so we
-	// compute cumFreq per concept from its full descendant set instead of
-	// summing child cumFreqs (which would double-count under multiple
-	// inheritance).
-	for _, id := range n.order {
-		desc := n.descendantSet(id)
+func (n *Network) computeCumFreq() {
+	// A descendant reachable through multiple parents must still be counted
+	// once per distinct path-free semantics, so cumFreq is computed per
+	// concept from its full descendant set instead of summing child
+	// cumFreqs (which would double-count under multiple inheritance).
+	// Descendants are accumulated in BFS visit order, which is fixed by the
+	// frozen edge set, so the float sum is deterministic.
+	N := len(n.order)
+	n.cumFreqD = make([]float64, N)
+	visited := make([]int32, N)
+	epoch := int32(0)
+	var queue []int32
+	for d := 0; d < N; d++ {
+		epoch++
+		queue = append(queue[:0], int32(d))
 		var sum float64
-		for d := range desc {
-			sum += n.concepts[d].Freq
-		}
-		n.cumFreq[id] = sum
-	}
-	for _, id := range n.order {
-		if len(n.Hypernyms(id)) == 0 {
-			n.totalFreq += n.cumFreq[id]
-		}
-	}
-	if n.totalFreq <= 0 {
-		// Unweighted network: IC degenerates gracefully (see IC).
-		n.totalFreq = 0
-	}
-	return nil
-}
-
-// descendantSet returns id plus all transitive hyponyms.
-func (n *Network) descendantSet(id ConceptID) map[ConceptID]struct{} {
-	out := map[ConceptID]struct{}{}
-	queue := []ConceptID{id}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if _, dup := out[cur]; dup {
-			continue
-		}
-		out[cur] = struct{}{}
-		for _, e := range n.edges[cur] {
-			if e.Rel == Hyponym {
-				queue = append(queue, e.To)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if visited[cur] == epoch {
+				continue
+			}
+			visited[cur] = epoch
+			sum += n.concepts[n.order[cur]].Freq
+			for _, e := range n.edgesD[cur] {
+				if e.Rel == Hyponym {
+					queue = append(queue, e.To)
+				}
 			}
 		}
+		n.cumFreqD[d] = sum
 	}
-	return out
+	for d := 0; d < N; d++ {
+		root := true
+		for _, e := range n.edgesD[d] {
+			if e.Rel == Hypernym {
+				root = false
+				break
+			}
+		}
+		if root {
+			n.totalFreq += n.cumFreqD[d]
+		}
+	}
 }
 
 // tokenizeGloss lower-cases, splits, and stems a gloss into content words

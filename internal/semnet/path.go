@@ -16,7 +16,7 @@ func (n *Network) HypernymPath(c ConceptID) []ConceptID {
 		}
 		best := parents[0]
 		for _, p := range parents[1:] {
-			if n.depth[p] < n.depth[best] {
+			if n.Depth(p) < n.Depth(best) {
 				best = p
 			}
 		}

@@ -11,7 +11,6 @@ package semnet
 
 import (
 	"fmt"
-	"hash/maphash"
 	"math"
 	"sort"
 	"strings"
@@ -101,6 +100,14 @@ func (c *Concept) Label() string {
 
 // Network is an immutable semantic network built by a Builder. All lookup
 // methods are safe for concurrent use.
+//
+// Alongside the string-keyed API the Network carries a dense integer
+// representation (see index.go): every derived quantity the scoring hot
+// path reads — depth, information content, adjacency, ancestor lists,
+// expanded glosses, sense lists — is stored in flat arrays indexed by
+// dense concept id, and the label universe (all lemmas, sorted) maps
+// labels to dense vector dimensions. The string-keyed methods delegate
+// through the index, so both views are always consistent.
 type Network struct {
 	concepts map[ConceptID]*Concept
 	order    []ConceptID
@@ -108,21 +115,37 @@ type Network struct {
 	byLemma  map[string][]ConceptID
 
 	maxPolysemy int
-	// Derived quantities for similarity measures.
-	depth     map[ConceptID]int // hypernym depth; roots have depth 1
-	maxDepth  int
-	cumFreq   map[ConceptID]float64 // own freq + all hyponym descendants
-	totalFreq float64
-	glossTok  map[ConceptID][]string // tokenized gloss cache
+	maxDepth    int
+	totalFreq   float64
+
+	// Dense representation, indexed by the position of each concept in the
+	// immutable insertion order. Built once in Build; never mutated.
+	index    *ConceptIndex
+	depthD   []int32       // hypernym depth; roots have depth 1
+	cumFreqD []float64     // own freq + all hyponym descendants
+	icD      []float64     // precomputed -log(cumFreq/totalFreq)
+	edgesD   [][]DenseEdge // integer adjacency mirroring edges
+	glossTokD [][]string   // tokenized gloss cache
+
+	// Label universe: every distinct lemma, sorted lexicographically, so
+	// dense label ids preserve string order. labelOfD maps each concept to
+	// the dimension of its primary label.
+	labels   []string
+	labelID  map[string]int32
+	labelOfD []int32
 
 	// Hot-path precomputations, all derived at Build time from the immutable
-	// edge set: per-concept ancestor visit lists/sets feed LCS without
-	// re-walking the hypernym DAG per call, and expanded glosses feed the
-	// gloss-overlap measure without re-concatenating neighbor glosses per
-	// pair. The network is immutable after Build, so these never invalidate.
-	ancList  map[ConceptID][]ConceptID            // BFS-from-concept visit order over hypernyms
-	ancSet   map[ConceptID]map[ConceptID]struct{} // same contents as a set
-	expGloss map[ConceptID][]string               // own + direct-neighbor gloss tokens
+	// edge set: per-concept ancestor visit lists (BFS order, exactly the
+	// walk LCS historically did) plus sorted copies for O(log d) membership
+	// feed LCS without re-walking the hypernym DAG per call, and expanded
+	// glosses feed the gloss-overlap measure without re-concatenating
+	// neighbor glosses per pair. The network is immutable after Build, so
+	// these never invalidate.
+	ancListD   [][]int32  // BFS-from-concept visit order over hypernyms
+	ancSortedD [][]int32  // same contents, ascending (binary-search membership)
+	expGlossD  [][]string // own + direct-neighbor gloss tokens
+
+	sensesD map[string][]DenseID // lemma -> dense senses, frequency order
 
 	lcsMemo lcsCache // concurrency-safe LCS memo (taxonomy walks dominate Sim cost)
 
@@ -134,38 +157,31 @@ type Network struct {
 
 // lcsCache memoizes LCS results under sharded locks so one immutable
 // Network can serve many goroutines without contention on a single mutex.
+// Keys are packed dense pairs; shard selection is a two-multiply integer
+// mix (mix64), so a lookup allocates nothing and hashes no strings.
 const lcsShardCount = 32
 
 type lcsCache struct {
-	seed   maphash.Seed
 	shards [lcsShardCount]lcsShard
 }
 
 type lcsShard struct {
 	mu sync.RWMutex
-	m  map[[2]ConceptID]lcsEntry
+	m  map[uint64]lcsEntry
 }
 
 type lcsEntry struct {
-	id ConceptID
+	d  DenseID
 	ok bool
 }
 
 func (c *lcsCache) init() {
-	c.seed = maphash.MakeSeed()
 	for i := range c.shards {
-		c.shards[i].m = make(map[[2]ConceptID]lcsEntry)
+		c.shards[i].m = make(map[uint64]lcsEntry)
 	}
 }
 
-func (c *lcsCache) shard(key [2]ConceptID) *lcsShard {
-	var h maphash.Hash
-	h.SetSeed(c.seed)
-	h.WriteString(string(key[0]))
-	h.WriteByte(0)
-	h.WriteString(string(key[1]))
-	return &c.shards[h.Sum64()%lcsShardCount]
-}
+func lower(s string) string { return strings.ToLower(s) }
 
 // Len returns |C|.
 func (n *Network) Len() int { return len(n.order) }
@@ -216,7 +232,12 @@ func (n *Network) Hypernyms(id ConceptID) []ConceptID {
 
 // Depth returns the concept's hypernym depth, where root concepts (those
 // without hypernyms) have depth 1. Unknown ids yield 0.
-func (n *Network) Depth(id ConceptID) int { return n.depth[id] }
+func (n *Network) Depth(id ConceptID) int {
+	if d, ok := n.index.Dense(id); ok {
+		return int(n.depthD[d])
+	}
+	return 0
+}
 
 // MaxDepth returns the maximum hypernym depth in the network.
 func (n *Network) MaxDepth() int { return n.maxDepth }
@@ -226,11 +247,19 @@ func (n *Network) MaxDepth() int { return n.maxDepth }
 // its hyponym descendants (Resnik's convention). Concepts with zero
 // cumulative frequency get the maximum observed IC.
 func (n *Network) IC(id ConceptID) float64 {
-	cf := n.cumFreq[id]
-	if cf <= 0 || n.totalFreq <= 0 {
-		return n.maxIC()
+	if d, ok := n.index.Dense(id); ok {
+		return n.icD[d]
 	}
-	return -math.Log(cf / n.totalFreq)
+	return n.maxIC()
+}
+
+// cumFreq returns the cumulative (descendant-inclusive) frequency of a
+// concept; unknown ids yield 0.
+func (n *Network) cumFreq(id ConceptID) float64 {
+	if d, ok := n.index.Dense(id); ok {
+		return n.cumFreqD[d]
+	}
+	return 0
 }
 
 func (n *Network) maxIC() float64 {
@@ -243,42 +272,33 @@ func (n *Network) maxIC() float64 {
 // LCS returns the lowest common subsumer of a and b in the hypernym
 // hierarchy (the deepest shared ancestor, where a concept is an ancestor of
 // itself) and true, or "" and false when the two concepts share no ancestor.
-// Results are memoized per ordered pair under sharded locks; LCS is safe
-// for concurrent use and O(|ancestors(b)|) on a memo miss thanks to the
-// ancestor sets precomputed at Build time.
+// Known pairs route through the int-keyed memo (LCSDense); ids outside the
+// network fall back to an uncached string walk.
 func (n *Network) LCS(a, b ConceptID) (ConceptID, bool) {
-	key := [2]ConceptID{a, b}
-	sh := n.lcsMemo.shard(key)
-	sh.mu.RLock()
-	e, hit := sh.m[key]
-	sh.mu.RUnlock()
-	if hit {
-		return e.id, e.ok
+	da, oka := n.index.Dense(a)
+	db, okb := n.index.Dense(b)
+	if oka && okb {
+		d, ok := n.LCSDense(da, db)
+		if !ok {
+			return "", false
+		}
+		return n.index.ids[d], true
 	}
-	id, ok := n.lcsCompute(a, b)
-	sh.mu.Lock()
-	sh.m[key] = lcsEntry{id: id, ok: ok}
-	sh.mu.Unlock()
-	return id, ok
+	return n.lcsComputeSlow(a, b)
 }
 
-// lcsCompute scans b's ancestors in BFS visit order (the precomputed list
-// reproduces the historical walk exactly, tie-breaks included) and keeps
-// the deepest one that is also an ancestor of a.
-func (n *Network) lcsCompute(a, b ConceptID) (ConceptID, bool) {
-	anc := n.ancSet[a]
-	if anc == nil { // unknown id: derive on the fly (no precomputed entry)
-		anc = ancestorSetOf(n.ancestorList(a))
-	}
-	list := n.ancList[b]
-	if list == nil {
-		list = n.ancestorList(b)
-	}
+// lcsComputeSlow handles ConceptIDs that are not part of the network: it
+// scans b's ancestors in BFS visit order (the same walk the dense path
+// reproduces, tie-breaks included) and keeps the deepest one that is also
+// an ancestor of a.
+func (n *Network) lcsComputeSlow(a, b ConceptID) (ConceptID, bool) {
+	anc := ancestorSetOf(n.ancestorList(a))
+	list := n.ancestorList(b)
 	var best ConceptID
 	bestDepth := -1
 	for _, cur := range list {
 		if _, ok := anc[cur]; ok {
-			if d := n.depth[cur]; d > bestDepth {
+			if d := n.Depth(cur); d > bestDepth {
 				best, bestDepth = cur, d
 			}
 		}
@@ -318,27 +338,32 @@ func ancestorSetOf(list []ConceptID) map[ConceptID]struct{} {
 
 // GlossTokens returns the tokenized, stop-word-free gloss of the concept,
 // cached at build time for the gloss-overlap measure.
-func (n *Network) GlossTokens(id ConceptID) []string { return n.glossTok[id] }
+func (n *Network) GlossTokens(id ConceptID) []string {
+	if d, ok := n.index.Dense(id); ok {
+		return n.glossTokD[d]
+	}
+	return nil
+}
 
 // ExpandedGlossTokens returns the concept's gloss tokens concatenated with
 // those of its direct neighbors over all relation kinds — the "extended"
 // gloss of the Banerjee-Pedersen overlap measure — precomputed at Build
 // time. Callers must treat the returned slice as read-only.
 func (n *Network) ExpandedGlossTokens(id ConceptID) []string {
-	if g, ok := n.expGloss[id]; ok {
-		return g
+	if d, ok := n.index.Dense(id); ok {
+		return n.expGlossD[d]
 	}
-	return n.expandGloss(id)
+	return nil
 }
 
-// expandGloss assembles the extended gloss from the per-concept gloss
+// expandGlossDense assembles the extended gloss from the per-concept gloss
 // caches, in edge order (deterministic: edges are fixed at Build).
-func (n *Network) expandGloss(id ConceptID) []string {
-	own := n.glossTok[id]
+func (n *Network) expandGlossDense(d DenseID) []string {
+	own := n.glossTokD[d]
 	out := make([]string, 0, len(own)*3)
 	out = append(out, own...)
-	for _, e := range n.edges[id] {
-		out = append(out, n.glossTok[e.To]...)
+	for _, e := range n.edgesD[d] {
+		out = append(out, n.glossTokD[e.To]...)
 	}
 	return out
 }

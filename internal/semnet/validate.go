@@ -38,25 +38,25 @@ func (n *Network) Validate() error {
 		// Depth consistency.
 		parents := n.Hypernyms(id)
 		if len(parents) == 0 {
-			if n.depth[id] != 1 {
-				return fmt.Errorf("semnet: validate: root %s has depth %d, want 1", id, n.depth[id])
+			if n.Depth(id) != 1 {
+				return fmt.Errorf("semnet: validate: root %s has depth %d, want 1", id, n.Depth(id))
 			}
 			continue
 		}
 		min := 0
 		for i, p := range parents {
-			if i == 0 || n.depth[p] < min {
-				min = n.depth[p]
+			if i == 0 || n.Depth(p) < min {
+				min = n.Depth(p)
 			}
 		}
-		if n.depth[id] != min+1 {
+		if n.Depth(id) != min+1 {
 			return fmt.Errorf("semnet: validate: depth(%s) = %d, want shallowest parent %d + 1",
-				id, n.depth[id], min)
+				id, n.Depth(id), min)
 		}
 		// Cumulative-frequency monotonicity for single-parent concepts.
-		if len(parents) == 1 && n.cumFreq[parents[0]] < n.cumFreq[id]-1e-9 {
+		if len(parents) == 1 && n.cumFreq(parents[0]) < n.cumFreq(id)-1e-9 {
 			return fmt.Errorf("semnet: validate: cumFreq(%s)=%g < cumFreq(%s)=%g",
-				parents[0], n.cumFreq[parents[0]], id, n.cumFreq[id])
+				parents[0], n.cumFreq(parents[0]), id, n.cumFreq(id))
 		}
 	}
 	// Lemma index completeness and ordering.

@@ -58,9 +58,76 @@ func BenchmarkCombinedCached(b *testing.B) {
 	for _, p := range benchPairs {
 		m.Sim(p[0], p[1]) // warm the cache
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := benchPairs[i%len(benchPairs)]
 		m.Sim(p[0], p[1])
+	}
+}
+
+// warmMeasure returns a Measure over the embedded lexicon with every
+// pairwise similarity of the sample precomputed, plus the sampled ids in
+// both string and dense form.
+func warmMeasure(tb testing.TB, sample int) (*Measure, []semnet.ConceptID, []semnet.DenseID) {
+	tb.Helper()
+	net := wordnet.Default()
+	ids := net.Concepts()
+	if len(ids) > sample {
+		ids = ids[:sample]
+	}
+	dense := make([]semnet.DenseID, len(ids))
+	for i, id := range ids {
+		d, ok := net.Dense(id)
+		if !ok {
+			tb.Fatalf("no dense id for %s", id)
+		}
+		dense[i] = d
+	}
+	m := New(net, EqualWeights())
+	for _, a := range ids {
+		for _, b := range ids {
+			m.Sim(a, b)
+		}
+	}
+	return m, ids, dense
+}
+
+// TestWarmSimLookupAllocationFree pins the shard-fix goal: once a pair is
+// cached, Sim and SimDense perform zero heap allocations per lookup — the
+// packed int-pair key and two-multiply shard mix replaced the per-lookup
+// maphash hasher and string conversions of the string-keyed cache.
+func TestWarmSimLookupAllocationFree(t *testing.T) {
+	m, ids, dense := warmMeasure(t, 40)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range ids {
+			for j := range ids {
+				m.Sim(ids[i], ids[j])
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Sim sweep allocates %.1f times, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		for i := range dense {
+			for j := range dense {
+				m.SimDense(dense[i], dense[j])
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm SimDense sweep allocates %.1f times, want 0", allocs)
+	}
+}
+
+// BenchmarkSimDenseWarm measures a warm cache hit on the dense fast path
+// used by the disambiguation inner loop.
+func BenchmarkSimDenseWarm(b *testing.B) {
+	m, _, dense := warmMeasure(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SimDense(dense[i%len(dense)], dense[(i*7+3)%len(dense)])
 	}
 }

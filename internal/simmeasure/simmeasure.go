@@ -12,7 +12,6 @@ package simmeasure
 
 import (
 	"fmt"
-	"hash/maphash"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -59,14 +58,65 @@ func (w Weights) Normalize() Weights {
 	return Weights{Edge: w.Edge / s, Node: w.Node / s, Gloss: w.Gloss / s}
 }
 
-// simShardCount is the number of lock shards of the pairwise-Sim cache.
+// simShardCount is the number of shards of the pairwise-Sim cache.
 // Sharding keeps many disambiguation goroutines from serializing on one
 // mutex; 64 shards are plenty for the worker counts a single host runs.
 const simShardCount = 64
 
+// simShard is one cache shard, organized for a read-dominated workload:
+// lookups on the clean map are lock-free (one atomic pointer load, no
+// read-modify-write — an RWMutex read lock costs three locked RMW ops per
+// lookup, which dominated the warm scoring profile). Writers insert into
+// the small mutex-guarded dirty map and periodically merge it into a
+// fresh clean map swapped in atomically; the publication ordering of
+// Store/Load makes the merged map safely immutable to readers.
 type simShard struct {
-	mu sync.RWMutex
-	m  map[[2]semnet.ConceptID]float64
+	clean atomic.Pointer[map[uint64]float64] // read-only; never mutated after Store
+	mu    sync.Mutex
+	dirty map[uint64]float64 // entries since the last merge
+}
+
+// lookup returns the cached value for key, lock-free when the entry has
+// been merged into the clean map, under the shard mutex while it still
+// sits in dirty.
+func (sh *simShard) lookup(key uint64) (float64, bool) {
+	if p := sh.clean.Load(); p != nil {
+		if v, ok := (*p)[key]; ok {
+			return v, true
+		}
+	}
+	sh.mu.Lock()
+	v, ok := sh.dirty[key]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// insert records a computed value and merges dirty into a new clean map
+// once dirty outgrows a quarter of clean (capped so entries reach the
+// lock-free path promptly even in huge shards). Each entry is copied an
+// amortized-constant number of times; values are pure functions of the
+// immutable network, so racing inserts of one key write the same value.
+func (sh *simShard) insert(key uint64, v float64) {
+	sh.mu.Lock()
+	sh.dirty[key] = v
+	n := 0
+	if p := sh.clean.Load(); p != nil {
+		n = len(*p)
+	}
+	if threshold := 1 + n/4; len(sh.dirty) >= threshold || len(sh.dirty) >= 1024 {
+		merged := make(map[uint64]float64, n+len(sh.dirty))
+		if p := sh.clean.Load(); p != nil {
+			for k, val := range *p {
+				merged[k] = val
+			}
+		}
+		for k, val := range sh.dirty {
+			merged[k] = val
+		}
+		sh.clean.Store(&merged)
+		sh.dirty = make(map[uint64]float64)
+	}
+	sh.mu.Unlock()
 }
 
 // Measure evaluates combined semantic similarity between concepts of one
@@ -74,13 +124,17 @@ type simShard struct {
 // evaluates the same sense pairs many times across context nodes — and,
 // when one Measure is shared by a whole batch run, across documents.
 //
+// The cache is keyed by packed dense int32 concept pairs (canonical
+// dense-ascending order), and shard selection is a two-multiply integer
+// mix: a warm lookup allocates nothing, hashes no strings, and takes Go's
+// fast uint64 map-access path.
+//
 // Measure is safe for concurrent use: the cache is sharded under
 // read-write locks, and cached values are pure functions of the immutable
 // network, so duplicated computation under contention is harmless.
 type Measure struct {
 	net     *semnet.Network
 	weights Weights
-	seed    maphash.Seed
 	shards  [simShardCount]simShard
 
 	hits, misses atomic.Uint64
@@ -91,10 +145,9 @@ func New(net *semnet.Network, w Weights) *Measure {
 	m := &Measure{
 		net:     net,
 		weights: w.Normalize(),
-		seed:    maphash.MakeSeed(),
 	}
 	for i := range m.shards {
-		m.shards[i].m = make(map[[2]semnet.ConceptID]float64)
+		m.shards[i].dirty = make(map[uint64]float64)
 	}
 	return m
 }
@@ -105,49 +158,93 @@ func (m *Measure) Weights() Weights { return m.weights }
 // Network returns the network the measure scores over.
 func (m *Measure) Network() *semnet.Network { return m.net }
 
-func (m *Measure) shard(key [2]semnet.ConceptID) *simShard {
-	var h maphash.Hash
-	h.SetSeed(m.seed)
-	h.WriteString(string(key[0]))
-	h.WriteByte(0)
-	h.WriteString(string(key[1]))
-	return &m.shards[h.Sum64()%simShardCount]
-}
-
 // Sim returns the combined similarity Sim(c1, c2, S̄N) in [0, 1]
 // (Definition 9). Identical concepts score 1. Sim is symmetric.
 func (m *Measure) Sim(c1, c2 semnet.ConceptID) float64 {
 	if c1 == c2 {
 		return 1
 	}
-	key := [2]semnet.ConceptID{c1, c2}
-	if c2 < c1 {
-		key = [2]semnet.ConceptID{c2, c1}
+	d1, ok1 := m.net.Dense(c1)
+	d2, ok2 := m.net.Dense(c2)
+	if !ok1 || !ok2 {
+		// Ids outside the network cannot collide with dense keys; compute
+		// uncached (they score 0 on every component measure anyway).
+		return m.simDirectSlow(c1, c2)
 	}
-	sh := m.shard(key)
-	sh.mu.RLock()
-	v, ok := sh.m[key]
-	sh.mu.RUnlock()
-	if ok {
+	return m.SimDense(d1, d2)
+}
+
+// SimDense is Sim over dense ids — the scoring core's entry point. The
+// pair is canonicalized to dense-ascending order for both the cache key
+// and the (order-sensitive, tie-break-wise) computation, so SimDense,
+// Sim, and SimDirect agree bit for bit in every argument order.
+func (m *Measure) SimDense(d1, d2 semnet.DenseID) float64 {
+	if d1 == d2 {
+		return 1
+	}
+	if d2 < d1 {
+		d1, d2 = d2, d1
+	}
+	key := semnet.PairKey(d1, d2)
+	sh := &m.shards[semnet.MixPair(d1, d2)%simShardCount]
+	if v, ok := sh.lookup(key); ok {
 		m.hits.Add(1)
 		return v
 	}
 	m.misses.Add(1)
-	v = m.SimDirect(c1, c2)
-	sh.mu.Lock()
-	sh.m[key] = v
-	sh.mu.Unlock()
+	v := m.simComputeDense(d1, d2)
+	sh.insert(key, v)
 	return v
 }
 
 // SimDirect computes the combined similarity without consulting or filling
 // the cache — the bypass path differential tests compare Sim against. It
-// evaluates the pair in canonical (sorted) order, exactly as Sim caches it,
-// so Sim(a, b) == SimDirect(a, b) == SimDirect(b, a) bit for bit.
+// evaluates the pair in canonical order, exactly as Sim caches it, so
+// Sim(a, b) == SimDirect(a, b) == SimDirect(b, a) bit for bit.
 func (m *Measure) SimDirect(c1, c2 semnet.ConceptID) float64 {
 	if c1 == c2 {
 		return 1
 	}
+	d1, ok1 := m.net.Dense(c1)
+	d2, ok2 := m.net.Dense(c2)
+	if !ok1 || !ok2 {
+		return m.simDirectSlow(c1, c2)
+	}
+	if d2 < d1 {
+		d1, d2 = d2, d1
+	}
+	return m.simComputeDense(d1, d2)
+}
+
+// SimDirectDense is SimDirect over dense ids (the bypass path of the
+// dense scoring core).
+func (m *Measure) SimDirectDense(d1, d2 semnet.DenseID) float64 {
+	if d1 == d2 {
+		return 1
+	}
+	if d2 < d1 {
+		d1, d2 = d2, d1
+	}
+	return m.simComputeDense(d1, d2)
+}
+
+// simComputeDense evaluates the weighted combination for a canonical
+// (dense-ascending) pair.
+func (m *Measure) simComputeDense(d1, d2 semnet.DenseID) float64 {
+	v := m.weights.Edge*m.edgeDense(d1, d2) +
+		m.weights.Node*m.nodeICDense(d1, d2) +
+		m.weights.Gloss*m.glossDense(d1, d2)
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// simDirectSlow handles ConceptIDs outside the network's index through the
+// string-keyed component measures, canonicalized by string order.
+func (m *Measure) simDirectSlow(c1, c2 semnet.ConceptID) float64 {
 	if c2 < c1 {
 		c1, c2 = c2, c1
 	}
@@ -160,6 +257,50 @@ func (m *Measure) SimDirect(c1, c2 semnet.ConceptID) float64 {
 		v = 1
 	}
 	return v
+}
+
+// edgeDense is Edge over dense ids.
+func (m *Measure) edgeDense(c1, c2 semnet.DenseID) float64 {
+	lcs, ok := m.net.LCSDense(c1, c2)
+	if !ok {
+		return 0
+	}
+	d1, d2 := m.net.DepthDense(c1), m.net.DepthDense(c2)
+	if d1+d2 == 0 {
+		return 0
+	}
+	return 2 * float64(m.net.DepthDense(lcs)) / float64(d1+d2)
+}
+
+// nodeICDense is NodeIC over dense ids.
+func (m *Measure) nodeICDense(c1, c2 semnet.DenseID) float64 {
+	lcs, ok := m.net.LCSDense(c1, c2)
+	if !ok {
+		return 0
+	}
+	ic1, ic2 := m.net.ICDense(c1), m.net.ICDense(c2)
+	if ic1+ic2 <= 0 {
+		return 0
+	}
+	v := 2 * m.net.ICDense(lcs) / (ic1 + ic2)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// glossDense is Gloss over dense ids.
+func (m *Measure) glossDense(c1, c2 semnet.DenseID) float64 {
+	g1 := m.net.ExpandedGlossTokensDense(c1)
+	g2 := m.net.ExpandedGlossTokensDense(c2)
+	if len(g1) == 0 || len(g2) == 0 {
+		return 0
+	}
+	raw := phraseOverlap(g1, g2)
+	return raw / (raw + glossSaturation)
 }
 
 // Stats reports cache hits and misses since construction (atomic counters;

@@ -42,10 +42,12 @@ func BenchmarkSphereRadius(b *testing.B) {
 func BenchmarkContextVector(b *testing.B) {
 	tr := benchTree(4, 6)
 	center := tr.Node(tr.Len() / 2)
+	voc := NewDict(nil)
 	for _, d := range []int{1, 3} {
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if len(ContextVector(center, d)) == 0 {
+				if ContextVector(center, d, voc).Len() == 0 {
 					b.Fatal("empty vector")
 				}
 			}
@@ -67,10 +69,16 @@ func BenchmarkWeightedSphere(b *testing.B) {
 
 func BenchmarkConceptVector(b *testing.B) {
 	net := wordnet.Default()
+	dc, ok := net.Dense("cast.n.01")
+	if !ok {
+		b.Fatal("cast.n.01 missing")
+	}
 	for _, d := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			var s ConceptScratch
 			for i := 0; i < b.N; i++ {
-				if len(ConceptVector(net, "cast.n.01", d)) == 0 {
+				if ConceptVectorInto(net, dc, d, &s).Len() == 0 {
 					b.Fatal("empty vector")
 				}
 			}
@@ -80,8 +88,10 @@ func BenchmarkConceptVector(b *testing.B) {
 
 func BenchmarkCosine(b *testing.B) {
 	tr := benchTree(4, 6)
-	a := ContextVector(tr.Node(3), 3)
-	c := ContextVector(tr.Node(tr.Len()/2), 3)
+	voc := NewDict(nil)
+	a := ContextVector(tr.Node(3), 3, voc)
+	c := ContextVector(tr.Node(tr.Len()/2), 3, voc)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Cosine(a, c)

@@ -87,19 +87,41 @@ func WeightedSphere(x *xmltree.Node, radius float64, w EdgeWeights) []WeightedMe
 // WeightedContextVector builds a context vector from a weighted sphere,
 // generalizing Definitions 6–7: structural proximity becomes
 // 1 - dist/(radius+1), keeping the farthest members at non-null weight.
-func WeightedContextVector(x *xmltree.Node, radius float64, w EdgeWeights) Vector {
+func WeightedContextVector(x *xmltree.Node, radius float64, w EdgeWeights, voc Vocab) Vector {
 	members := WeightedSphere(x, radius, w)
-	freq := make(Vector, len(members))
+	base := int32(0)
+	if voc != nil {
+		base = int32(voc.NumLabels())
+	}
+	var s VecScratch
 	for _, m := range members {
-		if m.Node.Label == "" {
+		if l := m.Node.Label; l != "" {
+			if voc == nil {
+				s.unknown = append(s.unknown, l)
+			} else if _, ok := voc.LabelID(l); !ok {
+				s.unknown = append(s.unknown, l)
+			}
+		}
+	}
+	if len(s.unknown) > 0 {
+		s.resolveUnknown()
+	}
+	for _, m := range members {
+		l := m.Node.Label
+		if l == "" {
 			continue
 		}
-		freq[m.Node.Label] += 1 - m.Dist/(radius+1)
+		var dim int32
+		if voc != nil {
+			if id, ok := voc.LabelID(l); ok {
+				dim = id
+			} else {
+				dim = s.unknownDim(base, l)
+			}
+		} else {
+			dim = s.unknownDim(base, l)
+		}
+		s.pairs = append(s.pairs, dimWeight{dim: dim, w: 1 - m.Dist/(radius+1)})
 	}
-	norm := float64(len(members) + 1)
-	v := make(Vector, len(freq))
-	for l, f := range freq {
-		v[l] = 2 * f / norm
-	}
-	return v
+	return s.fold(float64(len(members) + 1))
 }

@@ -47,14 +47,16 @@ func TestWeightedSphereCenterOnly(t *testing.T) {
 
 func TestWeightedContextVector(t *testing.T) {
 	_, cast := figure6(t)
-	v := WeightedContextVector(cast, 2, UnitWeights())
-	plain := ContextVector(cast, 2)
-	if len(v) != len(plain) {
+	voc := NewDict(nil)
+	v := WeightedContextVector(cast, 2, UnitWeights(), voc)
+	plain := ContextVector(cast, 2, voc)
+	if v.Len() != plain.Len() {
 		t.Fatalf("dims differ: %v vs %v", v, plain)
 	}
-	for l, w := range plain {
-		if diff := v[l] - w; diff > 1e-9 || diff < -1e-9 {
-			t.Errorf("weight[%s] = %f, want %f", l, v[l], w)
+	for i, dim := range plain.Dims {
+		w := plain.Weights[i]
+		if diff := v.WeightOf(dim) - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("weight[%s] = %f, want %f", voc.LabelName(dim), v.WeightOf(dim), w)
 		}
 	}
 }

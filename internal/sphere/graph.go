@@ -10,11 +10,12 @@ import (
 // contexts at distance 1. On documents without links it is identical to
 // Sphere.
 func GraphSphere(x *xmltree.Node, d int) []Member {
-	return bfsSphere(x, d, true)
+	var s Scratch
+	return SphereInto(x, d, true, &s)
 }
 
 // GraphContextVector builds the Definition 6–7 context vector over the
 // link-aware sphere.
-func GraphContextVector(x *xmltree.Node, d int) Vector {
-	return VectorFromMembers(GraphSphere(x, d), d)
+func GraphContextVector(x *xmltree.Node, d int, voc Vocab) Vector {
+	return VectorFromMembers(GraphSphere(x, d), d, voc)
 }

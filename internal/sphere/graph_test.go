@@ -73,12 +73,13 @@ func TestGraphSphereEqualsSphereWithoutLinks(t *testing.T) {
 func TestGraphContextVectorIncludesLinkedLabels(t *testing.T) {
 	tr := linkedTree(t)
 	ref := findNode(t, tr, "ref")
-	v := GraphContextVector(ref, 2)
-	if v["anchor"] <= 0 || v["inner"] <= 0 {
+	voc := NewDict(nil)
+	v := GraphContextVector(ref, 2, voc)
+	if v.At(voc, "anchor") <= 0 || v.At(voc, "inner") <= 0 {
 		t.Errorf("linked labels missing from vector: %v", v)
 	}
-	plain := ContextVector(ref, 2)
-	if _, ok := plain["inner"]; ok {
+	plain := ContextVector(ref, 2, voc)
+	if plain.At(voc, "inner") != 0 {
 		t.Error("tree vector should not see across the link")
 	}
 }

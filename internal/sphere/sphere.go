@@ -12,6 +12,7 @@
 package sphere
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/semnet"
@@ -73,39 +74,71 @@ func expand(cur *xmltree.Node, links bool, visit func(*xmltree.Node)) {
 // at distance 0 (Definition 5). Members are ordered by distance, then
 // preorder index, making iteration deterministic.
 func Sphere(x *xmltree.Node, d int) []Member {
-	return bfsSphere(x, d, false)
+	var s Scratch
+	return SphereInto(x, d, false, &s)
 }
 
-// bfsSphere is the shared breadth-first walk behind Sphere and GraphSphere.
-func bfsSphere(x *xmltree.Node, d int, links bool) []Member {
-	dist := map[*xmltree.Node]int{x: 0}
-	frontier := []*xmltree.Node{x}
-	members := []Member{{Node: x, Dist: 0}}
-	for depth := 1; depth <= d; depth++ {
-		var next []*xmltree.Node
-		for _, cur := range frontier {
-			expand(cur, links, func(nb *xmltree.Node) {
-				if _, seen := dist[nb]; seen {
-					return
-				}
-				dist[nb] = depth
-				members = append(members, Member{Node: nb, Dist: depth})
-				next = append(next, nb)
-			})
-		}
-		frontier = next
+// Scratch holds the reusable buffers of the sphere BFS so a caller scoring
+// many nodes (the disambiguation hot loop) performs no steady-state
+// allocation: the visited map is cleared and reused, member and frontier
+// slices keep their capacity. The zero value is ready to use. Not safe for
+// concurrent use; each worker owns its own Scratch.
+type Scratch struct {
+	dist     map[*xmltree.Node]int
+	frontier []*xmltree.Node
+	next     []*xmltree.Node
+	members  []Member
+}
+
+// SphereInto is Sphere (links=false) or GraphSphere (links=true) into
+// reusable scratch buffers. The returned slice aliases the scratch and is
+// valid until the next call with the same Scratch.
+func SphereInto(x *xmltree.Node, d int, links bool, s *Scratch) []Member {
+	if s.dist == nil {
+		s.dist = make(map[*xmltree.Node]int)
+	} else {
+		clear(s.dist)
 	}
-	sort.Slice(members, func(i, j int) bool {
-		if members[i].Dist != members[j].Dist {
-			return members[i].Dist < members[j].Dist
+	s.dist[x] = 0
+	s.frontier = append(s.frontier[:0], x)
+	s.members = append(s.members[:0], Member{Node: x, Dist: 0})
+	for depth := 1; depth <= d; depth++ {
+		s.next = s.next[:0]
+		for _, cur := range s.frontier {
+			// Same adjacency and order as expand (parent, children,
+			// links), written out so the hot loop allocates no closures.
+			if p := cur.Parent; p != nil {
+				s.visit(p, depth)
+			}
+			for _, c := range cur.Children {
+				s.visit(c, depth)
+			}
+			if links {
+				for _, l := range cur.Links {
+					s.visit(l, depth)
+				}
+			}
 		}
-		return members[i].Node.Index < members[j].Node.Index
+		s.frontier, s.next = s.next, s.frontier
+	}
+	slices.SortFunc(s.members, func(a, b Member) int {
+		if a.Dist != b.Dist {
+			return a.Dist - b.Dist
+		}
+		return a.Node.Index - b.Node.Index
 	})
-	return members
+	return s.members
 }
 
-// Vector is a sparse context vector: dimension label -> weight.
-type Vector map[string]float64
+// visit adds nb to the sphere at the given depth unless already seen.
+func (s *Scratch) visit(nb *xmltree.Node, depth int) {
+	if _, seen := s.dist[nb]; seen {
+		return
+	}
+	s.dist[nb] = depth
+	s.members = append(s.members, Member{Node: nb, Dist: depth})
+	s.next = append(s.next, nb)
+}
 
 // Struct returns the structural proximity factor of Definition 7 (Eq. 7):
 //
@@ -116,32 +149,13 @@ func Struct(dist, d int) float64 {
 
 // ContextVector builds V_d(x), the weighted context vector of target node x
 // with sphere radius d (Definitions 6–7). Dimensions are the distinct node
-// labels in S_d(x); the weight of label ℓ is
+// labels in S_d(x) resolved through voc; the weight of label ℓ is
 //
 //	w(ℓ) = 2·Freq(ℓ, S_d(x)) / (|S_d(x)| + 1)
 //
 // with Freq the structural-proximity-weighted occurrence count (Eq. 6).
-func ContextVector(x *xmltree.Node, d int) Vector {
-	return VectorFromMembers(Sphere(x, d), d)
-}
-
-// VectorFromMembers builds the Definition 6–7 context vector from an
-// already-computed sphere membership, letting callers that need both the
-// members and the vector (disambig.prepareContext) run the BFS once.
-func VectorFromMembers(members []Member, d int) Vector {
-	freq := make(Vector, len(members))
-	for _, m := range members {
-		if m.Node.Label == "" {
-			continue
-		}
-		freq[m.Node.Label] += Struct(m.Dist, d)
-	}
-	norm := float64(len(members) + 1)
-	v := make(Vector, len(freq))
-	for l, f := range freq {
-		v[l] = 2 * f / norm
-	}
-	return v
+func ContextVector(x *xmltree.Node, d int, voc Vocab) Vector {
+	return VectorFromMembers(Sphere(x, d), d, voc)
 }
 
 // ConceptSphereMember is one concept of a semantic-network sphere with its
@@ -170,57 +184,132 @@ func ConceptSphere(net *semnet.Network, c semnet.ConceptID, d int) []ConceptSphe
 	return out
 }
 
-// ConceptVector builds V_d(s): the context vector of a concept (sense) in
-// the semantic network, using the same weight formula as ContextVector with
-// concept primary labels as dimensions.
-func ConceptVector(net *semnet.Network, c semnet.ConceptID, d int) Vector {
-	members := ConceptSphere(net, c, d)
-	freq := make(Vector, len(members))
-	for _, m := range members {
-		cn := net.Concept(m.ID)
-		if cn == nil {
-			continue
-		}
-		freq[cn.Label()] += Struct(m.Dist, d)
-	}
-	norm := float64(len(members) + 1)
-	v := make(Vector, len(freq))
-	for l, f := range freq {
-		v[l] = 2 * f / norm
-	}
-	return v
+// ConceptScratch holds the reusable buffers of dense concept-sphere BFS
+// and vector construction: stamped visited/distance arrays sized to the
+// network, emission-order member lists, and the shared vector fold
+// buffers. The zero value is ready to use; it sizes itself to the network
+// on first use and is not safe for concurrent use.
+type ConceptScratch struct {
+	stamp    uint32
+	visitedA []uint32
+	distA    []int32
+	visitedB []uint32
+	distB    []int32
+	queue    []int32
+	idsA     []int32 // BFS emission order (dist ascending, frontier order)
+	idsB     []int32
+	vec      VecScratch
 }
 
-// CombinedConceptVector builds V_d(s_p, s_q) for the compound-label special
-// case (Eq. 12): the sphere neighborhoods of the individual senses are
-// unioned (keeping the smaller distance on overlap) before vector
-// construction.
+func (s *ConceptScratch) ensure(n int) {
+	if len(s.visitedA) < n {
+		s.visitedA = make([]uint32, n)
+		s.distA = make([]int32, n)
+		s.visitedB = make([]uint32, n)
+		s.distB = make([]int32, n)
+	}
+	s.stamp++
+	if s.stamp == 0 { // stamp wrapped: invalidate all stale marks
+		clear(s.visitedA)
+		clear(s.visitedB)
+		s.stamp = 1
+	}
+}
+
+// bfs runs the dense neighborhood walk from c over all relation kinds,
+// stamping visited/dist and appending reached ids (center included at
+// distance 0) to ids in emission order — distance ascending, and within a
+// ring the deterministic frontier order fixed by the frozen edge lists.
+func (s *ConceptScratch) bfs(net *semnet.Network, c semnet.DenseID, d int, visited []uint32, dist []int32, ids []int32) []int32 {
+	visited[c] = s.stamp
+	dist[c] = 0
+	ids = append(ids[:0], c)
+	s.queue = append(s.queue[:0], c)
+	head := 0
+	for head < len(s.queue) {
+		cur := s.queue[head]
+		head++
+		nd := dist[cur] + 1
+		if nd > int32(d) {
+			break
+		}
+		for _, e := range net.EdgesDense(cur) {
+			if visited[e.To] == s.stamp {
+				continue
+			}
+			visited[e.To] = s.stamp
+			dist[e.To] = nd
+			ids = append(ids, e.To)
+			s.queue = append(s.queue, e.To)
+		}
+	}
+	return ids
+}
+
+// ConceptVectorInto builds V_d(s) — the context vector of a concept
+// (sense) in the semantic network, same weight formula as ContextVector
+// with concept primary labels as dimensions — into reusable scratch. The
+// result aliases the scratch.
+func ConceptVectorInto(net *semnet.Network, c semnet.DenseID, d int, s *ConceptScratch) Vector {
+	s.ensure(net.Index().Len())
+	s.idsA = s.bfs(net, c, d, s.visitedA, s.distA, s.idsA)
+	s.vec.pairs = s.vec.pairs[:0]
+	for _, id := range s.idsA {
+		s.vec.pairs = append(s.vec.pairs, dimWeight{
+			dim: net.LabelDense(id),
+			w:   Struct(int(s.distA[id]), d),
+		})
+	}
+	return s.vec.fold(float64(len(s.idsA) + 1))
+}
+
+// CombinedConceptVectorInto builds V_d(s_p, s_q) for the compound-label
+// special case (Eq. 12): the sphere neighborhoods of the individual senses
+// are unioned (keeping the smaller distance on overlap) before vector
+// construction. The result aliases the scratch.
+func CombinedConceptVectorInto(net *semnet.Network, p, q semnet.DenseID, d int, s *ConceptScratch) Vector {
+	s.ensure(net.Index().Len())
+	s.idsA = s.bfs(net, p, d, s.visitedA, s.distA, s.idsA)
+	s.idsB = s.bfs(net, q, d, s.visitedB, s.distB, s.idsB)
+	s.vec.pairs = s.vec.pairs[:0]
+	size := 0
+	for _, id := range s.idsA {
+		dist := s.distA[id]
+		if s.visitedB[id] == s.stamp && s.distB[id] < dist {
+			dist = s.distB[id]
+		}
+		s.vec.pairs = append(s.vec.pairs, dimWeight{dim: net.LabelDense(id), w: Struct(int(dist), d)})
+		size++
+	}
+	for _, id := range s.idsB {
+		if s.visitedA[id] == s.stamp {
+			continue // already merged above with min distance
+		}
+		s.vec.pairs = append(s.vec.pairs, dimWeight{dim: net.LabelDense(id), w: Struct(int(s.distB[id]), d)})
+		size++
+	}
+	return s.vec.fold(float64(size + 1))
+}
+
+// ConceptVector builds V_d(s) as an owned vector; unknown concept ids
+// yield the empty vector.
+func ConceptVector(net *semnet.Network, c semnet.ConceptID, d int) Vector {
+	dc, ok := net.Dense(c)
+	if !ok {
+		return Vector{}
+	}
+	var s ConceptScratch
+	return ConceptVectorInto(net, dc, d, &s).Clone()
+}
+
+// CombinedConceptVector builds V_d(s_p, s_q) as an owned vector; unknown
+// concept ids yield the empty vector.
 func CombinedConceptVector(net *semnet.Network, p, q semnet.ConceptID, d int) Vector {
-	union := net.Neighborhood(p, d)
-	for id, dist := range net.Neighborhood(q, d) {
-		if cur, ok := union[id]; !ok || dist < cur {
-			union[id] = dist
-		}
+	dp, okp := net.Dense(p)
+	dq, okq := net.Dense(q)
+	if !okp || !okq {
+		return Vector{}
 	}
-	// Accumulate in sorted order: float addition is not associative, and
-	// weight construction must be bit-for-bit deterministic.
-	ids := make([]semnet.ConceptID, 0, len(union))
-	for id := range union {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	freq := make(Vector, len(union))
-	for _, id := range ids {
-		cn := net.Concept(id)
-		if cn == nil {
-			continue
-		}
-		freq[cn.Label()] += Struct(union[id], d)
-	}
-	norm := float64(len(union) + 1)
-	v := make(Vector, len(freq))
-	for l, f := range freq {
-		v[l] = 2 * f / norm
-	}
-	return v
+	var s ConceptScratch
+	return CombinedConceptVectorInto(net, dp, dq, d, &s).Clone()
 }

@@ -111,14 +111,15 @@ func TestStructFactor(t *testing.T) {
 // cast 0.4, picture 0.2, star 0.4.
 func TestContextVectorFigure7(t *testing.T) {
 	_, cast := figure6(t)
-	v := ContextVector(cast, 1)
+	voc := NewDict(nil)
+	v := ContextVector(cast, 1, voc)
 	want := map[string]float64{"cast": 0.4, "picture": 0.2, "star": 0.4}
-	if len(v) != len(want) {
+	if v.Len() != len(want) {
 		t.Fatalf("V1 dims = %v", v)
 	}
 	for l, w := range want {
-		if math.Abs(v[l]-w) > 1e-9 {
-			t.Errorf("V1[%s] = %.4f, want %.4f", l, v[l], w)
+		if math.Abs(v.At(voc, l)-w) > 1e-9 {
+			t.Errorf("V1[%s] = %.4f, want %.4f", l, v.At(voc, l), w)
 		}
 	}
 }
@@ -127,7 +128,8 @@ func TestContextVectorFigure7(t *testing.T) {
 // convention (|S2| = 8): weights 2·Freq/9.
 func TestContextVectorRadius2(t *testing.T) {
 	_, cast := figure6(t)
-	v := ContextVector(cast, 2)
+	voc := NewDict(nil)
+	v := ContextVector(cast, 2, voc)
 	want := map[string]float64{
 		"cast":    2.0 / 9,           // Struct(0,2)=1
 		"picture": 2 * (2.0 / 3) / 9, // Struct(1,2)=2/3
@@ -138,8 +140,8 @@ func TestContextVectorRadius2(t *testing.T) {
 		"plot":    2 * (1.0 / 3) / 9,
 	}
 	for l, w := range want {
-		if math.Abs(v[l]-w) > 1e-9 {
-			t.Errorf("V2[%s] = %.4f, want %.4f", l, v[l], w)
+		if math.Abs(v.At(voc, l)-w) > 1e-9 {
+			t.Errorf("V2[%s] = %.4f, want %.4f", l, v.At(voc, l), w)
 		}
 	}
 }
@@ -148,11 +150,12 @@ func TestContextVectorRadius2(t *testing.T) {
 // nodes weigh more (5); repeated labels weigh more (6).
 func TestAssumption5And6(t *testing.T) {
 	_, cast := figure6(t)
-	v := ContextVector(cast, 2)
-	if !(v["star"] > v["plot"]) {
+	voc := NewDict(nil)
+	v := ContextVector(cast, 2, voc)
+	if !(v.At(voc, "star") > v.At(voc, "plot")) {
 		t.Error("Assumption 5 violated: closer star should outweigh farther plot")
 	}
-	if !(v["star"] > v["picture"]) {
+	if !(v.At(voc, "star") > v.At(voc, "picture")) {
 		t.Error("Assumption 6 violated: repeated star should outweigh single picture")
 	}
 }
@@ -162,7 +165,7 @@ func TestWeightsInUnitRange(t *testing.T) {
 		tr := randomTree(shape)
 		x := tr.Node(int(center) % tr.Len())
 		radius := 1 + int(d)%4
-		for _, w := range ContextVector(x, radius) {
+		for _, w := range ContextVector(x, radius, NewDict(nil)).Weights {
 			if w <= 0 || w > 1 {
 				return false
 			}
@@ -245,12 +248,12 @@ func TestConceptVectorDimensions(t *testing.T) {
 	n := miniNet(t)
 	v := ConceptVector(n, "c.n.01", 2)
 	for _, dim := range []string{"gamma", "beta", "alpha", "delta"} {
-		if v[dim] <= 0 {
+		if v.At(n, dim) <= 0 {
 			t.Errorf("dimension %q missing: %v", dim, v)
 		}
 	}
 	// Closer concept outweighs farther.
-	if !(v["beta"] > v["alpha"]) {
+	if !(v.At(n, "beta") > v.At(n, "alpha")) {
 		t.Error("distance weighting violated in concept vector")
 	}
 }
@@ -261,13 +264,13 @@ func TestCombinedConceptVector(t *testing.T) {
 	// Union of both 1-spheres: c, b (from c), d, b (from d) -> dims
 	// gamma, beta, delta.
 	for _, dim := range []string{"gamma", "beta", "delta"} {
-		if v[dim] <= 0 {
+		if v.At(n, dim) <= 0 {
 			t.Errorf("dimension %q missing: %v", dim, v)
 		}
 	}
 	// The overlapping member (b) keeps its minimal distance.
 	single := ConceptVector(n, "c.n.01", 1)
-	if v["beta"] <= 0 || single["beta"] <= 0 {
+	if v.At(n, "beta") <= 0 || single.At(n, "beta") <= 0 {
 		t.Error("expected beta in both vectors")
 	}
 }

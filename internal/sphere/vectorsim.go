@@ -1,45 +1,50 @@
 package sphere
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // VectorSim is a similarity function over sparse context vectors, returning
 // values in [0, 1]. Cosine is the paper's default (footnote 10); Jaccard
 // and Pearson are the alternatives it mentions.
 //
-// All three accumulate in sorted dimension order: floating-point addition
-// is not associative, and Go's map iteration order is randomized, so naive
-// accumulation would make scores differ across calls in the last bits —
-// enough to flip exact ties and break the library's determinism guarantee.
+// Vectors carry their dimensions sorted, so all three measures are branchy
+// two-pointer merge-joins: no union map is built, nothing is hashed, and
+// accumulation visits dimensions in ascending id order — a fixed order, so
+// the non-associative float sums are bit-for-bit reproducible.
 type VectorSim func(a, b Vector) float64
-
-// sortedDims returns the union of dimensions in sorted order.
-func sortedDims(a, b Vector) []string {
-	dims := make([]string, 0, len(a)+len(b))
-	for l := range a {
-		dims = append(dims, l)
-	}
-	for l := range b {
-		if _, ok := a[l]; !ok {
-			dims = append(dims, l)
-		}
-	}
-	sort.Strings(dims)
-	return dims
-}
 
 // Cosine returns the cosine similarity of a and b, 0 when either is empty.
 func Cosine(a, b Vector) float64 {
-	if len(a) == 0 || len(b) == 0 {
+	if len(a.Dims) == 0 || len(b.Dims) == 0 {
 		return 0
 	}
 	var dot, na, nb float64
-	for _, l := range sortedDims(a, b) {
-		wa, wb := a[l], b[l]
-		dot += wa * wb
+	i, j := 0, 0
+	for i < len(a.Dims) && j < len(b.Dims) {
+		da, db := a.Dims[i], b.Dims[j]
+		switch {
+		case da == db:
+			wa, wb := a.Weights[i], b.Weights[j]
+			dot += wa * wb
+			na += wa * wa
+			nb += wb * wb
+			i++
+			j++
+		case da < db:
+			wa := a.Weights[i]
+			na += wa * wa
+			i++
+		default:
+			wb := b.Weights[j]
+			nb += wb * wb
+			j++
+		}
+	}
+	for ; i < len(a.Dims); i++ {
+		wa := a.Weights[i]
 		na += wa * wa
+	}
+	for ; j < len(b.Dims); j++ {
+		wb := b.Weights[j]
 		nb += wb * wb
 	}
 	if na == 0 || nb == 0 {
@@ -55,14 +60,44 @@ func Cosine(a, b Vector) float64 {
 // Jaccard returns the weighted (Ruzicka) Jaccard similarity:
 // sum(min)/sum(max) over the union of dimensions.
 func Jaccard(a, b Vector) float64 {
-	if len(a) == 0 || len(b) == 0 {
+	if len(a.Dims) == 0 || len(b.Dims) == 0 {
 		return 0
 	}
 	var num, den float64
-	for _, l := range sortedDims(a, b) {
-		wa, wb := a[l], b[l]
-		num += math.Min(wa, wb)
-		den += math.Max(wa, wb)
+	i, j := 0, 0
+	for i < len(a.Dims) && j < len(b.Dims) {
+		da, db := a.Dims[i], b.Dims[j]
+		switch {
+		case da == db:
+			wa, wb := a.Weights[i], b.Weights[j]
+			num += math.Min(wa, wb)
+			den += math.Max(wa, wb)
+			i++
+			j++
+		case da < db:
+			// Absent dim in b: min(wa, 0) = 0, max(wa, 0) = wa for the
+			// non-negative weights of Definition 7; mirror the historical
+			// math.Min/Max calls exactly in case of signed inputs.
+			wa := a.Weights[i]
+			num += math.Min(wa, 0)
+			den += math.Max(wa, 0)
+			i++
+		default:
+			wb := b.Weights[j]
+			num += math.Min(0, wb)
+			den += math.Max(0, wb)
+			j++
+		}
+	}
+	for ; i < len(a.Dims); i++ {
+		wa := a.Weights[i]
+		num += math.Min(wa, 0)
+		den += math.Max(wa, 0)
+	}
+	for ; j < len(b.Dims); j++ {
+		wb := b.Weights[j]
+		num += math.Min(0, wb)
+		den += math.Max(0, wb)
 	}
 	if den == 0 {
 		return 0
@@ -74,23 +109,70 @@ func Jaccard(a, b Vector) float64 {
 // their union of dimensions onto [0, 1] via (r+1)/2, so it is usable as a
 // similarity. Degenerate (zero-variance) inputs score 0.
 func Pearson(a, b Vector) float64 {
-	dims := sortedDims(a, b)
-	n := float64(len(dims))
+	// First merge pass: union size and per-vector sums (absent dims
+	// contribute 0 to the sums but count toward n).
+	var sa, sb float64
+	union := 0
+	i, j := 0, 0
+	for i < len(a.Dims) && j < len(b.Dims) {
+		da, db := a.Dims[i], b.Dims[j]
+		switch {
+		case da == db:
+			sa += a.Weights[i]
+			sb += b.Weights[j]
+			i++
+			j++
+		case da < db:
+			sa += a.Weights[i]
+			i++
+		default:
+			sb += b.Weights[j]
+			j++
+		}
+		union++
+	}
+	for ; i < len(a.Dims); i++ {
+		sa += a.Weights[i]
+		union++
+	}
+	for ; j < len(b.Dims); j++ {
+		sb += b.Weights[j]
+		union++
+	}
+	n := float64(union)
 	if n < 2 {
 		return 0
 	}
-	var sa, sb float64
-	for _, l := range dims {
-		sa += a[l]
-		sb += b[l]
-	}
 	ma, mb := sa/n, sb/n
+	// Second merge pass: centered covariance and variances over the union.
 	var cov, va, vb float64
-	for _, l := range dims {
-		da, db := a[l]-ma, b[l]-mb
+	acc := func(wa, wb float64) {
+		da, db := wa-ma, wb-mb
 		cov += da * db
 		va += da * da
 		vb += db * db
+	}
+	i, j = 0, 0
+	for i < len(a.Dims) && j < len(b.Dims) {
+		da, db := a.Dims[i], b.Dims[j]
+		switch {
+		case da == db:
+			acc(a.Weights[i], b.Weights[j])
+			i++
+			j++
+		case da < db:
+			acc(a.Weights[i], 0)
+			i++
+		default:
+			acc(0, b.Weights[j])
+			j++
+		}
+	}
+	for ; i < len(a.Dims); i++ {
+		acc(a.Weights[i], 0)
+	}
+	for ; j < len(b.Dims); j++ {
+		acc(0, b.Weights[j])
 	}
 	if va == 0 || vb == 0 {
 		return 0

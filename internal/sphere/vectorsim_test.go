@@ -2,40 +2,60 @@ package sphere
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
 
+// vecLit builds a Vector from a label -> weight literal through a shared
+// vocabulary, so vectors built with the same voc stay comparable.
+func vecLit(voc *Dict, m map[string]float64) Vector {
+	labels := make([]string, 0, len(m))
+	for l := range m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var s VecScratch
+	for _, l := range labels {
+		id, _ := voc.LabelID(l)
+		s.pairs = append(s.pairs, dimWeight{dim: id, w: m[l]})
+	}
+	// fold sorts by dim and scales by 2/norm; use norm=2 for identity.
+	return s.fold(2).Clone()
+}
+
 func TestCosineBasics(t *testing.T) {
-	a := Vector{"x": 1, "y": 0}
+	voc := NewDict(nil)
+	a := vecLit(voc, map[string]float64{"x": 1, "y": 0})
 	if got := Cosine(a, a); math.Abs(got-1) > 1e-9 {
 		t.Errorf("Cosine(a, a) = %f", got)
 	}
-	b := Vector{"z": 1}
+	b := vecLit(voc, map[string]float64{"z": 1})
 	if got := Cosine(a, b); got != 0 {
 		t.Errorf("orthogonal Cosine = %f", got)
 	}
-	if got := Cosine(a, nil); got != 0 {
+	if got := Cosine(a, Vector{}); got != 0 {
 		t.Errorf("Cosine with empty = %f", got)
 	}
 	// Scale invariance.
-	c := Vector{"x": 0.5, "y": 0.25}
-	c2 := Vector{"x": 1, "y": 0.5}
+	c := vecLit(voc, map[string]float64{"x": 0.5, "y": 0.25})
+	c2 := vecLit(voc, map[string]float64{"x": 1, "y": 0.5})
 	if math.Abs(Cosine(a, c)-Cosine(a, c2)) > 1e-9 {
 		t.Error("Cosine not scale invariant")
 	}
 }
 
 func TestJaccardBasics(t *testing.T) {
-	a := Vector{"x": 1, "y": 2}
+	voc := NewDict(nil)
+	a := vecLit(voc, map[string]float64{"x": 1, "y": 2})
 	if got := Jaccard(a, a); math.Abs(got-1) > 1e-9 {
 		t.Errorf("Jaccard(a, a) = %f", got)
 	}
-	if got := Jaccard(a, Vector{"z": 1}); got != 0 {
+	if got := Jaccard(a, vecLit(voc, map[string]float64{"z": 1})); got != 0 {
 		t.Errorf("disjoint Jaccard = %f", got)
 	}
 	// Partial overlap: min-sum/max-sum = 1/(1+2+1) with b = {x:1, z:1}.
-	b := Vector{"x": 1, "z": 1}
+	b := vecLit(voc, map[string]float64{"x": 1, "z": 1})
 	want := 1.0 / 4
 	if got := Jaccard(a, b); math.Abs(got-want) > 1e-9 {
 		t.Errorf("Jaccard = %f, want %f", got, want)
@@ -43,17 +63,18 @@ func TestJaccardBasics(t *testing.T) {
 }
 
 func TestPearsonBasics(t *testing.T) {
-	a := Vector{"x": 1, "y": 2, "z": 3}
+	voc := NewDict(nil)
+	a := vecLit(voc, map[string]float64{"x": 1, "y": 2, "z": 3})
 	if got := Pearson(a, a); math.Abs(got-1) > 1e-9 {
 		t.Errorf("Pearson(a, a) = %f", got)
 	}
 	// Anti-correlated vectors map toward 0 under (r+1)/2.
-	b := Vector{"x": 3, "y": 2, "z": 1}
+	b := vecLit(voc, map[string]float64{"x": 3, "y": 2, "z": 1})
 	if got := Pearson(a, b); got > 0.01 {
 		t.Errorf("anti-correlated Pearson = %f, want ~0", got)
 	}
 	// Degenerate inputs.
-	if got := Pearson(Vector{"x": 1}, Vector{"x": 2}); got != 0 {
+	if got := Pearson(vecLit(voc, map[string]float64{"x": 1}), vecLit(voc, map[string]float64{"x": 2})); got != 0 {
 		t.Errorf("single-dim Pearson = %f", got)
 	}
 }
@@ -61,8 +82,8 @@ func TestPearsonBasics(t *testing.T) {
 // TestVectorSimsRange: all three similarities stay in [0, 1] and are
 // symmetric on arbitrary sparse vectors.
 func TestVectorSimsRange(t *testing.T) {
-	mk := func(ws []float64) Vector {
-		v := Vector{}
+	mk := func(voc *Dict, ws []float64) Vector {
+		m := map[string]float64{}
 		for i, w := range ws {
 			if i >= 6 {
 				break
@@ -72,19 +93,122 @@ func TestVectorSimsRange(t *testing.T) {
 			}
 			w = math.Mod(w, 10)
 			if w > 0 {
-				v[string(rune('a'+i))] = w
+				m[string(rune('a'+i))] = w
 			}
 		}
-		return v
+		return vecLit(voc, m)
 	}
 	f := func(aw, bw []float64) bool {
-		a, b := mk(aw), mk(bw)
+		voc := NewDict(nil)
+		a, b := mk(voc, aw), mk(voc, bw)
 		for _, sim := range []VectorSim{Cosine, Jaccard, Pearson} {
 			v := sim(a, b)
 			if v < 0 || v > 1 || math.IsNaN(v) {
 				return false
 			}
 			if math.Abs(v-sim(b, a)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeJoinMatchesMapFold cross-checks the merge-join similarities
+// against a straightforward map-based reference on random sparse vectors.
+func TestMergeJoinMatchesMapFold(t *testing.T) {
+	ref := func(kind int, a, b map[string]float64) float64 {
+		union := map[string]struct{}{}
+		for l := range a {
+			union[l] = struct{}{}
+		}
+		for l := range b {
+			union[l] = struct{}{}
+		}
+		dims := make([]string, 0, len(union))
+		for l := range union {
+			dims = append(dims, l)
+		}
+		sort.Strings(dims)
+		switch kind {
+		case 0: // cosine
+			if len(a) == 0 || len(b) == 0 {
+				return 0
+			}
+			var dot, na, nb float64
+			for _, l := range dims {
+				dot += a[l] * b[l]
+				na += a[l] * a[l]
+				nb += b[l] * b[l]
+			}
+			if na == 0 || nb == 0 {
+				return 0
+			}
+			v := dot / (math.Sqrt(na) * math.Sqrt(nb))
+			return math.Min(v, 1)
+		case 1: // jaccard
+			if len(a) == 0 || len(b) == 0 {
+				return 0
+			}
+			var num, den float64
+			for _, l := range dims {
+				num += math.Min(a[l], b[l])
+				den += math.Max(a[l], b[l])
+			}
+			if den == 0 {
+				return 0
+			}
+			return num / den
+		default: // pearson
+			n := float64(len(dims))
+			if n < 2 {
+				return 0
+			}
+			var sa, sb float64
+			for _, l := range dims {
+				sa += a[l]
+				sb += b[l]
+			}
+			ma, mb := sa/n, sb/n
+			var cov, va, vb float64
+			for _, l := range dims {
+				da, db := a[l]-ma, b[l]-mb
+				cov += da * db
+				va += da * da
+				vb += db * db
+			}
+			if va == 0 || vb == 0 {
+				return 0
+			}
+			return (cov/math.Sqrt(va*vb) + 1) / 2
+		}
+	}
+	mkMap := func(ws []float64) map[string]float64 {
+		m := map[string]float64{}
+		for i, w := range ws {
+			if i >= 8 {
+				break
+			}
+			if w < 0 {
+				w = -w
+			}
+			w = math.Mod(w, 10)
+			if w > 0 {
+				m[string(rune('a'+i%8))] = w
+			}
+		}
+		return m
+	}
+	f := func(aw, bw []float64) bool {
+		am, bm := mkMap(aw), mkMap(bw)
+		voc := NewDict(nil)
+		av, bv := vecLit(voc, am), vecLit(voc, bm)
+		sims := []VectorSim{Cosine, Jaccard, Pearson}
+		for kind, sim := range sims {
+			if math.Abs(sim(av, bv)-ref(kind, am, bm)) > 1e-12 {
 				return false
 			}
 		}
